@@ -1,0 +1,1 @@
+bench/workloads.ml: Dag Filter Flow_key Int32 Ipaddr List Prefix Proto Random Rp_classifier Rp_lpm Rp_pkt

@@ -1,0 +1,977 @@
+(* Benchmark harness: regenerates every evaluation artifact of the
+   paper (see EXPERIMENTS.md for the index and the paper-vs-measured
+   discussion).
+
+     table2          worst-case memory accesses of a filter lookup
+     table3          per-packet processing cost of the four kernels
+     fig-classifier  filter-table lookup vs number of filters (§7.1)
+     fig-flowtable   flow-table behaviour vs concurrent flows (§7.2)
+     fig-drr         weighted DRR link sharing (§6.1 demonstration)
+     fig-hfsc        H-FSC hierarchy + delay/bandwidth decoupling (§6)
+     fig-gates       framework overhead vs number of gates (§3.2 claim)
+     fig-cache       flow-cache hit rate vs cache size (§3 premise)
+     fig-l4          L4 switching through the classifier (§8)
+     fig-collapse    wildcard-chain collapsing ablation (§5.1.2)
+     fig-grid        grid-of-tries vs set pruning, 2D filters (§5.1.2)
+     micro           Bechamel wall-clock micro-benchmarks
+
+   Run all sections: [dune exec bench/main.exe]; or name the sections
+   to run, e.g. [dune exec bench/main.exe -- table3 fig-drr]. *)
+
+open Rp_pkt
+open Rp_core
+open Bench_util
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith e
+
+let pmgr r cmd = ok (Rp_control.Pmgr.exec r cmd)
+
+(* ---------------------------------------------------------------------- *)
+(* Table 2: memory accesses for a worst-case filter lookup.               *)
+(* ---------------------------------------------------------------------- *)
+
+let table2 () =
+  section "Table 2: memory accesses for a filter lookup (worst case)";
+  Printf.printf
+    "Filter tables use the BSPL (binary search on prefix lengths) BMP\n\
+     plugin; the 'ladder' filter set installs one filter per prefix\n\
+     length so the address search must cover every length.\n";
+  let run ~family ~bulk ~paper_total =
+    let name = match family with `V4 -> "IPv4" | `V6 -> "IPv6" in
+    let dag = Workloads.build_dag ~ladder:true ~family bulk in
+    let key =
+      match family with
+      | `V4 -> Workloads.ladder_key_v4
+      | `V6 -> Workloads.ladder_key_v6
+    in
+    (* Warm: BSPL structures build lazily on first use. *)
+    ignore (Rp_classifier.Dag.lookup dag key);
+    Rp_lpm.Access.reset ();
+    let result, accesses =
+      Rp_lpm.Access.measure (fun () -> Rp_classifier.Dag.lookup dag key)
+    in
+    (match result with
+     | Some _ -> ()
+     | None -> Printf.printf "  (!) ladder key unexpectedly missed\n");
+    (* Worst case over random traffic too. *)
+    let worst = ref accesses in
+    for _ = 1 to 5000 do
+      let k =
+        match family with
+        | `V4 -> Workloads.random_key_v4 ()
+        | `V6 -> Workloads.ladder_key_v6
+      in
+      let _, a = Rp_lpm.Access.measure (fun () -> Rp_classifier.Dag.lookup dag k) in
+      if a > !worst then worst := a
+    done;
+    Printf.printf
+      "  %s: %d filters installed, %d trie nodes\n" name
+      (Rp_classifier.Dag.length dag)
+      (Rp_classifier.Dag.node_count dag);
+    Printf.printf
+      "  %s full-walk accesses: %d   worst observed: %d   paper: %d\n" name
+      accesses !worst paper_total;
+    Printf.printf "  %s worst-case lookup time at 60 ns/access: %.2f us (paper: %.1f us)\n"
+      name
+      (float_of_int !worst *. 60.0 /. 1000.0)
+      (float_of_int paper_total *. 60.0 /. 1000.0);
+    Gc.full_major ()
+  in
+  Printf.printf
+    "\n  %-44s %6s %6s\n" "breakdown (paper Table 2)" "IPv4" "IPv6";
+  Printf.printf "  %-44s %6d %6d\n" "BMP function pointer" 1 1;
+  Printf.printf "  %-44s %6d %6d\n" "index hash function pointer" 1 1;
+  Printf.printf "  %-44s %6d %6d\n" "IP address lookups (2 x log2 W / 2)" 10 14;
+  Printf.printf "  %-44s %6d %6d\n" "port number lookups" 2 2;
+  Printf.printf "  %-44s %6d %6d\n" "DAG edges" 6 6;
+  Printf.printf "  %-44s %6d %6d\n" "total (paper)" 20 24;
+  Printf.printf "\nmeasured on this implementation:\n";
+  run ~family:`V4 ~bulk:30_000 ~paper_total:20;
+  run ~family:`V6 ~bulk:15_000 ~paper_total:24
+
+(* ---------------------------------------------------------------------- *)
+(* Table 3: overall packet processing time, four kernels.                 *)
+(* ---------------------------------------------------------------------- *)
+
+(* Extra inert filters so "the system had 16 filters installed". *)
+let install_extra_filters r ~gate ~upto =
+  let aiu = Router.aiu r in
+  for i = 1 to upto do
+    let f =
+      Rp_classifier.Filter.v4
+        ~src:(Prefix.make (Ipaddr.v4 172 16 i 0) 24)
+        ~proto:Proto.tcp ()
+    in
+    Rp_classifier.Aiu.bind aiu ~gate f
+      (Plugin.simple ~instance_id:(9000 + i) ~code:0 ~plugin_name:"inert"
+         ~gate:(Option.get (Gate.of_int gate))
+         (fun _ _ -> Plugin.Continue))
+  done
+
+let table3_run ~label ~configure () =
+  let s =
+    configure ()
+  in
+  Rp_sim.Scenario.table3_workload s ~flows:3 ~per_flow:2000 ~pkt_len:8192 ();
+  Rp_sim.Scenario.run s ~seconds:1.0;
+  let node = s.Rp_sim.Scenario.node in
+  let cycles = Rp_sim.Net.cycles_per_packet node in
+  let st = Rp_sim.Net.stats node in
+  (label, cycles, st.Rp_sim.Net.received, st.Rp_sim.Net.forwarded)
+
+let table3 () =
+  section "Table 3: overall packet processing time (4 kernels)";
+  Printf.printf
+    "Workload: 3 concurrent UDP flows of 8 KB datagrams (no\n\
+     fragmentation), 2000 packets/flow, 16 filters installed, cycle\n\
+     cost model calibrated to the paper's P6/233 (see Cost).\n\n";
+  let fast_out = 10_000_000_000L in
+  let mk_scn ~mode ~gates () =
+    Rp_sim.Scenario.single_router ~mode ~gates ~in_ifaces:1
+      ~out_bandwidth_bps:fast_out ()
+  in
+  let best_effort () = mk_scn ~mode:Router.Best_effort ~gates:[] () in
+  let plugins_3gates () =
+    let gates = [ Gate.Ip_options; Gate.Security_in; Gate.Stats ] in
+    let s = mk_scn ~mode:Router.Plugins ~gates () in
+    let r = s.Rp_sim.Scenario.router in
+    List.iter
+      (fun (g, n) ->
+        ok (Pcu.modload r.Router.pcu (Empty_plugin.make ~gate:g ~name:n));
+        ignore (pmgr r (Printf.sprintf "create %s" n));
+        ())
+      [ (Gate.Ip_options, "e-opt"); (Gate.Security_in, "e-sec"); (Gate.Stats, "e-stat") ];
+    ignore (pmgr r "bind 1 <*, *, *, *, *, *>");
+    ignore (pmgr r "bind 2 <*, *, *, *, *, *>");
+    ignore (pmgr r "bind 3 <*, *, *, *, *, *>");
+    install_extra_filters r ~gate:(Gate.to_int Gate.Ip_options) ~upto:13;
+    s
+  in
+  let monolithic_drr () =
+    let s = mk_scn ~mode:Router.Best_effort ~gates:[] () in
+    let r = s.Rp_sim.Scenario.router in
+    ignore (pmgr r "modload drr");
+    ignore (pmgr r "create drr");
+    ignore (pmgr r (Printf.sprintf "attach 1 %d" s.Rp_sim.Scenario.out_iface));
+    s
+  in
+  let plugins_drr () =
+    let s = mk_scn ~mode:Router.Plugins ~gates:[ Gate.Scheduling ] () in
+    let r = s.Rp_sim.Scenario.router in
+    ignore (pmgr r "modload drr");
+    ignore (pmgr r "create drr");
+    ignore (pmgr r (Printf.sprintf "attach 1 %d" s.Rp_sim.Scenario.out_iface));
+    ignore (pmgr r "bind 1 <*, *, UDP, *, *, *>");
+    install_extra_filters r ~gate:(Gate.to_int Gate.Scheduling) ~upto:15;
+    s
+  in
+  let rows =
+    [
+      table3_run ~label:"unmodified best-effort kernel" ~configure:best_effort ();
+      table3_run ~label:"plugin framework (3 gates, empty plugins)"
+        ~configure:plugins_3gates ();
+      table3_run ~label:"monolithic kernel + built-in DRR (ALTQ-like)"
+        ~configure:monolithic_drr ();
+      table3_run ~label:"plugin framework + DRR plugin (1 gate)"
+        ~configure:plugins_drr ();
+    ]
+  in
+  let paper = [ (6460, 27.73); (6970, 29.91); (8160, 35.0); (8110, 34.8) ] in
+  let base_cycles =
+    match rows with (_, c, _, _) :: _ -> c | [] -> 1.0
+  in
+  Printf.printf "  %-45s %9s %8s %9s %11s %14s\n" "kernel" "cycles" "us" "overhead"
+    "pkts/s" "paper(cyc/us)";
+  List.iter2
+    (fun (label, cycles, received, _forwarded) (p_cyc, p_us) ->
+      let us = Cost.us_of_cycles (int_of_float cycles) in
+      let overhead = (cycles -. base_cycles) /. base_cycles *. 100.0 in
+      Printf.printf "  %-45s %9.0f %8.2f %+8.1f%% %11.0f   %6d/%.2f\n" label
+        cycles us overhead (1e6 /. us) p_cyc p_us;
+      ignore received)
+    rows paper;
+  Printf.printf
+    "\n  shape check: plugin overhead %.1f%% (paper: 8%%); DRR-over-best-effort\n\
+    \  %.1f%% (paper: ~26%%); plugin DRR vs monolithic DRR: %+.1f%% (paper: -0.6%%)\n"
+    (let (_, c, _, _) = List.nth rows 1 in
+     (c -. base_cycles) /. base_cycles *. 100.0)
+    (let (_, c, _, _) = List.nth rows 2 in
+     (c -. base_cycles) /. base_cycles *. 100.0)
+    (let (_, c3, _, _) = List.nth rows 3 in
+     let (_, c2, _, _) = List.nth rows 2 in
+     (c3 -. c2) /. c2 *. 100.0)
+
+(* ---------------------------------------------------------------------- *)
+(* §7.1: classifier scaling with the number of filters.                   *)
+(* ---------------------------------------------------------------------- *)
+
+let key_matching (f : Rp_classifier.Filter.t) =
+  let addr_of p = p.Prefix.addr in
+  Flow_key.make ~src:(addr_of f.Rp_classifier.Filter.src)
+    ~dst:(addr_of f.Rp_classifier.Filter.dst)
+    ~proto:
+      (match f.Rp_classifier.Filter.proto with
+       | Rp_classifier.Filter.Num p -> p
+       | Rp_classifier.Filter.Any_num -> Proto.udp)
+    ~sport:
+      (match f.Rp_classifier.Filter.sport with
+       | Rp_classifier.Filter.Port p -> p
+       | Rp_classifier.Filter.Port_range (lo, _) -> lo
+       | Rp_classifier.Filter.Any_port -> 4321)
+    ~dport:
+      (match f.Rp_classifier.Filter.dport with
+       | Rp_classifier.Filter.Port p -> p
+       | Rp_classifier.Filter.Port_range (lo, _) -> lo
+       | Rp_classifier.Filter.Any_port -> 4321)
+    ~iface:0
+
+let fig_classifier () =
+  section "Figure (7.1): filter-table lookup vs number of filters";
+  Printf.printf
+    "Queries are drawn from the installed filters (hits) plus random\n\
+     traffic (mostly misses).  The paper's claim: lookup cost is\n\
+     O(fields), independent of the number of filters.\n\n";
+  Printf.printf "  %-10s %8s %12s %12s %12s %14s\n" "engine" "filters"
+    "avg access" "worst" "ns/lookup" "trie nodes";
+  List.iter
+    (fun engine ->
+      let module E = (val engine : Rp_lpm.Lpm_intf.S) in
+      List.iter
+        (fun n ->
+          let dag = Workloads.build_dag ~engine ~family:`V4 n in
+          let filters = ref [] in
+          Rp_classifier.Dag.iter (fun f _ -> filters := f :: !filters) dag;
+          let filters = Array.of_list !filters in
+          let queries =
+            Array.init 4000 (fun i ->
+                if i land 1 = 0 then
+                  key_matching filters.(i * 7919 mod Array.length filters)
+                else Workloads.random_key_v4 ())
+          in
+          (* Warm up lazily-built structures. *)
+          Array.iter (fun k -> ignore (Rp_classifier.Dag.lookup dag k)) queries;
+          Rp_lpm.Access.reset ();
+          let worst = ref 0 and total = ref 0 in
+          Array.iter
+            (fun k ->
+              let _, a =
+                Rp_lpm.Access.measure (fun () -> Rp_classifier.Dag.lookup dag k)
+              in
+              worst := max !worst a;
+              total := !total + a)
+            queries;
+          Rp_lpm.Access.set_enabled false;
+          let idx = ref 0 in
+          let ns =
+            time_ns 20000 (fun () ->
+                ignore (Rp_classifier.Dag.lookup dag queries.(!idx));
+                idx := (!idx + 1) land 4095 mod Array.length queries)
+          in
+          Rp_lpm.Access.set_enabled true;
+          Printf.printf "  %-10s %8d %12.1f %12d %12.1f %14d\n" E.name n
+            (float_of_int !total /. float_of_int (Array.length queries))
+            !worst ns
+            (Rp_classifier.Dag.node_count dag);
+          Gc.full_major ())
+        [ 16; 256; 1024; 4096; 16384; 50_000 ])
+    [ Rp_lpm.Engines.patricia; Rp_lpm.Engines.bspl; Rp_lpm.Engines.cpe ];
+  (* The baseline the paper contrasts with: O(n) linear classifiers. *)
+  subsection "linear-scan baseline (the 'typical filter algorithm')";
+  Printf.printf "  %-10s %8s %12s\n" "engine" "filters" "ns/lookup";
+  List.iter
+    (fun n ->
+      let linear = Rp_classifier.Linear_ref.create () in
+      for i = 0 to n - 1 do
+        Rp_classifier.Linear_ref.insert linear (Workloads.bulk_filter_v4 ()) i
+      done;
+      Rp_lpm.Access.set_enabled false;
+      let ns =
+        time_ns
+          (max 200 (200_000 / n))
+          (fun () ->
+            ignore
+              (Rp_classifier.Linear_ref.classify linear (Workloads.random_key_v4 ())))
+      in
+      Rp_lpm.Access.set_enabled true;
+      Printf.printf "  %-10s %8d %12.1f\n" "linear" n ns)
+    [ 16; 256; 1024; 4096 ]
+
+(* ---------------------------------------------------------------------- *)
+(* §7.2: flow table behaviour.                                            *)
+(* ---------------------------------------------------------------------- *)
+
+let fig_flowtable () =
+  section "Figure (7.2): flow table (cache) behaviour";
+  Printf.printf
+    "32768 buckets (the kernel default); records from the exponential\n\
+     free list.  Cycle model: 17-cycle hash + 14 cycles (60 ns) per\n\
+     dependent access; the paper reports 1.3 us best case for a cached\n\
+     IPv6 flow lookup on the P6/233.\n\n";
+  Printf.printf "  %-9s %7s %12s %10s %12s %12s %11s\n" "flows" "load"
+    "avg access" "max chain" "model us" "hit ns" "miss ns";
+  List.iter
+    (fun n ->
+      let ft = Rp_classifier.Flow_table.create ~gates:1 () in
+      let keys =
+        Array.init n (fun i ->
+            Flow_key.make
+              ~src:(Ipaddr.v4 10 (i lsr 16 land 0xFF) (i lsr 8 land 0xFF) (i land 0xFF))
+              ~dst:(Ipaddr.v4 192 168 1 1) ~proto:Proto.udp
+              ~sport:(i land 0xFFFF) ~dport:9000 ~iface:0)
+      in
+      Array.iter (fun k -> ignore (Rp_classifier.Flow_table.insert ft k ~now:0L)) keys;
+      Rp_lpm.Access.reset ();
+      let total = ref 0 in
+      let probes = 20_000 in
+      for i = 0 to probes - 1 do
+        let k = keys.(i * 104729 mod n) in
+        let _, a =
+          Rp_lpm.Access.measure (fun () ->
+              Rp_classifier.Flow_table.lookup ft k ~now:1L)
+        in
+        total := !total + a
+      done;
+      let stats = Rp_classifier.Flow_table.stats ft in
+      let avg_access = float_of_int !total /. float_of_int probes in
+      let model_cycles = 17.0 +. (avg_access *. 14.0) in
+      Rp_lpm.Access.set_enabled false;
+      let i = ref 0 in
+      let hit_ns =
+        time_ns 50_000 (fun () ->
+            ignore (Rp_classifier.Flow_table.lookup ft keys.(!i * 31 mod n) ~now:2L);
+            incr i)
+      in
+      let miss_key =
+        Flow_key.make ~src:(Ipaddr.v4 1 2 3 4) ~dst:(Ipaddr.v4 5 6 7 8)
+          ~proto:Proto.tcp ~sport:1 ~dport:1 ~iface:0
+      in
+      let miss_ns =
+        time_ns 50_000 (fun () ->
+            ignore (Rp_classifier.Flow_table.lookup ft miss_key ~now:2L))
+      in
+      Rp_lpm.Access.set_enabled true;
+      Printf.printf "  %-9d %7.2f %12.2f %10d %12.2f %12.1f %11.1f\n" n
+        (float_of_int n /. 32768.0)
+        avg_access stats.Rp_classifier.Flow_table.chain_max
+        (Cost.us_of_cycles (int_of_float model_cycles))
+        hit_ns miss_ns)
+    [ 1024; 8192; 32768; 131_072 ];
+  Printf.printf
+    "\n  (model us is the paper's metric; 1.3 us ~ a cached lookup with a\n\
+    \   short chain on the P6/233)\n"
+
+(* ---------------------------------------------------------------------- *)
+(* §6.1: weighted DRR link sharing.                                       *)
+(* ---------------------------------------------------------------------- *)
+
+let fig_drr () =
+  section "Figure (6.1): weighted DRR link sharing";
+  let out_bw = 8_000_000L in
+  let weights = [ (1, 1); (2, 1); (3, 2); (4, 4) ] in
+  let run_with ~qdisc =
+    let s =
+      Rp_sim.Scenario.single_router ~in_ifaces:1 ~out_bandwidth_bps:out_bw ()
+    in
+    let r = s.Rp_sim.Scenario.router in
+    (match qdisc with
+     | `Drr ->
+       ignore (pmgr r "modload drr");
+       ignore (pmgr r "create drr");
+       ignore (pmgr r (Printf.sprintf "attach 1 %d" s.Rp_sim.Scenario.out_iface));
+       ignore (pmgr r "bind 1 <*, *, UDP, *, *, *>");
+       List.iter
+         (fun (id, w) ->
+           if w > 1 then
+             ok
+               (Rp_sched.Drr_plugin.reserve ~instance_id:1
+                  ~key:(Rp_sim.Scenario.sink_key ~id ())
+                  ~rate_bps:(w * 1_000_000)))
+         weights;
+       (* weight-1 flows: reserve the base rate so weights are 1,1,2,4 *)
+       List.iter
+         (fun (id, w) ->
+           if w = 1 then
+             ok
+               (Rp_sched.Drr_plugin.reserve ~instance_id:1
+                  ~key:(Rp_sim.Scenario.sink_key ~id ())
+                  ~rate_bps:1_000_000))
+         weights
+     | `Fifo -> ());
+    (* Each flow offers 4 Mb/s: 16 Mb/s onto an 8 Mb/s link. *)
+    List.iter
+      (fun (id, _) ->
+        ignore
+          (Rp_sim.Scenario.add_flow s
+             {
+               Rp_sim.Traffic.key = Rp_sim.Scenario.sink_key ~id ();
+               pkt_len = 1000;
+               pattern = Rp_sim.Traffic.Cbr 500.0;
+               start_ns = 0L;
+               stop_ns = Rp_sim.Sim.ns_of_sec 4.0;
+               seed = id;
+             }))
+      weights;
+    Rp_sim.Scenario.run s ~seconds:5.0;
+    List.map
+      (fun (id, w) ->
+        let g =
+          match Rp_sim.Sink.flow s.Rp_sim.Scenario.sink (Rp_sim.Scenario.sink_key ~id ()) with
+          | Some fs -> Rp_sim.Sink.goodput_bps fs
+          | None -> 0.0
+        in
+        (id, w, g))
+      weights
+  in
+  Printf.printf
+    "4 UDP flows, each offering 4 Mb/s to an 8 Mb/s link (2x overload);\n\
+     reservations give weights 1:1:2:4.\n\n";
+  let drr = run_with ~qdisc:`Drr in
+  let total_w = List.fold_left (fun a (_, w, _) -> a + w) 0 drr in
+  Printf.printf "  weighted DRR:\n";
+  Printf.printf "  %-6s %7s %14s %9s %10s\n" "flow" "weight" "goodput Mb/s"
+    "share" "expected";
+  let total_g = List.fold_left (fun a (_, _, g) -> a +. g) 0.0 drr in
+  List.iter
+    (fun (id, w, g) ->
+      Printf.printf "  %-6d %7d %14.2f %8.1f%% %9.1f%%\n" id w (mbps g)
+        (g /. total_g *. 100.0)
+        (float_of_int w /. float_of_int total_w *. 100.0))
+    drr;
+  let fifo = run_with ~qdisc:`Fifo in
+  let total_gf = List.fold_left (fun a (_, _, g) -> a +. g) 0.0 fifo in
+  Printf.printf "\n  FIFO baseline (no isolation):\n";
+  Printf.printf "  %-6s %7s %14s %9s\n" "flow" "weight" "goodput Mb/s" "share";
+  List.iter
+    (fun (id, w, g) ->
+      Printf.printf "  %-6d %7d %14.2f %8.1f%%\n" id w (mbps g)
+        (g /. total_gf *. 100.0))
+    fifo
+
+(* ---------------------------------------------------------------------- *)
+(* §6: H-FSC hierarchy and delay/bandwidth decoupling.                    *)
+(* ---------------------------------------------------------------------- *)
+
+let fig_hfsc () =
+  section "Figure (6.2): H-FSC hierarchical link sharing";
+  let out_bw = 10_000_000L in
+  let link_Bps = Int64.to_float out_bw /. 8.0 in
+  let s =
+    Rp_sim.Scenario.single_router ~in_ifaces:1 ~out_bandwidth_bps:out_bw ()
+  in
+  let r = s.Rp_sim.Scenario.router in
+  ignore (pmgr r "modload hfsc");
+  ignore (pmgr r "create hfsc");
+  ignore (pmgr r (Printf.sprintf "attach 1 %d" s.Rp_sim.Scenario.out_iface));
+  ignore (pmgr r "bind 1 <*, *, UDP, *, *, *>");
+  let sc = Rp_sched.Service_curve.linear in
+  ok (Rp_sched.Hfsc_plugin.add_class ~instance_id:1 ~cname:"agencyA" ~fsc:(sc (0.6 *. link_Bps)) ());
+  ok (Rp_sched.Hfsc_plugin.add_class ~instance_id:1 ~cname:"agencyB" ~fsc:(sc (0.4 *. link_Bps)) ());
+  ok
+    (Rp_sched.Hfsc_plugin.add_class ~instance_id:1 ~cname:"A-voice"
+       ~parent:"agencyA"
+       ~rsc:(Rp_sched.Service_curve.make ~m1:(2.0 *. link_Bps /. 10.0) ~d:0.02
+               ~m2:(0.05 *. link_Bps))
+       ~fsc:(sc (0.1 *. link_Bps)) ());
+  ok
+    (Rp_sched.Hfsc_plugin.add_class ~instance_id:1 ~cname:"A-data"
+       ~parent:"agencyA" ~fsc:(sc (0.9 *. link_Bps)) ());
+  ok
+    (Rp_sched.Hfsc_plugin.add_class ~instance_id:1 ~cname:"B-bulk"
+       ~parent:"agencyB" ~fsc:(sc link_Bps) ());
+  let assign id cname =
+    ok
+      (Rp_sched.Hfsc_plugin.assign ~instance_id:1
+         ~key:(Rp_sim.Scenario.sink_key ~id ())
+         ~cname)
+  in
+  assign 1 "A-voice";
+  assign 2 "A-data";
+  assign 3 "B-bulk";
+  (* Voice: 64 kb/s of small packets; data and bulk: 12 Mb/s each
+     (heavy overload). *)
+  let add id ~len ~pps =
+    ignore
+      (Rp_sim.Scenario.add_flow s
+         {
+           Rp_sim.Traffic.key = Rp_sim.Scenario.sink_key ~id ();
+           pkt_len = len;
+           pattern = Rp_sim.Traffic.Cbr pps;
+           start_ns = 0L;
+           stop_ns = Rp_sim.Sim.ns_of_sec 4.0;
+           seed = id;
+         })
+  in
+  add 1 ~len:200 ~pps:40.0;
+  add 2 ~len:1000 ~pps:1500.0;
+  add 3 ~len:1000 ~pps:1500.0;
+  Rp_sim.Scenario.run s ~seconds:5.0;
+  let report id cname =
+    match Rp_sim.Sink.flow s.Rp_sim.Scenario.sink (Rp_sim.Scenario.sink_key ~id ()) with
+    | Some fs ->
+      let mean, mx = Rp_sim.Sink.latency fs in
+      Printf.printf "  %-8s %14.3f %14.2f %12.2f\n" cname
+        (mbps (Rp_sim.Sink.goodput_bps fs))
+        (mean *. 1000.0) (mx *. 1000.0)
+    | None -> Printf.printf "  %-8s (no packets delivered)\n" cname
+  in
+  Printf.printf
+    "10 Mb/s link; agencies share 60/40; inside A, voice has a concave\n\
+     RSC (m1 = 2 Mb/s for 20 ms, m2 = 0.5 Mb/s) but only a 10%% fair\n\
+     share.  Voice offers 64 kb/s; data and bulk offer 12 Mb/s each.\n\n";
+  Printf.printf "  %-8s %14s %14s %12s\n" "class" "goodput Mb/s" "mean lat ms" "max lat ms";
+  report 1 "A-voice";
+  report 2 "A-data";
+  report 3 "B-bulk";
+  Printf.printf
+    "\n  expectation: voice gets its full 64 kb/s with millisecond-scale\n\
+    \  latency (RSC decouples delay from its small share); data:bulk\n\
+    \  split the rest roughly (0.6*10-0.064):(0.4*10) Mb/s.\n"
+
+(* ---------------------------------------------------------------------- *)
+(* §3.2: gate scaling — overhead vs number of gates.                      *)
+(* ---------------------------------------------------------------------- *)
+
+let fig_gates () =
+  section "Figure (3.2 claim): overhead vs number of gates";
+  Printf.printf
+    "Cached packets pay one indirect call per gate; only the first\n\
+     packet of a flow pays the per-gate filter-table lookups.\n\n";
+  Printf.printf "  %-7s %16s %16s %18s\n" "gates" "uncached cycles"
+    "cached cycles" "cached extra/gate";
+  let all = Array.of_list Gate.all in
+  List.iter
+    (fun n ->
+      let gates = Array.to_list (Array.sub all 0 n) in
+      let ifaces = [ Iface.create ~id:0 (); Iface.create ~id:1 () ] in
+      let r = Router.create ~mode:Router.Plugins ~gates ~ifaces () in
+      Router.add_route r (Prefix.of_string "192.168.0.0/16") ~iface:1 ();
+      List.iteri
+        (fun i g ->
+          let name = Printf.sprintf "empty-%d" i in
+          ok (Pcu.modload r.Router.pcu (Empty_plugin.make ~gate:g ~name));
+          let inst = ok (Pcu.create_instance r.Router.pcu ~plugin:name []) in
+          ok
+            (Pcu.register_instance r.Router.pcu
+               ~instance:inst.Plugin.instance_id
+               (Rp_classifier.Filter.v4 ())))
+        gates;
+      let key id =
+        Flow_key.make ~src:(Ipaddr.v4 10 0 0 id) ~dst:(Ipaddr.v4 192 168 1 1)
+          ~proto:Proto.udp ~sport:1000 ~dport:9000 ~iface:0
+      in
+      let process m =
+        let v, c = Cost.measure (fun () -> Ip_core.process r ~now:0L m) in
+        (match v with
+         | Ip_core.Enqueued out -> ignore (Iface.dequeue (Router.iface r out) ~now:0L)
+         | Ip_core.Delivered_local | Ip_core.Absorbed | Ip_core.Dropped _ -> ());
+        c
+      in
+      let uncached = process (Mbuf.synth ~key:(key 1) ~len:1000 ()) in
+      (* average the cached cost over a few packets *)
+      let cached_total = ref 0 in
+      for _ = 1 to 50 do
+        cached_total := !cached_total + process (Mbuf.synth ~key:(key 1) ~len:1000 ())
+      done;
+      let cached = float_of_int !cached_total /. 50.0 in
+      Printf.printf "  %-7d %16d %16.0f %18.1f\n" n uncached cached
+        ((cached -. float_of_int Cost.base_forward) /. float_of_int (max 1 n)))
+    [ 1; 2; 3; 4; 6; 8 ]
+
+(* ---------------------------------------------------------------------- *)
+(* Flow-cache effectiveness under realistic (heavy-tailed) traffic.       *)
+(* ---------------------------------------------------------------------- *)
+
+(* The paper's performance premise: "caching that exploits the
+   flow-like characteristics of Internet traffic".  Heavy-tailed flow
+   sizes + temporal locality mean even a small flow cache absorbs most
+   packets. *)
+let fig_cache () =
+  section "Figure (premise): flow-cache hit rate vs cache size";
+  Printf.printf
+    "20000 flows with Pareto(alpha=1.2) sizes (1..2000 packets),\n\
+     interleaved over a 64-flow concurrency window; 3 gates enabled.\n\n";
+  let rng = Random.State.make [| 77 |] in
+  let pareto () =
+    let u = Random.State.float rng 1.0 in
+    let u = if u < 1e-9 then 1e-9 else u in
+    min 2000 (int_of_float (1.0 /. (u ** (1.0 /. 1.2))))
+  in
+  let n_flows = 20_000 in
+  let sizes = Array.init n_flows (fun _ -> pareto ()) in
+  let total_packets = Array.fold_left ( + ) 0 sizes in
+  (* Interleave: a window of 64 concurrently active flows; each step
+     emits one packet from a random active flow. *)
+  let sequence = ref [] in
+  let window = Queue.create () in
+  let next_flow = ref 0 in
+  let active = ref [] in
+  let refill () =
+    while List.length !active < 64 && !next_flow < n_flows do
+      active := (!next_flow, ref sizes.(!next_flow)) :: !active;
+      incr next_flow
+    done
+  in
+  ignore window;
+  refill ();
+  while !active <> [] do
+    let idx = Random.State.int rng (List.length !active) in
+    let id, remaining = List.nth !active idx in
+    sequence := id :: !sequence;
+    decr remaining;
+    if !remaining = 0 then begin
+      active := List.filter (fun (i, _) -> i <> id) !active;
+      refill ()
+    end
+  done;
+  let sequence = Array.of_list (List.rev !sequence) in
+  Printf.printf "  %d packets over %d flows (mean flow %.1f pkts)\n\n"
+    total_packets n_flows
+    (float_of_int total_packets /. float_of_int n_flows);
+  Printf.printf "  %-12s %10s %10s %12s %14s\n" "cache size" "hit rate"
+    "recycled" "cycles/pkt" "vs infinite";
+  let run cache_size =
+    let gates = [ Gate.Ip_options; Gate.Security_in; Gate.Stats ] in
+    let ifaces = [ Iface.create ~id:0 (); Iface.create ~id:1 ~fifo_limit:max_int () ] in
+    let r =
+      Router.create ~mode:Router.Plugins ~gates ~flow_max:cache_size ~ifaces ()
+    in
+    Router.add_route r (Prefix.of_string "192.168.0.0/16") ~iface:1 ();
+    List.iter
+      (fun (g, n) ->
+        ok (Pcu.modload r.Router.pcu (Empty_plugin.make ~gate:g ~name:n));
+        let i = ok (Pcu.create_instance r.Router.pcu ~plugin:n []) in
+        ok
+          (Pcu.register_instance r.Router.pcu ~instance:i.Plugin.instance_id
+             (Rp_classifier.Filter.v4 ())))
+      [ (Gate.Ip_options, "ce0"); (Gate.Security_in, "ce1"); (Gate.Stats, "ce2") ];
+    Cost.reset ();
+    Array.iteri
+      (fun t id ->
+        let key =
+          Flow_key.make
+            ~src:(Ipaddr.v4 10 (id lsr 16 land 0xFF) (id lsr 8 land 0xFF) (id land 0xFF))
+            ~dst:(Ipaddr.v4 192 168 1 1) ~proto:Proto.udp
+            ~sport:(1024 + (id land 0x3FFF)) ~dport:9000 ~iface:0
+        in
+        let m = Mbuf.synth ~key ~len:500 () in
+        (match Ip_core.process r ~now:(Int64.of_int t) m with
+         | Ip_core.Enqueued out -> ignore (Iface.dequeue (Router.iface r out) ~now:0L)
+         | Ip_core.Delivered_local | Ip_core.Absorbed | Ip_core.Dropped _ -> ()))
+      sequence;
+    let cycles = float_of_int (Cost.get ()) /. float_of_int total_packets in
+    let st = Rp_classifier.Flow_table.stats (Rp_classifier.Aiu.flow_table (Router.aiu r)) in
+    let hit_rate =
+      float_of_int st.Rp_classifier.Flow_table.hits
+      /. float_of_int st.Rp_classifier.Flow_table.lookups
+    in
+    (hit_rate, st.Rp_classifier.Flow_table.recycled, cycles)
+  in
+  let _, _, infinite_cycles = run max_int in
+  List.iter
+    (fun size ->
+      let hit, recycled, cycles = run size in
+      Printf.printf "  %-12s %9.1f%% %10d %12.0f %+13.1f%%\n"
+        (if size = max_int then "unbounded" else string_of_int size)
+        (hit *. 100.0) recycled cycles
+        ((cycles -. infinite_cycles) /. infinite_cycles *. 100.0))
+    [ 64; 128; 256; 1024; 8192; max_int ]
+
+(* ---------------------------------------------------------------------- *)
+(* L4 switching: flow-cached routing vs per-packet LPM (§8).              *)
+(* ---------------------------------------------------------------------- *)
+
+let fig_l4 () =
+  section "Figure (8): L4 switching — routing through the classifier";
+  Printf.printf
+    "The paper's future work: \"by unifying routing and packet\n\
+     classification, we get QoS-based routing/Level 4 switching for\n\
+     free\".  Policy routes are l4-route plugin bindings; cached\n\
+     packets route with the FIX indirect call regardless of how many\n\
+     policies are installed.\n\n";
+  Printf.printf "  %-10s %18s %18s\n" "policies" "uncached cycles" "cached cycles";
+  List.iter
+    (fun n_policies ->
+      let ifaces = List.init 4 (fun id -> Iface.create ~id ()) in
+      let r = Router.create ~gates:[ Gate.Routing ] ~ifaces () in
+      Router.add_route r (Prefix.of_string "192.168.0.0/16") ~iface:1 ();
+      ok (Pcu.modload r.Router.pcu (module Route_plugin));
+      for i = 0 to n_policies - 1 do
+        let inst =
+          ok
+            (Pcu.create_instance r.Router.pcu ~plugin:"l4-route"
+               [ ("iface", string_of_int (2 + (i land 1))) ])
+        in
+        ok
+          (Pcu.register_instance r.Router.pcu ~instance:inst.Plugin.instance_id
+             (Rp_classifier.Filter.v4
+                ~src:(Prefix.make (Ipaddr.v4 10 (i lsr 8) (i land 0xFF) 0) 24)
+                ~proto:Proto.udp ()))
+      done;
+      let key =
+        Flow_key.make ~src:(Ipaddr.v4 10 0 1 7) ~dst:(Ipaddr.v4 192 168 1 1)
+          ~proto:Proto.udp ~sport:5000 ~dport:9000 ~iface:0
+      in
+      let process () =
+        let m = Mbuf.synth ~key ~len:500 () in
+        let v, c = Cost.measure (fun () -> Ip_core.process r ~now:0L m) in
+        (match v with
+         | Ip_core.Enqueued out -> ignore (Iface.dequeue (Router.iface r out) ~now:0L)
+         | Ip_core.Delivered_local | Ip_core.Absorbed | Ip_core.Dropped _ -> ());
+        c
+      in
+      let uncached = process () in
+      let cached_total = ref 0 in
+      for _ = 1 to 20 do
+        cached_total := !cached_total + process ()
+      done;
+      Printf.printf "  %-10d %18d %18.0f\n" n_policies uncached
+        (float_of_int !cached_total /. 20.0);
+      Gc.full_major ())
+    [ 1; 64; 1024; 16384 ]
+
+(* ---------------------------------------------------------------------- *)
+(* Ablation: wildcard-chain collapsing (§5.1.2 optimization).             *)
+(* ---------------------------------------------------------------------- *)
+
+let fig_collapse () =
+  section "Ablation (5.1.2): wildcard-chain collapsing";
+  Printf.printf
+    "Filter sets where protocol/ports/interface are wildcarded leave\n\
+     single-wildcard-edge chains in the trie; Dag.optimize jumps them\n\
+     in one access.\n\n";
+  Printf.printf "  %-10s %16s %16s %14s\n" "filters" "plain access"
+    "collapsed access" "saved";
+  List.iter
+    (fun n ->
+      let dag = Rp_classifier.Dag.create ~engine:Rp_lpm.Engines.bspl () in
+      for i = 0 to n - 1 do
+        (* Address-only filters: everything else wildcarded. *)
+        Rp_classifier.Dag.insert dag
+          (Rp_classifier.Filter.v4
+             ~src:(Prefix.make (Ipaddr.v4 10 (i lsr 8 land 0xFF) (i land 0xFF) 0) 24)
+             ~dst:(Prefix.make (Ipaddr.v4 172 16 (i land 0xFF) 0) 24)
+             ())
+          i
+      done;
+      let keys =
+        Array.init 1000 (fun i ->
+            Flow_key.make
+              ~src:(Ipaddr.v4 10 (i lsr 8 land 0xFF) (i land 0xFF) 7)
+              ~dst:(Ipaddr.v4 172 16 (i land 0xFF) 9) ~proto:Proto.udp
+              ~sport:1 ~dport:2 ~iface:0)
+      in
+      Array.iter (fun k -> ignore (Rp_classifier.Dag.lookup dag k)) keys;
+      let measure () =
+        let total = ref 0 in
+        Array.iter
+          (fun k ->
+            let _, a =
+              Rp_lpm.Access.measure (fun () -> Rp_classifier.Dag.lookup dag k)
+            in
+            total := !total + a)
+          keys;
+        float_of_int !total /. float_of_int (Array.length keys)
+      in
+      let plain = measure () in
+      Rp_classifier.Dag.optimize dag;
+      let collapsed = measure () in
+      Printf.printf "  %-10d %16.1f %16.1f %13.1f%%\n" n plain collapsed
+        ((plain -. collapsed) /. plain *. 100.0);
+      Gc.full_major ())
+    [ 16; 256; 4096 ]
+
+(* ---------------------------------------------------------------------- *)
+(* Grid-of-tries vs set pruning on two-dimensional filters (§5.1.2).     *)
+(* ---------------------------------------------------------------------- *)
+
+let fig_grid () =
+  section "Comparison (5.1.2): grid-of-tries vs set-pruning DAG (2D filters)";
+  Printf.printf
+    "The paper: grid-of-tries gives \"better memory utilization without\n\
+     sacrificing performance, but work[s] only in the special case of\n\
+     two-dimensional filters\".  Same (src, dst) filter sets in both\n\
+     structures; queries half hits, half random.\n\n";
+  Printf.printf "  %-9s %14s %14s %16s %16s\n" "filters" "GoT nodes"
+    "DAG nodes" "GoT avg access" "DAG avg access";
+  List.iter
+    (fun n ->
+      let rng = Random.State.make [| 99 |] in
+      let addr () =
+        Ipaddr.v4 (Random.State.int rng 64) (Random.State.int rng 16)
+          (Random.State.int rng 4) 0
+      in
+      let pairs =
+        List.init n (fun _ ->
+            ( Prefix.make (addr ()) (8 + Random.State.int rng 17),
+              Prefix.make (addr ()) (8 + Random.State.int rng 17) ))
+      in
+      let got = Rp_classifier.Grid_of_tries.create () in
+      let dag = Rp_classifier.Dag.create ~engine:Rp_lpm.Engines.bspl () in
+      List.iteri
+        (fun i (src, dst) ->
+          Rp_classifier.Grid_of_tries.insert got ~src ~dst i;
+          Rp_classifier.Dag.insert dag (Rp_classifier.Filter.v4 ~src ~dst ()) i)
+        pairs;
+      let arr = Array.of_list pairs in
+      let queries =
+        Array.init 2000 (fun i ->
+            if i land 1 = 0 then
+              let src, dst = arr.(i * 7919 mod n) in
+              (src.Prefix.addr, dst.Prefix.addr)
+            else (addr (), addr ()))
+      in
+      (* Warm lazy structures. *)
+      Array.iter
+        (fun (src, dst) ->
+          ignore (Rp_classifier.Grid_of_tries.lookup got ~src ~dst);
+          ignore
+            (Rp_classifier.Dag.lookup dag
+               (Flow_key.make ~src ~dst ~proto:Proto.udp ~sport:1 ~dport:2
+                  ~iface:0)))
+        queries;
+      let measure f =
+        let total = ref 0 in
+        Array.iter
+          (fun q ->
+            let _, a = Rp_lpm.Access.measure (fun () -> f q) in
+            total := !total + a)
+          queries;
+        float_of_int !total /. float_of_int (Array.length queries)
+      in
+      let got_acc =
+        measure (fun (src, dst) -> Rp_classifier.Grid_of_tries.lookup got ~src ~dst)
+      in
+      let dag_acc =
+        measure (fun (src, dst) ->
+            Rp_classifier.Dag.lookup dag
+              (Flow_key.make ~src ~dst ~proto:Proto.udp ~sport:1 ~dport:2
+                 ~iface:0))
+      in
+      Printf.printf "  %-9d %14d %14d %16.1f %16.1f\n" n
+        (Rp_classifier.Grid_of_tries.node_count got)
+        (Rp_classifier.Dag.node_count dag)
+        got_acc dag_acc;
+      Gc.full_major ())
+    [ 256; 1024; 4096; 16384 ]
+
+(* ---------------------------------------------------------------------- *)
+(* Bechamel micro-benchmarks.                                             *)
+(* ---------------------------------------------------------------------- *)
+
+let micro () =
+  section "Bechamel micro-benchmarks (wall clock, this machine)";
+  Rp_lpm.Access.set_enabled false;
+  let open Bechamel in
+  (* classifier lookups, one per engine, 1024 bulk filters *)
+  let dag_tests =
+    List.map
+      (fun engine ->
+        let module E = (val engine : Rp_lpm.Lpm_intf.S) in
+        let dag = Workloads.build_dag ~engine ~family:`V4 1024 in
+        let keys = Array.init 256 (fun _ -> Workloads.random_key_v4 ()) in
+        Array.iter (fun k -> ignore (Rp_classifier.Dag.lookup dag k)) keys;
+        let i = ref 0 in
+        Test.make
+          ~name:(Printf.sprintf "dag-lookup-%s-1k-filters" E.name)
+          (Staged.stage (fun () ->
+               incr i;
+               ignore (Rp_classifier.Dag.lookup dag keys.(!i land 255)))))
+      [ Rp_lpm.Engines.patricia; Rp_lpm.Engines.bspl; Rp_lpm.Engines.cpe ]
+  in
+  (* flow table hit *)
+  let ft = Rp_classifier.Flow_table.create ~gates:1 () in
+  let ft_keys =
+    Array.init 4096 (fun i ->
+        Flow_key.make ~src:(Ipaddr.v4 10 1 (i lsr 8) (i land 0xFF))
+          ~dst:(Ipaddr.v4 192 168 1 1) ~proto:Proto.udp ~sport:i ~dport:53
+          ~iface:0)
+  in
+  Array.iter (fun k -> ignore (Rp_classifier.Flow_table.insert ft k ~now:0L)) ft_keys;
+  let fi = ref 0 in
+  let ft_test =
+    Test.make ~name:"flow-table-hit"
+      (Staged.stage (fun () ->
+           incr fi;
+           ignore (Rp_classifier.Flow_table.lookup ft ft_keys.(!fi land 4095) ~now:1L)))
+  in
+  (* full cached data path *)
+  let ifaces = [ Iface.create ~id:0 (); Iface.create ~id:1 () ] in
+  let r = Router.create ~ifaces () in
+  Router.add_route r (Prefix.of_string "192.168.0.0/16") ~iface:1 ();
+  let key =
+    Flow_key.make ~src:(Ipaddr.v4 10 0 0 1) ~dst:(Ipaddr.v4 192 168 1 1)
+      ~proto:Proto.udp ~sport:1 ~dport:2 ~iface:0
+  in
+  let m = Mbuf.synth ~key ~len:1000 () in
+  ignore (Ip_core.process r ~now:0L m);
+  ignore (Iface.dequeue (Router.iface r 1) ~now:0L);
+  let process_test =
+    Test.make ~name:"ip-core-process-cached"
+      (Staged.stage (fun () ->
+           let m = Mbuf.synth ~key ~len:1000 () in
+           (match Ip_core.process r ~now:0L m with
+            | Ip_core.Enqueued out -> ignore (Iface.dequeue (Router.iface r out) ~now:0L)
+            | Ip_core.Delivered_local | Ip_core.Absorbed | Ip_core.Dropped _ -> ())))
+  in
+  (* crypto *)
+  let block = Bytes.make 1500 'x' in
+  let md5_test =
+    Test.make ~name:"md5-1500B" (Staged.stage (fun () -> ignore (Rp_crypto.Md5.digest_bytes block)))
+  in
+  let hmac_test =
+    Test.make ~name:"hmac-md5-1500B"
+      (Staged.stage (fun () -> ignore (Rp_crypto.Hmac.md5_bytes ~key:"k" block 0 1500)))
+  in
+  let rc4 = Rp_crypto.Rc4.create "bench-key" in
+  let rc4_test =
+    Test.make ~name:"rc4-1500B" (Staged.stage (fun () -> Rp_crypto.Rc4.apply rc4 block 0 1500))
+  in
+  let grouped =
+    Test.make_grouped ~name:"rp"
+      (dag_tests @ [ ft_test; process_test; md5_test; hmac_test; rc4_test ])
+  in
+  run_bechamel grouped;
+  Rp_lpm.Access.set_enabled true
+
+(* ---------------------------------------------------------------------- *)
+
+let sections =
+  [
+    ("table2", table2);
+    ("table3", table3);
+    ("fig-classifier", fig_classifier);
+    ("fig-flowtable", fig_flowtable);
+    ("fig-drr", fig_drr);
+    ("fig-hfsc", fig_hfsc);
+    ("fig-gates", fig_gates);
+    ("fig-cache", fig_cache);
+    ("fig-l4", fig_l4);
+    ("fig-collapse", fig_collapse);
+    ("fig-grid", fig_grid);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst sections
+  in
+  Printf.printf
+    "Router Plugins benchmark harness — reproducing the evaluation of\n\
+     Decasper, Dittia, Parulkar & Plattner, SIGCOMM '98.\n\
+     Cost model: %d-cycle best-effort base path, %d cycles/memory\n\
+     access (60 ns @ %.0f MHz).  See EXPERIMENTS.md.\n"
+    Cost.base_forward Cost.mem_access Cost.cpu_mhz;
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f ->
+        f ();
+        Gc.full_major ()
+      | None ->
+        Printf.printf "unknown section %S; available: %s\n" name
+          (String.concat ", " (List.map fst sections)))
+    requested

@@ -1,0 +1,120 @@
+(* Deterministic workload generators shared by the benchmark sections.
+
+   Filter sets follow realistic (BGP-like) prefix-length structure:
+   bulk filters use /16../32 (v4) or /48../64 (v6) prefixes so the
+   set-pruning trie stays near-linear — the paper accepts combinatorial
+   memory for heavily nested/ambiguous sets (section 5.1.2), and the
+   "ladder" component below adds exactly such a nested chain to pin
+   the worst-case lookup depth without blowing up memory. *)
+
+open Rp_pkt
+open Rp_classifier
+
+let rng = Random.State.make [| 20260706 |]
+
+let rand_v4 () =
+  Ipaddr.v4 (Random.State.int rng 224) (Random.State.int rng 256)
+    (Random.State.int rng 256) (Random.State.int rng 256)
+
+let rand_v6 () =
+  Ipaddr.v6
+    (Int32.of_int (Random.State.int rng 0x3FFFFFFF))
+    (Random.State.int rng 0x3FFFFFFF |> Int32.of_int)
+    (Random.State.int rng 0x3FFFFFFF |> Int32.of_int)
+    (Random.State.int rng 0x3FFFFFFF |> Int32.of_int)
+
+(* A bulk filter: concrete prefixes, mixed ports. *)
+(* Lengths 16..31; adding host routes (/32) would make 32 distinct
+   lengths and cost the BSPL a sixth probe per address (see
+   EXPERIMENTS.md). *)
+let bulk_filter_v4 () =
+  Filter.v4
+    ~src:(Prefix.make (rand_v4 ()) (16 + Random.State.int rng 16))
+    ~dst:(Prefix.make (rand_v4 ()) (16 + Random.State.int rng 16))
+    ~proto:(if Random.State.bool rng then Proto.tcp else Proto.udp)
+    ~dport:
+      (if Random.State.int rng 10 < 3 then Filter.Port (Random.State.int rng 10)
+       else Filter.Any_port)
+    ()
+
+let bulk_filter_v6 () =
+  Filter.v6
+    ~src:(Prefix.make (rand_v6 ()) (48 + Random.State.int rng 17))
+    ~dst:(Prefix.make (rand_v6 ()) (48 + Random.State.int rng 17))
+    ~proto:(if Random.State.bool rng then Proto.tcp else Proto.udp)
+    ()
+
+(* The nested "ladder": one filter per prefix length of a fixed
+   address, on both source and destination, forcing the BMP search at
+   the address levels to cover every length — the worst case Table 2
+   charges for. *)
+let ladder_v4_addr = Ipaddr.v4 129 132 19 40
+let ladder_v4_dst = Ipaddr.v4 192 94 233 10
+
+(* Lengths 1..31: a binary search tree over 31 distinct lengths has
+   depth 5 = log2(32), the figure Table 2 charges per address (a 32nd
+   length would force a sixth probe). *)
+let ladder_filters_v4 () =
+  List.concat_map
+    (fun len ->
+      [
+        Filter.v4
+          ~src:(Prefix.make ladder_v4_addr len)
+          ~dst:(Prefix.make ladder_v4_dst 24) ~proto:Proto.tcp
+          ~sport:(Filter.Port 80) ~dport:(Filter.Port 1234) ~iface:0 ();
+        Filter.v4
+          ~src:(Prefix.make ladder_v4_addr 24)
+          ~dst:(Prefix.make ladder_v4_dst len)
+          ~proto:Proto.tcp ~sport:(Filter.Port 80) ~dport:(Filter.Port 1234)
+          ~iface:0 ();
+      ])
+    (List.init 31 (fun i -> i + 1))
+
+let ladder_v6_addr = Ipaddr.of_string "2001:620:0:4::10"
+let ladder_v6_dst = Ipaddr.of_string "2001:db8:42::17"
+
+(* Lengths 1..127: depth 7 = log2(128) per address. *)
+let ladder_filters_v6 () =
+  List.concat_map
+    (fun len ->
+      [
+        Filter.v6
+          ~src:(Prefix.make ladder_v6_addr len)
+          ~dst:(Prefix.make ladder_v6_dst 64) ~proto:Proto.tcp
+          ~sport:(Filter.Port 80) ~dport:(Filter.Port 1234) ~iface:0 ();
+        Filter.v6
+          ~src:(Prefix.make ladder_v6_addr 64)
+          ~dst:(Prefix.make ladder_v6_dst len)
+          ~proto:Proto.tcp ~sport:(Filter.Port 80) ~dport:(Filter.Port 1234)
+          ~iface:0 ();
+      ])
+    (List.init 127 (fun i -> i + 1))
+
+(* The packet that exercises the full ladder walk. *)
+let ladder_key_v4 =
+  Flow_key.make ~src:ladder_v4_addr ~dst:ladder_v4_dst ~proto:Proto.tcp
+    ~sport:80 ~dport:1234 ~iface:0
+
+let ladder_key_v6 =
+  Flow_key.make ~src:ladder_v6_addr ~dst:ladder_v6_dst ~proto:Proto.tcp
+    ~sport:80 ~dport:1234 ~iface:0
+
+let random_key_v4 () =
+  Flow_key.make ~src:(rand_v4 ()) ~dst:(rand_v4 ()) ~proto:Proto.tcp
+    ~sport:(Random.State.int rng 60000) ~dport:(Random.State.int rng 10)
+    ~iface:0
+
+(* Build a DAG with [n] bulk filters (plus the ladder when asked). *)
+let build_dag ?(engine = Rp_lpm.Engines.bspl) ?(ladder = false) ~family n =
+  let dag = Dag.create ~engine () in
+  let bulk = match family with `V4 -> bulk_filter_v4 | `V6 -> bulk_filter_v6 in
+  for i = 0 to n - 1 do
+    Dag.insert dag (bulk ()) i
+  done;
+  if ladder then begin
+    let ladder_filters =
+      match family with `V4 -> ladder_filters_v4 () | `V6 -> ladder_filters_v6 ()
+    in
+    List.iteri (fun i f -> Dag.insert dag f (1_000_000 + i)) ladder_filters
+  end;
+  dag

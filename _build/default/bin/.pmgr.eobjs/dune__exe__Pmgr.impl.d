@@ -1,0 +1,1 @@
+bin/pmgr.ml: Arg Cmd Cmdliner List Manpage Printf Rp_control Rp_core String Term

@@ -1,0 +1,1 @@
+bin/rp_router.ml: Arg Array Cmd Cmdliner Format Int64 List Option Printf Rp_control Rp_core Rp_sim String Term

@@ -1,0 +1,159 @@
+(* rp_router — run a simulated router under synthetic traffic.
+
+   The router starts as a single-router scenario (N ingress
+   interfaces, one egress into a measurement sink), is configured with
+   an optional pmgr script, and carries the flows described on the
+   command line.  At the end, per-flow goodput/latency, interface
+   counters, flow-cache statistics and the cycle cost model's
+   per-packet figure are printed.
+
+   Example:
+     rp_router --script qos.pmgr \
+       --flow id=1,rate=1000,len=1000 --flow id=2,rate=500,len=500 \
+       --seconds 2 *)
+
+open Cmdliner
+
+type flow_spec = {
+  id : int;
+  rate : float;
+  len : int;
+  pattern : [ `Cbr | `Poisson | `Onoff ];
+}
+
+let parse_flow s =
+  let fields = String.split_on_char ',' s in
+  let get key default conv =
+    List.find_map
+      (fun f ->
+        match String.index_opt f '=' with
+        | Some i when String.sub f 0 i = key ->
+          conv (String.sub f (i + 1) (String.length f - i - 1))
+        | Some _ | None -> None)
+      fields
+    |> Option.value ~default
+  in
+  let id = get "id" 1 int_of_string_opt in
+  let rate = get "rate" 100.0 float_of_string_opt in
+  let len = get "len" 1000 int_of_string_opt in
+  let pattern =
+    get "pattern" `Cbr (function
+      | "cbr" -> Some `Cbr
+      | "poisson" -> Some `Poisson
+      | "onoff" -> Some `Onoff
+      | _ -> None)
+  in
+  { id; rate; len; pattern }
+
+let main script flows seconds in_ifaces bandwidth_mbps mode_str =
+  let mode =
+    match mode_str with
+    | "best-effort" -> Rp_core.Router.Best_effort
+    | _ -> Rp_core.Router.Plugins
+  in
+  let s =
+    Rp_sim.Scenario.single_router ~mode ~in_ifaces
+      ~out_bandwidth_bps:(Int64.of_float (bandwidth_mbps *. 1e6))
+      ()
+  in
+  let router = s.Rp_sim.Scenario.router in
+  (match script with
+   | Some path ->
+     let ic = open_in path in
+     let text = really_input_string ic (in_channel_length ic) in
+     close_in ic;
+     (match Rp_control.Pmgr.exec_script router text with
+      | Ok outs -> List.iter (fun o -> if o <> "" then print_endline o) outs
+      | Error e ->
+        Printf.eprintf "script error: %s\n%!" e;
+        exit 1)
+   | None -> ());
+  let specs = List.map parse_flow flows in
+  let specs = if specs = [] then [ { id = 1; rate = 100.0; len = 1000; pattern = `Cbr } ] else specs in
+  List.iter
+    (fun spec ->
+      let pattern =
+        match spec.pattern with
+        | `Cbr -> Rp_sim.Traffic.Cbr spec.rate
+        | `Poisson -> Rp_sim.Traffic.Poisson spec.rate
+        | `Onoff ->
+          Rp_sim.Traffic.On_off
+            { rate_pps = spec.rate; on_ns = 100_000_000L; off_ns = 100_000_000L }
+      in
+      ignore
+        (Rp_sim.Scenario.add_flow s
+           {
+             Rp_sim.Traffic.key = Rp_sim.Scenario.sink_key ~id:spec.id ();
+             pkt_len = spec.len;
+             pattern;
+             start_ns = 0L;
+             stop_ns = Rp_sim.Sim.ns_of_sec seconds;
+             seed = spec.id;
+           }))
+    specs;
+  Rp_sim.Scenario.run s ~seconds:(seconds +. 1.0);
+  (* Report. *)
+  Printf.printf "\n== per-flow results (%.1f s simulated) ==\n" seconds;
+  Printf.printf "%-6s %12s %12s %12s %12s\n" "flow" "packets" "Mb/s" "mean ms" "max ms";
+  List.iter
+    (fun spec ->
+      match Rp_sim.Sink.flow s.Rp_sim.Scenario.sink (Rp_sim.Scenario.sink_key ~id:spec.id ()) with
+      | Some fs ->
+        let mean, mx = Rp_sim.Sink.latency fs in
+        Printf.printf "%-6d %12d %12.3f %12.3f %12.3f\n" spec.id
+          fs.Rp_sim.Sink.packets
+          (Rp_sim.Sink.goodput_bps fs /. 1e6)
+          (mean *. 1e3) (mx *. 1e3)
+      | None -> Printf.printf "%-6d (nothing delivered)\n" spec.id)
+    specs;
+  let st = Rp_sim.Net.stats s.Rp_sim.Scenario.node in
+  Printf.printf "\n== router ==\n";
+  Printf.printf "received %d, forwarded %d, dropped %d, delivered-local %d\n"
+    st.Rp_sim.Net.received st.Rp_sim.Net.forwarded st.Rp_sim.Net.dropped
+    st.Rp_sim.Net.delivered;
+  List.iter
+    (fun (reason, n) -> Printf.printf "  drop[%s] = %d\n" reason n)
+    st.Rp_sim.Net.drop_reasons;
+  Printf.printf "cycles/packet (P6/233 model): %.0f (= %.2f us)\n"
+    (Rp_sim.Net.cycles_per_packet s.Rp_sim.Scenario.node)
+    (Rp_core.Cost.us_of_cycles
+       (int_of_float (Rp_sim.Net.cycles_per_packet s.Rp_sim.Scenario.node)));
+  (match Rp_control.Pmgr.exec router "show flows" with
+   | Ok out -> Printf.printf "flow cache: %s\n" out
+   | Error _ -> ());
+  Array.iter
+    (fun ifc -> Format.printf "%a@." Rp_core.Iface.pp ifc)
+    router.Rp_core.Router.ifaces
+
+let script_arg =
+  Arg.(value & opt (some file) None
+       & info [ "script" ] ~docv:"FILE" ~doc:"pmgr configuration script.")
+
+let flow_arg =
+  Arg.(value & opt_all string []
+       & info [ "flow" ]
+           ~docv:"SPEC"
+           ~doc:"Flow spec: id=N,rate=PPS,len=BYTES,pattern=cbr|poisson|onoff.")
+
+let seconds_arg =
+  Arg.(value & opt float 1.0 & info [ "seconds" ] ~docv:"S" ~doc:"Traffic duration.")
+
+let ifaces_arg =
+  Arg.(value & opt int 2 & info [ "in-ifaces" ] ~docv:"N" ~doc:"Ingress interfaces.")
+
+let bw_arg =
+  Arg.(value & opt float 155.0
+       & info [ "bandwidth" ] ~docv:"MBPS" ~doc:"Egress link rate, Mb/s.")
+
+let mode_arg =
+  Arg.(value & opt string "plugins"
+       & info [ "mode" ] ~docv:"MODE" ~doc:"plugins (default) or best-effort.")
+
+let cmd =
+  let doc = "simulate a router plugins EISR under synthetic traffic" in
+  Cmd.v
+    (Cmd.info "rp_router" ~version:"1.0" ~doc)
+    Term.(const main $ script_arg $ flow_arg $ seconds_arg $ ifaces_arg
+          $ bw_arg $ mode_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/diffserv_edge.ml: List Option Printf Rp_control Rp_sched Rp_sim

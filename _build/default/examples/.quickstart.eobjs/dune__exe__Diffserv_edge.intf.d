@@ -1,0 +1,1 @@
+examples/diffserv_edge.mli:

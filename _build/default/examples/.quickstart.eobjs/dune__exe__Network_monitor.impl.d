@@ -1,0 +1,1 @@
+examples/network_monitor.ml: Flow_key Ipaddr List Printf Proto Rp_control Rp_pkt Rp_sim

@@ -1,0 +1,1 @@
+examples/qos_link_sharing.ml: Flow_key Int64 Ipaddr List Printf Rp_control Rp_pkt Rp_sched Rp_sim

@@ -1,0 +1,1 @@
+examples/qos_link_sharing.mli:

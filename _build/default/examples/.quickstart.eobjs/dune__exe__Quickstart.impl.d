@@ -1,0 +1,1 @@
+examples/quickstart.ml: Firewall_plugin Flow_key Format Gate Iface Ip_core Ipaddr List Mbuf Pcu Plugin Prefix Printf Proto Router Rp_classifier Rp_control Rp_core Rp_pkt

@@ -1,0 +1,1 @@
+examples/vpn_gateway.ml: Bytes Char Flow_key Format Iface Int64 Ip_core Ipaddr Ipv4_header List Mbuf Option Prefix Printf Router Rp_control Rp_core Rp_crypto Rp_pkt Rp_sim String Udp_header

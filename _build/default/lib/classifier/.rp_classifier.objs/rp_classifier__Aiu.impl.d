@@ -1,0 +1,1 @@
+lib/classifier/aiu.ml: Array Dag Flow_table Mbuf Rp_pkt

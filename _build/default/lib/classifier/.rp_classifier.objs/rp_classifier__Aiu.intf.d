@@ -1,0 +1,1 @@
+lib/classifier/aiu.mli: Dag Filter Flow_key Flow_table Mbuf Rp_lpm Rp_pkt

@@ -1,0 +1,1 @@
+lib/classifier/dag.ml: Filter Flow_key Hashtbl Int Ipaddr List Option Prefix Rp_lpm Rp_pkt

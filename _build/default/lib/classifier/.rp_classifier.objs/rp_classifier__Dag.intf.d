@@ -1,0 +1,1 @@
+lib/classifier/dag.mli: Filter Flow_key Rp_lpm Rp_pkt

@@ -1,0 +1,1 @@
+lib/classifier/filter.ml: Flow_key Format Int Ipaddr List Option Prefix Printf Proto Result Rp_pkt Stdlib String

@@ -1,0 +1,1 @@
+lib/classifier/filter.mli: Flow_key Format Prefix Rp_pkt

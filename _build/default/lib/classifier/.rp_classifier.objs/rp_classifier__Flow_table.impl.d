@@ -1,0 +1,1 @@
+lib/classifier/flow_table.ml: Array Filter Flow_key Int64 Ipaddr List Mbuf Queue Rp_lpm Rp_pkt

@@ -1,0 +1,1 @@
+lib/classifier/flow_table.mli: Filter Flow_key Mbuf Rp_pkt

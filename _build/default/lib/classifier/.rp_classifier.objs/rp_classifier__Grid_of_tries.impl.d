@@ -1,0 +1,1 @@
+lib/classifier/grid_of_tries.ml: Int Ipaddr List Option Prefix Rp_lpm Rp_pkt Stdlib

@@ -1,0 +1,1 @@
+lib/classifier/grid_of_tries.mli: Ipaddr Prefix Rp_pkt

@@ -1,0 +1,1 @@
+lib/classifier/linear_ref.ml: Filter Flow_key List Rp_lpm Rp_pkt

@@ -1,0 +1,94 @@
+open Rp_pkt
+
+type 'a t = {
+  n_gates : int;
+  tables : 'a Dag.t array;
+  flows : 'a Flow_table.t;
+}
+
+let create ?engine ?buckets ?initial_records ?max_records ?on_evict ~gates () =
+  if gates <= 0 then invalid_arg "Aiu.create: gates";
+  {
+    n_gates = gates;
+    tables = Array.init gates (fun _ -> Dag.create ?engine ());
+    flows =
+      Flow_table.create ?buckets ?initial_records ?max_records ?on_evict
+        ~gates ();
+  }
+
+let gates t = t.n_gates
+
+let check_gate t gate =
+  if gate < 0 || gate >= t.n_gates then invalid_arg "Aiu: gate out of range"
+
+let bind t ~gate f v =
+  check_gate t gate;
+  Dag.insert t.tables.(gate) f v;
+  (* Cached instance pointers may now be stale. *)
+  Flow_table.flush t.flows
+
+let unbind t ~gate f =
+  check_gate t gate;
+  Dag.remove t.tables.(gate) f;
+  Flow_table.flush t.flows
+
+let filter_table t ~gate =
+  check_gate t gate;
+  t.tables.(gate)
+
+let flow_table t = t.flows
+
+(* Uncached path: consult every gate's filter table once and cache the
+   results in a fresh flow record. *)
+let classify_miss t key ~now =
+  let record = Flow_table.insert t.flows key ~now in
+  for g = 0 to t.n_gates - 1 do
+    match Dag.lookup t.tables.(g) key with
+    | Some (filter, v) -> Flow_table.set_binding t.flows record ~gate:g ~filter v
+    | None -> ()
+  done;
+  record
+
+let instance_of record ~gate =
+  match Flow_table.binding record ~gate with
+  | Some b -> Some (b.Flow_table.instance, record)
+  | None -> None
+
+let classify_key t key ~gate ~now =
+  check_gate t gate;
+  let record =
+    match Flow_table.lookup t.flows key ~now with
+    | Some r -> r
+    | None -> classify_miss t key ~now
+  in
+  instance_of record ~gate
+
+let classify t mbuf ~gate ~now =
+  check_gate t gate;
+  let record =
+    match mbuf.Mbuf.fix with
+    | Some fix ->
+      (match Flow_table.find_fix t.flows fix with
+       | Some r -> Some r
+       | None ->
+         (* Stale FIX (row recycled): drop it and reclassify. *)
+         mbuf.Mbuf.fix <- None;
+         None)
+    | None -> None
+  in
+  let record =
+    match record with
+    | Some r -> r
+    | None ->
+      let r =
+        match Flow_table.lookup t.flows mbuf.Mbuf.key ~now with
+        | Some r -> r
+        | None -> classify_miss t mbuf.Mbuf.key ~now
+      in
+      mbuf.Mbuf.fix <- Some (Flow_table.fix_of_record r);
+      r
+  in
+  instance_of record ~gate
+
+let flush_flows t = Flow_table.flush t.flows
+let expire_flows t ~now ~idle_ns = Flow_table.expire t.flows ~now ~idle_ns

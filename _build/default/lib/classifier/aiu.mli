@@ -1,0 +1,62 @@
+(** The Association Identification Unit (paper, sections 3.2 and 5):
+    packet classifier, flow cache, and the binding between filters and
+    plugin instances.
+
+    There is one filter table (a {!Dag.t}) per gate and a single shared
+    flow table.  The data path is exactly the paper's:
+
+    - a gate asks for the instance bound to the packet's flow;
+    - if the packet carries a valid flow index (FIX), the record is
+      dereferenced directly — an indirect call's worth of work;
+    - else the flow table is probed by the five/six-tuple;
+    - on a miss, {e every} gate's filter table is consulted once and a
+      fresh flow record caching all the instance pointers is installed
+      ("the processing of the first packet of a new flow with n gates
+      involves n filter table lookups", section 3.2).
+
+    Mutating any filter table flushes the flow cache so no stale
+    instance pointer survives a rebind. *)
+
+open Rp_pkt
+
+type 'a t
+
+(** [create ~gates ()] builds an AIU with [gates] filter tables.
+    [engine] selects the BMP plugin used by the DAGs' address levels;
+    flow-table sizing options are passed through to
+    {!Flow_table.create}. *)
+val create :
+  ?engine:Rp_lpm.Engines.t -> ?buckets:int -> ?initial_records:int ->
+  ?max_records:int -> ?on_evict:(gate:int -> 'a Flow_table.binding -> unit) ->
+  gates:int -> unit -> 'a t
+
+val gates : 'a t -> int
+
+(** Control path: bind / unbind a filter to an instance at a gate. *)
+
+val bind : 'a t -> gate:int -> Filter.t -> 'a -> unit
+val unbind : 'a t -> gate:int -> Filter.t -> unit
+val filter_table : 'a t -> gate:int -> 'a Dag.t
+val flow_table : 'a t -> 'a Flow_table.t
+
+(** Data path.  [classify t mbuf ~gate ~now] returns the record and the
+    instance bound at [gate] for this packet's flow ([None] if no
+    filter at that gate matches the flow).  Side effects: on a flow
+    miss the flow record is created and populated for {e all} gates;
+    the packet's FIX is set. *)
+val classify :
+  'a t -> Mbuf.t -> gate:int -> now:int64 ->
+  ('a * 'a Flow_table.record) option
+
+(** [classify_key] is [classify] for callers that have no mbuf (control
+    plane, tests); no FIX caching happens. *)
+val classify_key :
+  'a t -> Flow_key.t -> gate:int -> now:int64 ->
+  ('a * 'a Flow_table.record) option
+
+(** [flush_flows t] empties the flow cache (e.g. after a routing
+    change). *)
+val flush_flows : 'a t -> unit
+
+(** Periodic housekeeping: evict flows idle longer than [idle_ns]. *)
+val expire_flows : 'a t -> now:int64 -> idle_ns:int64 -> int

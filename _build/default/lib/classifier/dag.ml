@@ -1,0 +1,416 @@
+open Rp_pkt
+
+(* Address-level matcher: a BMP engine instance wrapped in closures so
+   a runtime-selected engine can hold nodes of this DAG (the engine's
+   type parameter is fixed at wrapper-creation time). *)
+type 'a addr_matcher = {
+  am_name : string;
+  am_insert : Prefix.t -> 'a -> unit;
+  am_find : Prefix.t -> 'a option;
+  am_lookup : Ipaddr.t -> (Prefix.t * 'a) option;
+  am_iter : (Prefix.t -> 'a -> unit) -> unit;
+}
+
+module Prefix_tbl = Hashtbl.Make (struct
+  type t = Prefix.t
+
+  let equal = Prefix.equal
+  let hash = Prefix.hash
+end)
+
+module Filter_tbl = Hashtbl.Make (struct
+  type t = Filter.t
+
+  let equal = Filter.equal
+  let hash = Filter.hash
+end)
+
+let addr_matcher_of_engine (module E : Rp_lpm.Lpm_intf.S) () =
+  let t = E.create () in
+  {
+    am_name = E.name;
+    am_insert = (fun p v -> E.insert t p v);
+    am_find = (fun p -> E.find_exact t p);
+    am_lookup = (fun a -> E.lookup t a);
+    am_iter = (fun f -> E.iter f t);
+  }
+
+type 'a node = {
+  level : int;
+  (* Every filter inserted into this subtree; used to seed newly
+     created sibling-subsuming edges (set pruning) and to copy
+     subtrees when a port interval is split. *)
+  mutable filters : (Filter.t * 'a) list;
+  mutable kids : 'a kids;
+  (* Wildcard-chain collapsing (paper, section 5.1.2): when this node's
+     only edge is the wildcard — and so on transitively — [skip] jumps
+     straight to the end of the chain, costing one access instead of
+     one per level.  Set by {!optimize}; cleared by inserts. *)
+  mutable skip : 'a node option;
+}
+
+and 'a kids =
+  | Leaf of 'a leaf
+  | Addr of 'a addr
+  | Ports of 'a ports
+  | Exact of 'a exact
+
+and 'a leaf = { mutable best : (Filter.t * 'a) option }
+
+(* An address level keeps two indexes over the same edges: the
+   pluggable BMP engine (charged on the lookup path) and a PATRICIA
+   used for the structural queries set-pruning insertion needs
+   (ancestor labels for seeding, descendant labels for replication) in
+   O(path + matches) instead of O(filters). *)
+and 'a addr = {
+  matcher : 'a node addr_matcher;
+  structure : 'a node Rp_lpm.Patricia.t;
+  label_filters : (Filter.t * 'a) list ref Prefix_tbl.t;
+      (** filters inserted at this node, grouped by their label *)
+}
+
+and 'a ports = {
+  (* Disjoint, sorted by lower bound. *)
+  mutable intervals : (int * int * 'a node) list;
+  mutable wild : 'a node option;
+  mutable pwild_filters : (Filter.t * 'a) list;
+      (** filters with a wildcard port label at this node *)
+}
+
+and 'a exact = {
+  table : (int, 'a node) Hashtbl.t;
+  mutable ewild : 'a node option;
+  mutable xwild_filters : (Filter.t * 'a) list;
+}
+
+type 'a t = {
+  engine : Rp_lpm.Engines.t;
+  nodes : int ref;
+  mutable root : 'a node;
+  mutable installed : (Filter.t * 'a) list;
+  installed_tbl : 'a Filter_tbl.t;  (** same contents, O(1) membership *)
+}
+
+let n_levels = 6
+
+let mk_node engine nodes level =
+  incr nodes;
+  let kids =
+    if level >= n_levels then Leaf { best = None }
+    else
+      match level with
+      | 0 | 1 ->
+        Addr
+          {
+            matcher = addr_matcher_of_engine engine ();
+            structure = Rp_lpm.Patricia.create ();
+            label_filters = Prefix_tbl.create 8;
+          }
+      | 2 | 5 -> Exact { table = Hashtbl.create 8; ewild = None; xwild_filters = [] }
+      | 3 | 4 -> Ports { intervals = []; wild = None; pwild_filters = [] }
+      | _ -> assert false
+  in
+  { level; filters = []; kids; skip = None }
+
+let new_node t level = mk_node t.engine t.nodes level
+
+let create ?(engine = Rp_lpm.Engines.patricia) () =
+  let nodes = ref 0 in
+  {
+    engine;
+    nodes;
+    root = mk_node engine nodes 0;
+    installed = [];
+    installed_tbl = Filter_tbl.create 64;
+  }
+
+let engine_name t =
+  let module E = (val t.engine : Rp_lpm.Lpm_intf.S) in
+  E.name
+
+(* --- field projections --------------------------------------------- *)
+
+let addr_label (f : Filter.t) level =
+  if level = 0 then f.Filter.src else f.Filter.dst
+
+let addr_value (k : Flow_key.t) level =
+  if level = 0 then k.Flow_key.src else k.Flow_key.dst
+
+let port_label (f : Filter.t) level =
+  if level = 3 then f.Filter.sport else f.Filter.dport
+
+let port_value (k : Flow_key.t) level =
+  if level = 3 then k.Flow_key.sport else k.Flow_key.dport
+
+let exact_label (f : Filter.t) level =
+  if level = 2 then f.Filter.proto else f.Filter.iface
+
+let exact_value (k : Flow_key.t) level =
+  if level = 2 then k.Flow_key.proto else k.Flow_key.iface
+
+(* --- insertion (set pruning) --------------------------------------- *)
+
+let more_specific (f : Filter.t) (g : Filter.t) = Filter.compare_specificity f g > 0
+
+let rec insert_into t node ((f, _v) as fv) =
+  node.filters <- fv :: node.filters;
+  node.skip <- None;
+  match node.kids with
+  | Leaf l ->
+    (match l.best with
+     | Some (g, _) when not (more_specific f g) -> ()
+     | Some _ | None -> l.best <- Some fv)
+  | Addr a -> insert_addr t a node.level fv
+  | Ports p -> insert_ports t p node.level fv
+  | Exact e -> insert_exact t e node.level fv
+
+and make_child t level seeds =
+  let child = new_node t level in
+  List.iter (fun gv -> insert_into t child gv) seeds;
+  child
+
+and insert_addr t a level ((f, _) as fv) =
+  let lab = addr_label f level in
+  let child =
+    match a.matcher.am_find lab with
+    | Some c -> c
+    | None ->
+      (* Seed the new edge with every filter whose label subsumes it:
+         those filters must remain reachable when a lookup follows
+         this more specific edge.  Candidate labels are exactly the
+         ancestors of [lab] among existing edge labels. *)
+      let seeds =
+        Rp_lpm.Patricia.fold_ancestors a.structure lab
+          (fun p _child acc ->
+            match Prefix_tbl.find_opt a.label_filters p with
+            | Some l -> List.rev_append !l acc
+            | None -> acc)
+          []
+      in
+      let c = make_child t (level + 1) seeds in
+      a.matcher.am_insert lab c;
+      Rp_lpm.Patricia.insert a.structure lab c;
+      c
+  in
+  (match Prefix_tbl.find_opt a.label_filters lab with
+   | Some l -> l := fv :: !l
+   | None -> Prefix_tbl.add a.label_filters lab (ref [ fv ]));
+  insert_into t child fv;
+  (* Replicate into every strictly more specific existing edge
+     (descendant labels of [lab]). *)
+  Rp_lpm.Patricia.iter_subtree a.structure lab (fun p c ->
+      if not (Prefix.equal p lab) then insert_into t c fv)
+
+and insert_exact t e level ((f, _) as fv) =
+  match exact_label f level with
+  | Filter.Any_num ->
+    let child =
+      match e.ewild with
+      | Some c -> c
+      | None ->
+        let c = make_child t (level + 1) (List.rev e.xwild_filters) in
+        e.ewild <- Some c;
+        c
+    in
+    e.xwild_filters <- fv :: e.xwild_filters;
+    insert_into t child fv;
+    Hashtbl.iter (fun _ c -> insert_into t c fv) e.table
+  | Filter.Num n ->
+    let child =
+      match Hashtbl.find_opt e.table n with
+      | Some c -> c
+      | None ->
+        (* Only wildcard labels subsume an exact label. *)
+        let c = make_child t (level + 1) (List.rev e.xwild_filters) in
+        Hashtbl.add e.table n c;
+        c
+    in
+    insert_into t child fv
+
+and insert_ports t p level ((f, _) as fv) =
+  match port_label f level with
+  | Filter.Any_port ->
+    let child =
+      match p.wild with
+      | Some c -> c
+      | None ->
+        let c = make_child t (level + 1) (List.rev p.pwild_filters) in
+        p.wild <- Some c;
+        c
+    in
+    p.pwild_filters <- fv :: p.pwild_filters;
+    insert_into t child fv;
+    List.iter (fun (_, _, c) -> insert_into t c fv) p.intervals
+  | Filter.Port q -> insert_port_range t p level fv q q
+  | Filter.Port_range (lo, hi) -> insert_port_range t p level fv lo hi
+
+(* Maintain the disjoint-interval decomposition: split any existing
+   interval that partially overlaps [lo, hi] (copying its subtree into
+   each piece), create elementary edges for the uncovered gaps (seeded
+   from wildcard-port filters), then insert the filter into every
+   interval inside [lo, hi]. *)
+and insert_port_range t p level fv lo hi =
+  (* Rebuild a subtree identical to [c] at the same level. *)
+  let copy_subtree c =
+    let fresh = new_node t c.level in
+    List.iter (fun gv -> insert_into t fresh gv) (List.rev c.filters);
+    fresh
+  in
+  let split =
+    List.concat_map
+      (fun (a, b, c) ->
+        if b < lo || a > hi then [ (a, b, c) ]
+        else begin
+          (* Pieces strictly before, inside, and after [lo, hi]. *)
+          let pieces = ref [] in
+          if a < lo then pieces := (a, lo - 1) :: !pieces;
+          pieces := (max a lo, min b hi) :: !pieces;
+          if b > hi then pieces := (hi + 1, b) :: !pieces;
+          match List.rev !pieces with
+          | [ _ ] -> [ (a, b, c) ]  (* fully inside: no split needed *)
+          | first :: rest ->
+            (fst first, snd first, c)
+            :: List.map (fun (x, y) -> (x, y, copy_subtree c)) rest
+          | [] -> assert false
+        end)
+      p.intervals
+  in
+  let split = List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) split in
+  (* Gaps of [lo, hi] not covered by existing intervals; only
+     wildcard-port filters can subsume a fresh elementary interval
+     (previously inserted ranges are unions of existing intervals). *)
+  let wild_seeds () = List.rev p.pwild_filters in
+  let gaps = ref [] in
+  let cursor = ref lo in
+  List.iter
+    (fun (a, b, _) ->
+      if a > hi || b < lo then ()
+      else begin
+        if a > !cursor then gaps := (!cursor, a - 1) :: !gaps;
+        cursor := max !cursor (b + 1)
+      end)
+    split;
+  if !cursor <= hi then gaps := (!cursor, hi) :: !gaps;
+  let new_edges =
+    List.map (fun (a, b) -> (a, b, make_child t (level + 1) (wild_seeds ()))) !gaps
+  in
+  let intervals =
+    List.sort
+      (fun (a, _, _) (b, _, _) -> Int.compare a b)
+      (split @ new_edges)
+  in
+  p.intervals <- intervals;
+  List.iter
+    (fun (a, b, c) -> if a >= lo && b <= hi then insert_into t c fv)
+    intervals
+
+let insert t f v =
+  let already = Filter_tbl.mem t.installed_tbl f in
+  Filter_tbl.replace t.installed_tbl f v;
+  if already then begin
+    (* Replacing a binding: rebuild from scratch (rare control-path
+       operation). *)
+    t.installed <-
+      (f, v) :: List.filter (fun (g, _) -> not (Filter.equal f g)) t.installed;
+    t.nodes := 0;
+    t.root <- new_node t 0;
+    List.iter (fun fv -> insert_into t t.root fv) (List.rev t.installed)
+  end
+  else begin
+    t.installed <- (f, v) :: t.installed;
+    insert_into t t.root (f, v)
+  end
+
+let remove t f =
+  Filter_tbl.remove t.installed_tbl f;
+  t.installed <- List.filter (fun (g, _) -> not (Filter.equal f g)) t.installed;
+  t.nodes := 0;
+  t.root <- new_node t 0;
+  List.iter (fun fv -> insert_into t t.root fv) (List.rev t.installed)
+
+let clear t =
+  Filter_tbl.reset t.installed_tbl;
+  t.installed <- [];
+  t.nodes := 0;
+  t.root <- new_node t 0
+
+(* --- lookup --------------------------------------------------------- *)
+
+(* Collapse wildcard-only chains: a Ports/Exact node whose only edge
+   is the wildcard forwards every packet to the same child, so chains
+   of such nodes can be jumped in one access.  (Address levels are not
+   collapsed: a lone v4 wildcard edge must still reject v6 packets.) *)
+let optimize t =
+  let rec visit node =
+    (match node.kids with
+     | Leaf _ -> ()
+     | Addr a -> a.matcher.am_iter (fun _ c -> visit c)
+     | Ports p ->
+       List.iter (fun (_, _, c) -> visit c) p.intervals;
+       Option.iter visit p.wild
+     | Exact e ->
+       Hashtbl.iter (fun _ c -> visit c) e.table;
+       Option.iter visit e.ewild);
+    node.skip <-
+      (match node.kids with
+       | Ports { intervals = []; wild = Some c; _ } ->
+         Some (Option.value c.skip ~default:c)
+       | Exact { table; ewild = Some c; _ } when Hashtbl.length table = 0 ->
+         Some (Option.value c.skip ~default:c)
+       | Leaf _ | Addr _ | Ports _ | Exact _ -> None)
+  in
+  visit t.root
+
+let lookup t key =
+  (* Function-pointer fetches for the BMP and index-hash functions
+     (Table 2, rows 1-2). *)
+  Rp_lpm.Access.charge 2;
+  let rec walk node =
+    match node.skip with
+    | Some target ->
+      Rp_lpm.Access.charge 1;
+      walk_kids target
+    | None -> walk_kids node
+
+  and walk_kids node =
+    match node.kids with
+    | Leaf l -> l.best
+    | Addr a ->
+      (match a.matcher.am_lookup (addr_value key node.level) with
+       | Some (_, child) ->
+         Rp_lpm.Access.charge 1;
+         walk child
+       | None -> None)
+    | Ports p ->
+      Rp_lpm.Access.charge 1;
+      let v = port_value key node.level in
+      let rec find = function
+        | [] -> p.wild
+        | (a, b, c) :: rest ->
+          if v < a then p.wild else if v <= b then Some c else find rest
+      in
+      (match find p.intervals with
+       | Some child ->
+         Rp_lpm.Access.charge 1;
+         walk child
+       | None -> None)
+    | Exact e ->
+      let v = exact_value key node.level in
+      let child =
+        match Hashtbl.find_opt e.table v with
+        | Some _ as c -> c
+        | None -> e.ewild
+      in
+      (match child with
+       | Some child ->
+         Rp_lpm.Access.charge 1;
+         walk child
+       | None -> None)
+  in
+  walk t.root
+
+let find t f = Filter_tbl.find_opt t.installed_tbl f
+
+let length t = List.length t.installed
+let iter f t = List.iter (fun (flt, v) -> f flt v) t.installed
+let node_count t = !(t.nodes)

@@ -1,0 +1,280 @@
+open Rp_pkt
+
+type soft = ..
+
+type 'a binding = {
+  instance : 'a;
+  mutable filter : Filter.t option;
+  mutable soft : soft option;
+}
+
+type 'a record = {
+  mutable key : Flow_key.t;
+  mutable gen : int;
+  slot : int;
+  bindings : 'a binding option array;
+  mutable in_use : bool;
+  mutable last_use_ns : int64;
+  mutable created_ns : int64;
+  mutable next : 'a record option;
+}
+
+type stats = {
+  lookups : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  recycled : int;
+  chain_max : int;
+}
+
+type 'a t = {
+  gates : int;
+  buckets : 'a record option array;
+  mutable records : 'a record array;  (** all allocated records, by slot *)
+  mutable allocated : int;  (** prefix of [records] actually initialized *)
+  mutable free : int list;  (** free slots *)
+  max_records : int;
+  mutable fifo : (int * int) Queue.t;
+      (** (slot, gen) in insertion order, for recycling; gen detects stale entries *)
+  on_evict : gate:int -> 'a binding -> unit;
+  mutable live : int;
+  mutable s_lookups : int;
+  mutable s_hits : int;
+  mutable s_misses : int;
+  mutable s_evictions : int;
+  mutable s_recycled : int;
+  mutable s_chain_max : int;
+}
+
+let dummy_key =
+  Flow_key.make ~src:Ipaddr.zero_v4 ~dst:Ipaddr.zero_v4 ~proto:0 ~sport:0
+    ~dport:0 ~iface:0
+
+let default_buckets = 32768
+let default_initial = 1024
+
+let create ?(buckets = default_buckets) ?(initial_records = default_initial)
+    ?(max_records = max_int) ?(on_evict = fun ~gate:_ _ -> ()) ~gates () =
+  if buckets <= 0 then invalid_arg "Flow_table.create: buckets";
+  let mk_record slot =
+    {
+      key = dummy_key;
+      gen = 0;
+      slot;
+      bindings = Array.make gates None;
+      in_use = false;
+      last_use_ns = 0L;
+      created_ns = 0L;
+      next = None;
+    }
+  in
+  let n = min initial_records max_records in
+  {
+    gates;
+    buckets = Array.make buckets None;
+    records = Array.init n mk_record;
+    allocated = n;
+    free = List.init n (fun i -> i);
+    max_records;
+    fifo = Queue.create ();
+    on_evict;
+    live = 0;
+    s_lookups = 0;
+    s_hits = 0;
+    s_misses = 0;
+    s_evictions = 0;
+    s_recycled = 0;
+    s_chain_max = 0;
+  }
+
+let bucket_of t key = Flow_key.hash key mod Array.length t.buckets
+
+let lookup t key ~now =
+  t.s_lookups <- t.s_lookups + 1;
+  Rp_lpm.Access.charge 1;
+  let rec walk depth = function
+    | None ->
+      t.s_misses <- t.s_misses + 1;
+      t.s_chain_max <- max t.s_chain_max depth;
+      None
+    | Some r ->
+      Rp_lpm.Access.charge 1;
+      if r.in_use && Flow_key.equal r.key key then begin
+        t.s_hits <- t.s_hits + 1;
+        t.s_chain_max <- max t.s_chain_max (depth + 1);
+        r.last_use_ns <- now;
+        Some r
+      end
+      else walk (depth + 1) r.next
+  in
+  walk 0 t.buckets.(bucket_of t key)
+
+let find_fix t (fix : Mbuf.fix) =
+  if fix.Mbuf.slot < 0 || fix.Mbuf.slot >= t.allocated then None
+  else
+    let r = t.records.(fix.Mbuf.slot) in
+    if r.in_use && r.gen = fix.Mbuf.gen then Some r else None
+
+let fix_of_record r = { Mbuf.slot = r.slot; gen = r.gen }
+
+(* Unlink [r] from its hash chain. *)
+let unlink t r =
+  let b = bucket_of t r.key in
+  let rec remove = function
+    | None -> None
+    | Some x when x == r -> x.next
+    | Some x ->
+      x.next <- remove x.next;
+      Some x
+  in
+  t.buckets.(b) <- remove t.buckets.(b)
+
+let evict t r =
+  if r.in_use then begin
+    Array.iteri
+      (fun gate binding ->
+        match binding with
+        | Some b -> t.on_evict ~gate b
+        | None -> ())
+      r.bindings;
+    Array.fill r.bindings 0 (Array.length r.bindings) None;
+    unlink t r;
+    r.in_use <- false;
+    r.next <- None;
+    t.live <- t.live - 1;
+    t.s_evictions <- t.s_evictions + 1
+  end
+
+(* Grow the record pool exponentially (1024, 2048, 4096, ...), as the
+   paper's implementation does, bounded by [max_records]. *)
+let grow t =
+  let current = t.allocated in
+  let target = min t.max_records (max 1 (current * 2)) in
+  if target > current then begin
+    let mk_record slot =
+      {
+        key = dummy_key;
+        gen = 0;
+        slot;
+        bindings = Array.make t.gates None;
+        in_use = false;
+        last_use_ns = 0L;
+        created_ns = 0L;
+        next = None;
+      }
+    in
+    let bigger =
+      Array.init target (fun i -> if i < current then t.records.(i) else mk_record i)
+    in
+    t.records <- bigger;
+    t.allocated <- target;
+    t.free <- List.init (target - current) (fun i -> current + i)
+  end
+
+let rec allocate t =
+  match t.free with
+  | slot :: rest ->
+    t.free <- rest;
+    t.records.(slot)
+  | [] ->
+    if t.allocated < t.max_records then begin
+      grow t;
+      allocate t
+    end
+    else begin
+      (* Recycle the oldest record (paper: "the oldest flow records
+         are recycled"). *)
+      let rec pop () =
+        if Queue.is_empty t.fifo then
+          invalid_arg "Flow_table: no record to recycle"
+        else
+          let slot, gen = Queue.pop t.fifo in
+          let r = t.records.(slot) in
+          if r.in_use && r.gen = gen then r else pop ()
+      in
+      let r = pop () in
+      evict t r;
+      t.s_recycled <- t.s_recycled + 1;
+      t.s_evictions <- t.s_evictions - 1;
+      r
+    end
+
+let insert t key ~now =
+  (* Silent duplicate scan: no stats or access charges, the caller has
+     already paid for its miss. *)
+  let rec find = function
+    | None -> None
+    | Some r when r.in_use && Flow_key.equal r.key key -> Some r
+    | Some r -> find r.next
+  in
+  (match find t.buckets.(bucket_of t key) with
+   | Some old ->
+     evict t old;
+     t.free <- old.slot :: t.free
+   | None -> ());
+  let r = allocate t in
+  r.key <- key;
+  r.gen <- r.gen + 1;
+  r.in_use <- true;
+  r.last_use_ns <- now;
+  r.created_ns <- now;
+  let b = bucket_of t key in
+  r.next <- t.buckets.(b);
+  t.buckets.(b) <- Some r;
+  t.live <- t.live + 1;
+  Queue.push (r.slot, r.gen) t.fifo;
+  r
+
+let remove t r =
+  if r.in_use then begin
+    evict t r;
+    t.free <- r.slot :: t.free
+  end
+
+let expire t ~now ~idle_ns =
+  let count = ref 0 in
+  for slot = 0 to t.allocated - 1 do
+    let r = t.records.(slot) in
+    if r.in_use && Int64.sub now r.last_use_ns > idle_ns then begin
+      evict t r;
+      t.free <- r.slot :: t.free;
+      incr count
+    end
+  done;
+  !count
+
+let flush t =
+  for slot = 0 to t.allocated - 1 do
+    let r = t.records.(slot) in
+    if r.in_use then begin
+      evict t r;
+      t.free <- r.slot :: t.free
+    end
+  done;
+  Queue.clear t.fifo
+
+let set_binding t r ~gate ?filter instance =
+  if gate < 0 || gate >= t.gates then invalid_arg "Flow_table.set_binding: gate";
+  r.bindings.(gate) <- Some { instance; filter; soft = None }
+
+let binding r ~gate = r.bindings.(gate)
+
+let length t = t.live
+let capacity t = t.allocated
+
+let stats t =
+  {
+    lookups = t.s_lookups;
+    hits = t.s_hits;
+    misses = t.s_misses;
+    evictions = t.s_evictions;
+    recycled = t.s_recycled;
+    chain_max = t.s_chain_max;
+  }
+
+let iter f t =
+  for slot = 0 to t.allocated - 1 do
+    let r = t.records.(slot) in
+    if r.in_use then f r
+  done

@@ -1,0 +1,92 @@
+(** The flow table — the AIU's cache of per-flow state (paper,
+    section 5.2).
+
+    Each entry corresponds to one fully specified flow and stores, for
+    every gate, the bound plugin instance plus a slot of per-flow
+    plugin-private "soft" state (e.g. the DRR plugin keeps its per-flow
+    packet queue there).  Lookups hash the five-tuple; collisions chain
+    in the bucket.  Records come from a free list that grows
+    exponentially (1024, 2048, 4096, …) up to a configurable maximum,
+    after which the oldest records are recycled.
+
+    Records are addressed by a {e flow index} (slot + generation); the
+    generation guards against a recycled slot being mistaken for the
+    original flow. *)
+
+open Rp_pkt
+
+(** Plugin-private per-flow soft state.  Plugins extend this type with
+    their own constructors (e.g. [type Flow_table.soft += Drr_queue of
+    ...]). *)
+type soft = ..
+
+type 'a binding = {
+  instance : 'a;
+  mutable filter : Filter.t option;  (** filter this binding came from *)
+  mutable soft : soft option;
+}
+
+type 'a record = {
+  mutable key : Flow_key.t;
+  mutable gen : int;
+  slot : int;
+  bindings : 'a binding option array;  (** indexed by gate *)
+  mutable in_use : bool;
+  mutable last_use_ns : int64;
+  mutable created_ns : int64;
+  mutable next : 'a record option;  (** hash-chain link *)
+}
+
+type 'a t
+
+type stats = {
+  lookups : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  recycled : int;
+  chain_max : int;  (** longest bucket chain encountered *)
+}
+
+(** [create ~gates ()] — [gates] is the number of gates whose bindings
+    each record holds.  Defaults follow the paper: [buckets = 32768],
+    [initial_records = 1024], unbounded unless [max_records] given.
+    [on_evict] is called for each populated gate binding whenever a
+    record is evicted, recycled, or flushed, so plugins can release
+    per-flow soft state. *)
+val create :
+  ?buckets:int -> ?initial_records:int -> ?max_records:int ->
+  ?on_evict:(gate:int -> 'a binding -> unit) -> gates:int -> unit -> 'a t
+
+(** [lookup t key ~now] finds the record for [key], refreshing its
+    last-use time.  Charges one memory access for the bucket probe plus
+    one per chained record traversed. *)
+val lookup : 'a t -> Flow_key.t -> now:int64 -> 'a record option
+
+(** [find_fix t fix] dereferences a flow index, validating the
+    generation; [None] if the slot was recycled since. *)
+val find_fix : 'a t -> Mbuf.fix -> 'a record option
+
+val fix_of_record : 'a record -> Mbuf.fix
+
+(** [insert t key ~now] allocates (or recycles) a record for [key].
+    Any previous record for the same key is replaced. *)
+val insert : 'a t -> Flow_key.t -> now:int64 -> 'a record
+
+val remove : 'a t -> 'a record -> unit
+
+(** [expire t ~now ~idle_ns] evicts every record idle longer than
+    [idle_ns].  O(capacity); meant for periodic housekeeping. *)
+val expire : 'a t -> now:int64 -> idle_ns:int64 -> int
+
+(** [flush t] evicts everything (used when filter tables change, so no
+    stale binding survives). *)
+val flush : 'a t -> unit
+
+val set_binding : 'a t -> 'a record -> gate:int -> ?filter:Filter.t -> 'a -> unit
+val binding : 'a record -> gate:int -> 'a binding option
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+val stats : 'a t -> stats
+val iter : ('a record -> unit) -> 'a t -> unit

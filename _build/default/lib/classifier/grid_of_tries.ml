@@ -1,0 +1,243 @@
+open Rp_pkt
+
+(* Destination-trie node.  [string] is implicit (the path); [filter]
+   is the filter stored exactly here (source = owning trie's source
+   prefix, destination = this path); [stored] and [jump] are
+   precomputed by [rebuild]. *)
+type 'a snode = {
+  mutable s_zero : 'a snode option;
+  mutable s_one : 'a snode option;
+  mutable filter : (Prefix.t * Prefix.t * 'a) option;
+  mutable stored : (Prefix.t * Prefix.t * 'a) option;
+  mutable jump_zero : 'a snode option;
+  mutable jump_one : 'a snode option;
+}
+
+(* Source-trie node. *)
+type 'a dnode = {
+  mutable d_zero : 'a dnode option;
+  mutable d_one : 'a dnode option;
+  mutable dtrie : 'a snode option;  (** destination trie rooted here *)
+}
+
+type 'a t = {
+  mutable v4_root : 'a dnode option;
+  mutable v6_root : 'a dnode option;
+  (* Source of truth, for rebuilds and removal. *)
+  mutable entries : (Prefix.t * Prefix.t * 'a) list;
+  mutable dirty : bool;
+  mutable nodes : int;
+}
+
+let create () =
+  { v4_root = None; v6_root = None; entries = []; dirty = true; nodes = 0 }
+
+let same_pair (s, d) (s', d') = Prefix.equal s s' && Prefix.equal d d'
+
+let insert t ~src ~dst v =
+  if Ipaddr.width src.Prefix.addr <> Ipaddr.width dst.Prefix.addr then
+    invalid_arg "Grid_of_tries.insert: mixed families";
+  t.entries <-
+    (src, dst, v)
+    :: List.filter (fun (s, d, _) -> not (same_pair (s, d) (src, dst))) t.entries;
+  t.dirty <- true
+
+let remove t ~src ~dst =
+  t.entries <-
+    List.filter (fun (s, d, _) -> not (same_pair (s, d) (src, dst))) t.entries;
+  t.dirty <- true
+
+let length t = List.length t.entries
+
+(* Specificity: (|S|, |D|) lexicographic, then structural for
+   determinism — consistent with Filter.compare_specificity on
+   two-dimensional filters. *)
+let better (s, d, _) (s', d', _) =
+  let c = Int.compare s.Prefix.len s'.Prefix.len in
+  if c <> 0 then c > 0
+  else
+    let c = Int.compare d.Prefix.len d'.Prefix.len in
+    if c <> 0 then c > 0 else Stdlib.compare (s, d) (s', d') > 0
+
+let best a b =
+  match a, b with
+  | None, x | x, None -> x
+  | Some x, Some y -> if better x y then Some x else Some y
+
+(* --- construction ----------------------------------------------------- *)
+
+let new_snode t =
+  t.nodes <- t.nodes + 1;
+  { s_zero = None; s_one = None; filter = None; stored = None;
+    jump_zero = None; jump_one = None }
+
+let new_dnode t =
+  t.nodes <- t.nodes + 1;
+  { d_zero = None; d_one = None; dtrie = None }
+
+let schild x bit = if bit then x.s_one else x.s_zero
+let dchild u bit = if bit then u.d_one else u.d_zero
+
+(* Walk/create a path for [p] from a node-creating trie. *)
+let rec dwalk t u p depth =
+  if depth = p.Prefix.len then u
+  else
+    let bit = Ipaddr.bit p.Prefix.addr depth in
+    let child =
+      match dchild u bit with
+      | Some c -> c
+      | None ->
+        let c = new_dnode t in
+        if bit then u.d_one <- Some c else u.d_zero <- Some c;
+        c
+    in
+    dwalk t child p (depth + 1)
+
+let rec swalk t x p depth =
+  if depth = p.Prefix.len then x
+  else
+    let bit = Ipaddr.bit p.Prefix.addr depth in
+    let child =
+      match schild x bit with
+      | Some c -> c
+      | None ->
+        let c = new_snode t in
+        if bit then x.s_one <- Some c else x.s_zero <- Some c;
+        c
+    in
+    swalk t child p (depth + 1)
+
+(* The [stored] filters: seed each destination-trie node with the best
+   filter along its own path (source exactly this trie's), then merge
+   each ancestor source trie into each descendant's, position by
+   position — O(paths × W), run once per rebuild. *)
+let rec seed_own x inherited =
+  let inherited = best inherited x.filter in
+  x.stored <- inherited;
+  Option.iter (fun c -> seed_own c inherited) x.s_zero;
+  Option.iter (fun c -> seed_own c inherited) x.s_one
+
+(* Merge an ancestor trie's stored filters into a descendant's, by
+   position.  Where the ancestor trie ends, its best-so-far keeps
+   propagating down the descendant (an ancestor's short-destination
+   filter covers every longer destination under it). *)
+let rec merge_stored ~into_x from_x inherited =
+  let inherited =
+    match from_x with
+    | Some f -> best inherited f.stored
+    | None -> inherited
+  in
+  into_x.stored <- best into_x.stored inherited;
+  let follow sel =
+    match sel into_x with
+    | Some i -> merge_stored ~into_x:i (Option.bind from_x sel) inherited
+    | None -> ()
+  in
+  follow (fun x -> x.s_zero);
+  follow (fun x -> x.s_one)
+
+(* Switch pointers: for a missing child [bit] at position [x] (string
+   s) in this trie, jump to the node with string s·bit in the nearest
+   ancestor trie that has it.  [shadows] are the same-position nodes
+   in ancestor source tries, nearest first. *)
+let rec wire x shadows =
+  let deepest sel =
+    List.find_map (fun sh -> sel sh) shadows
+  in
+  (match x.s_zero with
+   | Some c -> wire c (List.filter_map (fun sh -> sh.s_zero) shadows)
+   | None -> x.jump_zero <- deepest (fun sh -> sh.s_zero));
+  (match x.s_one with
+   | Some c -> wire c (List.filter_map (fun sh -> sh.s_one) shadows)
+   | None -> x.jump_one <- deepest (fun sh -> sh.s_one))
+
+let rebuild t =
+  t.nodes <- 0;
+  let build entries =
+    if entries = [] then None
+    else begin
+      let root = new_dnode t in
+      List.iter
+        (fun ((src, dst, _) as entry) ->
+          let u = dwalk t root src 0 in
+          let strie =
+            match u.dtrie with
+            | Some s -> s
+            | None ->
+              let s = new_snode t in
+              u.dtrie <- Some s;
+              s
+          in
+          let x = swalk t strie dst 0 in
+          x.filter <- best x.filter (Some entry))
+        entries;
+      (* Precompute stored filters and switch pointers, walking the
+         source trie with the list of ancestor destination tries. *)
+      let rec walk u ancestors =
+        (match u.dtrie with
+         | Some strie ->
+           seed_own strie None;
+           (* Every ancestor must be merged directly: ancestor tries
+              do not contain each other's branches, so transitivity
+              does not hold position-wise. *)
+           List.iter
+             (fun anc -> merge_stored ~into_x:strie (Some anc) None)
+             ancestors;
+           wire strie ancestors
+         | None -> ());
+        let ancestors' =
+          match u.dtrie with Some s -> s :: ancestors | None -> ancestors
+        in
+        Option.iter (fun c -> walk c ancestors') u.d_zero;
+        Option.iter (fun c -> walk c ancestors') u.d_one
+      in
+      walk root [];
+      Some root
+    end
+  in
+  let v4, v6 =
+    List.partition (fun (s, _, _) -> Ipaddr.width s.Prefix.addr = 32) t.entries
+  in
+  t.v4_root <- build v4;
+  t.v6_root <- build v6;
+  t.dirty <- false
+
+(* --- lookup ------------------------------------------------------------ *)
+
+let lookup t ~src ~dst =
+  if t.dirty then rebuild t;
+  let root = if Ipaddr.width src = 32 then t.v4_root else t.v6_root in
+  match root with
+  | None -> None
+  | Some root ->
+    (* Deepest destination trie on the source path. *)
+    let rec src_walk u depth acc =
+      Rp_lpm.Access.charge 1;
+      let acc = match u.dtrie with Some s -> Some s | None -> acc in
+      if depth >= Ipaddr.width src then acc
+      else
+        match dchild u (Ipaddr.bit src depth) with
+        | Some c -> src_walk c (depth + 1) acc
+        | None -> acc
+    in
+    (match src_walk root 0 None with
+     | None -> None
+     | Some strie ->
+       let rec dst_walk x depth best_found =
+         Rp_lpm.Access.charge 1;
+         let best_found = best best_found x.stored in
+         if depth >= Ipaddr.width dst then best_found
+         else
+           let bit = Ipaddr.bit dst depth in
+           match schild x bit with
+           | Some c -> dst_walk c (depth + 1) best_found
+           | None ->
+             (match (if bit then x.jump_one else x.jump_zero) with
+              | Some y -> dst_walk y (depth + 1) best_found
+              | None -> best_found)
+       in
+       dst_walk strie 0 None)
+
+let node_count t =
+  if t.dirty then rebuild t;
+  t.nodes

@@ -1,0 +1,49 @@
+(** Grid-of-tries — the two-dimensional classifier the paper points to
+    as the memory-efficient alternative to set-pruning (section 5.1.2:
+    "more advanced techniques such as grid-of-tries [26] can provide
+    better memory utilization without sacrificing performance, but
+    work only in the special case of two-dimensional filters";
+    [26] is Srinivasan, Varghese, Suri & Waldvogel, SIGCOMM '98).
+
+    Filters here are (source prefix, destination prefix) pairs: a trie
+    over source prefixes whose nodes carry destination tries.  Unlike
+    the set-pruning DAG, filters are stored {e exactly once}; instead
+    of replication, each destination-trie node precomputes
+
+    - its {e stored filter}: the best filter whose source subsumes
+      this trie's source prefix and whose destination is a prefix of
+      this node's string, and
+    - {e switch pointers}: where a destination walk would fail, it
+      jumps to the same position in the destination trie of the
+      nearest shorter source prefix,
+
+    so a lookup walks O(W) trie nodes total with no backtracking, and
+    memory stays linear in the number of filters.
+
+    Best-match semantics agree with {!Filter.compare_specificity}
+    restricted to the two address fields.  Precomputation is batched:
+    mutations mark the structure dirty and it rebuilds on the next
+    lookup (like the BSPL engine). *)
+
+open Rp_pkt
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [insert t ~src ~dst v] — both prefixes must be the same family. *)
+val insert : 'a t -> src:Prefix.t -> dst:Prefix.t -> 'a -> unit
+
+val remove : 'a t -> src:Prefix.t -> dst:Prefix.t -> unit
+
+(** [lookup t ~src ~dst] is the best matching (most specific by
+    (|S|, |D|) lexicographic order) filter's value, with its
+    prefixes. *)
+val lookup :
+  'a t -> src:Ipaddr.t -> dst:Ipaddr.t -> (Prefix.t * Prefix.t * 'a) option
+
+val length : 'a t -> int
+
+(** Trie nodes allocated (after the next rebuild), for the memory
+    comparison against the set-pruning DAG. *)
+val node_count : 'a t -> int

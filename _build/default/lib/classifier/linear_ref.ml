@@ -1,0 +1,32 @@
+(** Reference classifier: a flat list of filters scanned in full, the
+    most specific match winning.  O(n) per packet — this is both the
+    oracle for the DAG's property tests and the "typical filter
+    algorithm" baseline of section 5.1.2. *)
+
+open Rp_pkt
+
+type 'a t = {
+  mutable entries : (Filter.t * 'a) list;
+}
+
+let create () = { entries = [] }
+
+let insert t f v =
+  t.entries <- (f, v) :: List.filter (fun (g, _) -> not (Filter.equal f g)) t.entries
+
+let remove t f =
+  t.entries <- List.filter (fun (g, _) -> not (Filter.equal f g)) t.entries
+
+let classify t (k : Flow_key.t) =
+  List.fold_left
+    (fun acc (f, v) ->
+      Rp_lpm.Access.charge 1;
+      if Filter.matches f k then
+        match acc with
+        | Some (best, _) when Filter.compare_specificity best f >= 0 -> acc
+        | Some _ | None -> Some (f, v)
+      else acc)
+    None t.entries
+
+let length t = List.length t.entries
+let iter f t = List.iter (fun (flt, v) -> f flt v) t.entries

@@ -1,0 +1,1 @@
+lib/control/dynload.ml: Dynlink List Printf Rp_core

@@ -1,0 +1,1 @@
+lib/control/dynload.mli: Rp_core

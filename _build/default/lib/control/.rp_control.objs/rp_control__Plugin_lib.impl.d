@@ -1,0 +1,1 @@
+lib/control/plugin_lib.ml: Empty_plugin Firewall_plugin Gate List Opt_plugin Plugin Route_plugin Rp_core Rp_crypto Rp_sched Stats_plugin

@@ -1,0 +1,1 @@
+lib/control/pmgr.mli: Router Rp_core

@@ -1,0 +1,1 @@
+lib/control/rsvp.ml: Bytes Char Filter Flow_key Hashtbl Iface Int64 Ip_core Ipaddr List Mbuf Pcu Plugin Prefix Proto Route_table Router Rp_classifier Rp_core Rp_pkt Rp_sched

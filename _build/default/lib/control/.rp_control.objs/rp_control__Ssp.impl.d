@@ -1,0 +1,1 @@
+lib/control/ssp.ml: Bytes Char Filter Flow_key Hashtbl Iface Int64 Ipaddr Mbuf Pcu Plugin Prefix Proto Route_table Router Rp_classifier Rp_core Rp_pkt Rp_sched

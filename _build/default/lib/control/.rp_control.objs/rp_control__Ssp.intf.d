@@ -1,0 +1,1 @@
+lib/control/ssp.mli: Bytes Flow_key Ipaddr Mbuf Router Rp_core Rp_pkt

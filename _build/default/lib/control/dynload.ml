@@ -1,0 +1,26 @@
+let pending : (module Rp_core.Plugin.PLUGIN) list ref = ref []
+
+let announce p = pending := p :: !pending
+
+let available () = Dynlink.is_native || not Dynlink.is_native
+
+let modload_file pcu path =
+  pending := [];
+  match Dynlink.loadfile path with
+  | exception Dynlink.Error e -> Error (Dynlink.error_message e)
+  | exception Sys_error msg -> Error msg
+  | () ->
+    let announced = List.rev !pending in
+    pending := [];
+    if announced = [] then
+      Error (Printf.sprintf "%s loaded but announced no plugins" path)
+    else begin
+      let rec register acc = function
+        | [] -> Ok (List.rev acc)
+        | (module P : Rp_core.Plugin.PLUGIN) :: rest ->
+          (match Rp_core.Pcu.modload pcu (module P) with
+           | Ok () -> register (P.name :: acc) rest
+           | Error e -> Error e)
+      in
+      register [] announced
+    end

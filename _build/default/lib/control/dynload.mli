@@ -1,0 +1,25 @@
+(** Dynamic loading of plugin object files — the literal analogue of
+    the paper's [modload drr.o] (NetBSD loadable kernel modules).
+
+    A dynamically loadable plugin is an OCaml library compiled to a
+    [.cmxs] that, as its initialization side effect, calls {!announce}
+    with its plugin module.  {!modload_file} loads the object file
+    with [Dynlink], collects the announced plugins, and registers them
+    with the PCU — after which they are indistinguishable from
+    built-in plugins, exactly as the paper requires ("Once a plugin is
+    loaded, it is no different from any other kernel code").
+
+    See [plugins/hello_dyn] for a complete loadable plugin. *)
+
+(** Called by the plugin's own top-level code when its object file is
+    loaded. *)
+val announce : (module Rp_core.Plugin.PLUGIN) -> unit
+
+(** [modload_file pcu path] dynamically loads [path] (a [.cmxs] in
+    native code, [.cma]/[.cmo] in bytecode) and registers every plugin
+    it announces.  Returns the names registered. *)
+val modload_file : Rp_core.Pcu.t -> string -> (string list, string) result
+
+(** Whether the running program supports dynamic loading (false in
+    statically-linked contexts). *)
+val available : unit -> bool

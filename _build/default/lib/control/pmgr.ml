@@ -1,0 +1,215 @@
+open Rp_pkt
+open Rp_core
+open Rp_classifier
+
+let ( let* ) r f = Result.bind r f
+
+(* Tokenize a command line, keeping a <...> filter specification as a
+   single token. *)
+let tokenize line =
+  let n = String.length line in
+  let rec skip i = if i < n && line.[i] = ' ' then skip (i + 1) else i in
+  let rec loop acc i =
+    let i = skip i in
+    if i >= n then Ok (List.rev acc)
+    else if line.[i] = '<' then
+      match String.index_from_opt line i '>' with
+      | Some j -> loop (String.sub line i (j - i + 1) :: acc) (j + 1)
+      | None -> Error "unterminated filter specification"
+    else
+      let j =
+        match String.index_from_opt line i ' ' with Some j -> j | None -> n
+      in
+      loop (String.sub line i (j - i) :: acc) j
+  in
+  loop [] 0
+
+let parse_filter tok =
+  Result.map_error (fun e -> "bad filter: " ^ e) (Filter.of_string tok)
+
+(* A fully specified filter (no wildcards) denotes a single flow. *)
+let key_of_filter (f : Filter.t) =
+  let addr_of p =
+    if p.Prefix.len = Ipaddr.width p.Prefix.addr then Ok p.Prefix.addr
+    else Error "filter field is not fully specified"
+  in
+  let* src = addr_of f.Filter.src in
+  let* dst = addr_of f.Filter.dst in
+  let* proto =
+    match f.Filter.proto with
+    | Filter.Num p -> Ok p
+    | Filter.Any_num -> Error "protocol must be fully specified"
+  in
+  let port = function
+    | Filter.Port p -> Ok p
+    | Filter.Any_port | Filter.Port_range _ -> Error "port must be fully specified"
+  in
+  let* sport = port f.Filter.sport in
+  let* dport = port f.Filter.dport in
+  let* iface =
+    match f.Filter.iface with
+    | Filter.Num i -> Ok i
+    | Filter.Any_num -> Error "interface must be fully specified"
+  in
+  Ok (Flow_key.make ~src ~dst ~proto ~sport ~dport ~iface)
+
+let parse_config tokens =
+  List.map
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | Some i ->
+        (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1))
+      | None -> (tok, ""))
+    tokens
+
+let int_arg name s =
+  match int_of_string_opt s with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "%s: expected a number, got %S" name s)
+
+let instance_arg router s =
+  let* id = int_arg "instance" s in
+  match Pcu.find_instance router.Router.pcu id with
+  | Some inst -> Ok inst
+  | None -> Error (Printf.sprintf "no instance %d" id)
+
+let show router what =
+  match what with
+  | "plugins" ->
+    Ok
+      (String.concat "\n"
+         (List.sort String.compare (Pcu.plugin_names router.Router.pcu)))
+  | "instances" ->
+    Ok
+      (String.concat "\n"
+         (List.map
+            (fun (i : Plugin.t) ->
+              Printf.sprintf "%d: %s@%s — %s" i.Plugin.instance_id
+                i.Plugin.plugin_name (Gate.name i.Plugin.gate)
+                (i.Plugin.describe ()))
+            (List.sort
+               (fun (a : Plugin.t) b -> compare a.Plugin.instance_id b.Plugin.instance_id)
+               (Pcu.instances router.Router.pcu))))
+  | "ifaces" ->
+    Ok
+      (String.concat "\n"
+         (Array.to_list
+            (Array.map (Format.asprintf "%a" Iface.pp) router.Router.ifaces)))
+  | "routes" ->
+    let routes = ref [] in
+    Route_table.iter (fun r -> routes := Format.asprintf "%a" Route_table.pp_route r :: !routes)
+      router.Router.routes;
+    Ok (String.concat "\n" (List.sort String.compare !routes))
+  | "flows" ->
+    let ft = Aiu.flow_table (Router.aiu router) in
+    let s = Flow_table.stats ft in
+    Ok
+      (Printf.sprintf
+         "live=%d capacity=%d lookups=%d hits=%d misses=%d evictions=%d recycled=%d"
+         (Flow_table.length ft) (Flow_table.capacity ft) s.Flow_table.lookups
+         s.Flow_table.hits s.Flow_table.misses s.Flow_table.evictions
+         s.Flow_table.recycled)
+  | _ -> Error (Printf.sprintf "show: unknown object %S" what)
+
+let exec router line =
+  let* tokens = tokenize line in
+  match tokens with
+  | [] -> Ok ""
+  | [ "modload"; p ] ->
+    (match Plugin_lib.find p with
+     | None -> Error (Printf.sprintf "no plugin %S in the plugin library" p)
+     | Some m ->
+       let* () = Pcu.modload router.Router.pcu m in
+       Ok (Printf.sprintf "loaded %s" p))
+  | [ "modload-file"; path ] ->
+    let* names = Dynload.modload_file router.Router.pcu path in
+    Ok (Printf.sprintf "loaded %s from %s" (String.concat ", " names) path)
+  | [ "modunload"; p ] ->
+    let* () = Pcu.modunload router.Router.pcu p in
+    Ok (Printf.sprintf "unloaded %s" p)
+  | "create" :: p :: config ->
+    let* inst = Pcu.create_instance router.Router.pcu ~plugin:p (parse_config config) in
+    Ok (Printf.sprintf "instance %d" inst.Plugin.instance_id)
+  | [ "free"; id ] ->
+    let* id = int_arg "instance" id in
+    let* () = Pcu.free_instance router.Router.pcu id in
+    Ok (Printf.sprintf "freed %d" id)
+  | [ "bind"; id; filter ] ->
+    let* id = int_arg "instance" id in
+    let* f = parse_filter filter in
+    let* () = Pcu.register_instance router.Router.pcu ~instance:id f in
+    Ok (Printf.sprintf "bound %s to instance %d" (Filter.to_string f) id)
+  | [ "unbind"; id; filter ] ->
+    let* id = int_arg "instance" id in
+    let* f = parse_filter filter in
+    let* () = Pcu.deregister_instance router.Router.pcu ~instance:id f in
+    Ok "unbound"
+  | [ "attach"; id; ifc ] ->
+    let* inst = instance_arg router id in
+    let* ifc = int_arg "iface" ifc in
+    if inst.Plugin.scheduler = None then
+      Error (Printf.sprintf "instance %d is not a scheduler" inst.Plugin.instance_id)
+    else begin
+      Iface.attach_scheduler (Router.iface router ifc) inst;
+      Ok (Printf.sprintf "if%d qdisc = %s#%d" ifc inst.Plugin.plugin_name
+            inst.Plugin.instance_id)
+    end
+  | [ "detach"; ifc ] ->
+    let* ifc = int_arg "iface" ifc in
+    Iface.detach_scheduler (Router.iface router ifc);
+    Ok (Printf.sprintf "if%d qdisc = fifo" ifc)
+  | [ "reserve"; id; rate; filter ] ->
+    let* inst = instance_arg router id in
+    let* rate_bps = int_arg "rate" rate in
+    let* f = parse_filter filter in
+    let* key = key_of_filter f in
+    if inst.Plugin.plugin_name <> "drr" then
+      Error "reserve: only drr instances take reservations"
+    else
+      let* () =
+        Rp_sched.Drr_plugin.reserve ~instance_id:inst.Plugin.instance_id ~key
+          ~rate_bps
+      in
+      (* The reservation implies the flow is scheduled by this
+         instance. *)
+      let* () = Pcu.register_instance router.Router.pcu
+          ~instance:inst.Plugin.instance_id f
+      in
+      Ok (Printf.sprintf "reserved %d bps for %s" rate_bps (Filter.to_string f))
+  | "message" :: p :: key :: payload ->
+    let* reply = Pcu.message router.Router.pcu ~plugin:p key (String.concat " " payload) in
+    Ok reply
+  | [ "route"; "add"; prefix; ifc ] | [ "route"; "add"; prefix; ifc; _ ] ->
+    (match Prefix.of_string_opt prefix with
+     | None -> Error (Printf.sprintf "bad prefix %S" prefix)
+     | Some p ->
+       let* ifc_id = int_arg "iface" ifc in
+       let next_hop =
+         match tokens with
+         | [ _; _; _; _; nh ] -> Ipaddr.of_string_opt nh
+         | _ -> None
+       in
+       Router.add_route router p ?next_hop ~iface:ifc_id ();
+       Ok (Printf.sprintf "route %s -> if%d" (Prefix.to_string p) ifc_id))
+  | [ "route"; "del"; prefix ] ->
+    (match Prefix.of_string_opt prefix with
+     | None -> Error (Printf.sprintf "bad prefix %S" prefix)
+     | Some p ->
+       Route_table.remove router.Router.routes p;
+       Ok (Printf.sprintf "route %s removed" (Prefix.to_string p)))
+  | [ "show"; what ] -> show router what
+  | cmd :: _ -> Error (Printf.sprintf "unknown command %S" cmd)
+
+let exec_script router text =
+  let lines = String.split_on_char '\n' text in
+  let rec loop acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      let trimmed = String.trim line in
+      if trimmed = "" || trimmed.[0] = '#' then loop acc (lineno + 1) rest
+      else
+        (match exec router trimmed with
+         | Ok out -> loop (out :: acc) (lineno + 1) rest
+         | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+  in
+  loop [] 1 lines

@@ -1,0 +1,72 @@
+(** A simplified RSVP daemon (RFC 2205's shape) — the receiver-oriented
+    counterpart of {!Ssp}.  The paper's group "are currently in the
+    process of porting an RSVP implementation" (section 3.1); this
+    module supplies the protocol machinery that port needs from the
+    framework: per-hop soft state, reverse-path reservation setup, and
+    the same PCU/AIU installation calls SSP uses.
+
+    Operation:
+
+    - the {e sender} emits PATH messages toward the receiver; each
+      RSVP router on the way records {e path state} — the flow, the
+      {e previous hop} (the upstream router's address, carried in the
+      message and rewritten at every hop), and the downstream
+      interface — and forwards the message;
+    - the {e receiver} answers with a RESV carrying the rate; RESV
+      travels hop by hop {e upstream} along the recorded previous
+      hops; every router installs the reservation (a weighted-DRR
+      reservation plus an exact-flow filter binding on its
+      {e downstream} interface) and relays the RESV to its own
+      previous hop;
+    - both kinds of state are {e soft}: unless refreshed by periodic
+      PATH/RESV, {!tick} expires them and removes the reservations.
+
+    Each RSVP router must have a local address ({!Rp_core.Router.add_local_addr})
+    — that address is the previous hop it advertises, and where
+    upstream RESV messages are sent. *)
+
+open Rp_pkt
+open Rp_core
+
+type msg =
+  | Path of {
+      flow : Flow_key.t;  (** sender template; iface ignored *)
+      phop : Ipaddr.t;  (** previous RSVP hop (or the sender) *)
+    }
+  | Resv of {
+      flow : Flow_key.t;
+      rate_bps : int;
+    }
+
+val encode : msg -> Bytes.t
+val decode : Bytes.t -> (msg, string) result
+
+type t
+
+(** [attach router] registers the daemon for protocol
+    {!Rp_pkt.Proto.rsvp}.  @raise Invalid_argument if the router has
+    no local address. *)
+val attach : Router.t -> t
+
+(** Path state entries: (flow, previous hop, downstream iface). *)
+val path_state : t -> (Flow_key.t * Ipaddr.t * int) list
+
+(** Installed reservations: (flow, rate, DRR instance id). *)
+val reservations : t -> (Flow_key.t * int * int) list
+
+val failures : t -> int
+
+(** [tick t ~now ~lifetime_ns] expires path state and reservations not
+    refreshed within [lifetime_ns]; returns (paths, resvs) expired. *)
+val tick : t -> now:int64 -> lifetime_ns:int64 -> int * int
+
+(** Endpoint helpers (what sender/receiver hosts put on the wire). *)
+
+val path_packet : sender:Ipaddr.t -> flow:Flow_key.t -> Mbuf.t
+
+(** [resv_packet ~receiver ~to_hop ~flow ~rate_bps] — the receiver's
+    RESV, addressed to the last-hop router [to_hop] (learned from the
+    PATH's phop). *)
+val resv_packet :
+  receiver:Ipaddr.t -> to_hop:Ipaddr.t -> flow:Flow_key.t -> rate_bps:int ->
+  Mbuf.t

@@ -1,0 +1,49 @@
+(** SSP — the State Setup Protocol, the simplified RSVP the paper's
+    group built ("We implemented an SSP daemon for our system",
+    section 3.1; SSP is Adiseshu & Parulkar's sender-oriented setup
+    protocol).
+
+    A sender emits a SETUP message in-band (IP protocol
+    {!Rp_pkt.Proto.ssp}) addressed to the flow's destination, so it
+    follows the flow's own path.  Every SSP-capable router on the path
+    punts the message to its daemon, which installs the reservation —
+    an exact-flow filter bound to the DRR instance on the flow's
+    output interface, plus a weighted-DRR bandwidth reservation — and
+    forwards the message downstream.  TEARDOWN undoes it. *)
+
+open Rp_pkt
+open Rp_core
+
+type msg =
+  | Setup of {
+      flow : Flow_key.t;  (** iface field ignored *)
+      rate_bps : int;
+    }
+  | Teardown of { flow : Flow_key.t }
+
+(** Wire encoding (fixed-size binary; IPv4 and IPv6 flows). *)
+
+val encode : msg -> Bytes.t
+val decode : Bytes.t -> (msg, string) result
+
+(** [attach router] registers the daemon as the punt handler for
+    protocol {!Rp_pkt.Proto.ssp}.  Returns the daemon handle for
+    inspection. *)
+type t
+
+val attach : Router.t -> t
+
+(** Reservations currently installed by this daemon:
+    (flow, rate, DRR instance id). *)
+val reservations : t -> (Flow_key.t * int * int) list
+
+(** Count of messages the daemon could not honour (no route, no DRR
+    on the output interface). *)
+val failures : t -> int
+
+(** [setup_packet ~src ~flow ~rate_bps] builds the in-band SETUP
+    message as an injectable mbuf (from [src], following [flow.dst]).
+    [teardown_packet] likewise. *)
+val setup_packet : src:Ipaddr.t -> flow:Flow_key.t -> rate_bps:int -> Mbuf.t
+
+val teardown_packet : src:Ipaddr.t -> flow:Flow_key.t -> Mbuf.t

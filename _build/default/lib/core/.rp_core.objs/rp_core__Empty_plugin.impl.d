@@ -1,0 +1,1 @@
+lib/core/empty_plugin.ml: Plugin

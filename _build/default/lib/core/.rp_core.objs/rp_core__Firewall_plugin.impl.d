@@ -1,0 +1,1 @@
+lib/core/firewall_plugin.ml: Gate Hashtbl List Plugin Printf

@@ -1,0 +1,1 @@
+lib/core/gate.ml: Format List

@@ -1,0 +1,1 @@
+lib/core/iface.ml: Format Mbuf Plugin Printf Queue Rp_pkt

@@ -1,0 +1,1 @@
+lib/core/iface.mli: Format Mbuf Plugin Queue Rp_classifier Rp_pkt

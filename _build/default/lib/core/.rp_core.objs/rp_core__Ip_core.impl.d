@@ -1,0 +1,1 @@
+lib/core/ip_core.ml: Bytes Cost Flow_key Format Frag Gate Hashtbl Icmp Iface Ipv4_header Ipv6_header List Mbuf Plugin Proto Route_table Router Rp_classifier Rp_lpm Rp_pkt

@@ -1,0 +1,1 @@
+lib/core/ip_core.mli: Format Gate Mbuf Plugin Router Rp_pkt

@@ -1,0 +1,1 @@
+lib/core/opt_plugin.ml: Gate Hashtbl Ipv6_header List Mbuf Plugin Printf Rp_pkt

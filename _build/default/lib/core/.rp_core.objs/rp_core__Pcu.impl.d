@@ -1,0 +1,1 @@
+lib/core/pcu.ml: Aiu Array Dag Filter Flow_table Gate Hashtbl List Logs Plugin Printf Rp_classifier

@@ -1,0 +1,1 @@
+lib/core/pcu.mli: Aiu Filter Plugin Rp_classifier Rp_lpm

@@ -1,0 +1,1 @@
+lib/core/plugin.ml: Format Gate Mbuf Printf Rp_classifier Rp_pkt

@@ -1,0 +1,1 @@
+lib/core/plugin.mli: Format Gate Mbuf Rp_classifier Rp_pkt

@@ -1,0 +1,1 @@
+lib/core/route_plugin.ml: Flow_key Gate Hashtbl Ipaddr List Mbuf Option Plugin Printf Result Rp_pkt

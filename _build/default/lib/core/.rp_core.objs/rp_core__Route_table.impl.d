@@ -1,0 +1,1 @@
+lib/core/route_table.ml: Format Ipaddr Prefix Rp_lpm Rp_pkt

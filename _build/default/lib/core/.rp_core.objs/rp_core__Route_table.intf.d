@@ -1,0 +1,1 @@
+lib/core/route_table.mli: Format Ipaddr Prefix Rp_lpm Rp_pkt

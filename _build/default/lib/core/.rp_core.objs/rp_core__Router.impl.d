@@ -1,0 +1,1 @@
+lib/core/router.ml: Array Gate Hashtbl Iface Ipaddr List Mbuf Pcu Printf Route_table Rp_classifier Rp_pkt

@@ -1,0 +1,1 @@
+lib/core/router.mli: Gate Hashtbl Iface Ipaddr Mbuf Pcu Plugin Prefix Route_table Rp_classifier Rp_lpm Rp_pkt

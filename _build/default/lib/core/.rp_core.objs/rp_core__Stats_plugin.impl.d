@@ -1,0 +1,1 @@
+lib/core/stats_plugin.ml: Flow_key Flow_table Gate Hashtbl List Mbuf Plugin Printf Rp_classifier Rp_pkt

@@ -1,0 +1,27 @@
+let cpu_mhz = 233.0
+
+let mem_access = 14
+let flow_hash = 17
+let base_forward = 6460
+let gate_invoke = 150
+let flow_detect = 45
+let monolithic_classifier = 250
+let drr_enqueue = 750
+let drr_dequeue = 700
+let hfsc_enqueue = 1150
+let hfsc_dequeue = 1100
+
+let counter = ref 0
+
+let charge n = counter := !counter + n
+let charge_mem n = counter := !counter + (n * mem_access)
+let reset () = counter := 0
+let get () = !counter
+
+let measure f =
+  let before = !counter in
+  let result = f () in
+  (result, !counter - before)
+
+let ns_of_cycles c = float_of_int c *. 1000.0 /. cpu_mhz
+let us_of_cycles c = ns_of_cycles c /. 1000.0

@@ -1,0 +1,21 @@
+(** The "empty plugin" of the paper's Table 3 experiment: a handler
+    that does nothing, used to measure the pure framework overhead of
+    a gate traversal ("We installed three gates which called empty
+    plugins", section 7.3).
+
+    [make ~gate ~name] manufactures one empty plugin module per gate,
+    since a plugin's type is fixed by its gate. *)
+
+let make ~gate ~name : (module Plugin.PLUGIN) =
+  (module struct
+    let name = name
+    let gate = gate
+    let description = "no-op plugin for framework overhead measurements"
+
+    let create_instance ~instance_id ~code ~config =
+      Ok
+        (Plugin.simple ~instance_id ~code ~plugin_name:name ~gate ~config
+           (fun _ctx _m -> Plugin.Continue))
+
+    let message _ _ = Error "empty plugin accepts no messages"
+  end)

@@ -1,0 +1,50 @@
+(** Firewall plugin (the paper lists "a firewall plugin" among the
+    envisioned types; firewalls are one of the motivating applications
+    in section 2).
+
+    Policy is expressed entirely through the AIU: bind an [accept]
+    instance or a [deny] instance to filters; the most specific filter
+    wins, so a broad deny with narrow accepts (or vice versa) works
+    exactly like conventional rule tables — but with O(fields) lookup
+    instead of a linear rule scan. *)
+
+type totals = {
+  mutable accepted : int;
+  mutable denied : int;
+}
+
+let instance_totals : (int, totals) Hashtbl.t = Hashtbl.create 8
+
+let totals_of ~instance_id = Hashtbl.find_opt instance_totals instance_id
+
+let name = "firewall"
+let gate = Gate.Firewall
+let description = "per-flow accept/deny policy"
+
+let create_instance ~instance_id ~code ~config =
+  match List.assoc_opt "policy" config with
+  | Some "accept" ->
+    let t = { accepted = 0; denied = 0 } in
+    Hashtbl.replace instance_totals instance_id t;
+    Ok
+      (Plugin.simple ~instance_id ~code ~plugin_name:name ~gate ~config
+         ~describe:(fun () -> Printf.sprintf "firewall accept: %d pkts" t.accepted)
+         (fun _ _ ->
+           t.accepted <- t.accepted + 1;
+           Plugin.Continue))
+  | Some "deny" ->
+    let t = { accepted = 0; denied = 0 } in
+    Hashtbl.replace instance_totals instance_id t;
+    Ok
+      (Plugin.simple ~instance_id ~code ~plugin_name:name ~gate ~config
+         ~describe:(fun () -> Printf.sprintf "firewall deny: %d pkts" t.denied)
+         (fun _ _ ->
+           t.denied <- t.denied + 1;
+           Plugin.Drop "firewall policy"))
+  | Some other -> Error (Printf.sprintf "firewall: unknown policy %S" other)
+  | None -> Error "firewall: config must set policy=accept|deny"
+
+let message key _payload =
+  match key with
+  | "plugin-info" -> Ok description
+  | _ -> Error (Printf.sprintf "firewall: unknown message %s" key)

@@ -1,0 +1,52 @@
+type t =
+  | Ip_options
+  | Security_in
+  | Firewall
+  | Routing
+  | Congestion
+  | Security_out
+  | Scheduling
+  | Stats
+
+let all =
+  [ Ip_options; Security_in; Firewall; Routing; Congestion; Security_out;
+    Scheduling; Stats ]
+
+let count = List.length all
+
+let to_int = function
+  | Ip_options -> 0
+  | Security_in -> 1
+  | Firewall -> 2
+  | Routing -> 3
+  | Congestion -> 4
+  | Security_out -> 5
+  | Scheduling -> 6
+  | Stats -> 7
+
+let of_int = function
+  | 0 -> Some Ip_options
+  | 1 -> Some Security_in
+  | 2 -> Some Firewall
+  | 3 -> Some Routing
+  | 4 -> Some Congestion
+  | 5 -> Some Security_out
+  | 6 -> Some Scheduling
+  | 7 -> Some Stats
+  | _ -> None
+
+let name = function
+  | Ip_options -> "ip-options"
+  | Security_in -> "security-in"
+  | Firewall -> "firewall"
+  | Routing -> "routing"
+  | Congestion -> "congestion"
+  | Security_out -> "security-out"
+  | Scheduling -> "scheduling"
+  | Stats -> "stats"
+
+let of_name s =
+  List.find_opt (fun g -> name g = s) all
+
+let pp ppf g = Format.pp_print_string ppf (name g)
+let equal a b = to_int a = to_int b

@@ -1,0 +1,101 @@
+open Rp_pkt
+
+type counters = {
+  mutable rx_packets : int;
+  mutable rx_bytes : int;
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+  mutable drops : int;
+}
+
+type t = {
+  id : int;
+  name : string;
+  mtu : int;
+  bandwidth_bps : int64;
+  fifo_limit : int;
+  fifo : Mbuf.t Queue.t;
+  mutable qdisc : Plugin.t option;
+  counters : counters;
+  mutable up : bool;
+}
+
+let create ?name ?(mtu = 9180) ?(bandwidth_bps = 155_000_000L)
+    ?(fifo_limit = 512) ~id () =
+  {
+    id;
+    name = (match name with Some n -> n | None -> Printf.sprintf "if%d" id);
+    mtu;
+    bandwidth_bps;
+    fifo_limit;
+    fifo = Queue.create ();
+    qdisc = None;
+    counters =
+      { rx_packets = 0; rx_bytes = 0; tx_packets = 0; tx_bytes = 0; drops = 0 };
+    up = true;
+  }
+
+let attach_scheduler t inst =
+  match inst.Plugin.scheduler with
+  | None -> invalid_arg "Iface.attach_scheduler: instance has no scheduler"
+  | Some _ -> t.qdisc <- Some inst
+
+let detach_scheduler t = t.qdisc <- None
+
+let enqueue t ~now ~binding m =
+  match t.qdisc with
+  | Some inst ->
+    (match inst.Plugin.scheduler with
+     | Some s ->
+       (match s.Plugin.enqueue ~now m binding with
+        | Plugin.Enqueued -> true
+        | Plugin.Rejected _ ->
+          t.counters.drops <- t.counters.drops + 1;
+          false)
+     | None ->
+       (* attach_scheduler guarantees this cannot happen *)
+       assert false)
+  | None ->
+    if Queue.length t.fifo >= t.fifo_limit then begin
+      t.counters.drops <- t.counters.drops + 1;
+      false
+    end
+    else begin
+      Queue.push m t.fifo;
+      true
+    end
+
+let dequeue t ~now =
+  match t.qdisc with
+  | Some inst ->
+    (match inst.Plugin.scheduler with
+     | Some s -> s.Plugin.dequeue ~now
+     | None -> assert false)
+  | None -> (
+      match Queue.pop t.fifo with
+      | m -> Some m
+      | exception Queue.Empty -> None)
+
+let backlog t =
+  match t.qdisc with
+  | Some inst ->
+    (match inst.Plugin.scheduler with
+     | Some s -> s.Plugin.backlog ()
+     | None -> assert false)
+  | None -> Queue.length t.fifo
+
+let count_tx t m =
+  t.counters.tx_packets <- t.counters.tx_packets + 1;
+  t.counters.tx_bytes <- t.counters.tx_bytes + m.Mbuf.len
+
+let count_rx t m =
+  t.counters.rx_packets <- t.counters.rx_packets + 1;
+  t.counters.rx_bytes <- t.counters.rx_bytes + m.Mbuf.len
+
+let pp ppf t =
+  Format.fprintf ppf "%s: rx %d/%dB tx %d/%dB drops %d backlog %d%s" t.name
+    t.counters.rx_packets t.counters.rx_bytes t.counters.tx_packets
+    t.counters.tx_bytes t.counters.drops (backlog t)
+    (match t.qdisc with
+     | Some i -> Printf.sprintf " qdisc=%s#%d" i.Plugin.plugin_name i.Plugin.instance_id
+     | None -> " qdisc=fifo")

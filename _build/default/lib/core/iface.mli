@@ -1,0 +1,60 @@
+(** Network interfaces: an output queue (a plain FIFO, or an attached
+    packet-scheduling plugin instance) plus the usual counters.
+
+    Transmission timing (link rate, serialization delay) is driven by
+    the simulator; this module only owns the queueing decision. *)
+
+open Rp_pkt
+
+type counters = {
+  mutable rx_packets : int;
+  mutable rx_bytes : int;
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+  mutable drops : int;  (** queue-full or policy drops on this iface *)
+}
+
+type t = {
+  id : int;
+  name : string;
+  mtu : int;
+  bandwidth_bps : int64;  (** link rate used by the simulator *)
+  fifo_limit : int;
+  fifo : Mbuf.t Queue.t;
+  mutable qdisc : Plugin.t option;
+      (** attached scheduling instance; [None] = plain FIFO *)
+  counters : counters;
+  mutable up : bool;
+}
+
+val create :
+  ?name:string -> ?mtu:int -> ?bandwidth_bps:int64 -> ?fifo_limit:int ->
+  id:int -> unit -> t
+
+(** [attach_scheduler t inst] installs a scheduling-gate plugin
+    instance as this interface's queueing discipline.
+    @raise Invalid_argument if the instance has no scheduler. *)
+val attach_scheduler : t -> Plugin.t -> unit
+
+val detach_scheduler : t -> unit
+
+(** [enqueue t ~now ~binding m] queues [m] for output: through the
+    attached scheduler when present (passing the flow [binding] whose
+    soft slot carries per-flow queue state), else the FIFO with
+    tail-drop at [fifo_limit].  Returns [false] when dropped. *)
+val enqueue :
+  t -> now:int64 -> binding:Plugin.t Rp_classifier.Flow_table.binding option ->
+  Mbuf.t -> bool
+
+(** [dequeue t ~now] takes the next packet to put on the wire. *)
+val dequeue : t -> now:int64 -> Mbuf.t option
+
+(** Packets waiting for transmission. *)
+val backlog : t -> int
+
+(** Record a completed transmission (called by the simulator's link
+    model). *)
+val count_tx : t -> Mbuf.t -> unit
+
+val count_rx : t -> Mbuf.t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,212 @@
+open Rp_pkt
+
+type verdict =
+  | Enqueued of int
+  | Delivered_local
+  | Absorbed  (** a plugin consumed the packet (e.g. reassembly) *)
+  | Dropped of string
+
+let pp_verdict ppf = function
+  | Enqueued i -> Format.fprintf ppf "enqueued on if%d" i
+  | Delivered_local -> Format.pp_print_string ppf "delivered locally"
+  | Absorbed -> Format.pp_print_string ppf "consumed by a plugin"
+  | Dropped why -> Format.fprintf ppf "dropped (%s)" why
+
+(* Classify at [gate], charging the framework costs: the flow hash the
+   first time this packet consults the AIU, one gate's invocation
+   overhead, and the measured memory accesses of whatever lookups the
+   AIU performed (a cached flow costs ~2; the first packet of a flow
+   pays the full filter-table walks). *)
+let classify_at router ~now ~gate m =
+  let aiu = Router.aiu router in
+  let had_fix = m.Mbuf.fix <> None in
+  let result, accesses =
+    Rp_lpm.Access.measure (fun () ->
+        Rp_classifier.Aiu.classify aiu m ~gate:(Gate.to_int gate) ~now)
+  in
+  if not had_fix then Cost.charge Cost.flow_hash;
+  Cost.charge_mem accesses;
+  Cost.charge Cost.gate_invoke;
+  result
+
+let binding_of record ~gate =
+  Rp_classifier.Flow_table.binding record ~gate:(Gate.to_int gate)
+
+let invoke_gate router ~now ~gate m =
+  match classify_at router ~now ~gate m with
+  | None -> Plugin.Continue
+  | Some (inst, record) ->
+    let binding = binding_of record ~gate in
+    inst.Plugin.handle { Plugin.now_ns = now; binding } m
+
+(* Gates traversed inline, in data-path order (scheduling is handled
+   at enqueue time, routing right after the punt check). *)
+let inline_gates_pre = [ Gate.Ip_options; Gate.Security_in; Gate.Firewall ]
+let inline_gates_post = [ Gate.Congestion; Gate.Security_out; Gate.Stats ]
+
+(* A drop, optionally accompanied by an ICMP error to the source. *)
+exception Dropped_exn of string * Icmp.message option
+
+exception Consumed_exn
+
+let run_gates router ~now m gates =
+  List.iter
+    (fun gate ->
+      if Router.gate_enabled router gate then
+        match invoke_gate router ~now ~gate m with
+        | Plugin.Continue -> ()
+        | Plugin.Consumed -> raise Consumed_exn
+        | Plugin.Drop why -> raise (Dropped_exn (why, None)))
+    gates
+
+let route router ~now m =
+  (* A routing-gate plugin may have fixed the output interface (L4
+     switching); otherwise consult the routing table. *)
+  (if Router.gate_enabled router Gate.Routing then
+     match invoke_gate router ~now ~gate:Gate.Routing m with
+     | Plugin.Continue -> ()
+     | Plugin.Consumed -> raise Consumed_exn
+     | Plugin.Drop why -> raise (Dropped_exn (why, None)));
+  match m.Mbuf.out_iface with
+  | Some i -> i
+  | None -> (
+      match Route_table.lookup router.Router.routes m.Mbuf.key.Flow_key.dst with
+      | Some r ->
+        m.Mbuf.out_iface <- Some r.Route_table.iface;
+        m.Mbuf.next_hop <-
+          (match r.Route_table.next_hop with
+           | Some _ as nh -> nh
+           | None -> Some m.Mbuf.key.Flow_key.dst);
+        r.Route_table.iface
+      | None ->
+        raise
+          (Dropped_exn
+             ( "no route to destination",
+               Some (Icmp.Dest_unreachable Icmp.Net_unreachable) )))
+
+(* Queue one (possibly fragmented) packet on the egress interface.
+   Fragmentation happens here, after all gates: a datagram larger than
+   the egress MTU is split (IPv4 without DF), or dropped with an ICMP
+   "packet too big" error. *)
+let rec enqueue router ~now m out =
+  let ifc = Router.iface router out in
+  let binding =
+    if Router.gate_enabled router Gate.Scheduling then
+      match classify_at router ~now ~gate:Gate.Scheduling m with
+      | Some (_inst, record) -> binding_of record ~gate:Gate.Scheduling
+      | None -> None
+    else None
+  in
+  if not (Frag.needs_fragmentation m ~mtu:ifc.Iface.mtu) then begin
+    if Iface.enqueue ifc ~now ~binding m then Enqueued out
+    else Dropped "output queue"
+  end
+  else
+    match Frag.fragment m ~mtu:ifc.Iface.mtu with
+    | Ok fragments ->
+      let accepted =
+        List.fold_left
+          (fun acc f -> if Iface.enqueue ifc ~now ~binding f then acc + 1 else acc)
+          0 fragments
+      in
+      if accepted > 0 then Enqueued out else Dropped "output queue"
+    | Error (`Dont_fragment | `V6_never_fragments) ->
+      raise
+        (Dropped_exn
+           ("needs fragmentation", Some (Icmp.Packet_too_big ifc.Iface.mtu)))
+
+and process router ~now m =
+  Cost.charge Cost.base_forward;
+  Iface.count_rx (Router.iface router m.Mbuf.key.Flow_key.iface) m;
+  if m.Mbuf.ttl <= 1 then begin
+    icmp_error router ~now m Icmp.Time_exceeded;
+    Dropped "ttl expired"
+  end
+  else begin
+    m.Mbuf.ttl <- m.Mbuf.ttl - 1;
+    try
+      run_gates router ~now m inline_gates_pre;
+      (* Local punt: protocols handled by a daemon on this router
+         (e.g. SSP).  The handler decides whether the packet also
+         continues downstream. *)
+      let consumed =
+        match Hashtbl.find_opt router.Router.punts m.Mbuf.key.Flow_key.proto with
+        | Some handler -> handler ~now m = Router.Punt_consume
+        | None -> false
+      in
+      if consumed then Delivered_local
+      else if Router.is_local router m.Mbuf.key.Flow_key.dst then begin
+        answer_echo router ~now m;
+        Delivered_local
+      end
+      else begin
+        let out = route router ~now m in
+        run_gates router ~now m inline_gates_post;
+        enqueue router ~now m out
+      end
+    with
+    | Dropped_exn (why, icmp) ->
+      (match icmp with
+       | Some message -> icmp_error router ~now m message
+       | None -> ());
+      Dropped why
+    | Consumed_exn -> Absorbed
+  end
+
+(* Answer ICMP echo requests addressed to the router itself (so the
+   router is pingable end to end). *)
+and answer_echo router ~now (m : Mbuf.t) =
+  let proto = m.Mbuf.key.Flow_key.proto in
+  let family =
+    match m.Mbuf.version with Mbuf.V4 -> `V4 | Mbuf.V6 -> `V6
+  in
+  if proto = Proto.icmp || proto = Proto.icmpv6 then
+    match m.Mbuf.raw with
+    | None -> ()
+    | Some raw ->
+      (match Icmp.parse ~family raw with
+       | Ok { Icmp.message = Icmp.Echo_request { ident; seq }; payload } ->
+         let body =
+           Icmp.serialize ~family
+             { Icmp.message = Icmp.Echo_reply { ident; seq }; payload }
+         in
+         let key =
+           Flow_key.make ~src:m.Mbuf.key.Flow_key.dst
+             ~dst:m.Mbuf.key.Flow_key.src ~proto ~sport:0 ~dport:0
+             ~iface:m.Mbuf.key.Flow_key.iface
+         in
+         let hdr = match family with `V4 -> Ipv4_header.size | `V6 -> Ipv6_header.size in
+         let reply = Mbuf.synth ~key ~len:(hdr + Bytes.length body) () in
+         reply.Mbuf.raw <- Some body;
+         ignore (process router ~now reply)
+       | Ok _ | Error _ -> ())
+
+(* Generate an ICMP error about [orig] back toward its source, routed
+   through this router's own data path.  Per the RFC rules: never
+   about ICMP itself, and only when the router has an address of the
+   right family to source it from. *)
+and icmp_error router ~now (orig : Mbuf.t) message =
+  let proto = orig.Mbuf.key.Flow_key.proto in
+  if proto <> Proto.icmp && proto <> Proto.icmpv6 then
+    match Router.local_addr_for router orig.Mbuf.key.Flow_key.src with
+    | None -> ()
+    | Some src ->
+      let family, icmp_proto, hdr =
+        match orig.Mbuf.version with
+        | Mbuf.V4 -> (`V4, Proto.icmp, Ipv4_header.size)
+        | Mbuf.V6 -> (`V6, Proto.icmpv6, Ipv6_header.size)
+      in
+      let payload =
+        match orig.Mbuf.raw with
+        | Some raw -> Bytes.sub_string raw 0 (min 28 (Bytes.length raw))
+        | None -> ""
+      in
+      let body = Icmp.serialize ~family { Icmp.message; payload } in
+      let key =
+        Flow_key.make ~src ~dst:orig.Mbuf.key.Flow_key.src ~proto:icmp_proto
+          ~sport:0 ~dport:0 ~iface:orig.Mbuf.key.Flow_key.iface
+      in
+      let m = Mbuf.synth ~key ~len:(hdr + Bytes.length body) () in
+      m.Mbuf.raw <- Some body;
+      router.Router.icmp_sent <- router.Router.icmp_sent + 1;
+      ignore (process router ~now m)

@@ -1,0 +1,35 @@
+(** The IPv4/IPv6 core — the "small part of the network subsystem code
+    that remains relatively stable" (paper, section 2): header/TTL
+    handling, demultiplexing packets to plugin instances through the
+    gates, route lookup, and handoff to the output queue.
+
+    The per-packet path (paper, Figure 3): receive → IPv6 option gate →
+    security-in gate → firewall gate → local punt check → routing
+    (gate, else table) → congestion gate → security-out gate → stats
+    gate → scheduling gate + enqueue.
+
+    Each gate is a classification point: the first gate of a packet
+    pays the flow-table hash (or, for the first packet of a flow, the
+    full filter-table lookups for {e all} gates); subsequent gates
+    dereference the FIX cached in the mbuf.  Cycle costs are charged to
+    {!Cost} as described there. *)
+
+open Rp_pkt
+
+type verdict =
+  | Enqueued of int  (** queued on output interface *)
+  | Delivered_local  (** consumed by a punt handler / local address *)
+  | Absorbed  (** a plugin consumed the packet (e.g. reassembly) *)
+  | Dropped of string
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** [process router ~now m] runs one packet through the router's data
+    path, returning what happened to it.  [m.key.iface] must identify
+    the receiving interface. *)
+val process : Router.t -> now:int64 -> Mbuf.t -> verdict
+
+(** [invoke_gate router ~now ~gate m] — classification + indirect call
+    for one gate, exposed for tests and micro-benchmarks.  Returns the
+    handler's action ([Continue] when no instance is bound). *)
+val invoke_gate : Router.t -> now:int64 -> gate:Gate.t -> Mbuf.t -> Plugin.action

@@ -1,0 +1,81 @@
+(** IPv6 option plugin (one of the paper's four implemented plugin
+    types).  Processes the hop-by-hop options carried in the mbuf:
+
+    - Router Alert: tags the packet ["router-alert"] so local daemons
+      notice it;
+    - Jumbo Payload: accepted (length already validated at parse);
+    - padding: skipped;
+    - unknown options: handled per the RFC 1883 high-bit semantics —
+      00 skip, 01 discard, 10/11 discard (where a real stack would
+      also emit an ICMP Parameter Problem, which we count). *)
+
+open Rp_pkt
+
+type totals = {
+  mutable packets : int;
+  mutable alerts : int;
+  mutable jumbos : int;
+  mutable unknown_skipped : int;
+  mutable discards : int;
+  mutable icmp_errors : int;  (** would-be Parameter Problem messages *)
+}
+
+let instance_totals : (int, totals) Hashtbl.t = Hashtbl.create 8
+
+let totals_of ~instance_id = Hashtbl.find_opt instance_totals instance_id
+
+let name = "ip6-options"
+let gate = Gate.Ip_options
+let description = "IPv6 hop-by-hop option processing"
+
+let process t m =
+  t.packets <- t.packets + 1;
+  let verdict = ref Plugin.Continue in
+  List.iter
+    (fun opt ->
+      match !verdict with
+      | Plugin.Drop _ | Plugin.Consumed -> ()
+      | Plugin.Continue ->
+        (match opt with
+         | Ipv6_header.Option_tlv.Pad1 | Ipv6_header.Option_tlv.Padn _ -> ()
+         | Ipv6_header.Option_tlv.Router_alert _ ->
+           t.alerts <- t.alerts + 1;
+           Mbuf.add_tag m "router-alert"
+         | Ipv6_header.Option_tlv.Jumbo_payload _ -> t.jumbos <- t.jumbos + 1
+         | Ipv6_header.Option_tlv.Unknown (ty, _) ->
+           (match ty lsr 6 with
+            | 0 -> t.unknown_skipped <- t.unknown_skipped + 1
+            | 1 ->
+              t.discards <- t.discards + 1;
+              verdict := Plugin.Drop "unknown hop-by-hop option (01)"
+            | 2 | 3 ->
+              t.discards <- t.discards + 1;
+              t.icmp_errors <- t.icmp_errors + 1;
+              verdict := Plugin.Drop "unknown hop-by-hop option (1x)"
+            | _ -> assert false)))
+    m.Mbuf.options;
+  !verdict
+
+let create_instance ~instance_id ~code ~config =
+  let t =
+    {
+      packets = 0;
+      alerts = 0;
+      jumbos = 0;
+      unknown_skipped = 0;
+      discards = 0;
+      icmp_errors = 0;
+    }
+  in
+  Hashtbl.replace instance_totals instance_id t;
+  Ok
+    (Plugin.simple ~instance_id ~code ~plugin_name:name ~gate ~config
+       ~describe:(fun () ->
+         Printf.sprintf "ip6-options: %d pkts, %d alerts, %d discards"
+           t.packets t.alerts t.discards)
+       (fun _ctx m -> process t m))
+
+let message key _payload =
+  match key with
+  | "plugin-info" -> Ok description
+  | _ -> Error (Printf.sprintf "ip6-options: unknown message %s" key)

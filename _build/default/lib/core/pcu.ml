@@ -1,0 +1,146 @@
+open Rp_classifier
+
+type loaded = {
+  plugin : (module Plugin.PLUGIN);
+  impl : int;  (** lower 16 bits of the plugin code *)
+  mutable live_instances : int;
+}
+
+type t = {
+  plugins : (string, loaded) Hashtbl.t;
+  instances : (int, Plugin.t) Hashtbl.t;
+  (* instance id -> filters currently registered for it *)
+  registrations : (int, Filter.t list ref) Hashtbl.t;
+  aiu : Plugin.t Aiu.t;
+  mutable next_instance : int;
+  mutable next_impl : int array;  (** per gate *)
+}
+
+let create ?engine ?buckets ?initial_records ?max_records () =
+  let on_evict ~gate:_ (b : Plugin.t Flow_table.binding) =
+    match b.Flow_table.instance.Plugin.on_flow_evict with
+    | Some f -> f b
+    | None -> ()
+  in
+  {
+    plugins = Hashtbl.create 16;
+    instances = Hashtbl.create 64;
+    registrations = Hashtbl.create 64;
+    aiu =
+      Aiu.create ?engine ?buckets ?initial_records ?max_records ~on_evict
+        ~gates:Gate.count ();
+    next_instance = 1;
+    next_impl = Array.make Gate.count 1;
+  }
+
+let aiu t = t.aiu
+
+let is_loaded t name = Hashtbl.mem t.plugins name
+
+let modload t (module P : Plugin.PLUGIN) =
+  if is_loaded t P.name then Error (Printf.sprintf "plugin %s already loaded" P.name)
+  else begin
+    let g = Gate.to_int P.gate in
+    let impl = t.next_impl.(g) in
+    t.next_impl.(g) <- impl + 1;
+    Hashtbl.add t.plugins P.name
+      { plugin = (module P); impl; live_instances = 0 };
+    Logs.info (fun m -> m "pcu: loaded plugin %s (gate %s, code %#x)" P.name
+                  (Gate.name P.gate) (Plugin.code ~gate:P.gate ~impl));
+    Ok ()
+  end
+
+let modunload t name =
+  match Hashtbl.find_opt t.plugins name with
+  | None -> Error (Printf.sprintf "plugin %s not loaded" name)
+  | Some l when l.live_instances > 0 ->
+    Error
+      (Printf.sprintf "plugin %s has %d live instance(s)" name l.live_instances)
+  | Some _ ->
+    Hashtbl.remove t.plugins name;
+    Ok ()
+
+let create_instance t ~plugin config =
+  match Hashtbl.find_opt t.plugins plugin with
+  | None -> Error (Printf.sprintf "plugin %s not loaded" plugin)
+  | Some l ->
+    let module P = (val l.plugin : Plugin.PLUGIN) in
+    let instance_id = t.next_instance in
+    let code = Plugin.code ~gate:P.gate ~impl:l.impl in
+    (match P.create_instance ~instance_id ~code ~config with
+     | Error _ as e -> e
+     | Ok inst ->
+       t.next_instance <- instance_id + 1;
+       l.live_instances <- l.live_instances + 1;
+       Hashtbl.add t.instances instance_id inst;
+       Hashtbl.add t.registrations instance_id (ref []);
+       Ok inst)
+
+let find_instance t id = Hashtbl.find_opt t.instances id
+
+let registrations_of t id =
+  match Hashtbl.find_opt t.registrations id with
+  | Some r -> r
+  | None -> invalid_arg "Pcu: unknown instance"
+
+let register_instance t ~instance f =
+  match find_instance t instance with
+  | None -> Error (Printf.sprintf "no instance %d" instance)
+  | Some inst ->
+    let gate = Gate.to_int inst.Plugin.gate in
+    Aiu.bind t.aiu ~gate f inst;
+    let regs = registrations_of t instance in
+    if not (List.exists (Filter.equal f) !regs) then regs := f :: !regs;
+    Ok ()
+
+let deregister_instance t ~instance f =
+  match find_instance t instance with
+  | None -> Error (Printf.sprintf "no instance %d" instance)
+  | Some inst ->
+    let regs = registrations_of t instance in
+    if List.exists (Filter.equal f) !regs then begin
+      let gate = Gate.to_int inst.Plugin.gate in
+      (* Only remove the table entry if it still points at this
+         instance — a later registration may have rebound the same
+         filter to another instance. *)
+      (match Dag.find (Aiu.filter_table t.aiu ~gate) f with
+       | Some bound when bound == inst -> Aiu.unbind t.aiu ~gate f
+       | Some _ | None -> ());
+      regs := List.filter (fun g -> not (Filter.equal f g)) !regs;
+      Ok ()
+    end
+    else Error "filter not registered for this instance"
+
+let free_instance t id =
+  match find_instance t id with
+  | None -> Error (Printf.sprintf "no instance %d" id)
+  | Some inst ->
+    let regs = registrations_of t id in
+    List.iter
+      (fun f -> Aiu.unbind t.aiu ~gate:(Gate.to_int inst.Plugin.gate) f)
+      !regs;
+    Hashtbl.remove t.registrations id;
+    Hashtbl.remove t.instances id;
+    (match Hashtbl.find_opt t.plugins inst.Plugin.plugin_name with
+     | Some l -> l.live_instances <- l.live_instances - 1
+     | None -> ());
+    (* Any remaining cached references disappear with the flush that
+       Aiu.unbind already performed; if the instance had no filters,
+       flush explicitly. *)
+    if !regs = [] then Aiu.flush_flows t.aiu;
+    Ok ()
+
+let message t ~plugin key payload =
+  match Hashtbl.find_opt t.plugins plugin with
+  | None -> Error (Printf.sprintf "plugin %s not loaded" plugin)
+  | Some l ->
+    let module P = (val l.plugin : Plugin.PLUGIN) in
+    P.message key payload
+
+let instances t = Hashtbl.fold (fun _ i acc -> i :: acc) t.instances []
+let plugin_names t = Hashtbl.fold (fun n _ acc -> n :: acc) t.plugins []
+
+let bindings_of t ~instance =
+  match Hashtbl.find_opt t.registrations instance with
+  | Some r -> !r
+  | None -> []

@@ -1,0 +1,58 @@
+(** The Plugin Control Unit (paper, section 4): manages loaded plugins
+    and dispatches all control-path messages to them.
+
+    [modload] plays the role of the NetBSD [modload] command plus the
+    plugin's registration callback; once loaded, a plugin can be asked
+    to create instances, instances can be registered (bound to
+    filters) with the AIU, and plugin-specific messages can be sent.
+
+    The PCU owns the AIU, because [register_instance] /
+    [deregister_instance] are PCU messages that manipulate AIU filter
+    tables (paper: "This message would result in a call to a
+    registration function that is published by the AIU"). *)
+
+open Rp_classifier
+
+type t
+
+(** [create ()] builds a PCU with an AIU sized to {!Gate.count} gates.
+    Flow-table parameters pass through to the AIU. *)
+val create :
+  ?engine:Rp_lpm.Engines.t -> ?buckets:int -> ?initial_records:int ->
+  ?max_records:int -> unit -> t
+
+val aiu : t -> Plugin.t Aiu.t
+
+(** Control-path operations. *)
+
+val modload : t -> (module Plugin.PLUGIN) -> (unit, string) result
+(** Fails if a plugin with the same name is already loaded. *)
+
+val modunload : t -> string -> (unit, string) result
+(** Fails while instances of the plugin exist. *)
+
+val is_loaded : t -> string -> bool
+
+val create_instance :
+  t -> plugin:string -> (string * string) list -> (Plugin.t, string) result
+
+val free_instance : t -> int -> (unit, string) result
+(** Unbinds all the instance's filters and evicts its cached flows. *)
+
+val register_instance : t -> instance:int -> Filter.t -> (unit, string) result
+(** Binds [Filter.t] to the instance in the filter table of the
+    instance's gate.  The same instance may be registered any number of
+    times with different filters. *)
+
+val deregister_instance : t -> instance:int -> Filter.t -> (unit, string) result
+
+val message : t -> plugin:string -> string -> string -> (string, string) result
+(** Plugin-specific control message, forwarded to the plugin's
+    callback. *)
+
+(** Introspection. *)
+
+val find_instance : t -> int -> Plugin.t option
+val instances : t -> Plugin.t list
+val plugin_names : t -> string list
+val bindings_of : t -> instance:int -> Filter.t list

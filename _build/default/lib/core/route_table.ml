@@ -1,0 +1,53 @@
+open Rp_pkt
+
+type route = {
+  prefix : Prefix.t;
+  next_hop : Ipaddr.t option;
+  iface : int;
+  metric : int;
+}
+
+type matcher = {
+  insert : Prefix.t -> route -> unit;
+  remove : Prefix.t -> unit;
+  lookup : Ipaddr.t -> (Prefix.t * route) option;
+  find : Prefix.t -> route option;
+  iter : (Prefix.t -> route -> unit) -> unit;
+  length : unit -> int;
+}
+
+let matcher_of_engine (module E : Rp_lpm.Lpm_intf.S) () =
+  let t = E.create () in
+  {
+    insert = (fun p v -> E.insert t p v);
+    remove = (fun p -> E.remove t p);
+    lookup = (fun a -> E.lookup t a);
+    find = (fun p -> E.find_exact t p);
+    iter = (fun f -> E.iter f t);
+    length = (fun () -> E.length t);
+  }
+
+type t = { m : matcher }
+
+let create ?(engine = Rp_lpm.Engines.patricia) () =
+  { m = matcher_of_engine engine () }
+
+let add t route =
+  match t.m.find route.prefix with
+  | Some existing when existing.metric < route.metric -> ()
+  | Some _ | None -> t.m.insert route.prefix route
+
+let remove t prefix = t.m.remove prefix
+
+let lookup t dst =
+  match t.m.lookup dst with
+  | Some (_, r) -> Some r
+  | None -> None
+
+let length t = t.m.length ()
+let iter f t = t.m.iter (fun _ r -> f r)
+
+let pp_route ppf r =
+  Format.fprintf ppf "%a -> %s dev if%d metric %d" Prefix.pp r.prefix
+    (match r.next_hop with None -> "direct" | Some a -> Ipaddr.to_string a)
+    r.iface r.metric

@@ -1,0 +1,30 @@
+(** The routing table: longest-prefix match over destination prefixes,
+    built on a pluggable BMP engine (the paper's BMP plugins serve both
+    the classifier and routing — "Routing ... is packet classification
+    with only one field", section 5.1). *)
+
+open Rp_pkt
+
+type route = {
+  prefix : Prefix.t;
+  next_hop : Ipaddr.t option;  (** [None] = directly connected *)
+  iface : int;
+  metric : int;
+}
+
+type t
+
+val create : ?engine:Rp_lpm.Engines.t -> unit -> t
+
+(** [add t route] installs [route], replacing an existing route for the
+    same prefix only if the new metric is not worse. *)
+val add : t -> route -> unit
+
+val remove : t -> Prefix.t -> unit
+
+(** [lookup t dst] is the best (longest-prefix) route for [dst]. *)
+val lookup : t -> Ipaddr.t -> route option
+
+val length : t -> int
+val iter : (route -> unit) -> t -> unit
+val pp_route : Format.formatter -> route -> unit

@@ -1,0 +1,69 @@
+open Rp_pkt
+
+type mode =
+  | Best_effort
+  | Plugins
+
+type punt_action = Punt_forward | Punt_consume
+
+type t = {
+  name : string;
+  mode : mode;
+  pcu : Pcu.t;
+  routes : Route_table.t;
+  ifaces : Iface.t array;
+  mutable enabled_gates : Gate.t list;
+  punts : (int, now:int64 -> Mbuf.t -> punt_action) Hashtbl.t;
+  mutable local_addrs : Ipaddr.t list;
+  mutable icmp_sent : int;
+}
+
+let create ?(name = "router") ?(mode = Plugins) ?(gates = Gate.all) ?engine
+    ?flow_buckets ?flow_max ~ifaces () =
+  if ifaces = [] then invalid_arg "Router.create: no interfaces";
+  {
+    name;
+    mode;
+    pcu =
+      Pcu.create ?engine ?buckets:flow_buckets ?max_records:flow_max ();
+    routes = Route_table.create ?engine ();
+    ifaces = Array.of_list ifaces;
+    enabled_gates = gates;
+    punts = Hashtbl.create 8;
+    local_addrs = [];
+    icmp_sent = 0;
+  }
+
+let iface t i =
+  if i < 0 || i >= Array.length t.ifaces then
+    invalid_arg (Printf.sprintf "Router.iface: no interface %d" i);
+  t.ifaces.(i)
+
+let aiu t = Pcu.aiu t.pcu
+
+let gate_enabled t g =
+  match t.mode with
+  | Best_effort -> false
+  | Plugins -> List.exists (Gate.equal g) t.enabled_gates
+
+let enable_gates t gs = t.enabled_gates <- gs
+
+let add_route t prefix ?next_hop ?(metric = 0) ~iface () =
+  if iface < 0 || iface >= Array.length t.ifaces then
+    invalid_arg (Printf.sprintf "Router.add_route: no interface %d" iface);
+  Route_table.add t.routes { Route_table.prefix; next_hop; iface; metric }
+
+let add_local_addr t a =
+  if not (List.exists (Ipaddr.equal a) t.local_addrs) then
+    t.local_addrs <- a :: t.local_addrs
+
+let is_local t a = List.exists (Ipaddr.equal a) t.local_addrs
+
+let local_addr_for t a =
+  List.find_opt (fun l -> Ipaddr.width l = Ipaddr.width a) t.local_addrs
+
+let set_punt t ~proto handler = Hashtbl.replace t.punts proto handler
+let clear_punt t ~proto = Hashtbl.remove t.punts proto
+
+let expire_flows t ~now ~idle_ns =
+  Rp_classifier.Aiu.expire_flows (aiu t) ~now ~idle_ns

@@ -1,0 +1,1 @@
+lib/crypto/hmac.ml: Bytes Char Md5 String

@@ -1,0 +1,1 @@
+lib/crypto/ipsec_plugin.ml: Bytes Flow_key Format Frag Gate Hashtbl Hmac Int32 Ipv4_header Ipv6_header List Mbuf Plugin Printf Proto Rc4 Result Rp_core Rp_pkt Sa String Udp_header

@@ -1,0 +1,1 @@
+lib/crypto/ipsec_plugin.mli: Rp_core Sa

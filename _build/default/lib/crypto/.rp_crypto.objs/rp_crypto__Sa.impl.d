@@ -1,0 +1,1 @@
+lib/crypto/sa.ml: Format Int64 Printf Rc4

@@ -1,0 +1,1 @@
+lib/crypto/sa.mli: Format Rc4

@@ -1,0 +1,40 @@
+(** IP security plugins (paper, section 4: "Our implementation
+    currently supports four types of plugins", IP security being one;
+    the security architecture is RFC 1825).
+
+    {!Out} (at the security-out gate) applies an SA's transform to
+    departing packets of bound flows; {!In} (at the security-in gate)
+    verifies/decrypts arriving packets, enforcing integrity and
+    anti-replay, and drops failures.
+
+    Transform layout, relative to the real protocols (documented
+    substitution — see DESIGN.md): the transform covers the UDP
+    payload and appends an 8-byte (SPI, sequence) trailer plus a
+    12-byte HMAC-MD5-96 ICV; IP and UDP headers stay in the clear and
+    their length fields are rewritten.  This keeps the five-tuple
+    stable through the router's own gates while exercising real keyed
+    crypto, SA lookup, sequence numbers, and replay windows
+    end-to-end.  Packets without materialized bytes (synthetic
+    benchmark traffic) carry the transform as a tag and the same
+    length change.
+
+    SAs are created once with {!add_sa} and referenced from instance
+    config as [sa=<name>]; both endpoints of a simulated tunnel
+    reference the same SA, as they would share keys in reality. *)
+
+val add_sa : name:string -> Sa.t -> unit
+val find_sa : name:string -> Sa.t option
+
+(** Bytes the transform adds to a packet (trailer + ICV). *)
+val overhead : int
+
+module Out : Rp_core.Plugin.PLUGIN
+
+module In : Rp_core.Plugin.PLUGIN
+
+(** Drop counters of the input side (bad ICV, replays), per instance. *)
+val in_failures : instance_id:int -> (int * int) option
+
+(** Datagrams the input side reassembled from fragments before
+    verification (reassembly precedes AH/ESP at the receiver). *)
+val in_reassembled : instance_id:int -> int option

@@ -1,0 +1,140 @@
+(* RFC 1321, transliterated.  All arithmetic is on Int32. *)
+
+let s =
+  [|
+    7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22;
+    5; 9; 14; 20; 5; 9; 14; 20; 5; 9; 14; 20; 5; 9; 14; 20;
+    4; 11; 16; 23; 4; 11; 16; 23; 4; 11; 16; 23; 4; 11; 16; 23;
+    6; 10; 15; 21; 6; 10; 15; 21; 6; 10; 15; 21; 6; 10; 15; 21;
+  |]
+
+(* K[i] = floor(2^32 * abs(sin(i+1))), precomputed per the RFC. *)
+let k =
+  [|
+    0xd76aa478l; 0xe8c7b756l; 0x242070dbl; 0xc1bdceeel; 0xf57c0fafl;
+    0x4787c62al; 0xa8304613l; 0xfd469501l; 0x698098d8l; 0x8b44f7afl;
+    0xffff5bb1l; 0x895cd7bel; 0x6b901122l; 0xfd987193l; 0xa679438el;
+    0x49b40821l; 0xf61e2562l; 0xc040b340l; 0x265e5a51l; 0xe9b6c7aal;
+    0xd62f105dl; 0x02441453l; 0xd8a1e681l; 0xe7d3fbc8l; 0x21e1cde6l;
+    0xc33707d6l; 0xf4d50d87l; 0x455a14edl; 0xa9e3e905l; 0xfcefa3f8l;
+    0x676f02d9l; 0x8d2a4c8al; 0xfffa3942l; 0x8771f681l; 0x6d9d6122l;
+    0xfde5380cl; 0xa4beea44l; 0x4bdecfa9l; 0xf6bb4b60l; 0xbebfbc70l;
+    0x289b7ec6l; 0xeaa127fal; 0xd4ef3085l; 0x04881d05l; 0xd9d4d039l;
+    0xe6db99e5l; 0x1fa27cf8l; 0xc4ac5665l; 0xf4292244l; 0x432aff97l;
+    0xab9423a7l; 0xfc93a039l; 0x655b59c3l; 0x8f0ccc92l; 0xffeff47dl;
+    0x85845dd1l; 0x6fa87e4fl; 0xfe2ce6e0l; 0xa3014314l; 0x4e0811a1l;
+    0xf7537e82l; 0xbd3af235l; 0x2ad7d2bbl; 0xeb86d391l;
+  |]
+
+type ctx = {
+  mutable a : int32;
+  mutable b : int32;
+  mutable c : int32;
+  mutable d : int32;
+  mutable total : int64;  (* bytes processed *)
+  buf : Bytes.t;  (* 64-byte block buffer *)
+  mutable buf_len : int;
+}
+
+let init () =
+  {
+    a = 0x67452301l;
+    b = 0xefcdab89l;
+    c = 0x98badcfel;
+    d = 0x10325476l;
+    total = 0L;
+    buf = Bytes.create 64;
+    buf_len = 0;
+  }
+
+let rotl x n = Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
+
+let process_block ctx block off =
+  let m = Array.init 16 (fun i -> Bytes.get_int32_le block (off + (i * 4))) in
+  let a = ref ctx.a and b = ref ctx.b and c = ref ctx.c and d = ref ctx.d in
+  for i = 0 to 63 do
+    let f, g =
+      if i < 16 then
+        (Int32.logor (Int32.logand !b !c) (Int32.logand (Int32.lognot !b) !d), i)
+      else if i < 32 then
+        (Int32.logor (Int32.logand !d !b) (Int32.logand (Int32.lognot !d) !c),
+         ((5 * i) + 1) mod 16)
+      else if i < 48 then
+        (Int32.logxor !b (Int32.logxor !c !d), ((3 * i) + 5) mod 16)
+      else
+        (Int32.logxor !c (Int32.logor !b (Int32.lognot !d)), (7 * i) mod 16)
+    in
+    let tmp = !d in
+    d := !c;
+    c := !b;
+    let sum = Int32.add (Int32.add !a f) (Int32.add k.(i) m.(g)) in
+    b := Int32.add !b (rotl sum s.(i));
+    a := tmp
+  done;
+  ctx.a <- Int32.add ctx.a !a;
+  ctx.b <- Int32.add ctx.b !b;
+  ctx.c <- Int32.add ctx.c !c;
+  ctx.d <- Int32.add ctx.d !d
+
+let update ctx data off len =
+  if off < 0 || len < 0 || off + len > Bytes.length data then
+    invalid_arg "Md5.update: bad range";
+  ctx.total <- Int64.add ctx.total (Int64.of_int len);
+  let pos = ref off and remaining = ref len in
+  (* Top up a partial block first. *)
+  if ctx.buf_len > 0 then begin
+    let take = min !remaining (64 - ctx.buf_len) in
+    Bytes.blit data !pos ctx.buf ctx.buf_len take;
+    ctx.buf_len <- ctx.buf_len + take;
+    pos := !pos + take;
+    remaining := !remaining - take;
+    if ctx.buf_len = 64 then begin
+      process_block ctx ctx.buf 0;
+      ctx.buf_len <- 0
+    end
+  end;
+  while !remaining >= 64 do
+    process_block ctx data !pos;
+    pos := !pos + 64;
+    remaining := !remaining - 64
+  done;
+  if !remaining > 0 then begin
+    Bytes.blit data !pos ctx.buf ctx.buf_len !remaining;
+    ctx.buf_len <- ctx.buf_len + !remaining
+  end
+
+let update_string ctx str =
+  update ctx (Bytes.unsafe_of_string str) 0 (String.length str)
+
+let final ctx =
+  let bit_len = Int64.mul ctx.total 8L in
+  (* Padding: 0x80, zeros, then the 64-bit little-endian length. *)
+  let pad_len =
+    let rem = Int64.to_int (Int64.rem ctx.total 64L) in
+    if rem < 56 then 56 - rem else 120 - rem
+  in
+  let padding = Bytes.make pad_len '\000' in
+  Bytes.set padding 0 '\x80';
+  update ctx padding 0 pad_len;
+  let length_block = Bytes.create 8 in
+  Bytes.set_int64_le length_block 0 bit_len;
+  update ctx length_block 0 8;
+  assert (ctx.buf_len = 0);
+  let out = Bytes.create 16 in
+  Bytes.set_int32_le out 0 ctx.a;
+  Bytes.set_int32_le out 4 ctx.b;
+  Bytes.set_int32_le out 8 ctx.c;
+  Bytes.set_int32_le out 12 ctx.d;
+  Bytes.to_string out
+
+let digest_bytes b =
+  let ctx = init () in
+  update ctx b 0 (Bytes.length b);
+  final ctx
+
+let digest_string str = digest_bytes (Bytes.of_string str)
+
+let to_hex raw =
+  String.concat ""
+    (List.map (fun c -> Printf.sprintf "%02x" (Char.code c))
+       (List.init (String.length raw) (String.get raw)))

@@ -1,0 +1,25 @@
+(** MD5 (RFC 1321), implemented from the specification.
+
+    MD5 is the authentication transform of the paper's era
+    (AH-with-keyed-MD5, RFC 1828, is the mandatory transform of the
+    IPsec the paper integrates).  It is used here for packet
+    authentication in the security plugins — not as a modern
+    collision-resistant hash. *)
+
+type ctx
+
+val init : unit -> ctx
+val update : ctx -> Bytes.t -> int -> int -> unit
+val update_string : ctx -> string -> unit
+
+(** [final ctx] returns the 16-byte digest; the context must not be
+    used afterwards. *)
+val final : ctx -> string
+
+(** One-shot digests. *)
+
+val digest_string : string -> string
+val digest_bytes : Bytes.t -> string
+
+(** Lowercase hex of a raw digest. *)
+val to_hex : string -> string

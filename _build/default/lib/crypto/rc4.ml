@@ -1,0 +1,40 @@
+type t = {
+  s : int array;  (* permutation of 0..255 *)
+  mutable i : int;
+  mutable j : int;
+}
+
+let create key =
+  let klen = String.length key in
+  if klen < 1 || klen > 256 then invalid_arg "Rc4.create: key length";
+  let s = Array.init 256 (fun i -> i) in
+  let j = ref 0 in
+  for i = 0 to 255 do
+    j := (!j + s.(i) + Char.code key.[i mod klen]) land 0xFF;
+    let tmp = s.(i) in
+    s.(i) <- s.(!j);
+    s.(!j) <- tmp
+  done;
+  { s; i = 0; j = 0 }
+
+let next_byte t =
+  t.i <- (t.i + 1) land 0xFF;
+  t.j <- (t.j + t.s.(t.i)) land 0xFF;
+  let tmp = t.s.(t.i) in
+  t.s.(t.i) <- t.s.(t.j);
+  t.s.(t.j) <- tmp;
+  t.s.((t.s.(t.i) + t.s.(t.j)) land 0xFF)
+
+let keystream t n =
+  Bytes.init n (fun _ -> Char.chr (next_byte t))
+
+let apply t buf off len =
+  for pos = off to off + len - 1 do
+    Bytes.set buf pos
+      (Char.chr (Char.code (Bytes.get buf pos) lxor next_byte t))
+  done
+
+let apply_string t s =
+  let buf = Bytes.of_string s in
+  apply t buf 0 (Bytes.length buf);
+  Bytes.to_string buf

@@ -1,0 +1,20 @@
+(** RC4 stream cipher — the fast software cipher of the paper's era,
+    used here as the ESP-style confidentiality transform.  Not suitable
+    for new designs; part of this reproduction's period-accurate IPsec
+    substrate. *)
+
+type t
+
+(** [create key] initializes the key schedule.  Key length 1-256
+    bytes. *)
+val create : string -> t
+
+(** [keystream t n] produces the next [n] keystream bytes. *)
+val keystream : t -> int -> Bytes.t
+
+(** [apply t buf off len] XORs the keystream into [buf] in place
+    (encryption and decryption are the same operation). *)
+val apply : t -> Bytes.t -> int -> int -> unit
+
+(** [apply_string t s] — convenience over an immutable string. *)
+val apply_string : t -> string -> string

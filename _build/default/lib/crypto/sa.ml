@@ -1,0 +1,66 @@
+type transform =
+  | Ah
+  | Esp
+
+type t = {
+  spi : int32;
+  transform : transform;
+  auth_key : string;
+  enc_key : string;
+  mutable seq : int;
+  mutable replay_right : int;
+  mutable replay_window : int64;
+}
+
+let create ~spi ~transform ~auth_key ?(enc_key = "") () =
+  if auth_key = "" then invalid_arg "Sa.create: empty auth key";
+  (match transform with
+   | Esp when enc_key = "" -> invalid_arg "Sa.create: ESP needs an enc key"
+   | Esp | Ah -> ());
+  {
+    spi;
+    transform;
+    auth_key;
+    enc_key;
+    seq = 0;
+    replay_right = 0;
+    replay_window = 0L;
+  }
+
+let next_seq t =
+  t.seq <- t.seq + 1;
+  t.seq
+
+let window_size = 64
+
+let replay_check t seq =
+  if seq <= 0 then false
+  else if seq > t.replay_right then begin
+    (* Slide the window right. *)
+    let shift = seq - t.replay_right in
+    t.replay_window <-
+      (if shift >= window_size then 0L
+       else Int64.shift_left t.replay_window shift);
+    t.replay_window <- Int64.logor t.replay_window 1L;  (* bit 0 = seq *)
+    t.replay_right <- seq;
+    true
+  end
+  else begin
+    let offset = t.replay_right - seq in
+    if offset >= window_size then false  (* too old *)
+    else
+      let bit = Int64.shift_left 1L offset in
+      if Int64.logand t.replay_window bit <> 0L then false  (* replay *)
+      else begin
+        t.replay_window <- Int64.logor t.replay_window bit;
+        true
+      end
+  end
+
+let packet_cipher t ~seq =
+  Rc4.create (Printf.sprintf "%s|%ld|%d" t.enc_key t.spi seq)
+
+let pp ppf t =
+  Format.fprintf ppf "SA(spi=%ld, %s, seq=%d)" t.spi
+    (match t.transform with Ah -> "AH" | Esp -> "ESP")
+    t.seq

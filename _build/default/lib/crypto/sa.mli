@@ -1,0 +1,36 @@
+(** Security Associations (RFC 1825 model): the keyed state shared by
+    the two endpoints of an AH or ESP transform, identified by an SPI.
+    Includes the sender's sequence counter and the receiver's
+    anti-replay window. *)
+
+type transform =
+  | Ah  (** authentication only (HMAC-MD5-96) *)
+  | Esp  (** RC4 confidentiality + HMAC-MD5-96 integrity *)
+
+type t = {
+  spi : int32;
+  transform : transform;
+  auth_key : string;
+  enc_key : string;  (** unused for [Ah] *)
+  mutable seq : int;  (** sender side: last sequence number sent *)
+  mutable replay_right : int;  (** receiver: highest sequence accepted *)
+  mutable replay_window : int64;  (** 64-bit sliding bitmap *)
+}
+
+val create : spi:int32 -> transform:transform -> auth_key:string ->
+  ?enc_key:string -> unit -> t
+
+(** [next_seq t] increments and returns the sender sequence number. *)
+val next_seq : t -> int
+
+(** [replay_check t seq] — receiver side: [true] if [seq] is fresh
+    (not seen, within the 64-entry window), in which case the window
+    is advanced.  Duplicate or too-old sequence numbers return
+    [false]. *)
+val replay_check : t -> int -> bool
+
+(** Per-packet cipher keyed by (enc_key, spi, seq) so every packet has
+    an independent keystream. *)
+val packet_cipher : t -> seq:int -> Rc4.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/lpm/access.ml:

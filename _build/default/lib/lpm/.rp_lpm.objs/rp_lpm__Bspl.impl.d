@@ -1,0 +1,1 @@
+lib/lpm/bspl.ml: Access Array Hashtbl Int Ipaddr List Patricia Prefix Rp_pkt

@@ -1,0 +1,1 @@
+lib/lpm/cpe.ml: Access Array Hashtbl Ipaddr List Prefix Rp_pkt

@@ -1,0 +1,1 @@
+lib/lpm/engines.ml: Bspl Cpe Linear List Lpm_intf Patricia

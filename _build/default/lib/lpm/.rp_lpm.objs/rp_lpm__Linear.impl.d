@@ -1,0 +1,1 @@
+lib/lpm/linear.ml: Access List Prefix Rp_pkt

@@ -1,0 +1,1 @@
+lib/lpm/lpm_intf.ml: Ipaddr Prefix Rp_pkt

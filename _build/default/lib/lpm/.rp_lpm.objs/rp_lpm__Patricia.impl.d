@@ -1,0 +1,1 @@
+lib/lpm/patricia.ml: Access Ipaddr Prefix Rp_pkt

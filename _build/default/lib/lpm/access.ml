@@ -1,0 +1,14 @@
+let counter = ref 0
+let enabled = ref true
+
+let charge n = if !enabled then counter := !counter + n
+let reset () = counter := 0
+let get () = !counter
+
+let measure f =
+  let before = !counter in
+  let result = f () in
+  (result, !counter - before)
+
+let set_enabled b = enabled := b
+let is_enabled () = !enabled

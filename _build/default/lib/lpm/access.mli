@@ -1,0 +1,23 @@
+(** Memory-access accounting.
+
+    The paper evaluates its classifier in {e worst-case memory
+    accesses} (Table 2).  Every lookup structure in this repository
+    charges this counter once per dependent memory reference
+    (node/bucket/edge dereference), so the benchmarks measure the data
+    structures themselves rather than a formula. *)
+
+(** [charge n] adds [n] memory accesses to the running counter. *)
+val charge : int -> unit
+
+val reset : unit -> unit
+val get : unit -> int
+
+(** [measure f] runs [f ()] and returns its result together with the
+    number of accesses charged during the call. *)
+val measure : (unit -> 'a) -> 'a * int
+
+(** [enabled] can be cleared to make [charge] a no-op during wall-clock
+    benchmarking. *)
+val set_enabled : bool -> unit
+
+val is_enabled : unit -> bool

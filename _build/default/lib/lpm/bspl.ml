@@ -1,0 +1,197 @@
+(** Binary Search on Prefix Lengths (Waldvogel et al., SIGCOMM '97) —
+    the paper's fast BMP plugin ("binary search on prefix length [30]",
+    section 5.1.1).
+
+    One hash table per distinct prefix length; a balanced binary search
+    tree over those lengths drives the search.  A hit at length [m]
+    (real prefix or marker) carries the precomputed best-matching real
+    prefix of its bit string, so the search never backtracks: worst
+    case is one hash probe per search-tree level, i.e. ~log2 of the
+    number of distinct lengths — 5 probes for IPv4 and 7 for IPv6 with
+    fully diverse length sets, matching Table 2 of the paper.
+
+    Mutations mark the structure dirty; it is rebuilt lazily at the
+    next lookup (filter tables install in batches, so the rebuild is
+    amortized over many lookups; the paper's structure was likewise
+    precomputed). *)
+
+open Rp_pkt
+
+module Prefix_tbl = Hashtbl.Make (struct
+  type t = Prefix.t
+
+  let equal = Prefix.equal
+  let hash = Prefix.hash
+end)
+
+module Addr_tbl = Hashtbl.Make (struct
+  type t = Ipaddr.t
+
+  let equal = Ipaddr.equal
+  let hash = Ipaddr.hash
+end)
+
+type 'a slot = {
+  mutable bmp : (Prefix.t * 'a) option;
+      (** best matching real prefix of this (possibly marker) string *)
+}
+
+(* Node of the binary search tree over prefix lengths. *)
+type 'a level = {
+  len : int;
+  table : 'a slot Addr_tbl.t;
+  shorter : 'a level option;
+  longer : 'a level option;
+}
+
+type 'a family = {
+  mutable tree : 'a level option;
+  mutable default : (Prefix.t * 'a) option;  (** the /0 entry *)
+}
+
+type 'a t = {
+  real : 'a Prefix_tbl.t;
+  mutable dirty : bool;
+  mutable v4 : 'a family;
+  mutable v6 : 'a family;
+}
+
+let name = "bspl"
+
+let empty_family () = { tree = None; default = None }
+
+let create () =
+  {
+    real = Prefix_tbl.create 64;
+    dirty = false;
+    v4 = empty_family ();
+    v6 = empty_family ();
+  }
+
+let insert t p v =
+  Prefix_tbl.replace t.real p v;
+  t.dirty <- true
+
+let remove t p =
+  if Prefix_tbl.mem t.real p then begin
+    Prefix_tbl.remove t.real p;
+    t.dirty <- true
+  end
+
+let find_exact t p = Prefix_tbl.find_opt t.real p
+let iter f t = Prefix_tbl.iter f t.real
+let length t = Prefix_tbl.length t.real
+
+let rebuild_family entries =
+  let family = empty_family () in
+  let default =
+    List.find_opt (fun (p, _) -> p.Prefix.len = 0) entries
+  in
+  family.default <- default;
+  let nonzero = List.filter (fun (p, _) -> p.Prefix.len > 0) entries in
+  if nonzero = [] then family
+  else begin
+    let lengths =
+      List.sort_uniq Int.compare (List.map (fun (p, _) -> p.Prefix.len) nonzero)
+      |> Array.of_list
+    in
+    let rec build lo hi =
+      if lo > hi then None
+      else
+        let mid = (lo + hi) / 2 in
+        Some
+          {
+            len = lengths.(mid);
+            table = Addr_tbl.create 256;
+            shorter = build lo (mid - 1);
+            longer = build (mid + 1) hi;
+          }
+    in
+    family.tree <- build 0 (Array.length lengths - 1);
+    (* Patricia over the real prefixes, for BMP precomputation. *)
+    let pat = Patricia.create () in
+    List.iter (fun (p, v) -> Patricia.insert pat p v) nonzero;
+    (match default with
+     | Some (p, v) -> Patricia.insert pat p v
+     | None -> ());
+    let ensure_slot level addr =
+      match Addr_tbl.find_opt level.table addr with
+      | Some s -> s
+      | None ->
+        let s = { bmp = None } in
+        Addr_tbl.add level.table addr s;
+        s
+    in
+    (* Insert each real prefix, dropping markers along the BST path. *)
+    let insert_one (p, _) =
+      let rec walk = function
+        | None -> ()
+        | Some level ->
+          if level.len < p.Prefix.len then begin
+            let marker = Ipaddr.prefix_bits p.Prefix.addr level.len in
+            ignore (ensure_slot level marker);
+            walk level.longer
+          end
+          else if level.len > p.Prefix.len then walk level.shorter
+          else ignore (ensure_slot level p.Prefix.addr)
+      in
+      walk family.tree
+    in
+    List.iter insert_one nonzero;
+    (* Precompute each slot's BMP: the longest real prefix of the
+       slot's bit string (length-capped Patricia lookup). *)
+    let rec fill = function
+      | None -> ()
+      | Some level ->
+        Addr_tbl.iter
+          (fun addr slot -> slot.bmp <- Patricia.lookup_upto pat addr level.len)
+          level.table;
+        fill level.shorter;
+        fill level.longer
+    in
+    fill family.tree;
+    family
+  end
+
+let rebuild t =
+  let v4_entries = ref [] and v6_entries = ref [] in
+  Prefix_tbl.iter
+    (fun p v ->
+      if Ipaddr.width p.Prefix.addr = 32 then v4_entries := (p, v) :: !v4_entries
+      else v6_entries := (p, v) :: !v6_entries)
+    t.real;
+  (* Suspend accounting: the rebuild's Patricia walks are construction
+     cost, not lookup cost. *)
+  let was_enabled = Access.is_enabled () in
+  Access.set_enabled false;
+  t.v4 <- rebuild_family !v4_entries;
+  t.v6 <- rebuild_family !v6_entries;
+  Access.set_enabled was_enabled;
+  t.dirty <- false
+
+let lookup t a =
+  if t.dirty then rebuild t;
+  let family = if Ipaddr.width a = 32 then t.v4 else t.v6 in
+  let rec search best = function
+    | None -> best
+    | Some level ->
+      Access.charge 1;
+      let masked = Ipaddr.prefix_bits a level.len in
+      (match Addr_tbl.find_opt level.table masked with
+       | Some slot ->
+         let best = match slot.bmp with Some _ as b -> b | None -> best in
+         search best level.longer
+       | None -> search best level.shorter)
+  in
+  search family.default family.tree
+
+(* Worst-case number of hash probes for a lookup in the current
+   structure (the depth of the length search tree). *)
+let worst_case_probes t family =
+  if t.dirty then rebuild t;
+  let f = match family with `V4 -> t.v4 | `V6 -> t.v6 in
+  let rec depth = function
+    | None -> 0
+    | Some level -> 1 + max (depth level.shorter) (depth level.longer)
+  in
+  depth f.tree

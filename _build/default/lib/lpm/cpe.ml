@@ -1,0 +1,152 @@
+(** Controlled Prefix Expansion (Srinivasan & Varghese, SIGMETRICS '98)
+    — a fixed-stride multibit trie.  Prefixes are expanded to the next
+    stride boundary; a lookup inspects one trie node per stride, so the
+    worst case is [width / stride] memory accesses regardless of the
+    number of prefixes ("state-of-the-art best matching prefix
+    algorithm (e.g., controlled prefix expansion)", paper section
+    5.1.2).
+
+    Like {!Bspl}, the structure is rebuilt lazily after mutations. *)
+
+open Rp_pkt
+
+module Prefix_tbl = Hashtbl.Make (struct
+  type t = Prefix.t
+
+  let equal = Prefix.equal
+  let hash = Prefix.hash
+end)
+
+type 'a node = {
+  (* Per slot: best prefix covering the slot (after expansion), and an
+     optional child for longer prefixes. *)
+  bmps : (Prefix.t * 'a) option array;
+  children : 'a node option array;
+}
+
+type 'a t = {
+  stride : int;
+  real : 'a Prefix_tbl.t;
+  mutable dirty : bool;
+  mutable v4_root : 'a node option;
+  mutable v6_root : 'a node option;
+  mutable v4_default : (Prefix.t * 'a) option;
+  mutable v6_default : (Prefix.t * 'a) option;
+}
+
+let name = "cpe"
+
+let default_stride = 8
+
+let create () =
+  {
+    stride = default_stride;
+    real = Prefix_tbl.create 64;
+    dirty = false;
+    v4_root = None;
+    v6_root = None;
+    v4_default = None;
+    v6_default = None;
+  }
+
+let insert t p v =
+  Prefix_tbl.replace t.real p v;
+  t.dirty <- true
+
+let remove t p =
+  if Prefix_tbl.mem t.real p then begin
+    Prefix_tbl.remove t.real p;
+    t.dirty <- true
+  end
+
+let find_exact t p = Prefix_tbl.find_opt t.real p
+let iter f t = Prefix_tbl.iter f t.real
+let length t = Prefix_tbl.length t.real
+
+let new_node stride =
+  let slots = 1 lsl stride in
+  { bmps = Array.make slots None; children = Array.make slots None }
+
+(* Bits [off .. off+n-1] of an address as an integer (n <= stride <= 16). *)
+let bits_at a off n =
+  let rec gather acc i =
+    if i = n then acc
+    else
+      let b = if off + i < Ipaddr.width a && Ipaddr.bit a (off + i) then 1 else 0 in
+      gather ((acc lsl 1) lor b) (i + 1)
+  in
+  gather 0 0
+
+let insert_built t root (p, v) =
+  let stride = t.stride in
+  let rec descend node depth =
+    if p.Prefix.len > depth + stride then begin
+      (* Full stride consumed: descend (create child) on the slot. *)
+      let idx = bits_at p.Prefix.addr depth stride in
+      let child =
+        match node.children.(idx) with
+        | Some c -> c
+        | None ->
+          let c = new_node stride in
+          node.children.(idx) <- Some c;
+          c
+      in
+      descend child (depth + stride)
+    end
+    else begin
+      (* Expand: the prefix covers slots [base, base + 2^(spare)). *)
+      let rem = p.Prefix.len - depth in
+      let spare = stride - rem in
+      let base = bits_at p.Prefix.addr depth rem lsl spare in
+      for idx = base to base + (1 lsl spare) - 1 do
+        match node.bmps.(idx) with
+        | Some (q, _) when q.Prefix.len >= p.Prefix.len -> ()
+        | Some _ | None -> node.bmps.(idx) <- Some (p, v)
+      done
+    end
+  in
+  descend root 0
+
+let rebuild t =
+  let v4 = ref [] and v6 = ref [] in
+  t.v4_default <- None;
+  t.v6_default <- None;
+  Prefix_tbl.iter
+    (fun p v ->
+      if p.Prefix.len = 0 then begin
+        if Ipaddr.width p.Prefix.addr = 32 then t.v4_default <- Some (p, v)
+        else t.v6_default <- Some (p, v)
+      end
+      else if Ipaddr.width p.Prefix.addr = 32 then v4 := (p, v) :: !v4
+      else v6 := (p, v) :: !v6)
+    t.real;
+  let build entries =
+    if entries = [] then None
+    else begin
+      let root = new_node t.stride in
+      List.iter (insert_built t root) entries;
+      Some root
+    end
+  in
+  t.v4_root <- build !v4;
+  t.v6_root <- build !v6;
+  t.dirty <- false
+
+let lookup t a =
+  if t.dirty then rebuild t;
+  let root, default =
+    if Ipaddr.width a = 32 then t.v4_root, t.v4_default
+    else t.v6_root, t.v6_default
+  in
+  let width = Ipaddr.width a in
+  let rec walk best node depth =
+    match node with
+    | None -> best
+    | Some n ->
+      Access.charge 1;
+      let idx = bits_at a depth t.stride in
+      let best = match n.bmps.(idx) with Some _ as b -> b | None -> best in
+      if depth + t.stride >= width then best
+      else walk best n.children.(idx) (depth + t.stride)
+  in
+  walk default root 0

@@ -1,0 +1,18 @@
+(** Registry of the available BMP engines, as first-class modules.
+
+    The classifier's address levels select an engine by name — this is
+    how the paper's "best-matching prefix plugins" are swapped without
+    touching the DAG code. *)
+
+type t = (module Lpm_intf.S)
+
+let linear : t = (module Linear)
+let patricia : t = (module Patricia)
+let bspl : t = (module Bspl)
+let cpe : t = (module Cpe)
+
+let all = [ ("linear", linear); ("patricia", patricia); ("bspl", bspl); ("cpe", cpe) ]
+
+let find name = List.assoc_opt name all
+
+let names = List.map fst all

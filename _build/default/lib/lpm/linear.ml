@@ -1,0 +1,39 @@
+(** Reference BMP engine: an association list scanned in full.
+
+    O(n) per lookup — this is the behaviour of the "typical filter
+    algorithms used in existing implementations" the paper compares
+    against (section 5.1.2), and the oracle our property tests check
+    the real engines against. *)
+
+open Rp_pkt
+
+type 'a t = {
+  mutable entries : (Prefix.t * 'a) list;
+}
+
+let name = "linear"
+
+let create () = { entries = [] }
+
+let insert t p v =
+  t.entries <- (p, v) :: List.filter (fun (q, _) -> not (Prefix.equal p q)) t.entries
+
+let remove t p =
+  t.entries <- List.filter (fun (q, _) -> not (Prefix.equal p q)) t.entries
+
+let lookup t a =
+  List.fold_left
+    (fun acc (p, v) ->
+      Access.charge 1;
+      if Prefix.matches p a then
+        match acc with
+        | Some (bp, _) when bp.Prefix.len >= p.Prefix.len -> acc
+        | Some _ | None -> Some (p, v)
+      else acc)
+    None t.entries
+
+let find_exact t p =
+  List.find_map (fun (q, v) -> if Prefix.equal p q then Some v else None) t.entries
+
+let iter f t = List.iter (fun (p, v) -> f p v) t.entries
+let length t = List.length t.entries

@@ -1,0 +1,34 @@
+(** Common signature of every best-matching-prefix (BMP) engine.
+
+    The paper treats the BMP algorithm used inside the classifier's DAG
+    as a plugin in its own right (section 5.1.1: "The matching function
+    itself ... is implemented as a plugin in our framework"); this
+    signature is the contract those plugins implement. *)
+
+open Rp_pkt
+
+module type S = sig
+  type 'a t
+
+  (** Engine name, e.g. ["patricia"], ["bspl"]. *)
+  val name : string
+
+  val create : unit -> 'a t
+
+  (** [insert t p v] binds prefix [p] to [v], replacing any previous
+      binding of exactly [p]. *)
+  val insert : 'a t -> Prefix.t -> 'a -> unit
+
+  (** [remove t p] removes the binding of exactly [p], if any. *)
+  val remove : 'a t -> Prefix.t -> unit
+
+  (** [lookup t a] is the longest prefix in [t] matching [a], with its
+      value. *)
+  val lookup : 'a t -> Ipaddr.t -> (Prefix.t * 'a) option
+
+  (** [find_exact t p] is the value bound to exactly [p]. *)
+  val find_exact : 'a t -> Prefix.t -> 'a option
+
+  val iter : (Prefix.t -> 'a -> unit) -> 'a t -> unit
+  val length : 'a t -> int
+end

@@ -1,0 +1,231 @@
+(** PATRICIA-style path-compressed binary trie.
+
+    This is the "slower but freely available" BMP plugin of the paper
+    (section 5.1.1).  Each node stores the full prefix accumulated from
+    the root, so descending a compressed path costs a single comparison
+    (and is charged as a single memory access).
+
+    Invariants: a node's prefix subsumes the prefixes of all its
+    descendants, and every node with two absent children carries a
+    value (spliced out otherwise). *)
+
+open Rp_pkt
+
+type 'a node = {
+  mutable prefix : Prefix.t;
+  mutable value : 'a option;
+  mutable left : 'a node option;
+  mutable right : 'a node option;
+}
+
+type 'a t = {
+  mutable v4_root : 'a node option;
+  mutable v6_root : 'a node option;
+  mutable size : int;
+}
+
+let name = "patricia"
+
+let create () = { v4_root = None; v6_root = None; size = 0 }
+
+let leaf prefix value = { prefix; value = Some value; left = None; right = None }
+
+let child_for node bit = if bit then node.right else node.left
+
+let set_child node bit c =
+  if bit then node.right <- Some c else node.left <- Some c
+
+(* Longest common prefix length of two (normalized) prefixes. *)
+let common_len p q =
+  min
+    (Ipaddr.common_prefix_len p.Prefix.addr q.Prefix.addr)
+    (min p.Prefix.len q.Prefix.len)
+
+let rec insert_node t node p v =
+  if node.prefix.Prefix.len = p.Prefix.len && Prefix.equal node.prefix p then begin
+    if node.value = None then t.size <- t.size + 1;
+    node.value <- Some v
+  end
+  else begin
+    (* Invariant: node.prefix subsumes p here. *)
+    let bit = Ipaddr.bit p.Prefix.addr node.prefix.Prefix.len in
+    match child_for node bit with
+    | None ->
+      set_child node bit (leaf p v);
+      t.size <- t.size + 1
+    | Some c ->
+      let common = common_len c.prefix p in
+      if common = c.prefix.Prefix.len then insert_node t c p v
+      else if common = p.Prefix.len then begin
+        (* p sits on the path to c: make p an ancestor of c. *)
+        let n = leaf p v in
+        set_child n (Ipaddr.bit c.prefix.Prefix.addr p.Prefix.len) c;
+        set_child node bit n;
+        t.size <- t.size + 1
+      end
+      else begin
+        (* Paths diverge below [common]: split with an internal node. *)
+        let split =
+          {
+            prefix = Prefix.make p.Prefix.addr common;
+            value = None;
+            left = None;
+            right = None;
+          }
+        in
+        set_child split (Ipaddr.bit c.prefix.Prefix.addr common) c;
+        set_child split (Ipaddr.bit p.Prefix.addr common) (leaf p v);
+        set_child node bit split;
+        t.size <- t.size + 1
+      end
+  end
+
+let root_for t a =
+  if Ipaddr.width a = 32 then t.v4_root else t.v6_root
+
+let ensure_root t p =
+  let wildcard =
+    if Ipaddr.width p.Prefix.addr = 32 then Prefix.any_v4 else Prefix.any_v6
+  in
+  match root_for t p.Prefix.addr with
+  | Some r -> r
+  | None ->
+    let r = { prefix = wildcard; value = None; left = None; right = None } in
+    if Ipaddr.width p.Prefix.addr = 32 then t.v4_root <- Some r
+    else t.v6_root <- Some r;
+    r
+
+let insert t p v = insert_node t (ensure_root t p) p v
+
+let lookup t a =
+  let rec walk best = function
+    | None -> best
+    | Some n ->
+      Access.charge 1;
+      if not (Prefix.matches n.prefix a) then best
+      else
+        let best =
+          match n.value with
+          | Some v -> Some (n.prefix, v)
+          | None -> best
+        in
+        if n.prefix.Prefix.len >= Ipaddr.width a then best
+        else walk best (child_for n (Ipaddr.bit a n.prefix.Prefix.len))
+  in
+  walk None (root_for t a)
+
+(* Longest matching prefix of length at most [cap]; used by the BSPL
+   engine to precompute marker BMPs. *)
+let lookup_upto t a cap =
+  let rec walk best = function
+    | None -> best
+    | Some n ->
+      Access.charge 1;
+      if n.prefix.Prefix.len > cap || not (Prefix.matches n.prefix a) then best
+      else
+        let best =
+          match n.value with
+          | Some v -> Some (n.prefix, v)
+          | None -> best
+        in
+        if n.prefix.Prefix.len >= Ipaddr.width a then best
+        else walk best (child_for n (Ipaddr.bit a n.prefix.Prefix.len))
+  in
+  walk None (root_for t a)
+
+(* Structural queries used by the set-pruning DAG (not part of the
+   generic LPM signature). *)
+
+(* Every entry whose prefix is subsumed by [p] (including [p] itself),
+   in O(path + subtree). *)
+let iter_subtree t p f =
+  let rec descend n =
+    (match n.value with
+     | Some v -> if Prefix.subsumes p n.prefix then f n.prefix v
+     | None -> ());
+    let visit = function
+      | Some c ->
+        (* Prune: only descend where the subtree can intersect p. *)
+        if c.prefix.Prefix.len <= p.Prefix.len then begin
+          if Prefix.subsumes c.prefix p then descend c
+        end
+        else if Prefix.subsumes p c.prefix then descend c
+      | None -> ()
+    in
+    visit n.left;
+    visit n.right
+  in
+  match root_for t p.Prefix.addr with
+  | Some r ->
+    if Prefix.subsumes r.prefix p || Prefix.subsumes p r.prefix then descend r
+  | None -> ()
+
+(* Every entry whose prefix subsumes [p] (including [p] itself), in
+   O(path). *)
+let fold_ancestors t p f acc =
+  let rec walk acc = function
+    | None -> acc
+    | Some n ->
+      if not (Prefix.subsumes n.prefix p) then acc
+      else
+        let acc =
+          match n.value with
+          | Some v -> f n.prefix v acc
+          | None -> acc
+        in
+        if n.prefix.Prefix.len >= p.Prefix.len then acc
+        else walk acc (child_for n (Ipaddr.bit p.Prefix.addr n.prefix.Prefix.len))
+  in
+  walk acc (root_for t p.Prefix.addr)
+
+let find_exact t p =
+  let rec walk = function
+    | None -> None
+    | Some n ->
+      if Prefix.equal n.prefix p then n.value
+      else if
+        n.prefix.Prefix.len >= p.Prefix.len || not (Prefix.subsumes n.prefix p)
+      then None
+      else walk (child_for n (Ipaddr.bit p.Prefix.addr n.prefix.Prefix.len))
+  in
+  walk (root_for t p.Prefix.addr)
+
+(* Splice out valueless nodes with at most one child (the root is kept
+   as an anchor). *)
+let rec remove_node t node p =
+  if Prefix.equal node.prefix p then begin
+    if node.value <> None then t.size <- t.size - 1;
+    node.value <- None
+  end
+  else if node.prefix.Prefix.len < p.Prefix.len && Prefix.subsumes node.prefix p
+  then begin
+    let bit = Ipaddr.bit p.Prefix.addr node.prefix.Prefix.len in
+    (match child_for node bit with
+     | None -> ()
+     | Some c ->
+       remove_node t c p;
+       if c.value = None then begin
+         match c.left, c.right with
+         | None, None -> if bit then node.right <- None else node.left <- None
+         | Some only, None | None, Some only -> set_child node bit only
+         | Some _, Some _ -> ()
+       end)
+  end
+
+let remove t p =
+  match root_for t p.Prefix.addr with
+  | None -> ()
+  | Some r -> remove_node t r p
+
+let iter f t =
+  let rec walk = function
+    | None -> ()
+    | Some n ->
+      (match n.value with Some v -> f n.prefix v | None -> ());
+      walk n.left;
+      walk n.right
+  in
+  walk t.v4_root;
+  walk t.v6_root
+
+let length t = t.size

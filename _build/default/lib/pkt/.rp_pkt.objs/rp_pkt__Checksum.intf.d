@@ -1,0 +1,1 @@
+lib/pkt/checksum.mli: Bytes

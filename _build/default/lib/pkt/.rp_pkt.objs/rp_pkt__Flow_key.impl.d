@@ -1,0 +1,1 @@
+lib/pkt/flow_key.ml: Format Int Ipaddr Printf Proto

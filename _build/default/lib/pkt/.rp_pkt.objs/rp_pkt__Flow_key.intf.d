@@ -1,0 +1,1 @@
+lib/pkt/flow_key.mli: Format Ipaddr

@@ -1,0 +1,1 @@
+lib/pkt/frag.ml: Bytes Flow_key Hashtbl Int Int64 Ipaddr Ipv4_header Ipv6_header List Mbuf Option

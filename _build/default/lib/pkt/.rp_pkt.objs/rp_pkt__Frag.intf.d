@@ -1,0 +1,1 @@
+lib/pkt/frag.mli: Ipaddr Mbuf

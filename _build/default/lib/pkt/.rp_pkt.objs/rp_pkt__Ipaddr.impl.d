@@ -1,0 +1,1 @@
+lib/pkt/ipaddr.ml: Array Buffer Bytes Format Int32 Int64 List Printf String

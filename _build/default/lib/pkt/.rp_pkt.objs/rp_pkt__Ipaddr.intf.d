@@ -1,0 +1,1 @@
+lib/pkt/ipaddr.mli: Bytes Format

@@ -1,0 +1,1 @@
+lib/pkt/ipv4_header.ml: Bytes Char Checksum Format Ipaddr Proto

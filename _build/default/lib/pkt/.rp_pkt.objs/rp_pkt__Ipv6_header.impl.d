@@ -1,0 +1,1 @@
+lib/pkt/ipv6_header.ml: Bytes Char Format Ipaddr List Proto String

@@ -1,0 +1,1 @@
+lib/pkt/ipv6_header.mli: Bytes Format Ipaddr

@@ -1,0 +1,1 @@
+lib/pkt/mbuf.ml: Bytes Char Flow_key Format Ipaddr Ipv4_header Ipv6_header List Printf Proto Result String Tcp_header Udp_header

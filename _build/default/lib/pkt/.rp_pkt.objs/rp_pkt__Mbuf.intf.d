@@ -1,0 +1,1 @@
+lib/pkt/mbuf.mli: Bytes Flow_key Format Ipaddr Ipv4_header Ipv6_header Tcp_header Udp_header

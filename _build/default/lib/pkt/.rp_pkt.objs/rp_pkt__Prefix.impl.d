@@ -1,0 +1,1 @@
+lib/pkt/prefix.ml: Format Int Ipaddr Printf String

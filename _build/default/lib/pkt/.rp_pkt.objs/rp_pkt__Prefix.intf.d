@@ -1,0 +1,1 @@
+lib/pkt/prefix.mli: Format Ipaddr

@@ -1,0 +1,1 @@
+lib/pkt/proto.ml: Format

@@ -1,0 +1,1 @@
+lib/pkt/tcp_header.ml: Bytes Char Format

@@ -1,0 +1,1 @@
+lib/pkt/udp_header.ml: Bytes Char Checksum Format Ipaddr Proto

@@ -1,0 +1,1 @@
+lib/pkt/udp_header.mli: Bytes Format Ipaddr

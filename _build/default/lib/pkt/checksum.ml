@@ -1,0 +1,23 @@
+let sum buf off len =
+  let s = ref 0 in
+  let i = ref off in
+  let last = off + len in
+  while !i + 1 < last do
+    s := !s + Char.code (Bytes.get buf !i) * 256 + Char.code (Bytes.get buf (!i + 1));
+    i := !i + 2
+  done;
+  if !i < last then s := !s + (Char.code (Bytes.get buf !i) * 256);
+  !s
+
+let add a b = a + b
+
+let finish s =
+  let s = ref s in
+  while !s lsr 16 <> 0 do
+    s := (!s land 0xFFFF) + (!s lsr 16)
+  done;
+  lnot !s land 0xFFFF
+
+let compute buf off len = finish (sum buf off len)
+
+let valid buf off len = compute buf off len = 0

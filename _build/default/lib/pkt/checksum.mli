@@ -1,0 +1,21 @@
+(** The Internet checksum (RFC 1071): one's-complement sum of 16-bit
+    words, one's-complemented. *)
+
+(** [sum buf off len] accumulates the raw one's-complement sum (not yet
+    complemented) over [len] bytes of [buf] starting at [off].  A
+    trailing odd byte is padded with zero on the right. *)
+val sum : Bytes.t -> int -> int -> int
+
+(** [add a b] folds two raw sums together. *)
+val add : int -> int -> int
+
+(** [finish s] folds carries and complements, yielding the 16-bit
+    checksum field value. *)
+val finish : int -> int
+
+(** [compute buf off len] is [finish (sum buf off len)]. *)
+val compute : Bytes.t -> int -> int -> int
+
+(** [valid buf off len] is true iff the region checksums to zero
+    (i.e. contains a correct embedded checksum). *)
+val valid : Bytes.t -> int -> int -> bool

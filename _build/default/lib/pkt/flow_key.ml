@@ -1,0 +1,48 @@
+type t = {
+  src : Ipaddr.t;
+  dst : Ipaddr.t;
+  proto : int;
+  sport : int;
+  dport : int;
+  iface : int;
+}
+
+let make ~src ~dst ~proto ~sport ~dport ~iface =
+  { src; dst; proto; sport; dport; iface }
+
+let equal a b =
+  a.proto = b.proto && a.sport = b.sport && a.dport = b.dport
+  && a.iface = b.iface
+  && Ipaddr.equal a.src b.src
+  && Ipaddr.equal a.dst b.dst
+
+let compare a b =
+  let c = Ipaddr.compare a.src b.src in
+  if c <> 0 then c
+  else
+    let c = Ipaddr.compare a.dst b.dst in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.proto b.proto in
+      if c <> 0 then c
+      else
+        let c = Int.compare a.sport b.sport in
+        if c <> 0 then c
+        else
+          let c = Int.compare a.dport b.dport in
+          if c <> 0 then c else Int.compare a.iface b.iface
+
+(* Fold-and-xor over the five tuple fields: a handful of ALU
+   operations, mirroring the paper's 17-cycle hash. *)
+let hash k =
+  let a = Ipaddr.hash k.src in
+  let b = Ipaddr.hash k.dst in
+  let h = a lxor (b lsl 1) lxor (k.proto lsl 16) lxor (k.sport lsl 8) lxor k.dport in
+  h land max_int
+
+let to_string k =
+  Printf.sprintf "<%s, %s, %s, %d, %d, if%d>"
+    (Ipaddr.to_string k.src) (Ipaddr.to_string k.dst) (Proto.name k.proto)
+    k.sport k.dport k.iface
+
+let pp ppf k = Format.pp_print_string ppf (to_string k)

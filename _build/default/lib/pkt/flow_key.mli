@@ -1,0 +1,30 @@
+(** The fully specified six-tuple identifying an end-to-end flow:
+    [<source address, destination address, protocol, source port,
+    destination port, incoming interface>] (paper, section 3).
+
+    Flow-table entries are keyed by this tuple with no wildcards. *)
+
+type t = {
+  src : Ipaddr.t;
+  dst : Ipaddr.t;
+  proto : int;
+  sport : int;
+  dport : int;
+  iface : int;
+}
+
+val make :
+  src:Ipaddr.t -> dst:Ipaddr.t -> proto:int -> sport:int -> dport:int ->
+  iface:int -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Deliberately cheap hash over the five header fields (the paper's
+    flow-table hash runs in 17 cycles on a Pentium; see section 5.2).
+    The incoming interface is not hashed, matching the paper's use of
+    the five-tuple for the hash index. *)
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,191 @@
+let header_size (m : Mbuf.t) =
+  match m.Mbuf.version with
+  | Mbuf.V4 -> Ipv4_header.size
+  | Mbuf.V6 -> Ipv6_header.size
+
+let needs_fragmentation (m : Mbuf.t) ~mtu = m.Mbuf.len > mtu
+
+let fragment (m : Mbuf.t) ~mtu =
+  if not (needs_fragmentation m ~mtu) then Ok [ m ]
+  else
+    match m.Mbuf.version with
+    | Mbuf.V6 -> Error `V6_never_fragments
+    | Mbuf.V4 when m.Mbuf.dont_fragment -> Error `Dont_fragment
+    | Mbuf.V4 ->
+      let hdr = header_size m in
+      let payload_len = m.Mbuf.len - hdr in
+      (* Per-fragment payload: multiple of 8, at least 8. *)
+      let chunk = max 8 ((mtu - hdr) land lnot 7) in
+      let base_offset, last_has_more =
+        match m.Mbuf.frag with
+        | Some f -> (f.Mbuf.offset, f.Mbuf.more)
+        | None -> (0, false)
+      in
+      let rec split acc off =
+        if off >= payload_len then List.rev acc
+        else
+          let this = min chunk (payload_len - off) in
+          let more = off + this < payload_len || last_has_more in
+          let fm = Mbuf.synth ~ttl:m.Mbuf.ttl ~tos:m.Mbuf.tos ~key:m.Mbuf.key
+              ~len:(hdr + this) ()
+          in
+          fm.Mbuf.ident <- m.Mbuf.ident;
+          fm.Mbuf.seq <- m.Mbuf.seq;
+          fm.Mbuf.out_iface <- m.Mbuf.out_iface;
+          fm.Mbuf.next_hop <- m.Mbuf.next_hop;
+          fm.Mbuf.birth_ns <- m.Mbuf.birth_ns;
+          fm.Mbuf.tags <- m.Mbuf.tags;
+          fm.Mbuf.frag <- Some { Mbuf.offset = base_offset + off; more };
+          (match m.Mbuf.raw with
+           | Some raw ->
+             (* Real wire fragment: fresh IPv4 header + payload slice. *)
+             let buf = Bytes.create (hdr + this) in
+             let h =
+               Ipv4_header.default ~tos:m.Mbuf.tos ~ident:m.Mbuf.ident
+                 ~ttl:m.Mbuf.ttl ~total_length:(hdr + this)
+                 ~proto:m.Mbuf.key.Flow_key.proto ~src:m.Mbuf.key.Flow_key.src
+                 ~dst:m.Mbuf.key.Flow_key.dst ()
+             in
+             Ipv4_header.serialize
+               {
+                 h with
+                 Ipv4_header.more_fragments = more;
+                 fragment_offset = (base_offset + off) / 8;
+               }
+               buf 0;
+             Bytes.blit raw (hdr + off) buf hdr this;
+             fm.Mbuf.raw <- Some buf
+           | None -> ());
+          split (fm :: acc) (off + this)
+      in
+      Ok (split [] 0)
+
+module Reassembly = struct
+  type datagram = {
+    mutable chunks : (int * int * Bytes.t option) list;
+        (** (offset, payload length, wire payload) *)
+    mutable total : int option;  (** known once the last fragment arrives *)
+    mutable first_seen_ns : int64;
+    template : Mbuf.t;  (** header fields for the rebuilt datagram *)
+  }
+
+  type key = {
+    src : Ipaddr.t;
+    dst : Ipaddr.t;
+    proto : int;
+    ident : int;
+  }
+
+  module KT = Hashtbl.Make (struct
+    type t = key
+
+    let equal a b =
+      a.proto = b.proto && a.ident = b.ident && Ipaddr.equal a.src b.src
+      && Ipaddr.equal a.dst b.dst
+
+    let hash k = Ipaddr.hash k.src lxor (Ipaddr.hash k.dst * 3) lxor (k.ident * 65537) lxor k.proto
+  end)
+
+  type t = {
+    timeout_ns : int64;
+    table : datagram KT.t;
+  }
+
+  let create ?(timeout_ns = 30_000_000_000L) () =
+    { timeout_ns; table = KT.create 32 }
+
+  let key_of (m : Mbuf.t) =
+    {
+      src = m.Mbuf.key.Flow_key.src;
+      dst = m.Mbuf.key.Flow_key.dst;
+      proto = m.Mbuf.key.Flow_key.proto;
+      ident = m.Mbuf.ident;
+    }
+
+  let pending t = KT.length t.table
+
+  (* Is [0, total) fully covered by the chunks? *)
+  let complete d =
+    match d.total with
+    | None -> false
+    | Some total ->
+      let sorted = List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) d.chunks in
+      let rec walk edge = function
+        | [] -> edge >= total
+        | (off, len, _) :: rest ->
+          if off > edge then false else walk (max edge (off + len)) rest
+      in
+      walk 0 sorted
+
+  let rebuild d =
+    let total = Option.get d.total in
+    let hdr = header_size d.template in
+    let m =
+      Mbuf.synth ~ttl:d.template.Mbuf.ttl ~tos:d.template.Mbuf.tos
+        ~key:d.template.Mbuf.key ~len:(hdr + total) ()
+    in
+    m.Mbuf.ident <- d.template.Mbuf.ident;
+    m.Mbuf.seq <- d.template.Mbuf.seq;
+    m.Mbuf.birth_ns <- d.template.Mbuf.birth_ns;
+    m.Mbuf.tags <- d.template.Mbuf.tags;
+    (* Rebuild wire bytes when every chunk carried them. *)
+    if List.for_all (fun (_, _, b) -> b <> None) d.chunks then begin
+      let buf = Bytes.create (hdr + total) in
+      let h =
+        Ipv4_header.default ~tos:d.template.Mbuf.tos
+          ~ident:d.template.Mbuf.ident ~ttl:d.template.Mbuf.ttl
+          ~total_length:(hdr + total) ~proto:d.template.Mbuf.key.Flow_key.proto
+          ~src:d.template.Mbuf.key.Flow_key.src
+          ~dst:d.template.Mbuf.key.Flow_key.dst ()
+      in
+      Ipv4_header.serialize h buf 0;
+      List.iter
+        (fun (off, len, bytes) ->
+          match bytes with
+          | Some b -> Bytes.blit b 0 buf (hdr + off) len
+          | None -> ())
+        d.chunks;
+      m.Mbuf.raw <- Some buf
+    end;
+    m
+
+  let offer t ~now (m : Mbuf.t) =
+    match m.Mbuf.frag with
+    | None -> Some m
+    | Some f ->
+      let k = key_of m in
+      let d =
+        match KT.find_opt t.table k with
+        | Some d -> d
+        | None ->
+          let d =
+            { chunks = []; total = None; first_seen_ns = now; template = m }
+          in
+          KT.add t.table k d;
+          d
+      in
+      let hdr = header_size m in
+      let plen = m.Mbuf.len - hdr in
+      let payload =
+        Option.map (fun raw -> Bytes.sub raw hdr plen) m.Mbuf.raw
+      in
+      (* Duplicate fragments are replaced, not double counted. *)
+      d.chunks <-
+        (f.Mbuf.offset, plen, payload)
+        :: List.filter (fun (off, _, _) -> off <> f.Mbuf.offset) d.chunks;
+      if not f.Mbuf.more then d.total <- Some (f.Mbuf.offset + plen);
+      if complete d then begin
+        KT.remove t.table k;
+        Some (rebuild d)
+      end
+      else None
+
+  let expire t ~now =
+    let stale = ref [] in
+    KT.iter
+      (fun k d ->
+        if Int64.sub now d.first_seen_ns > t.timeout_ns then stale := k :: !stale)
+      t.table;
+    List.iter (KT.remove t.table) !stale;
+    List.length !stale
+end

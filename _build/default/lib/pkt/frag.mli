@@ -1,0 +1,40 @@
+(** IPv4 fragmentation and reassembly.
+
+    Routers fragment IPv4 datagrams that exceed the egress MTU (unless
+    DF is set); IPv6 routers never fragment — the source must.  The
+    reassembler is the endpoint-side counterpart, keyed by
+    (source, destination, protocol, identification), with a timeout. *)
+
+open! Ipaddr
+
+(** [fragment m ~mtu] splits [m] into fragments that fit [mtu].
+    Fragment payload sizes are multiples of 8 bytes except the last.
+    Fails when the datagram cannot be fragmented (IPv6, or DF set).
+    The input must itself be unfragmented or a fragment — offsets
+    compose.  When [m.raw] is present, real per-fragment wire bytes
+    (with correct IPv4 headers) are produced. *)
+val fragment :
+  Mbuf.t -> mtu:int -> (Mbuf.t list, [ `Dont_fragment | `V6_never_fragments ]) result
+
+(** [needs_fragmentation m ~mtu]. *)
+val needs_fragmentation : Mbuf.t -> mtu:int -> bool
+
+module Reassembly : sig
+  type t
+
+  (** [create ()] — [timeout_ns] defaults to 30 s (the classic
+      reassembly timer). *)
+  val create : ?timeout_ns:int64 -> unit -> t
+
+  (** [offer t ~now m] accepts a packet.  Unfragmented packets are
+      returned immediately; fragments are buffered, and the completed
+      datagram is returned when the last hole closes. *)
+  val offer : t -> now:int64 -> Mbuf.t -> Mbuf.t option
+
+  (** Datagrams currently incomplete. *)
+  val pending : t -> int
+
+  (** Drop incomplete datagrams older than the timeout; returns how
+      many were discarded. *)
+  val expire : t -> now:int64 -> int
+end

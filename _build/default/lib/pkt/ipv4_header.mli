@@ -1,0 +1,40 @@
+(** IPv4 header (RFC 791), without options (IHL = 5). *)
+
+type t = {
+  tos : int;
+  total_length : int;
+  ident : int;
+  dont_fragment : bool;
+  more_fragments : bool;
+  fragment_offset : int;  (** in 8-byte units *)
+  ttl : int;
+  proto : int;
+  src : Ipaddr.t;
+  dst : Ipaddr.t;
+}
+
+val size : int
+(** Header size in bytes (20). *)
+
+type error =
+  | Truncated
+  | Bad_version of int
+  | Bad_ihl of int
+  | Bad_checksum
+  | Bad_length of int
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [parse buf off] reads and validates a header (including its
+    checksum) at [off]. *)
+val parse : Bytes.t -> int -> (t, error) result
+
+(** [serialize t buf off] writes the header, computing the checksum.
+    [buf] must have at least {!size} bytes at [off]. *)
+val serialize : t -> Bytes.t -> int -> unit
+
+val default :
+  ?tos:int -> ?ident:int -> ?ttl:int -> total_length:int -> proto:int ->
+  src:Ipaddr.t -> dst:Ipaddr.t -> unit -> t
+
+val pp : Format.formatter -> t -> unit

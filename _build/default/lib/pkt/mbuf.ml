@@ -1,0 +1,251 @@
+type version = V4 | V6
+
+type fix = {
+  slot : int;
+  gen : int;
+}
+
+type frag_info = {
+  offset : int;
+  more : bool;
+}
+
+type t = {
+  mutable key : Flow_key.t;
+  version : version;
+  mutable len : int;
+  mutable ttl : int;
+  mutable tos : int;
+  mutable flow_label : int;
+  mutable options : Ipv6_header.Option_tlv.t list;
+  mutable raw : Bytes.t option;
+  mutable fix : fix option;
+  mutable out_iface : int option;
+  mutable next_hop : Ipaddr.t option;
+  mutable birth_ns : int64;
+  mutable seq : int;
+  mutable tags : string list;
+  mutable ident : int;
+  mutable dont_fragment : bool;
+  mutable frag : frag_info option;
+}
+
+let synth ?(ttl = 64) ?(tos = 0) ?(flow_label = 0) ~key ~len () =
+  {
+    key;
+    version = (if Ipaddr.is_v4 key.Flow_key.src then V4 else V6);
+    len;
+    ttl;
+    tos;
+    flow_label;
+    options = [];
+    raw = None;
+    fix = None;
+    out_iface = None;
+    next_hop = None;
+    birth_ns = 0L;
+    seq = 0;
+    tags = [];
+    ident = 0;
+    dont_fragment = false;
+    frag = None;
+  }
+
+type error =
+  | V4_error of Ipv4_header.error
+  | V6_error of Ipv6_header.error
+  | Udp_error of Udp_header.error
+  | Tcp_error of Tcp_header.error
+  | Empty
+
+let pp_error ppf = function
+  | V4_error e -> Ipv4_header.pp_error ppf e
+  | V6_error e -> Ipv6_header.pp_error ppf e
+  | Udp_error e -> Udp_header.pp_error ppf e
+  | Tcp_error e -> Tcp_header.pp_error ppf e
+  | Empty -> Format.pp_print_string ppf "empty packet"
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
+
+let ports_of ~proto buf off =
+  if proto = Proto.udp then
+    let* u = Result.map_error (fun e -> Udp_error e) (Udp_header.parse buf off) in
+    Ok (u.Udp_header.sport, u.Udp_header.dport)
+  else if proto = Proto.tcp then
+    let* t = Result.map_error (fun e -> Tcp_error e) (Tcp_header.parse buf off) in
+    Ok (t.Tcp_header.sport, t.Tcp_header.dport)
+  else Ok (0, 0)
+
+let of_bytes ~iface buf =
+  if Bytes.length buf = 0 then Error Empty
+  else
+    let version = Char.code (Bytes.get buf 0) lsr 4 in
+    if version = 4 then
+      let* h = Result.map_error (fun e -> V4_error e) (Ipv4_header.parse buf 0) in
+      let* sport, dport = ports_of ~proto:h.Ipv4_header.proto buf Ipv4_header.size in
+      let key =
+        Flow_key.make ~src:h.Ipv4_header.src ~dst:h.Ipv4_header.dst
+          ~proto:h.Ipv4_header.proto ~sport ~dport ~iface
+      in
+      Ok
+        {
+          key;
+          version = V4;
+          len = h.Ipv4_header.total_length;
+          ttl = h.Ipv4_header.ttl;
+          tos = h.Ipv4_header.tos;
+          flow_label = 0;
+          options = [];
+          raw = Some buf;
+          fix = None;
+          out_iface = None;
+          next_hop = None;
+          birth_ns = 0L;
+          seq = 0;
+          tags = [];
+          ident = h.Ipv4_header.ident;
+          dont_fragment = h.Ipv4_header.dont_fragment;
+          frag =
+            (if h.Ipv4_header.fragment_offset = 0 && not h.Ipv4_header.more_fragments
+             then None
+             else
+               Some
+                 {
+                   offset = h.Ipv4_header.fragment_offset * 8;
+                   more = h.Ipv4_header.more_fragments;
+                 });
+        }
+    else if version = 6 then
+      let* h = Result.map_error (fun e -> V6_error e) (Ipv6_header.parse buf 0) in
+      let* options, upper_proto, upper_off =
+        if h.Ipv6_header.next_header = Proto.ipv6_hop_by_hop then
+          let* hbh, hbh_len =
+            Result.map_error (fun e -> V6_error e)
+              (Ipv6_header.Hop_by_hop.parse buf Ipv6_header.size)
+          in
+          (* Padding options carry no meaning past the parser. *)
+          let semantic =
+            List.filter
+              (function
+                | Ipv6_header.Option_tlv.Pad1 | Ipv6_header.Option_tlv.Padn _ ->
+                  false
+                | Ipv6_header.Option_tlv.Router_alert _
+                | Ipv6_header.Option_tlv.Jumbo_payload _
+                | Ipv6_header.Option_tlv.Unknown _ -> true)
+              hbh.Ipv6_header.Hop_by_hop.options
+          in
+          Ok
+            ( semantic,
+              hbh.Ipv6_header.Hop_by_hop.next_header,
+              Ipv6_header.size + hbh_len )
+        else Ok ([], h.Ipv6_header.next_header, Ipv6_header.size)
+      in
+      let* sport, dport = ports_of ~proto:upper_proto buf upper_off in
+      let key =
+        Flow_key.make ~src:h.Ipv6_header.src ~dst:h.Ipv6_header.dst
+          ~proto:upper_proto ~sport ~dport ~iface
+      in
+      Ok
+        {
+          key;
+          version = V6;
+          len = Ipv6_header.size + h.Ipv6_header.payload_length;
+          ttl = h.Ipv6_header.hop_limit;
+          tos = h.Ipv6_header.traffic_class;
+          flow_label = h.Ipv6_header.flow_label;
+          options;
+          raw = Some buf;
+          fix = None;
+          out_iface = None;
+          next_hop = None;
+          birth_ns = 0L;
+          seq = 0;
+          tags = [];
+          ident = 0;
+          dont_fragment = true;  (* routers never fragment IPv6 *)
+          frag = None;
+        }
+    else Error (V4_error (Ipv4_header.Bad_version version))
+
+let udp_v4 ?(ttl = 64) ?(tos = 0) ~src ~dst ~sport ~dport ~iface ~payload () =
+  let plen = String.length payload in
+  let total = Ipv4_header.size + Udp_header.size + plen in
+  let buf = Bytes.create total in
+  let ip =
+    Ipv4_header.default ~tos ~ttl ~total_length:total ~proto:Proto.udp ~src
+      ~dst ()
+  in
+  Ipv4_header.serialize ip buf 0;
+  let udp =
+    {
+      Udp_header.sport;
+      dport;
+      length = Udp_header.size + plen;
+      checksum = 0;
+    }
+  in
+  Udp_header.serialize udp buf Ipv4_header.size;
+  Bytes.blit_string payload 0 buf (Ipv4_header.size + Udp_header.size) plen;
+  let csum =
+    Udp_header.compute_checksum ~src ~dst buf Ipv4_header.size
+      (Udp_header.size + plen)
+  in
+  Udp_header.serialize { udp with Udp_header.checksum = csum } buf Ipv4_header.size;
+  let key = Flow_key.make ~src ~dst ~proto:Proto.udp ~sport ~dport ~iface in
+  let m = synth ~ttl ~tos ~key ~len:total () in
+  m.raw <- Some buf;
+  m
+
+let udp_v6 ?(hop_limit = 64) ?(traffic_class = 0) ?(flow_label = 0)
+    ?(options = []) ~src ~dst ~sport ~dport ~iface ~payload () =
+  let plen = String.length payload in
+  let hbh =
+    if options = [] then None
+    else Some { Ipv6_header.Hop_by_hop.next_header = Proto.udp; options }
+  in
+  let hbh_len =
+    match hbh with
+    | None -> 0
+    | Some h -> Ipv6_header.Hop_by_hop.wire_length h
+  in
+  let payload_length = hbh_len + Udp_header.size + plen in
+  let total = Ipv6_header.size + payload_length in
+  let buf = Bytes.create total in
+  let next_header =
+    match hbh with None -> Proto.udp | Some _ -> Proto.ipv6_hop_by_hop
+  in
+  let ip =
+    Ipv6_header.default ~traffic_class ~flow_label ~hop_limit ~payload_length
+      ~next_header ~src ~dst ()
+  in
+  Ipv6_header.serialize ip buf 0;
+  (match hbh with
+   | None -> ()
+   | Some h ->
+     let written = Ipv6_header.Hop_by_hop.serialize h buf Ipv6_header.size in
+     assert (written = hbh_len));
+  let udp_off = Ipv6_header.size + hbh_len in
+  let udp =
+    {
+      Udp_header.sport;
+      dport;
+      length = Udp_header.size + plen;
+      checksum = 0;
+    }
+  in
+  Udp_header.serialize udp buf udp_off;
+  Bytes.blit_string payload 0 buf (udp_off + Udp_header.size) plen;
+  let csum = Udp_header.compute_checksum ~src ~dst buf udp_off (Udp_header.size + plen) in
+  Udp_header.serialize { udp with Udp_header.checksum = csum } buf udp_off;
+  let key = Flow_key.make ~src ~dst ~proto:Proto.udp ~sport ~dport ~iface in
+  let m = synth ~ttl:hop_limit ~tos:traffic_class ~flow_label ~key ~len:total () in
+  m.raw <- Some buf;
+  m.options <- options;
+  m
+
+let has_tag m tag = List.mem tag m.tags
+let add_tag m tag = if not (has_tag m tag) then m.tags <- tag :: m.tags
+
+let pp ppf m =
+  Format.fprintf ppf "pkt{%a len=%d ttl=%d%s}" Flow_key.pp m.key m.len m.ttl
+    (match m.fix with None -> "" | Some f -> Printf.sprintf " fix=%d.%d" f.slot f.gen)

@@ -1,0 +1,83 @@
+(** The packet descriptor carried through the router — the analogue of
+    the BSD [mbuf] of the paper.
+
+    An mbuf carries the parsed six-tuple (the classification key), a
+    few mutable per-hop fields (TTL, output interface, next hop), the
+    raw wire datagram when one exists, and the {e flow index} (FIX):
+    after the first gate of a cached flow, the AIU stores a pointer to
+    the packet's flow-table row here so subsequent gates avoid any
+    lookup (paper, section 3.2). *)
+
+type version = V4 | V6
+
+(** Flow index: slot in the flow table plus a generation stamp so a
+    recycled row is never mistaken for the original flow. *)
+type fix = {
+  slot : int;
+  gen : int;
+}
+
+(** Fragment position of this mbuf within its original datagram
+    ([offset] in bytes of upper-layer payload; [more] = more fragments
+    follow).  [None] = unfragmented. *)
+type frag_info = {
+  offset : int;
+  more : bool;
+}
+
+type t = {
+  mutable key : Flow_key.t;
+  version : version;
+  mutable len : int;  (** total datagram length on the wire, bytes *)
+  mutable ttl : int;
+  mutable tos : int;  (** TOS / IPv6 traffic class *)
+  mutable flow_label : int;  (** IPv6 only; 0 otherwise *)
+  mutable options : Ipv6_header.Option_tlv.t list;
+      (** hop-by-hop options awaiting option plugins *)
+  mutable raw : Bytes.t option;  (** full wire datagram, if materialized *)
+  mutable fix : fix option;
+  mutable out_iface : int option;
+  mutable next_hop : Ipaddr.t option;
+  mutable birth_ns : int64;  (** arrival timestamp, set by the driver *)
+  mutable seq : int;  (** generator sequence number (testing aid) *)
+  mutable tags : string list;  (** free-form annotations, e.g. "esp" *)
+  mutable ident : int;  (** IPv4 identification, for fragmentation *)
+  mutable dont_fragment : bool;
+  mutable frag : frag_info option;
+}
+
+(** [synth ~key ~len ()] builds a descriptor without wire bytes — the
+    fast path used by workload generators; [version] follows the
+    address family of [key.src]. *)
+val synth : ?ttl:int -> ?tos:int -> ?flow_label:int -> key:Flow_key.t ->
+  len:int -> unit -> t
+
+type error =
+  | V4_error of Ipv4_header.error
+  | V6_error of Ipv6_header.error
+  | Udp_error of Udp_header.error
+  | Tcp_error of Tcp_header.error
+  | Empty
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [of_bytes ~iface buf] parses a wire datagram: the IP header
+    (v4 or v6 by version nibble), an optional IPv6 hop-by-hop header,
+    and UDP/TCP ports when applicable (ports are 0 for other
+    protocols). *)
+val of_bytes : iface:int -> Bytes.t -> (t, error) result
+
+(** [udp_v4 ...] and [udp_v6 ...] build a complete wire datagram plus
+    its descriptor; the UDP checksum is filled in. *)
+val udp_v4 :
+  ?ttl:int -> ?tos:int -> src:Ipaddr.t -> dst:Ipaddr.t -> sport:int ->
+  dport:int -> iface:int -> payload:string -> unit -> t
+
+val udp_v6 :
+  ?hop_limit:int -> ?traffic_class:int -> ?flow_label:int ->
+  ?options:Ipv6_header.Option_tlv.t list -> src:Ipaddr.t -> dst:Ipaddr.t ->
+  sport:int -> dport:int -> iface:int -> payload:string -> unit -> t
+
+val has_tag : t -> string -> bool
+val add_tag : t -> string -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+type t = {
+  addr : Ipaddr.t;
+  len : int;
+}
+
+let make addr len =
+  if len < 0 || len > Ipaddr.width addr then
+    invalid_arg
+      (Printf.sprintf "Prefix.make: /%d out of range for %s" len
+         (Ipaddr.to_string addr));
+  { addr = Ipaddr.prefix_bits addr len; len }
+
+let host addr = { addr; len = Ipaddr.width addr }
+
+let any_v4 = { addr = Ipaddr.zero_v4; len = 0 }
+let any_v6 = { addr = Ipaddr.zero_v6; len = 0 }
+
+let compare a b =
+  let c = Ipaddr.compare a.addr b.addr in
+  if c <> 0 then c else Int.compare a.len b.len
+
+let equal a b = compare a b = 0
+let hash p = Ipaddr.hash p.addr lxor (p.len * 0x45D9F3B)
+
+let matches p a =
+  Ipaddr.width p.addr = Ipaddr.width a
+  && (p.len = 0 || Ipaddr.equal (Ipaddr.prefix_bits a p.len) p.addr)
+
+let subsumes p q =
+  Ipaddr.width p.addr = Ipaddr.width q.addr
+  && p.len <= q.len
+  && matches p q.addr
+
+let is_wildcard p = p.len = 0
+
+let to_string p =
+  if p.len = Ipaddr.width p.addr then Ipaddr.to_string p.addr
+  else Printf.sprintf "%s/%d" (Ipaddr.to_string p.addr) p.len
+
+let of_string_opt s =
+  match String.index_opt s '/' with
+  | None ->
+    (match Ipaddr.of_string_opt s with
+     | Some a -> Some (host a)
+     | None -> None)
+  | Some i ->
+    let astr = String.sub s 0 i in
+    let lstr = String.sub s (i + 1) (String.length s - i - 1) in
+    (match Ipaddr.of_string_opt astr, int_of_string_opt lstr with
+     | Some a, Some len when len >= 0 && len <= Ipaddr.width a ->
+       Some (make a len)
+     | _, _ -> None)
+
+let of_string s =
+  match of_string_opt s with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Prefix.of_string: %S" s)
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)

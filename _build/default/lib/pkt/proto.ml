@@ -1,0 +1,22 @@
+let icmp = 1
+let tcp = 6
+let udp = 17
+let ipv6_hop_by_hop = 0
+let esp = 50
+let ah = 51
+let icmpv6 = 58
+let rsvp = 46
+let ssp = 253
+
+let name p =
+  if p = icmp then "ICMP"
+  else if p = tcp then "TCP"
+  else if p = udp then "UDP"
+  else if p = esp then "ESP"
+  else if p = ah then "AH"
+  else if p = icmpv6 then "ICMPv6"
+  else if p = rsvp then "RSVP"
+  else if p = ssp then "SSP"
+  else string_of_int p
+
+let pp ppf p = Format.pp_print_string ppf (name p)

@@ -1,0 +1,19 @@
+(** IP protocol numbers used throughout the router. *)
+
+val icmp : int
+val tcp : int
+val udp : int
+val ipv6_hop_by_hop : int
+val esp : int
+val ah : int
+val icmpv6 : int
+
+(** RSVP (RFC 2205's protocol number). *)
+val rsvp : int
+
+(** Protocol number we assign to SSP, the simplified RSVP of the paper
+    (an experimental number from the IANA range). *)
+val ssp : int
+
+val name : int -> string
+val pp : Format.formatter -> int -> unit

@@ -1,0 +1,32 @@
+(** TCP header (RFC 793), without options (data offset = 5). *)
+
+type flags = {
+  fin : bool;
+  syn : bool;
+  rst : bool;
+  psh : bool;
+  ack : bool;
+  urg : bool;
+}
+
+val no_flags : flags
+
+type t = {
+  sport : int;
+  dport : int;
+  seq : int32;
+  ack_seq : int32;
+  flags : flags;
+  window : int;
+  checksum : int;
+  urgent : int;
+}
+
+val size : int
+
+type error = Truncated | Bad_offset of int
+
+val pp_error : Format.formatter -> error -> unit
+val parse : Bytes.t -> int -> (t, error) result
+val serialize : t -> Bytes.t -> int -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,30 @@
+(** UDP header (RFC 768).  Checksum handling uses the IPv4/IPv6
+    pseudo-header. *)
+
+type t = {
+  sport : int;
+  dport : int;
+  length : int;  (** header + payload, bytes *)
+  checksum : int;
+}
+
+val size : int
+
+type error = Truncated | Bad_length of int
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : Bytes.t -> int -> (t, error) result
+
+(** [serialize t buf off] writes the header with [t.checksum] as-is.
+    Use {!compute_checksum} first when a valid checksum is wanted. *)
+val serialize : t -> Bytes.t -> int -> unit
+
+(** [compute_checksum ~src ~dst buf off len] computes the UDP checksum
+    over the pseudo-header plus the datagram ([len] bytes at [off],
+    with the checksum field zeroed by the caller or present — the field
+    at [off+6] is treated as zero). *)
+val compute_checksum :
+  src:Ipaddr.t -> dst:Ipaddr.t -> Bytes.t -> int -> int -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sched/drr_plugin.ml: Cost Flow_key Flow_table Gate Hashtbl List Mbuf Plugin Printf Queue Result Rp_classifier Rp_core Rp_pkt

@@ -1,0 +1,1 @@
+lib/sched/drr_plugin.mli: Flow_key Gate Plugin Rp_core Rp_pkt

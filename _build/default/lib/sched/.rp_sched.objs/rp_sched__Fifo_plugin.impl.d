@@ -1,0 +1,1 @@
+lib/sched/fifo_plugin.ml: Gate List Mbuf Plugin Printf Queue Rp_core Rp_pkt

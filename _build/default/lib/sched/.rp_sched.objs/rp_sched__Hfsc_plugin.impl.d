@@ -1,0 +1,1 @@
+lib/sched/hfsc_plugin.ml: Cost Flow_key Flow_table Gate Hashtbl Int64 List Mbuf Option Plugin Printf Queue Rp_classifier Rp_core Rp_pkt Service_curve String

@@ -1,0 +1,1 @@
+lib/sched/hfsc_plugin.mli: Flow_key Gate Plugin Rp_core Rp_pkt Service_curve

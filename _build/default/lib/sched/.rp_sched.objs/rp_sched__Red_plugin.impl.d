@@ -1,0 +1,1 @@
+lib/sched/red_plugin.ml: Gate Hashtbl Int64 List Mbuf Plugin Printf Queue Random Rp_core Rp_pkt

@@ -1,0 +1,1 @@
+lib/sched/service_curve.ml: Format

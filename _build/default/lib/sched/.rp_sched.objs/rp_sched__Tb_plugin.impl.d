@@ -1,0 +1,1 @@
+lib/sched/tb_plugin.ml: Float Flow_table Gate Hashtbl Int64 List Mbuf Option Plugin Printf Rp_classifier Rp_core Rp_pkt

@@ -1,0 +1,264 @@
+open Rp_pkt
+open Rp_core
+open Rp_classifier
+
+let name = "drr"
+let gate = Gate.Scheduling
+let description = "weighted Deficit Round Robin fair queueing"
+
+module FK = Hashtbl.Make (struct
+  type t = Flow_key.t
+
+  let equal = Flow_key.equal
+  let hash = Flow_key.hash
+end)
+
+type flow_q = {
+  fkey : Flow_key.t;
+  q : Mbuf.t Queue.t;
+  mutable deficit : int;
+  mutable weight : int;
+  mutable on_ring : bool;
+  mutable evicted : bool;
+  mutable sent_pkts : int;
+  mutable sent_bytes : int;
+}
+
+type Flow_table.soft += Drr_flow of flow_q
+
+type state = {
+  instance_id : int;
+  quantum : int;
+  flow_limit : int;
+  ring : flow_q Queue.t;
+  flows : flow_q FK.t;
+  reservations : int FK.t;  (** flow key -> reserved rate (bps) *)
+  mutable backlog : int;
+  mutable dropped : int;
+}
+
+let instances : (int, state) Hashtbl.t = Hashtbl.create 8
+
+(* Reserved weights are recalculated relative to the smallest live
+   reservation whenever the reservation set changes (paper: weights
+   are "dynamically recalculated for reserved flows if a new reserved
+   flow is added"). *)
+let recompute_weights st =
+  let min_rate = FK.fold (fun _ r acc -> min r acc) st.reservations max_int in
+  let weight_of_key k =
+    match FK.find_opt st.reservations k with
+    | Some rate -> max 1 (rate / max 1 min_rate)
+    | None -> 1
+  in
+  FK.iter (fun k fq -> fq.weight <- weight_of_key k) st.flows
+
+let weight_for st k =
+  let min_rate = FK.fold (fun _ r acc -> min r acc) st.reservations max_int in
+  match FK.find_opt st.reservations k with
+  | Some rate -> max 1 (rate / max 1 min_rate)
+  | None -> 1
+
+let new_flow st k =
+  let fq =
+    {
+      fkey = k;
+      q = Queue.create ();
+      deficit = 0;
+      weight = weight_for st k;
+      on_ring = false;
+      evicted = false;
+      sent_pkts = 0;
+      sent_bytes = 0;
+    }
+  in
+  FK.replace st.flows k fq;
+  fq
+
+let flow_of st binding (m : Mbuf.t) =
+  match binding with
+  | Some (b : Plugin.t Flow_table.binding) ->
+    (match b.Flow_table.soft with
+     | Some (Drr_flow fq) when not fq.evicted -> fq
+     | Some _ | None ->
+       let fq = new_flow st m.Mbuf.key in
+       b.Flow_table.soft <- Some (Drr_flow fq);
+       fq)
+  | None ->
+    (* Monolithic mode: no AIU binding, classify internally by
+       hashing the flow key — the ALTQ comparison path of Table 3. *)
+    Cost.charge Cost.monolithic_classifier;
+    (match FK.find_opt st.flows m.Mbuf.key with
+     | Some fq when not fq.evicted -> fq
+     | Some _ | None -> new_flow st m.Mbuf.key)
+
+let enqueue st ~now:_ m binding =
+  let fq = flow_of st binding m in
+  if Queue.length fq.q >= st.flow_limit then begin
+    st.dropped <- st.dropped + 1;
+    Plugin.Rejected "per-flow queue full"
+  end
+  else begin
+    Queue.push m fq.q;
+    st.backlog <- st.backlog + 1;
+    if not fq.on_ring then begin
+      fq.deficit <- 0;
+      fq.on_ring <- true;
+      Queue.push fq st.ring
+    end;
+    Cost.charge Cost.drr_enqueue;
+    Plugin.Enqueued
+  end
+
+let dequeue st ~now:_ =
+  let rec loop () =
+    match Queue.peek st.ring with
+    | exception Queue.Empty -> None
+    | fq ->
+      if fq.evicted || Queue.is_empty fq.q then begin
+        ignore (Queue.pop st.ring);
+        fq.on_ring <- false;
+        fq.deficit <- 0;
+        loop ()
+      end
+      else begin
+        let head_len = (Queue.peek fq.q).Mbuf.len in
+        if fq.deficit >= head_len then begin
+          let m = Queue.pop fq.q in
+          fq.deficit <- fq.deficit - head_len;
+          fq.sent_pkts <- fq.sent_pkts + 1;
+          fq.sent_bytes <- fq.sent_bytes + m.Mbuf.len;
+          st.backlog <- st.backlog - 1;
+          if Queue.is_empty fq.q then begin
+            ignore (Queue.pop st.ring);
+            fq.on_ring <- false;
+            fq.deficit <- 0
+          end;
+          Cost.charge Cost.drr_dequeue;
+          Some m
+        end
+        else begin
+          (* The round-robin pointer visits this flow: top up its
+             deficit by one (weighted) quantum and move on. *)
+          fq.deficit <- fq.deficit + (st.quantum * fq.weight);
+          ignore (Queue.pop st.ring);
+          Queue.push fq st.ring;
+          loop ()
+        end
+      end
+  in
+  loop ()
+
+let on_flow_evict st (b : Plugin.t Flow_table.binding) =
+  match b.Flow_table.soft with
+  | Some (Drr_flow fq) ->
+    (* Queued packets of an evicted flow are lost; account for them. *)
+    st.dropped <- st.dropped + Queue.length fq.q;
+    st.backlog <- st.backlog - Queue.length fq.q;
+    Queue.clear fq.q;
+    fq.evicted <- true;
+    FK.remove st.flows fq.fkey;
+    b.Flow_table.soft <- None
+  | Some _ | None -> ()
+
+let int_config config key ~default =
+  match List.assoc_opt key config with
+  | Some s -> (match int_of_string_opt s with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
+let create_instance ~instance_id ~code ~config =
+  let st =
+    {
+      instance_id;
+      quantum = int_config config "quantum" ~default:512;
+      flow_limit = int_config config "flow-limit" ~default:128;
+      ring = Queue.create ();
+      flows = FK.create 64;
+      reservations = FK.create 16;
+      backlog = 0;
+      dropped = 0;
+    }
+  in
+  Hashtbl.replace instances instance_id st;
+  let scheduler =
+    {
+      Plugin.enqueue = (fun ~now m binding -> enqueue st ~now m binding);
+      dequeue = (fun ~now -> dequeue st ~now);
+      backlog = (fun () -> st.backlog);
+      sched_stats =
+        (fun () ->
+          [
+            ("backlog", string_of_int st.backlog);
+            ("dropped", string_of_int st.dropped);
+            ("flows", string_of_int (FK.length st.flows));
+            ("quantum", string_of_int st.quantum);
+          ]);
+    }
+  in
+  let base =
+    Plugin.simple ~instance_id ~code ~plugin_name:name ~gate ~config
+      ~describe:(fun () ->
+        Printf.sprintf "drr: quantum=%d flows=%d backlog=%d" st.quantum
+          (FK.length st.flows) st.backlog)
+      (fun _ _ -> Plugin.Continue)
+  in
+  Ok
+    {
+      base with
+      Plugin.scheduler = Some scheduler;
+      on_flow_evict = Some (on_flow_evict st);
+    }
+
+let state_of instance_id =
+  match Hashtbl.find_opt instances instance_id with
+  | Some st -> Ok st
+  | None -> Error (Printf.sprintf "drr: no instance %d" instance_id)
+
+let reserve ~instance_id ~key ~rate_bps =
+  if rate_bps <= 0 then Error "drr: reservation rate must be positive"
+  else
+    Result.map
+      (fun st ->
+        FK.replace st.reservations key rate_bps;
+        recompute_weights st)
+      (state_of instance_id)
+
+let unreserve ~instance_id ~key =
+  Result.map
+    (fun st ->
+      FK.remove st.reservations key;
+      recompute_weights st)
+    (state_of instance_id)
+
+let weight_of ~instance_id ~key =
+  match state_of instance_id with
+  | Error _ -> None
+  | Ok st ->
+    (match FK.find_opt st.flows key with
+     | Some fq -> Some fq.weight
+     | None -> Some (weight_for st key))
+
+let flow_counters ~instance_id ~key =
+  match state_of instance_id with
+  | Error _ -> None
+  | Ok st ->
+    (match FK.find_opt st.flows key with
+     | Some fq -> Some (fq.sent_pkts, fq.sent_bytes)
+     | None -> None)
+
+let drop_count ~instance_id =
+  match state_of instance_id with Ok st -> st.dropped | Error _ -> 0
+
+let message key payload =
+  match key with
+  | "plugin-info" -> Ok description
+  | "stats" ->
+    (match int_of_string_opt payload with
+     | None -> Error "stats expects an instance id"
+     | Some id ->
+       (match state_of id with
+        | Error e -> Error e
+        | Ok st ->
+          Ok
+            (Printf.sprintf "flows=%d backlog=%d dropped=%d"
+               (FK.length st.flows) st.backlog st.dropped)))
+  | _ -> Error (Printf.sprintf "drr: unknown message %s" key)

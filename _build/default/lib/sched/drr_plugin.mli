@@ -1,0 +1,50 @@
+(** The weighted Deficit Round Robin scheduling plugin (paper,
+    section 6.1; DRR is Shreedhar & Varghese, SIGCOMM '95).
+
+    Per-flow queues live in flow-record soft state ("it was
+    straightforward to add a queue per flow which guarantees perfectly
+    fair queuing for all flows").  Weights are 1 for best-effort flows
+    and are recalculated from the reserved rates whenever a
+    reservation is added or removed, reproducing the paper's weighted
+    variant.
+
+    When a packet arrives with no flow binding (the monolithic/ALTQ
+    comparison mode of Table 3), the plugin classifies internally by
+    hashing the flow key — and charges
+    {!Rp_core.Cost.monolithic_classifier} for it.
+
+    Config keys: [quantum] (bytes per round per weight unit, default
+    512), [flow-limit] (packets per flow queue, default 128),
+    [iface] (informational). *)
+
+open Rp_pkt
+open Rp_core
+
+val name : string
+val gate : Gate.t
+val description : string
+
+val create_instance :
+  instance_id:int -> code:int -> config:(string * string) list ->
+  (Plugin.t, string) result
+
+val message : string -> string -> (string, string) result
+
+(** Control interface used by daemons (SSP) and tests. *)
+
+(** [reserve ~instance_id ~key ~rate_bps] gives the flow [key] a
+    bandwidth reservation; all reserved weights are recalculated
+    relative to the smallest live reservation. *)
+val reserve : instance_id:int -> key:Flow_key.t -> rate_bps:int -> (unit, string) result
+
+val unreserve : instance_id:int -> key:Flow_key.t -> (unit, string) result
+
+(** [weight_of ~instance_id ~key] — current weight (1 = best effort). *)
+val weight_of : instance_id:int -> key:Flow_key.t -> int option
+
+(** Per-flow (packets, bytes) sent so far. *)
+val flow_counters : instance_id:int -> key:Flow_key.t -> (int * int) option
+
+(** Packets dropped because a per-flow queue overflowed, plus packets
+    lost to flow-record eviction. *)
+val drop_count : instance_id:int -> int

@@ -1,0 +1,41 @@
+type t = {
+  m1 : float;
+  d : float;
+  m2 : float;
+}
+
+let linear rate = { m1 = rate; d = 0.0; m2 = rate }
+
+let make ~m1 ~d ~m2 =
+  if m1 < 0.0 || m2 < 0.0 || d < 0.0 then
+    invalid_arg "Service_curve.make: negative parameter";
+  { m1; d; m2 }
+
+let value c t =
+  if t <= 0.0 then 0.0
+  else if t <= c.d then c.m1 *. t
+  else (c.m1 *. c.d) +. (c.m2 *. (t -. c.d))
+
+let inverse c y =
+  if y <= 0.0 then 0.0
+  else
+    let knee = c.m1 *. c.d in
+    if y <= knee then if c.m1 > 0.0 then y /. c.m1 else infinity
+    else if c.m2 > 0.0 then c.d +. ((y -. knee) /. c.m2)
+    else infinity
+
+type anchored = {
+  curve : t;
+  x : float;
+  y : float;
+}
+
+let anchor curve ~x ~y = { curve; x; y }
+
+let anchored_value a t = a.y +. value a.curve (t -. a.x)
+
+let anchored_inverse a y =
+  if y <= a.y then a.x else a.x +. inverse a.curve (y -. a.y)
+
+let pp ppf c =
+  Format.fprintf ppf "sc(m1=%.0f,d=%.3f,m2=%.0f)" c.m1 c.d c.m2

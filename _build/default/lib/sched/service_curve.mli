@@ -1,0 +1,47 @@
+(** Two-piece linear service curves, the building block of H-FSC
+    (Stoica, Zhang & Ng, SIGCOMM '97).
+
+    A curve [{ m1; d; m2 }] guarantees slope [m1] (bytes/sec) for the
+    first [d] seconds of a backlogged period and slope [m2] afterwards.
+    [m1 > m2] gives a {e concave} curve (low delay, e.g. real-time
+    video); [m1 < m2] a convex one.  H-FSC's key property — decoupling
+    delay from bandwidth — comes from choosing [m1]/[d] independently
+    of [m2]. *)
+
+type t = {
+  m1 : float;  (** bytes per second *)
+  d : float;  (** seconds *)
+  m2 : float;  (** bytes per second *)
+}
+
+(** [linear rate] — a one-piece curve of slope [rate] bytes/sec. *)
+val linear : float -> t
+
+val make : m1:float -> d:float -> m2:float -> t
+
+(** [value c t] — cumulative service (bytes) the curve allows after
+    [t] seconds of backlog ([t >= 0]). *)
+val value : t -> float -> float
+
+(** [inverse c y] — the earliest time at which the curve reaches [y]
+    bytes ([infinity] if it never does). *)
+val inverse : t -> float -> float
+
+(** A runtime curve: [c] anchored at time [x] (seconds) and cumulative
+    service [y] (bytes) — the (x, y)-shifted curves H-FSC maintains
+    per backlogged period. *)
+type anchored = {
+  curve : t;
+  x : float;
+  y : float;
+}
+
+val anchor : t -> x:float -> y:float -> anchored
+
+(** [anchored_value a t] / [anchored_inverse a y] — same as
+    {!value}/{!inverse} on the shifted curve. *)
+val anchored_value : anchored -> float -> float
+
+val anchored_inverse : anchored -> float -> float
+
+val pp : Format.formatter -> t -> unit

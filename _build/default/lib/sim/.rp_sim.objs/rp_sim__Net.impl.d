@@ -1,0 +1,1 @@
+lib/sim/net.ml: Array Cost Flow_key Iface Int64 Ip_core List Mbuf Router Rp_core Rp_pkt Sim Sink

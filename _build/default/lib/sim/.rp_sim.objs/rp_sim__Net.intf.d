@@ -1,0 +1,1 @@
+lib/sim/net.mli: Mbuf Router Rp_core Rp_pkt Sim Sink

@@ -1,0 +1,1 @@
+lib/sim/scenario.ml: Flow_key Gate Iface Int64 Ipaddr List Net Prefix Proto Router Rp_core Rp_pkt Sim Sink Traffic

@@ -1,0 +1,1 @@
+lib/sim/scenario.mli: Flow_key Gate Net Router Rp_core Rp_lpm Rp_pkt Sim Sink Traffic

@@ -1,0 +1,1 @@
+lib/sim/sink.ml: Flow_key Hashtbl Int64 Mbuf Rp_pkt

@@ -1,0 +1,1 @@
+lib/sim/sink.mli: Flow_key Mbuf Rp_pkt

@@ -1,0 +1,1 @@
+lib/sim/traffic.ml: Flow_key Int64 Ipaddr Mbuf Net Proto Random Rp_pkt Sim

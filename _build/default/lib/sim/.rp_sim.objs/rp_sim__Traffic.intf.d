@@ -1,0 +1,1 @@
+lib/sim/traffic.mli: Flow_key Ipaddr Net Rp_pkt Sim

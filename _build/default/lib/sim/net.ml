@@ -1,0 +1,120 @@
+open Rp_pkt
+open Rp_core
+
+type node_stats = {
+  mutable received : int;
+  mutable forwarded : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable drop_reasons : (string * int) list;
+  mutable cycles : int;
+}
+
+type node = {
+  sim : Sim.t;
+  rtr : Router.t;
+  links : link option array;  (** by out iface *)
+  busy : bool array;
+  n_stats : node_stats;
+}
+
+and link = {
+  dest : endpoint;
+  prop_ns : int64;
+}
+
+and endpoint =
+  | To_node of node * int
+  | To_sink of Sink.t
+
+let add_router sim rtr =
+  let n = Array.length rtr.Router.ifaces in
+  {
+    sim;
+    rtr;
+    links = Array.make n None;
+    busy = Array.make n false;
+    n_stats =
+      {
+        received = 0;
+        forwarded = 0;
+        delivered = 0;
+        dropped = 0;
+        drop_reasons = [];
+        cycles = 0;
+      };
+  }
+
+let router node = node.rtr
+let stats node = node.n_stats
+
+let connect node ~iface endpoint ~prop_ns =
+  if iface < 0 || iface >= Array.length node.links then
+    invalid_arg "Net.connect: no such interface";
+  node.links.(iface) <- Some { dest = endpoint; prop_ns }
+
+let count_drop st reason =
+  st.dropped <- st.dropped + 1;
+  let count = try List.assoc reason st.drop_reasons with Not_found -> 0 in
+  st.drop_reasons <- (reason, count + 1) :: List.remove_assoc reason st.drop_reasons
+
+let tx_time_ns ifc len =
+  let bits = Int64.of_int (len * 8) in
+  Int64.div (Int64.mul bits 1_000_000_000L) ifc.Iface.bandwidth_bps
+
+(* Serve the link on [out] while there is backlog. *)
+let rec kick node out =
+  if not node.busy.(out) then begin
+    let ifc = Router.iface node.rtr out in
+    let now = Sim.now node.sim in
+    let m, cycles = Cost.measure (fun () -> Iface.dequeue ifc ~now) in
+    node.n_stats.cycles <- node.n_stats.cycles + cycles;
+    match m with
+    | None -> ()
+    | Some m ->
+      node.busy.(out) <- true;
+      let ser = tx_time_ns ifc m.Mbuf.len in
+      Sim.after node.sim ser (fun () ->
+          Iface.count_tx ifc m;
+          node.n_stats.forwarded <- node.n_stats.forwarded + 1;
+          node.busy.(out) <- false;
+          (match node.links.(out) with
+           | Some link ->
+             Sim.after node.sim link.prop_ns (fun () -> deliver node link.dest m)
+           | None -> ());
+          kick node out)
+  end
+
+and deliver node dest m =
+  match dest with
+  | To_sink sink -> Sink.receive sink ~now:(Sim.now node.sim) m
+  | To_node (peer, in_iface) ->
+    (* Entering a new router: the FIX is meaningless there, and the
+       six-tuple's incoming interface changes. *)
+    m.Mbuf.fix <- None;
+    m.Mbuf.key <- { m.Mbuf.key with Flow_key.iface = in_iface };
+    receive peer m
+
+and receive node m =
+  let now = Sim.now node.sim in
+  node.n_stats.received <- node.n_stats.received + 1;
+  let verdict, cycles = Cost.measure (fun () -> Ip_core.process node.rtr ~now m) in
+  node.n_stats.cycles <- node.n_stats.cycles + cycles;
+  (match verdict with
+   | Ip_core.Enqueued _ | Ip_core.Absorbed -> ()
+   | Ip_core.Delivered_local -> node.n_stats.delivered <- node.n_stats.delivered + 1
+   | Ip_core.Dropped reason -> count_drop node.n_stats reason);
+  (* Serve every interface: the data path may have queued packets
+     beyond the verdict's own egress (self-generated ICMP errors). *)
+  for out = 0 to Array.length node.links - 1 do
+    kick node out
+  done
+
+let inject node m ~at =
+  Sim.at node.sim at (fun () ->
+      m.Mbuf.birth_ns <- at;
+      receive node m)
+
+let cycles_per_packet node =
+  if node.n_stats.received = 0 then 0.0
+  else float_of_int node.n_stats.cycles /. float_of_int node.n_stats.received

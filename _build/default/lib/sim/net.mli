@@ -1,0 +1,43 @@
+(** The network model: routers as simulation nodes, links between
+    interfaces, packet injection, and per-node accounting.
+
+    Transmission follows the usual store-and-forward model: when an
+    interface has backlog and the link is idle, the next packet is
+    dequeued (through the interface's qdisc), occupies the link for
+    [len * 8 / bandwidth], then arrives at the peer after the
+    propagation delay.  All data-path cycle charges (the IP core's and
+    the schedulers') are attributed to the processing node. *)
+
+open Rp_pkt
+open Rp_core
+
+type node
+
+type endpoint =
+  | To_node of node * int  (** peer node, ingress interface id *)
+  | To_sink of Sink.t
+
+type node_stats = {
+  mutable received : int;
+  mutable forwarded : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable drop_reasons : (string * int) list;
+  mutable cycles : int;  (** data-path cycles attributed to this node *)
+}
+
+val add_router : Sim.t -> Router.t -> node
+val router : node -> Router.t
+val stats : node -> node_stats
+
+(** [connect node ~iface endpoint ~prop_ns] attaches the link leaving
+    [iface].  Bandwidth comes from the interface. *)
+val connect : node -> iface:int -> endpoint -> prop_ns:int64 -> unit
+
+(** [inject node m ~at] delivers [m] to the node's data path at [at];
+    [m.key.iface] names the receiving interface and [birth_ns] is
+    stamped. *)
+val inject : node -> Mbuf.t -> at:int64 -> unit
+
+(** Mean data-path cycles per received packet. *)
+val cycles_per_packet : node -> float

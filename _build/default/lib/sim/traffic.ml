@@ -1,0 +1,102 @@
+open Rp_pkt
+
+type pattern =
+  | Cbr of float
+  | Poisson of float
+  | On_off of {
+      rate_pps : float;
+      on_ns : int64;
+      off_ns : int64;
+    }
+  | Single_burst of {
+      count : int;
+      gap_ns : int64;
+    }
+
+type flow = {
+  key : Flow_key.t;
+  pkt_len : int;
+  pattern : pattern;
+  start_ns : int64;
+  stop_ns : int64;
+  seed : int;
+}
+
+let interval_ns rate_pps =
+  if rate_pps <= 0.0 then invalid_arg "Traffic: rate must be positive";
+  Int64.of_float (1e9 /. rate_pps)
+
+let exp_sample rng mean_ns =
+  let u = Random.State.float rng 1.0 in
+  let u = if u <= 0.0 then epsilon_float else u in
+  Int64.of_float (-.mean_ns *. log u)
+
+let install sim node flow =
+  let injected = ref 0 in
+  let mk_packet seq =
+    let m = Mbuf.synth ~key:flow.key ~len:flow.pkt_len () in
+    m.Mbuf.seq <- seq;
+    m
+  in
+  let fire time =
+    if time < flow.stop_ns then begin
+      Net.inject node (mk_packet !injected) ~at:time;
+      incr injected
+    end
+  in
+  (match flow.pattern with
+   | Cbr rate ->
+     let gap = interval_ns rate in
+     let rec plan time =
+       if time < flow.stop_ns then
+         Sim.at sim time (fun () ->
+             fire time;
+             plan (Int64.add time gap))
+     in
+     plan flow.start_ns
+   | Poisson rate ->
+     let rng = Random.State.make [| flow.seed |] in
+     let mean_ns = 1e9 /. rate in
+     let rec plan time =
+       if time < flow.stop_ns then
+         Sim.at sim time (fun () ->
+             fire time;
+             plan (Int64.add time (exp_sample rng mean_ns)))
+     in
+     plan (Int64.add flow.start_ns (exp_sample rng mean_ns))
+   | On_off { rate_pps; on_ns; off_ns } ->
+     let gap = interval_ns rate_pps in
+     let rec plan time period_end =
+       if time < flow.stop_ns then
+         Sim.at sim time (fun () ->
+             fire time;
+             let next = Int64.add time gap in
+             if next < period_end then plan next period_end
+             else
+               let on_start = Int64.add period_end off_ns in
+               plan on_start (Int64.add on_start on_ns))
+     in
+     plan flow.start_ns (Int64.add flow.start_ns on_ns)
+   | Single_burst { count; gap_ns } ->
+     let rec plan i time =
+       if i < count && time < flow.stop_ns then
+         Sim.at sim time (fun () ->
+             fire time;
+             plan (i + 1) (Int64.add time gap_ns))
+     in
+     plan 0 flow.start_ns);
+  injected
+
+let flow_key ?src ?dst ?(proto = Proto.udp) ?(iface = 0) ~id () =
+  let src =
+    match src with
+    | Some a -> a
+    | None -> Ipaddr.v4 10 0 (id lsr 8 land 0xFF) (id land 0xFF)
+  in
+  let dst =
+    match dst with
+    | Some a -> a
+    | None -> Ipaddr.v4 192 168 1 (1 + (id mod 250))
+  in
+  Flow_key.make ~src ~dst ~proto ~sport:(1024 + (id mod 60000))
+    ~dport:9000 ~iface

@@ -1,0 +1,44 @@
+(** Workload generators.  All patterns schedule their injections
+    lazily (each firing schedules the next), so long runs don't
+    materialize their whole arrival sequence up front.  Poisson and
+    on-off use an explicitly seeded PRNG; runs are deterministic.
+
+    These generators stand in for the paper's testbed traffic sources
+    (see DESIGN.md, substitutions): the experiments depend on flow
+    structure — packet size, burst length, flow count and lifetime —
+    which the parameters expose directly. *)
+
+open Rp_pkt
+
+type pattern =
+  | Cbr of float  (** packets per second, evenly spaced *)
+  | Poisson of float  (** mean packets per second *)
+  | On_off of {
+      rate_pps : float;  (** rate while on *)
+      on_ns : int64;
+      off_ns : int64;
+    }
+  | Single_burst of {
+      count : int;
+      gap_ns : int64;  (** spacing inside the burst *)
+    }
+
+type flow = {
+  key : Flow_key.t;
+  pkt_len : int;  (** wire length, bytes *)
+  pattern : pattern;
+  start_ns : int64;
+  stop_ns : int64;  (** no packets at or after this time *)
+  seed : int;
+}
+
+(** [install sim node flow] schedules the flow's arrivals into
+    [node].  Returns a counter cell holding the number of packets
+    injected so far. *)
+val install : Sim.t -> Net.node -> flow -> int ref
+
+(** [flow_key ~id ()] — convenience six-tuple for test traffic: flow
+    [id] maps to distinct addresses/ports deterministically. *)
+val flow_key :
+  ?src:Ipaddr.t -> ?dst:Ipaddr.t -> ?proto:int -> ?iface:int -> id:int ->
+  unit -> Flow_key.t

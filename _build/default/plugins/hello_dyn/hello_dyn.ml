@@ -1,0 +1,29 @@
+(* A minimal dynamically loadable plugin: tags every packet of its
+   bound flows.  Loading this object file announces the plugin to the
+   host (see Rp_control.Dynload). *)
+
+open Rp_core
+
+module Hello : Plugin.PLUGIN = struct
+  let name = "hello-dyn"
+  let gate = Gate.Stats
+  let description = "dynamically loaded demo plugin (tags packets)"
+
+  let create_instance ~instance_id ~code ~config =
+    let count = ref 0 in
+    Ok
+      (Plugin.simple ~instance_id ~code ~plugin_name:name ~gate ~config
+         ~describe:(fun () -> Printf.sprintf "hello-dyn: %d packets tagged" !count)
+         (fun _ctx m ->
+           incr count;
+           Rp_pkt.Mbuf.add_tag m "hello-from-dynlink";
+           Plugin.Continue))
+
+  let message key _ =
+    match key with
+    | "plugin-info" -> Ok description
+    | _ -> Error "hello-dyn: unknown message"
+end
+
+(* Registration side effect on load. *)
+let () = Rp_control.Dynload.announce (module Hello)

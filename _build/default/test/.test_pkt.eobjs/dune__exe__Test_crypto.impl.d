@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bytes Char Flow_key Hashtbl Hmac Ipaddr Ipsec_plugin Ipv4_header List Mbuf Md5 Printf Proto QCheck2 QCheck_alcotest Rc4 Rp_core Rp_crypto Rp_pkt Sa String Udp_header

@@ -1,0 +1,1 @@
+test/test_dynload.ml: Alcotest Flow_key Iface Ip_core Ipaddr List Mbuf Pcu Plugin Prefix Proto Router Rp_classifier Rp_control Rp_core Rp_pkt Sys

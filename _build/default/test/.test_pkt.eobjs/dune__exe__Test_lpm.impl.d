@@ -1,0 +1,1 @@
+test/test_lpm.ml: Alcotest Array Int32 Ipaddr List Prefix Printf QCheck2 QCheck_alcotest Rp_lpm Rp_pkt

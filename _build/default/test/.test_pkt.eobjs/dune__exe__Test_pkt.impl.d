@@ -1,0 +1,1 @@
+test/test_pkt.ml: Alcotest Bytes Char Checksum Flow_key Hop_by_hop Int32 Ipaddr Ipv4_header Ipv6_header List Mbuf Option_tlv Prefix Printf Proto QCheck2 QCheck_alcotest Rp_pkt Tcp_header Udp_header

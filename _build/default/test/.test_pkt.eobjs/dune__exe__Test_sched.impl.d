@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Flow_key Gate Hashtbl Int32 Int64 Ipaddr List Mbuf Option Plugin Printf Proto QCheck2 QCheck_alcotest Rp_classifier Rp_core Rp_pkt Rp_sched

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Flow_key Iface Int64 Ipaddr List Mbuf Prefix Printf Proto QCheck2 QCheck_alcotest Router Rp_core Rp_pkt Rp_sim

@@ -1,0 +1,733 @@
+(* Tests for the AIU: filter semantics, the set-pruning DAG (checked
+   against the linear reference classifier — the core correctness
+   property of the repository), the flow table, and the AIU façade. *)
+
+open Rp_pkt
+open Rp_classifier
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let string_t = Alcotest.string
+
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- generators ----------------------------------------------------- *)
+
+(* A small universe so that overlaps, subsumption and ambiguity are
+   common: addresses 10.0.x.y with x,y in 0..3, prefix lengths from a
+   few interesting values. *)
+let gen_small_addr =
+  QCheck2.Gen.map
+    (fun (x, y) -> Ipaddr.v4 10 0 x y)
+    (QCheck2.Gen.pair (QCheck2.Gen.int_bound 3) (QCheck2.Gen.int_bound 3))
+
+let gen_small_prefix =
+  QCheck2.Gen.map
+    (fun (a, len) -> Prefix.make a len)
+    (QCheck2.Gen.pair gen_small_addr
+       (QCheck2.Gen.oneofl [ 0; 8; 16; 24; 30; 31; 32 ]))
+
+let gen_port_match =
+  QCheck2.Gen.oneof
+    [
+      QCheck2.Gen.return Filter.Any_port;
+      QCheck2.Gen.map (fun p -> Filter.Port p) (QCheck2.Gen.int_bound 9);
+      QCheck2.Gen.map
+        (fun (a, b) -> Filter.Port_range (min a b, max a b))
+        (QCheck2.Gen.pair (QCheck2.Gen.int_bound 9) (QCheck2.Gen.int_bound 9));
+    ]
+
+let gen_proto =
+  QCheck2.Gen.oneofl [ None; Some Proto.tcp; Some Proto.udp ]
+
+let gen_iface = QCheck2.Gen.oneofl [ None; Some 0; Some 1 ]
+
+let gen_filter =
+  QCheck2.Gen.map
+    (fun ((src, dst, proto), (sport, dport, iface)) ->
+      Filter.v4 ~src ~dst ?proto ~sport ~dport ?iface ())
+    (QCheck2.Gen.pair
+       (QCheck2.Gen.triple gen_small_prefix gen_small_prefix gen_proto)
+       (QCheck2.Gen.triple gen_port_match gen_port_match gen_iface))
+
+let gen_key =
+  QCheck2.Gen.map
+    (fun ((src, dst, proto), (sport, dport, iface)) ->
+      Flow_key.make ~src ~dst
+        ~proto:(match proto with None -> Proto.icmp | Some p -> p)
+        ~sport ~dport
+        ~iface:(match iface with None -> 2 | Some i -> i))
+    (QCheck2.Gen.pair
+       (QCheck2.Gen.triple gen_small_addr gen_small_addr gen_proto)
+       (QCheck2.Gen.triple (QCheck2.Gen.int_bound 9) (QCheck2.Gen.int_bound 9) gen_iface))
+
+(* --- Filter --------------------------------------------------------- *)
+
+let key ?(src = "10.0.0.1") ?(dst = "10.0.0.2") ?(proto = Proto.udp)
+    ?(sport = 1000) ?(dport = 2000) ?(iface = 0) () =
+  Flow_key.make ~src:(Ipaddr.of_string src) ~dst:(Ipaddr.of_string dst) ~proto
+    ~sport ~dport ~iface
+
+let test_filter_matches () =
+  (* Filter 1 of Table 1: all TCP traffic from 129.0.0.0/8 to host
+     192.94.233.10. *)
+  let f =
+    Filter.v4 ~src:(Prefix.of_string "129.0.0.0/8")
+      ~dst:(Prefix.of_string "192.94.233.10") ~proto:Proto.tcp ()
+  in
+  check bool_t "matches" true
+    (Filter.matches f (key ~src:"129.5.5.5" ~dst:"192.94.233.10" ~proto:Proto.tcp ()));
+  check bool_t "wrong source net" false
+    (Filter.matches f (key ~src:"130.5.5.5" ~dst:"192.94.233.10" ~proto:Proto.tcp ()));
+  check bool_t "wrong proto" false
+    (Filter.matches f (key ~src:"129.5.5.5" ~dst:"192.94.233.10" ~proto:Proto.udp ()));
+  check bool_t "v6 key never matches v4 filter" false
+    (Filter.matches f
+       (Flow_key.make ~src:(Ipaddr.of_string "::1") ~dst:(Ipaddr.of_string "::2")
+          ~proto:Proto.tcp ~sport:0 ~dport:0 ~iface:0))
+
+let test_filter_specificity () =
+  (* Filter 2 (exact hosts) is more specific than filter 4 (/24 with
+     wildcard destination) — the paper's own example. *)
+  let f2 =
+    Filter.v4 ~src:(Prefix.of_string "128.252.153.1")
+      ~dst:(Prefix.of_string "128.252.153.7") ~proto:Proto.udp ()
+  in
+  let f4 =
+    Filter.v4 ~src:(Prefix.of_string "128.252.153.0/24") ~proto:Proto.udp ()
+  in
+  check bool_t "f2 more specific" true (Filter.compare_specificity f2 f4 > 0);
+  check bool_t "antisymmetric" true (Filter.compare_specificity f4 f2 < 0);
+  check int_t "reflexive" 0 (Filter.compare_specificity f2 f2);
+  (* Ports: exact beats range beats wildcard. *)
+  let fp p = Filter.v4 ~dport:p () in
+  check bool_t "port beats range" true
+    (Filter.compare_specificity (fp (Filter.Port 80)) (fp (Filter.Port_range (0, 100))) > 0);
+  check bool_t "range beats any" true
+    (Filter.compare_specificity (fp (Filter.Port_range (0, 100))) (fp Filter.Any_port) > 0);
+  (* Priority breaks full ties. *)
+  let g1 = Filter.v4 ~proto:Proto.tcp ~priority:1 ()
+  and g0 = Filter.v4 ~proto:Proto.tcp ~priority:0 () in
+  check bool_t "priority wins" true (Filter.compare_specificity g1 g0 > 0)
+
+let test_filter_parse () =
+  (match Filter.of_string "<129.*.*.*, 192.94.233.10, TCP, *, *, *>" with
+   | Error e -> Alcotest.failf "parse: %s" e
+   | Ok f ->
+     check string_t "roundtrip paper syntax"
+       "<129.0.0.0/8, 192.94.233.10, TCP, *, *, *>" (Filter.to_string f));
+  (match Filter.of_string "<10.0.0.0/8, *, UDP, 1024-2048, 53, if1> prio=3" with
+   | Error e -> Alcotest.failf "parse: %s" e
+   | Ok f ->
+     check bool_t "range parsed" true (f.Filter.sport = Filter.Port_range (1024, 2048));
+     check bool_t "iface parsed" true (f.Filter.iface = Filter.Num 1);
+     check int_t "priority" 3 f.Filter.priority);
+  check bool_t "reject five fields" true
+    (Result.is_error (Filter.of_string "<*, *, TCP, *, *>"));
+  check bool_t "reject garbage" true
+    (Result.is_error (Filter.of_string "nonsense"));
+  check bool_t "reject bad port" true
+    (Result.is_error (Filter.of_string "<*, *, TCP, 99999, *, *>"))
+
+let prop_filter_parse_roundtrip =
+  qtest "filter: of_string (to_string f) = f" gen_filter (fun f ->
+      match Filter.of_string (Filter.to_string f) with
+      | Ok f' -> Filter.equal f f'
+      | Error _ -> false)
+
+let prop_exact_of_key_matches =
+  qtest "filter: exact_of_key matches only its key"
+    (QCheck2.Gen.pair gen_key gen_key)
+    (fun (k1, k2) ->
+      let f = Filter.exact_of_key k1 in
+      Filter.matches f k1
+      && (Flow_key.equal k1 k2 || not (Filter.matches f k2)))
+
+(* --- DAG: paper examples -------------------------------------------- *)
+
+(* Table 1 / Figure 4 of the paper (protocol level only, ports and
+   iface wildcarded). *)
+let table1 () =
+  let f1 =
+    Filter.v4 ~src:(Prefix.of_string "129.0.0.0/8")
+      ~dst:(Prefix.of_string "192.94.233.10") ~proto:Proto.tcp ()
+  and f2 =
+    Filter.v4 ~src:(Prefix.of_string "128.252.153.1")
+      ~dst:(Prefix.of_string "128.252.153.7") ~proto:Proto.udp ()
+  and f3 =
+    Filter.v4 ~src:(Prefix.of_string "128.252.153.1")
+      ~dst:(Prefix.of_string "128.252.153.7") ~proto:Proto.tcp ()
+  and f4 = Filter.v4 ~src:(Prefix.of_string "128.252.153.0/24") ~proto:Proto.udp () in
+  (f1, f2, f3, f4)
+
+let test_dag_figure4 () =
+  let f1, f2, f3, f4 = table1 () in
+  let dag = Dag.create () in
+  Dag.insert dag f1 1;
+  Dag.insert dag f2 2;
+  Dag.insert dag f3 3;
+  Dag.insert dag f4 4;
+  let expect name k want =
+    match Dag.lookup dag k with
+    | Some (_, v) -> check int_t name want v
+    | None -> Alcotest.failf "%s: no match" name
+  in
+  (* The paper's example walk: <128.252.153.1, 128.252.153.7, UDP>
+     terminates at filter 2 (more specific than filter 4). *)
+  expect "paper walk -> filter 2"
+    (key ~src:"128.252.153.1" ~dst:"128.252.153.7" ~proto:Proto.udp ())
+    2;
+  expect "tcp sibling -> filter 3"
+    (key ~src:"128.252.153.1" ~dst:"128.252.153.7" ~proto:Proto.tcp ())
+    3;
+  (* Another host in the /24: only filter 4 applies. *)
+  expect "subnet udp -> filter 4"
+    (key ~src:"128.252.153.2" ~dst:"1.2.3.4" ~proto:Proto.udp ())
+    4;
+  expect "network 129 tcp -> filter 1"
+    (key ~src:"129.1.2.3" ~dst:"192.94.233.10" ~proto:Proto.tcp ())
+    1;
+  (* Filters 1 and 4 are disjoint: TCP from 129/8 to another host. *)
+  check bool_t "no match" true
+    (Dag.lookup dag (key ~src:"129.1.2.3" ~dst:"5.6.7.8" ~proto:Proto.tcp ()) = None);
+  (* The replication case: src matches both f2's host and f4's /24 —
+     a UDP packet from .1 to a host other than .7 must still find f4. *)
+  expect "set pruning keeps f4 reachable"
+    (key ~src:"128.252.153.1" ~dst:"9.9.9.9" ~proto:Proto.udp ())
+    4
+
+let test_dag_remove_rebind () =
+  let f1, f2, f3, f4 = table1 () in
+  let dag = Dag.create () in
+  List.iter (fun (f, v) -> Dag.insert dag f v) [ (f1, 1); (f2, 2); (f3, 3); (f4, 4) ];
+  Dag.remove dag f2;
+  (match Dag.lookup dag (key ~src:"128.252.153.1" ~dst:"128.252.153.7" ~proto:Proto.udp ()) with
+   | Some (_, v) -> check int_t "falls back to f4" 4 v
+   | None -> Alcotest.fail "expected f4");
+  check int_t "length" 3 (Dag.length dag);
+  (* Rebinding an existing filter replaces its value. *)
+  Dag.insert dag f4 44;
+  (match Dag.lookup dag (key ~src:"128.252.153.2" ~dst:"1.1.1.1" ~proto:Proto.udp ()) with
+   | Some (_, v) -> check int_t "rebound" 44 v
+   | None -> Alcotest.fail "expected rebound f4");
+  check int_t "length unchanged" 3 (Dag.length dag)
+
+let test_dag_port_ranges () =
+  let dag = Dag.create () in
+  let f_range = Filter.v4 ~dport:(Filter.Port_range (100, 200)) () in
+  let f_exact = Filter.v4 ~dport:(Filter.Port 150) () in
+  let f_any = Filter.v4 ~proto:Proto.udp () in
+  Dag.insert dag f_range 1;
+  Dag.insert dag f_exact 2;
+  Dag.insert dag f_any 3;
+  let got p proto =
+    match Dag.lookup dag (key ~proto ~dport:p ()) with
+    | Some (_, v) -> v
+    | None -> -1
+  in
+  check int_t "exact wins inside range" 2 (got 150 Proto.tcp);
+  check int_t "range" 1 (got 100 Proto.tcp);
+  check int_t "range upper edge" 1 (got 200 Proto.tcp);
+  check int_t "outside range udp" 3 (got 201 Proto.udp);
+  check int_t "outside range tcp" (-1) (got 201 Proto.tcp);
+  (* Overlapping range inserted later forces interval splitting. *)
+  let f_overlap = Filter.v4 ~dport:(Filter.Port_range (150, 300)) ~priority:5 () in
+  Dag.insert dag f_overlap 4;
+  check int_t "overlap section" 4 (got 250 Proto.tcp);
+  check int_t "pre-overlap still range" 1 (got 120 Proto.tcp);
+  (* 150-200 is matched by both ranges (same width ordering decides);
+     f_overlap (width 151) is wider than f_exact (width 1). *)
+  check int_t "exact still wins" 2 (got 150 Proto.tcp)
+
+let test_dag_iface_level () =
+  let dag = Dag.create () in
+  Dag.insert dag (Filter.v4 ~iface:0 ()) 10;
+  Dag.insert dag (Filter.v4 ~iface:1 ()) 11;
+  Dag.insert dag (Filter.v4 ()) 99;
+  let got i =
+    match Dag.lookup dag (key ~iface:i ()) with Some (_, v) -> v | None -> -1
+  in
+  check int_t "if0" 10 (got 0);
+  check int_t "if1" 11 (got 1);
+  check int_t "other iface -> wildcard" 99 (got 7)
+
+let test_dag_v6 () =
+  let dag = Dag.create () in
+  let f =
+    Filter.v6 ~src:(Prefix.of_string "2001:db8::/32") ~proto:Proto.udp ()
+  in
+  Dag.insert dag f 1;
+  Dag.insert dag (Filter.v6 ()) 0;
+  let k6 src =
+    Flow_key.make ~src:(Ipaddr.of_string src) ~dst:(Ipaddr.of_string "2001:db8::99")
+      ~proto:Proto.udp ~sport:1 ~dport:2 ~iface:0
+  in
+  (match Dag.lookup dag (k6 "2001:db8::1") with
+   | Some (_, v) -> check int_t "v6 match" 1 v
+   | None -> Alcotest.fail "no v6 match");
+  (match Dag.lookup dag (k6 "fe80::1") with
+   | Some (_, v) -> check int_t "v6 wildcard" 0 v
+   | None -> Alcotest.fail "no v6 wildcard match");
+  (* A v4 key must not match the v6 wildcard filter. *)
+  check bool_t "family isolation" true (Dag.lookup dag (key ()) = None)
+
+(* --- DAG: the central equivalence property -------------------------- *)
+
+let dag_matches_reference engine =
+  let module E = (val engine : Rp_lpm.Lpm_intf.S) in
+  qtest ~count:400
+    (Printf.sprintf "dag(%s) = linear reference" E.name)
+    QCheck2.Gen.(
+      pair (list_size (int_range 0 25) gen_filter) (list_size (int_range 1 25) gen_key))
+    (fun (filters, keys) ->
+      let dag = Dag.create ~engine () in
+      let reference = Linear_ref.create () in
+      List.iteri
+        (fun i f ->
+          Dag.insert dag f i;
+          Linear_ref.insert reference f i)
+        filters;
+      List.for_all
+        (fun k ->
+          match Linear_ref.classify reference k, Dag.lookup dag k with
+          | None, None -> true
+          | Some (f, _), Some (f', _) ->
+            (* Distinct but equally specific filters can tie; accept
+               either winner provided the specificity class agrees and
+               both match. *)
+            Filter.compare_specificity f f' = 0
+            && Filter.matches f' k
+          | None, Some _ | Some _, None -> false)
+        keys)
+
+let dag_matches_reference_after_removal =
+  qtest ~count:200 "dag = linear reference after removals"
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 1 20) gen_filter)
+        (list_size (int_range 0 8) (int_bound 19))
+        (list_size (int_range 1 15) gen_key))
+    (fun (filters, removals, keys) ->
+      let dag = Dag.create () in
+      let reference = Linear_ref.create () in
+      List.iteri
+        (fun i f ->
+          Dag.insert dag f i;
+          Linear_ref.insert reference f i)
+        filters;
+      let arr = Array.of_list filters in
+      List.iter
+        (fun i ->
+          if i < Array.length arr then begin
+            Dag.remove dag arr.(i);
+            Linear_ref.remove reference arr.(i)
+          end)
+        removals;
+      List.for_all
+        (fun k ->
+          match Linear_ref.classify reference k, Dag.lookup dag k with
+          | None, None -> true
+          | Some (f, _), Some (f', _) ->
+            Filter.compare_specificity f f' = 0 && Filter.matches f' k
+          | None, Some _ | Some _, None -> false)
+        keys)
+
+(* --- DAG: wildcard-chain collapsing (§5.1.2 optimization) ------------- *)
+
+let test_dag_optimize_reduces_accesses () =
+  (* Filters with fully wildcarded proto/ports/iface: levels 2-5 become
+     single-wildcard chains that optimize collapses. *)
+  let dag = Dag.create () in
+  for i = 0 to 9 do
+    Dag.insert dag
+      (Filter.v4 ~src:(Prefix.make (Ipaddr.v4 10 0 0 i) 32) ())
+      i
+  done;
+  let k = key ~src:"10.0.0.3" () in
+  ignore (Dag.lookup dag k);
+  let r1, before = Rp_lpm.Access.measure (fun () -> Dag.lookup dag k) in
+  Dag.optimize dag;
+  let r2, after = Rp_lpm.Access.measure (fun () -> Dag.lookup dag k) in
+  check bool_t "same result" true
+    (match r1, r2 with
+     | Some (_, a), Some (_, b) -> a = b
+     | None, None -> true
+     | _, _ -> false);
+  check bool_t (Printf.sprintf "fewer accesses (%d -> %d)" before after) true
+    (after < before);
+  (* An insert through the collapsed path un-collapses it, keeping
+     results correct. *)
+  Dag.insert dag (Filter.v4 ~src:(Prefix.of_string "10.0.0.3") ~proto:Proto.udp ~priority:9 ()) 99;
+  match Dag.lookup dag k with
+  | Some (_, v) -> check int_t "post-insert correctness" 99 v
+  | None -> Alcotest.fail "lost match after un-collapse"
+
+let prop_dag_optimize_preserves_semantics =
+  qtest ~count:200 "dag: optimize never changes lookup results"
+    QCheck2.Gen.(
+      pair (list_size (int_range 0 20) gen_filter) (list_size (int_range 1 20) gen_key))
+    (fun (filters, keys) ->
+      let dag = Dag.create () in
+      List.iteri (fun i f -> Dag.insert dag f i) filters;
+      let plain = List.map (fun k -> Dag.lookup dag k) keys in
+      Dag.optimize dag;
+      let collapsed = List.map (fun k -> Dag.lookup dag k) keys in
+      List.for_all2
+        (fun a b ->
+          match a, b with
+          | None, None -> true
+          | Some (f, v), Some (f', v') -> Filter.equal f f' && v = v'
+          | _, _ -> false)
+        plain collapsed)
+
+
+(* --- grid-of-tries (two-dimensional classifier, §5.1.2) --------------- *)
+
+let test_grid_of_tries_basic () =
+  let g = Grid_of_tries.create () in
+  let p = Prefix.of_string in
+  Grid_of_tries.insert g ~src:(p "10.0.0.0/8") ~dst:(p "192.168.0.0/16") 1;
+  Grid_of_tries.insert g ~src:(p "10.1.0.0/16") ~dst:(p "0.0.0.0/0") 2;
+  Grid_of_tries.insert g ~src:(p "0.0.0.0/0") ~dst:(p "192.168.1.0/24") 3;
+  let look s d =
+    match Grid_of_tries.lookup g ~src:(Ipaddr.of_string s) ~dst:(Ipaddr.of_string d) with
+    | Some (_, _, v) -> v
+    | None -> -1
+  in
+  (* src 10.1.x matches both /8 and /16; longest src wins. *)
+  check int_t "longest src wins" 2 (look "10.1.2.3" "192.168.1.1");
+  (* src 10.2.x matches only /8; needs dst 192.168/16. *)
+  check int_t "switch to shorter src" 1 (look "10.2.0.1" "192.168.9.9");
+  (* src outside 10/8: only the wildcard-src filter, dst /24. *)
+  check int_t "wildcard src" 3 (look "172.16.0.1" "192.168.1.200");
+  check int_t "no match" (-1) (look "172.16.0.1" "10.0.0.1");
+  Grid_of_tries.remove g ~src:(p "10.1.0.0/16") ~dst:(p "0.0.0.0/0");
+  check int_t "after removal falls back" 1 (look "10.1.2.3" "192.168.1.1")
+
+(* The central property: grid-of-tries agrees with the linear
+   reference on purely two-dimensional filters. *)
+let prop_grid_of_tries_matches_reference =
+  qtest ~count:400 "grid-of-tries = linear reference (2D filters)"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 25) (pair gen_small_prefix gen_small_prefix))
+        (list_size (int_range 1 25) (pair gen_small_addr gen_small_addr)))
+    (fun (pairs, queries) ->
+      let g = Grid_of_tries.create () in
+      let reference = Linear_ref.create () in
+      List.iteri
+        (fun i (src, dst) ->
+          Grid_of_tries.insert g ~src ~dst i;
+          Linear_ref.insert reference (Filter.v4 ~src ~dst ()) i)
+        pairs;
+      List.for_all
+        (fun (src, dst) ->
+          let key =
+            Flow_key.make ~src ~dst ~proto:Proto.udp ~sport:1 ~dport:2 ~iface:0
+          in
+          match Linear_ref.classify reference key, Grid_of_tries.lookup g ~src ~dst with
+          | None, None -> true
+          | Some (f, _), Some (s, d, _) ->
+            (* Equal specificity on the two dimensions. *)
+            f.Filter.src.Prefix.len = s.Prefix.len
+            && f.Filter.dst.Prefix.len = d.Prefix.len
+            && Prefix.matches s src && Prefix.matches d dst
+          | None, Some _ | Some _, None -> false)
+        queries)
+
+(* The paper's point: better memory than set pruning on the same
+   filters. *)
+let test_grid_of_tries_memory () =
+  let rng = Random.State.make [| 5 |] in
+  let pairs =
+    List.init 600 (fun _ ->
+        let addr () =
+          Ipaddr.v4 (Random.State.int rng 32) (Random.State.int rng 4) 0 0
+        in
+        ( Prefix.make (addr ()) (8 + Random.State.int rng 9),
+          Prefix.make (addr ()) (8 + Random.State.int rng 9) ))
+  in
+  let g = Grid_of_tries.create () in
+  let dag = Dag.create () in
+  List.iteri
+    (fun i (src, dst) ->
+      Grid_of_tries.insert g ~src ~dst i;
+      Dag.insert dag (Filter.v4 ~src ~dst ()) i)
+    pairs;
+  let gn = Grid_of_tries.node_count g in
+  let dn = Dag.node_count dag in
+  check bool_t
+    (Printf.sprintf "fewer nodes than set pruning (%d vs %d)" gn dn)
+    true (gn < dn)
+
+(* --- Flow table ------------------------------------------------------ *)
+
+let mk_key i =
+  Flow_key.make ~src:(Ipaddr.v4 10 0 (i lsr 8) (i land 0xFF))
+    ~dst:(Ipaddr.v4 10 1 0 1) ~proto:Proto.udp ~sport:(1000 + i) ~dport:53
+    ~iface:0
+
+let test_flow_table_hit_miss () =
+  let t = Flow_table.create ~buckets:64 ~gates:3 () in
+  let k = mk_key 1 in
+  check bool_t "miss first" true (Flow_table.lookup t k ~now:0L = None);
+  let r = Flow_table.insert t k ~now:0L in
+  Flow_table.set_binding t r ~gate:1 "sched";
+  (match Flow_table.lookup t k ~now:5L with
+   | None -> Alcotest.fail "expected hit"
+   | Some r' ->
+     check bool_t "same record" true (r == r');
+     check bool_t "binding" true
+       (match Flow_table.binding r' ~gate:1 with
+        | Some b -> b.Flow_table.instance = "sched"
+        | None -> false);
+     check bool_t "empty gate" true (Flow_table.binding r' ~gate:0 = None));
+  let s = Flow_table.stats t in
+  check int_t "hits" 1 s.Flow_table.hits;
+  check int_t "misses" 1 s.Flow_table.misses
+
+let test_flow_table_fix () =
+  let t = Flow_table.create ~buckets:64 ~gates:2 () in
+  let r = Flow_table.insert t (mk_key 1) ~now:0L in
+  let fix = Flow_table.fix_of_record r in
+  (match Flow_table.find_fix t fix with
+   | Some r' -> check bool_t "fix resolves" true (r == r')
+   | None -> Alcotest.fail "fix should resolve");
+  Flow_table.remove t r;
+  check bool_t "fix invalid after remove" true (Flow_table.find_fix t fix = None);
+  (* Reuse the slot for another flow: the old FIX must not resolve. *)
+  let r2 = Flow_table.insert t (mk_key 2) ~now:1L in
+  check bool_t "slot reused" true (r2.Flow_table.slot = r.Flow_table.slot);
+  check bool_t "stale fix rejected" true (Flow_table.find_fix t fix = None);
+  check bool_t "new fix ok" true
+    (Flow_table.find_fix t (Flow_table.fix_of_record r2) <> None)
+
+let test_flow_table_growth () =
+  let t = Flow_table.create ~buckets:64 ~initial_records:4 ~gates:1 () in
+  check int_t "initial capacity" 4 (Flow_table.capacity t);
+  for i = 0 to 9 do
+    ignore (Flow_table.insert t (mk_key i) ~now:(Int64.of_int i))
+  done;
+  check int_t "live" 10 (Flow_table.length t);
+  check bool_t "grew exponentially" true (Flow_table.capacity t >= 16);
+  (* All ten flows still resolvable. *)
+  for i = 0 to 9 do
+    if Flow_table.lookup t (mk_key i) ~now:100L = None then
+      Alcotest.failf "flow %d lost during growth" i
+  done
+
+let test_flow_table_recycling () =
+  let t = Flow_table.create ~buckets:16 ~initial_records:4 ~max_records:4 ~gates:1 () in
+  for i = 0 to 3 do
+    ignore (Flow_table.insert t (mk_key i) ~now:(Int64.of_int i))
+  done;
+  (* Fifth insert must recycle the oldest (key 0). *)
+  ignore (Flow_table.insert t (mk_key 4) ~now:10L);
+  check int_t "capacity fixed" 4 (Flow_table.capacity t);
+  check bool_t "oldest gone" true (Flow_table.lookup t (mk_key 0) ~now:11L = None);
+  check bool_t "newest present" true (Flow_table.lookup t (mk_key 4) ~now:11L <> None);
+  check bool_t "second oldest still present" true
+    (Flow_table.lookup t (mk_key 1) ~now:11L <> None);
+  check int_t "recycled count" 1 (Flow_table.stats t).Flow_table.recycled
+
+let test_flow_table_eviction_callback () =
+  let evicted = ref [] in
+  let on_evict ~gate (b : string Flow_table.binding) =
+    evicted := (gate, b.Flow_table.instance) :: !evicted
+  in
+  let t = Flow_table.create ~buckets:16 ~gates:2 ~on_evict () in
+  let r = Flow_table.insert t (mk_key 1) ~now:0L in
+  Flow_table.set_binding t r ~gate:0 "a";
+  Flow_table.set_binding t r ~gate:1 "b";
+  Flow_table.remove t r;
+  check int_t "two callbacks" 2 (List.length !evicted);
+  check bool_t "gates seen" true
+    (List.mem (0, "a") !evicted && List.mem (1, "b") !evicted)
+
+let test_flow_table_expire () =
+  let t = Flow_table.create ~buckets:16 ~gates:1 () in
+  ignore (Flow_table.insert t (mk_key 1) ~now:0L);
+  ignore (Flow_table.insert t (mk_key 2) ~now:0L);
+  (* Touch flow 2 late so only flow 1 is idle. *)
+  ignore (Flow_table.lookup t (mk_key 2) ~now:900L);
+  let n = Flow_table.expire t ~now:1000L ~idle_ns:500L in
+  check int_t "one expired" 1 n;
+  check bool_t "flow1 gone" true (Flow_table.lookup t (mk_key 1) ~now:1001L = None);
+  check bool_t "flow2 kept" true (Flow_table.lookup t (mk_key 2) ~now:1001L <> None)
+
+let prop_flow_table_model =
+  (* Model check: a sequence of insert/remove/lookup agrees with a
+     simple association-list model (unbounded table). *)
+  qtest ~count:200 "flow table = model"
+    QCheck2.Gen.(list_size (int_range 1 60) (pair (int_bound 2) (int_bound 15)))
+    (fun ops ->
+      let t = Flow_table.create ~buckets:8 ~initial_records:2 ~gates:1 () in
+      let model = Hashtbl.create 16 in
+      let now = ref 0L in
+      List.for_all
+        (fun (op, i) ->
+          now := Int64.add !now 1L;
+          let k = mk_key i in
+          match op with
+          | 0 ->
+            let r = Flow_table.insert t k ~now:!now in
+            Hashtbl.replace model i r.Flow_table.gen;
+            true
+          | 1 ->
+            (match Flow_table.lookup t k ~now:!now with
+             | Some r ->
+               Flow_table.remove t r;
+               Hashtbl.remove model i;
+               true
+             | None -> not (Hashtbl.mem model i))
+          | _ ->
+            (match Flow_table.lookup t k ~now:!now, Hashtbl.mem model i with
+             | Some _, true | None, false -> true
+             | Some _, false | None, true -> false))
+        ops)
+
+(* --- AIU ------------------------------------------------------------- *)
+
+let test_aiu_classify_caches () =
+  let aiu = Aiu.create ~gates:3 () in
+  let f = Filter.v4 ~src:(Prefix.of_string "10.0.0.0/8") () in
+  Aiu.bind aiu ~gate:0 f "opt";
+  Aiu.bind aiu ~gate:2 f "sched";
+  let m = Mbuf.synth ~key:(key ()) ~len:100 () in
+  (* First gate on an uncached flow: classification populates all gates. *)
+  (match Aiu.classify aiu m ~gate:0 ~now:0L with
+   | Some (v, record) ->
+     check string_t "gate0 instance" "opt" v;
+     check bool_t "gate2 prefetched" true
+       (match Flow_table.binding record ~gate:2 with
+        | Some b -> b.Flow_table.instance = "sched"
+        | None -> false);
+     check bool_t "gate1 empty" true (Flow_table.binding record ~gate:1 = None)
+   | None -> Alcotest.fail "expected gate0 match");
+  check bool_t "fix set" true (m.Mbuf.fix <> None);
+  (* Subsequent gate uses the FIX: no flow-table lookup. *)
+  let stats_before = Flow_table.stats (Aiu.flow_table aiu) in
+  (match Aiu.classify aiu m ~gate:2 ~now:1L with
+   | Some (v, _) -> check string_t "gate2 via fix" "sched" v
+   | None -> Alcotest.fail "expected gate2 match");
+  let stats_after = Flow_table.stats (Aiu.flow_table aiu) in
+  check int_t "no extra hash lookup via fix" stats_before.Flow_table.lookups
+    stats_after.Flow_table.lookups;
+  (* Second packet of the flow: flow-table hit, no filter lookup. *)
+  let m2 = Mbuf.synth ~key:(key ()) ~len:100 () in
+  (match Aiu.classify aiu m2 ~gate:0 ~now:2L with
+   | Some (v, _) -> check string_t "cached flow" "opt" v
+   | None -> Alcotest.fail "expected cached match");
+  check int_t "hit recorded" 1 (Flow_table.stats (Aiu.flow_table aiu)).Flow_table.hits
+
+let test_aiu_rebind_flushes () =
+  let aiu = Aiu.create ~gates:1 () in
+  let f = Filter.v4 ~src:(Prefix.of_string "10.0.0.0/8") () in
+  Aiu.bind aiu ~gate:0 f "v1";
+  let m = Mbuf.synth ~key:(key ()) ~len:100 () in
+  (match Aiu.classify aiu m ~gate:0 ~now:0L with
+   | Some (v, _) -> check string_t "before" "v1" v
+   | None -> Alcotest.fail "expected match");
+  Aiu.bind aiu ~gate:0 f "v2";
+  (* The cached flow entry and the packet's FIX are now stale; a new
+     packet must see the new binding. *)
+  let m2 = Mbuf.synth ~key:(key ()) ~len:100 () in
+  (match Aiu.classify aiu m2 ~gate:0 ~now:1L with
+   | Some (v, _) -> check string_t "after rebind" "v2" v
+   | None -> Alcotest.fail "expected match after rebind");
+  (* The old packet's FIX is stale but must degrade gracefully. *)
+  match Aiu.classify aiu m ~gate:0 ~now:2L with
+  | Some (v, _) -> check string_t "stale fix reclassified" "v2" v
+  | None -> Alcotest.fail "expected reclassification"
+
+let test_aiu_no_match () =
+  let aiu = Aiu.create ~gates:2 () in
+  Aiu.bind aiu ~gate:0 (Filter.v4 ~proto:Proto.tcp ()) "tcp-only";
+  let m = Mbuf.synth ~key:(key ~proto:Proto.udp ()) ~len:64 () in
+  check bool_t "no binding for udp" true (Aiu.classify aiu m ~gate:0 ~now:0L = None);
+  (* The flow record exists nonetheless (negative caching). *)
+  check int_t "record cached" 1 (Flow_table.length (Aiu.flow_table aiu))
+
+let prop_aiu_cached_equals_uncached =
+  qtest ~count:150 "aiu: cached result = uncached classification"
+    QCheck2.Gen.(
+      pair (list_size (int_range 1 15) gen_filter) (list_size (int_range 1 10) gen_key))
+    (fun (filters, keys) ->
+      let aiu = Aiu.create ~gates:1 () in
+      let reference = Linear_ref.create () in
+      List.iteri
+        (fun i f ->
+          Aiu.bind aiu ~gate:0 f i;
+          Linear_ref.insert reference f i)
+        filters;
+      List.for_all
+        (fun k ->
+          (* Ask twice: the first answer comes from the filter tables,
+             the second from the flow cache.  Both must agree with the
+             reference modulo specificity ties. *)
+          let first = Aiu.classify_key aiu k ~gate:0 ~now:0L in
+          let second = Aiu.classify_key aiu k ~gate:0 ~now:1L in
+          let expect = Linear_ref.classify reference k in
+          match expect, first, second with
+          | None, None, None -> true
+          | Some (f, _), Some (v1, _), Some (v2, _) ->
+            v1 = v2
+            &&
+            let f' = List.nth filters v1 in
+            Filter.compare_specificity f f' = 0 && Filter.matches f' k
+          | _, _, _ -> false)
+        keys)
+
+let () =
+  Alcotest.run "rp_classifier"
+    [
+      ( "filter",
+        [
+          Alcotest.test_case "matches" `Quick test_filter_matches;
+          Alcotest.test_case "specificity" `Quick test_filter_specificity;
+          Alcotest.test_case "parse" `Quick test_filter_parse;
+          prop_filter_parse_roundtrip;
+          prop_exact_of_key_matches;
+        ] );
+      ( "dag",
+        [
+          Alcotest.test_case "figure 4 walk" `Quick test_dag_figure4;
+          Alcotest.test_case "remove and rebind" `Quick test_dag_remove_rebind;
+          Alcotest.test_case "port ranges" `Quick test_dag_port_ranges;
+          Alcotest.test_case "iface level" `Quick test_dag_iface_level;
+          Alcotest.test_case "ipv6 filters" `Quick test_dag_v6;
+          dag_matches_reference Rp_lpm.Engines.patricia;
+          dag_matches_reference Rp_lpm.Engines.bspl;
+          dag_matches_reference Rp_lpm.Engines.cpe;
+          dag_matches_reference_after_removal;
+          Alcotest.test_case "optimize reduces accesses" `Quick
+            test_dag_optimize_reduces_accesses;
+          prop_dag_optimize_preserves_semantics;
+        ] );
+      ( "grid_of_tries",
+        [
+          Alcotest.test_case "basic 2D semantics" `Quick test_grid_of_tries_basic;
+          prop_grid_of_tries_matches_reference;
+          Alcotest.test_case "memory vs set pruning" `Quick
+            test_grid_of_tries_memory;
+        ] );
+      ( "flow_table",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_flow_table_hit_miss;
+          Alcotest.test_case "fix generation" `Quick test_flow_table_fix;
+          Alcotest.test_case "growth" `Quick test_flow_table_growth;
+          Alcotest.test_case "recycling" `Quick test_flow_table_recycling;
+          Alcotest.test_case "eviction callback" `Quick test_flow_table_eviction_callback;
+          Alcotest.test_case "expire" `Quick test_flow_table_expire;
+          prop_flow_table_model;
+        ] );
+      ( "aiu",
+        [
+          Alcotest.test_case "classify caches" `Quick test_aiu_classify_caches;
+          Alcotest.test_case "rebind flushes" `Quick test_aiu_rebind_flushes;
+          Alcotest.test_case "no match" `Quick test_aiu_no_match;
+          prop_aiu_cached_equals_uncached;
+        ] );
+    ]

@@ -1,0 +1,269 @@
+(* Tests for the BMP engines: unit tests on known prefix sets plus the
+   central property — every engine agrees with the linear reference on
+   random prefix sets and random queries. *)
+
+open Rp_pkt
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let string_t = Alcotest.string
+
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let gen_v4 =
+  QCheck2.Gen.map
+    (fun (a, b) ->
+      Ipaddr.v4_of_int32
+        (Int32.logor (Int32.shift_left (Int32.of_int a) 16) (Int32.of_int b)))
+    (QCheck2.Gen.pair (QCheck2.Gen.int_bound 0xFFFF) (QCheck2.Gen.int_bound 0xFFFF))
+
+let gen_v6 =
+  QCheck2.Gen.map
+    (fun (a, b, c, d) ->
+      Ipaddr.v6 (Int32.of_int a) (Int32.of_int b) (Int32.of_int c) (Int32.of_int d))
+    (QCheck2.Gen.quad (QCheck2.Gen.int_bound 0xFFFF) (QCheck2.Gen.int_bound 0xFFFF)
+       (QCheck2.Gen.int_bound 0xFFFF) (QCheck2.Gen.int_bound 0xFFFF))
+
+(* Prefixes clustered in a small address range so that subsumption and
+   longest-match situations actually arise. *)
+let gen_prefix_v4 =
+  QCheck2.Gen.map
+    (fun (a, len) -> Prefix.make a len)
+    (QCheck2.Gen.pair
+       (QCheck2.Gen.map
+          (fun x -> Ipaddr.v4_of_int32 (Int32.of_int x))
+          (QCheck2.Gen.int_bound 0xFFFF))
+       (QCheck2.Gen.int_bound 32))
+
+let gen_prefix_v6 =
+  QCheck2.Gen.map
+    (fun (a, len) -> Prefix.make a len)
+    (QCheck2.Gen.pair gen_v6 (QCheck2.Gen.int_bound 128))
+
+(* Queries drawn from the same clustered range plus uniform ones. *)
+let gen_query_v4 =
+  QCheck2.Gen.oneof
+    [
+      QCheck2.Gen.map
+        (fun x -> Ipaddr.v4_of_int32 (Int32.of_int x))
+        (QCheck2.Gen.int_bound 0xFFFF);
+      gen_v4;
+    ]
+
+(* --- unit tests against a fixed table ------------------------------- *)
+
+let fixed_table =
+  [
+    ("0.0.0.0/0", 0);
+    ("128.0.0.0/8", 1);
+    ("128.252.0.0/16", 2);
+    ("128.252.153.0/24", 3);
+    ("128.252.153.7", 4);
+    ("129.0.0.0/8", 5);
+    ("10.0.0.0/8", 6);
+    ("10.128.0.0/9", 7);
+  ]
+
+let fixed_cases =
+  [
+    ("128.252.153.7", 4);
+    ("128.252.153.8", 3);
+    ("128.252.100.1", 2);
+    ("128.1.1.1", 1);
+    ("129.99.99.99", 5);
+    ("10.127.0.1", 6);
+    ("10.200.0.1", 7);
+    ("1.2.3.4", 0);
+  ]
+
+let unit_engine (module E : Rp_lpm.Lpm_intf.S) () =
+  let t = E.create () in
+  List.iter (fun (p, v) -> E.insert t (Prefix.of_string p) v) fixed_table;
+  check int_t "length" (List.length fixed_table) (E.length t);
+  List.iter
+    (fun (addr, expect) ->
+      match E.lookup t (Ipaddr.of_string addr) with
+      | None -> Alcotest.failf "%s: no match for %s" E.name addr
+      | Some (_, v) ->
+        check int_t (Printf.sprintf "%s: %s" E.name addr) expect v)
+    fixed_cases
+
+let unit_engine_remove (module E : Rp_lpm.Lpm_intf.S) () =
+  let t = E.create () in
+  List.iter (fun (p, v) -> E.insert t (Prefix.of_string p) v) fixed_table;
+  E.remove t (Prefix.of_string "128.252.153.0/24");
+  (match E.lookup t (Ipaddr.of_string "128.252.153.8") with
+   | Some (_, v) -> check int_t "falls back to /16" 2 v
+   | None -> Alcotest.fail "no match after remove");
+  E.remove t (Prefix.of_string "0.0.0.0/0");
+  check bool_t "default gone" true (E.lookup t (Ipaddr.of_string "1.2.3.4") = None);
+  check int_t "length after removes" (List.length fixed_table - 2) (E.length t)
+
+let unit_engine_replace (module E : Rp_lpm.Lpm_intf.S) () =
+  let t = E.create () in
+  let p = Prefix.of_string "10.0.0.0/8" in
+  E.insert t p 1;
+  E.insert t p 2;
+  check int_t "replaced" 1 (E.length t);
+  check bool_t "new value" true (E.find_exact t p = Some 2)
+
+let unit_engine_v6 (module E : Rp_lpm.Lpm_intf.S) () =
+  let t = E.create () in
+  E.insert t (Prefix.of_string "2001:db8::/32") 1;
+  E.insert t (Prefix.of_string "2001:db8:1::/48") 2;
+  E.insert t (Prefix.of_string "::/0") 0;
+  (match E.lookup t (Ipaddr.of_string "2001:db8:1::5") with
+   | Some (_, v) -> check int_t "/48 wins" 2 v
+   | None -> Alcotest.fail "no v6 match");
+  (match E.lookup t (Ipaddr.of_string "2001:db8:2::5") with
+   | Some (_, v) -> check int_t "/32 wins" 1 v
+   | None -> Alcotest.fail "no v6 match");
+  match E.lookup t (Ipaddr.of_string "fe80::1") with
+  | Some (_, v) -> check int_t "default" 0 v
+  | None -> Alcotest.fail "no default match"
+
+(* Mixed families in one table must not interfere. *)
+let unit_engine_mixed (module E : Rp_lpm.Lpm_intf.S) () =
+  let t = E.create () in
+  E.insert t (Prefix.of_string "0.0.0.0/0") 4;
+  E.insert t (Prefix.of_string "::/0") 6;
+  (match E.lookup t (Ipaddr.of_string "1.2.3.4") with
+   | Some (_, v) -> check int_t "v4 default" 4 v
+   | None -> Alcotest.fail "no v4");
+  match E.lookup t (Ipaddr.of_string "::1") with
+  | Some (_, v) -> check int_t "v6 default" 6 v
+  | None -> Alcotest.fail "no v6"
+
+(* --- equivalence property vs the linear reference ------------------- *)
+
+let equivalence_prop (module E : Rp_lpm.Lpm_intf.S) gen_prefix gen_query =
+  qtest
+    (Printf.sprintf "%s = linear reference" E.name)
+    QCheck2.Gen.(
+      pair (list_size (int_range 0 40) gen_prefix) (list_size (int_range 1 20) gen_query))
+    (fun (prefixes, queries) ->
+      let reference = Rp_lpm.Linear.create () in
+      let t = E.create () in
+      List.iteri
+        (fun i p ->
+          Rp_lpm.Linear.insert reference p i;
+          E.insert t p i)
+        prefixes;
+      List.for_all
+        (fun q ->
+          let expect = Rp_lpm.Linear.lookup reference q in
+          let got = E.lookup t q in
+          match expect, got with
+          | None, None -> true
+          | Some (p, _), Some (p', _) ->
+            (* Values may differ when duplicate prefixes appear in the
+               random list; the winning prefix must agree. *)
+            Prefix.equal p p'
+          | None, Some _ | Some _, None -> false)
+        queries)
+
+(* Same property after a random subset of removals. *)
+let equivalence_with_removal_prop (module E : Rp_lpm.Lpm_intf.S) =
+  qtest
+    (Printf.sprintf "%s = linear reference after removals" E.name)
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 1 30) gen_prefix_v4)
+        (list_size (int_range 0 10) (int_bound 29))
+        (list_size (int_range 1 15) gen_query_v4))
+    (fun (prefixes, removals, queries) ->
+      let reference = Rp_lpm.Linear.create () in
+      let t = E.create () in
+      List.iteri
+        (fun i p ->
+          Rp_lpm.Linear.insert reference p i;
+          E.insert t p i)
+        prefixes;
+      let arr = Array.of_list prefixes in
+      List.iter
+        (fun i ->
+          if i < Array.length arr then begin
+            Rp_lpm.Linear.remove reference arr.(i);
+            E.remove t arr.(i)
+          end)
+        removals;
+      List.for_all
+        (fun q ->
+          match Rp_lpm.Linear.lookup reference q, E.lookup t q with
+          | None, None -> true
+          | Some (p, _), Some (p', _) -> Prefix.equal p p'
+          | None, Some _ | Some _, None -> false)
+        queries)
+
+(* --- BSPL-specific: probe bound ------------------------------------- *)
+
+let test_bspl_probe_bound () =
+  (* With all 32 prefix lengths present the search tree depth must be
+     at most ceil(log2(33)) = 6; with lengths 1..31 it is exactly 5 —
+     the figure Table 2 of the paper uses. *)
+  let t = Rp_lpm.Bspl.create () in
+  for len = 1 to 31 do
+    Rp_lpm.Bspl.insert t (Prefix.make (Ipaddr.v4 10 0 0 0) len) len
+  done;
+  ignore (Rp_lpm.Bspl.lookup t (Ipaddr.v4 10 0 0 1));
+  check int_t "depth over 31 lengths" 5 (Rp_lpm.Bspl.worst_case_probes t `V4);
+  let t6 = Rp_lpm.Bspl.create () in
+  for len = 1 to 127 do
+    Rp_lpm.Bspl.insert t6 (Prefix.make (Ipaddr.of_string "2001:db8::") (min len 128)) len
+  done;
+  ignore (Rp_lpm.Bspl.lookup t6 (Ipaddr.of_string "2001:db8::1"));
+  check int_t "depth over 127 lengths" 7 (Rp_lpm.Bspl.worst_case_probes t6 `V6)
+
+let test_bspl_marker_correctness () =
+  (* The classic marker trap: a marker must not report a match on its
+     own.  128.0.0.0/1 and 128.252.0.0/16 with a query that matches the
+     /1 only below the marker level. *)
+  let t = Rp_lpm.Bspl.create () in
+  Rp_lpm.Bspl.insert t (Prefix.of_string "128.0.0.0/1") 1;
+  Rp_lpm.Bspl.insert t (Prefix.of_string "128.252.0.0/16") 16;
+  (match Rp_lpm.Bspl.lookup t (Ipaddr.v4 128 252 1 1) with
+   | Some (p, _) -> check string_t "longest" "128.252.0.0/16" (Prefix.to_string p)
+   | None -> Alcotest.fail "no match");
+  match Rp_lpm.Bspl.lookup t (Ipaddr.v4 129 0 0 1) with
+  | Some (p, _) -> check string_t "bmp via marker" "128.0.0.0/1" (Prefix.to_string p)
+  | None -> Alcotest.fail "marker swallowed the match"
+
+let test_access_counting () =
+  Rp_lpm.Access.reset ();
+  let t = Rp_lpm.Patricia.create () in
+  Rp_lpm.Patricia.insert t (Prefix.of_string "10.0.0.0/8") 1;
+  let _, cost = Rp_lpm.Access.measure (fun () -> Rp_lpm.Patricia.lookup t (Ipaddr.v4 10 1 1 1)) in
+  check bool_t "patricia charges accesses" true (cost > 0);
+  Rp_lpm.Access.set_enabled false;
+  let _, cost0 = Rp_lpm.Access.measure (fun () -> Rp_lpm.Patricia.lookup t (Ipaddr.v4 10 1 1 1)) in
+  Rp_lpm.Access.set_enabled true;
+  check int_t "disabled charges nothing" 0 cost0
+
+let engine_suite name (module E : Rp_lpm.Lpm_intf.S) =
+  ( name,
+    [
+      Alcotest.test_case "fixed table" `Quick (unit_engine (module E));
+      Alcotest.test_case "remove" `Quick (unit_engine_remove (module E));
+      Alcotest.test_case "replace" `Quick (unit_engine_replace (module E));
+      Alcotest.test_case "ipv6" `Quick (unit_engine_v6 (module E));
+      Alcotest.test_case "mixed families" `Quick (unit_engine_mixed (module E));
+      equivalence_prop (module E) gen_prefix_v4 gen_query_v4;
+      equivalence_prop (module E) gen_prefix_v6 gen_v6;
+      equivalence_with_removal_prop (module E);
+    ] )
+
+let () =
+  Alcotest.run "rp_lpm"
+    [
+      engine_suite "patricia" (module Rp_lpm.Patricia);
+      engine_suite "bspl" (module Rp_lpm.Bspl);
+      engine_suite "cpe" (module Rp_lpm.Cpe);
+      ( "bspl-specific",
+        [
+          Alcotest.test_case "probe bound" `Quick test_bspl_probe_bound;
+          Alcotest.test_case "marker correctness" `Quick test_bspl_marker_correctness;
+        ] );
+      ("access", [ Alcotest.test_case "counting" `Quick test_access_counting ]);
+    ]

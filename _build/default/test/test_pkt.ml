@@ -1,0 +1,447 @@
+(* Tests for the rp_pkt substrate: addresses, prefixes, headers,
+   checksums, and the mbuf parse/build round trip. *)
+
+open Rp_pkt
+
+let check = Alcotest.check
+let string_t = Alcotest.string
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* --- generators ----------------------------------------------------- *)
+
+let gen_v4_full =
+  QCheck2.Gen.map
+    (fun (a, b) ->
+      Ipaddr.v4_of_int32
+        (Int32.logor (Int32.shift_left (Int32.of_int a) 16) (Int32.of_int b)))
+    (QCheck2.Gen.pair (QCheck2.Gen.int_bound 0xFFFF) (QCheck2.Gen.int_bound 0xFFFF))
+
+let gen_v6 =
+  QCheck2.Gen.map
+    (fun (a, b, c, d) ->
+      Ipaddr.v6 (Int32.of_int a) (Int32.of_int b) (Int32.of_int c) (Int32.of_int d))
+    (QCheck2.Gen.quad (QCheck2.Gen.int_bound 0xFFFFFF) (QCheck2.Gen.int_bound 0xFFFFFF)
+       (QCheck2.Gen.int_bound 0xFFFFFF) (QCheck2.Gen.int_bound 0xFFFFFF))
+
+let gen_addr = QCheck2.Gen.oneof [ gen_v4_full; gen_v6 ]
+
+let qtest ?(count = 500) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- Ipaddr --------------------------------------------------------- *)
+
+let test_v4_to_string () =
+  check string_t "dotted quad" "129.132.19.40"
+    (Ipaddr.to_string (Ipaddr.v4 129 132 19 40));
+  check string_t "zero" "0.0.0.0" (Ipaddr.to_string Ipaddr.zero_v4);
+  check string_t "broadcast" "255.255.255.255"
+    (Ipaddr.to_string (Ipaddr.v4 255 255 255 255))
+
+let test_v4_of_string () =
+  check bool_t "roundtrip" true
+    (Ipaddr.equal (Ipaddr.of_string "192.94.233.10") (Ipaddr.v4 192 94 233 10));
+  check bool_t "reject octet" true (Ipaddr.of_string_opt "256.0.0.1" = None);
+  check bool_t "reject short" true (Ipaddr.of_string_opt "10.0.0" = None);
+  check bool_t "reject empty octet" true (Ipaddr.of_string_opt "10..0.1" = None)
+
+let test_v6_strings () =
+  let cases =
+    [
+      "::1";
+      "fe80::1";
+      "2001:db8::8:800:200c:417a";
+      "ff01::101";
+      "::";
+      "1:2:3:4:5:6:7:8";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Ipaddr.of_string_opt s with
+      | None -> Alcotest.failf "failed to parse %s" s
+      | Some a ->
+        check string_t (Printf.sprintf "canonical %s" s) s (Ipaddr.to_string a))
+    cases
+
+let test_v6_parse_variants () =
+  (* Non-canonical spellings parse to the same address. *)
+  let eq a b =
+    Ipaddr.equal (Ipaddr.of_string a) (Ipaddr.of_string b)
+  in
+  check bool_t "leading zeros" true (eq "2001:0db8::1" "2001:db8::1");
+  check bool_t "full form" true (eq "0:0:0:0:0:0:0:1" "::1");
+  check bool_t "reject double ::" true (Ipaddr.of_string_opt "1::2::3" = None);
+  check bool_t "reject 9 groups" true
+    (Ipaddr.of_string_opt "1:2:3:4:5:6:7:8:9" = None)
+
+let test_bits () =
+  let a = Ipaddr.v4 128 0 0 1 in
+  check bool_t "bit 0 set" true (Ipaddr.bit a 0);
+  check bool_t "bit 1 clear" false (Ipaddr.bit a 1);
+  check bool_t "bit 31 set" true (Ipaddr.bit a 31);
+  let six = Ipaddr.of_string "8000::1" in
+  check bool_t "v6 bit 0" true (Ipaddr.bit six 0);
+  check bool_t "v6 bit 127" true (Ipaddr.bit six 127);
+  check bool_t "v6 bit 64" false (Ipaddr.bit six 64)
+
+let test_prefix_bits () =
+  let a = Ipaddr.v4 129 132 19 40 in
+  check string_t "/8" "129.0.0.0" (Ipaddr.to_string (Ipaddr.prefix_bits a 8));
+  check string_t "/16" "129.132.0.0" (Ipaddr.to_string (Ipaddr.prefix_bits a 16));
+  check string_t "/0" "0.0.0.0" (Ipaddr.to_string (Ipaddr.prefix_bits a 0));
+  check string_t "/32" "129.132.19.40" (Ipaddr.to_string (Ipaddr.prefix_bits a 32))
+
+let test_common_prefix_len () =
+  let a = Ipaddr.v4 129 132 19 40 and b = Ipaddr.v4 129 132 19 41 in
+  check int_t "one bit differs at 31" 31 (Ipaddr.common_prefix_len a b);
+  check int_t "equal" 32 (Ipaddr.common_prefix_len a a);
+  check int_t "disjoint" 0
+    (Ipaddr.common_prefix_len (Ipaddr.v4 128 0 0 0) (Ipaddr.v4 1 0 0 0));
+  let x = Ipaddr.of_string "2001:db8::1" and y = Ipaddr.of_string "2001:db8::2" in
+  check int_t "v6 lower word" 126 (Ipaddr.common_prefix_len x y)
+
+let prop_string_roundtrip =
+  qtest "ipaddr: of_string (to_string a) = a" gen_addr (fun a ->
+      Ipaddr.equal a (Ipaddr.of_string (Ipaddr.to_string a)))
+
+let prop_bytes_roundtrip =
+  qtest "ipaddr: read (write a) = a" gen_addr (fun a ->
+      let b = Ipaddr.to_bytes a in
+      let a' =
+        if Ipaddr.is_v4 a then Ipaddr.read_v4 b 0 else Ipaddr.read_v6 b 0
+      in
+      Ipaddr.equal a a')
+
+let prop_common_prefix_symmetric =
+  qtest "ipaddr: common_prefix_len symmetric" (QCheck2.Gen.pair gen_v4_full gen_v4_full)
+    (fun (a, b) -> Ipaddr.common_prefix_len a b = Ipaddr.common_prefix_len b a)
+
+(* --- Prefix --------------------------------------------------------- *)
+
+let test_prefix_basics () =
+  let p = Prefix.of_string "129.0.0.0/8" in
+  check bool_t "matches inside" true (Prefix.matches p (Ipaddr.v4 129 1 2 3));
+  check bool_t "no match outside" false (Prefix.matches p (Ipaddr.v4 130 1 2 3));
+  check bool_t "wildcard matches" true
+    (Prefix.matches Prefix.any_v4 (Ipaddr.v4 1 2 3 4));
+  check bool_t "family mismatch" false
+    (Prefix.matches Prefix.any_v4 (Ipaddr.of_string "::1"))
+
+let test_prefix_normalize () =
+  let p = Prefix.make (Ipaddr.v4 129 132 19 40) 8 in
+  check string_t "host bits dropped" "129.0.0.0/8" (Prefix.to_string p)
+
+let test_prefix_subsumes () =
+  let sub = Prefix.subsumes in
+  let p8 = Prefix.of_string "128.0.0.0/8"
+  and p16 = Prefix.of_string "128.252.0.0/16"
+  and q16 = Prefix.of_string "129.252.0.0/16" in
+  check bool_t "/8 subsumes /16" true (sub p8 p16);
+  check bool_t "/16 not subsumes /8" false (sub p16 p8);
+  check bool_t "disjoint" false (sub p8 q16);
+  check bool_t "self" true (sub p16 p16);
+  check bool_t "any subsumes all" true (sub Prefix.any_v4 p16)
+
+let gen_prefix_v4 =
+  QCheck2.Gen.map
+    (fun (a, len) -> Prefix.make a len)
+    (QCheck2.Gen.pair gen_v4_full (QCheck2.Gen.int_bound 32))
+
+let prop_prefix_matches_self =
+  qtest "prefix: matches own address" gen_prefix_v4 (fun p ->
+      Prefix.matches p p.Prefix.addr)
+
+let prop_prefix_subsumes_matches =
+  qtest "prefix: subsumes => matches superset"
+    (QCheck2.Gen.triple gen_prefix_v4 gen_prefix_v4 gen_v4_full)
+    (fun (p, q, a) ->
+      (* If p subsumes q and q matches a, then p matches a. *)
+      QCheck2.assume (Prefix.subsumes p q);
+      (not (Prefix.matches q a)) || Prefix.matches p a)
+
+let prop_prefix_string_roundtrip =
+  qtest "prefix: of_string (to_string p) = p" gen_prefix_v4 (fun p ->
+      Prefix.equal p (Prefix.of_string (Prefix.to_string p)))
+
+(* --- Checksum ------------------------------------------------------- *)
+
+let test_checksum_rfc1071 () =
+  (* Example from RFC 1071 section 3. *)
+  let buf = Bytes.of_string "\x00\x01\xf2\x03\xf4\xf5\xf6\xf7" in
+  check int_t "rfc1071 example" (lnot 0xddf2 land 0xFFFF)
+    (Checksum.compute buf 0 8)
+
+let test_checksum_verifies () =
+  let buf = Bytes.of_string "\x45\x00\x00\x1cabcdefghij\x00\x00\x00\x00\x00\x00" in
+  (* The checksum field must be zero while computing. *)
+  Bytes.set buf 10 '\000';
+  Bytes.set buf 11 '\000';
+  let c = Checksum.compute buf 0 20 in
+  Bytes.set buf 10 (Char.chr (c lsr 8));
+  Bytes.set buf 11 (Char.chr (c land 0xFF));
+  check bool_t "embeds and verifies" true (Checksum.valid buf 0 20)
+
+let prop_checksum_detects_flip =
+  qtest "checksum: detects single-byte corruption"
+    QCheck2.Gen.(pair (bytes_size (int_range 21 64)) (int_bound 1000))
+    (fun (raw, pos) ->
+      let buf = Bytes.copy raw in
+      let len = Bytes.length buf in
+      (* Embed a checksum at offset 0-1. *)
+      Bytes.set buf 0 '\000';
+      Bytes.set buf 1 '\000';
+      let c = Checksum.compute buf 0 len in
+      Bytes.set buf 0 (Char.chr (c lsr 8));
+      Bytes.set buf 1 (Char.chr (c land 0xFF));
+      QCheck2.assume (Checksum.valid buf 0 len);
+      let pos = 2 + (pos mod (len - 2)) in
+      let original = Char.code (Bytes.get buf pos) in
+      (* Flip to a value whose 16-bit word changes the sum. *)
+      let flipped = original lxor 0x5A in
+      QCheck2.assume (flipped <> original);
+      Bytes.set buf pos (Char.chr flipped);
+      not (Checksum.valid buf 0 len))
+
+(* --- IPv4 header ---------------------------------------------------- *)
+
+let test_ipv4_roundtrip () =
+  let h =
+    Ipv4_header.default ~tos:0x10 ~ident:4242 ~ttl:17 ~total_length:1500
+      ~proto:Proto.udp ~src:(Ipaddr.v4 10 0 0 1) ~dst:(Ipaddr.v4 10 0 0 2) ()
+  in
+  let buf = Bytes.create 20 in
+  Ipv4_header.serialize h buf 0;
+  match Ipv4_header.parse buf 0 with
+  | Error e -> Alcotest.failf "parse: %a" Ipv4_header.pp_error e
+  | Ok h' ->
+    check int_t "tos" h.Ipv4_header.tos h'.Ipv4_header.tos;
+    check int_t "len" 1500 h'.Ipv4_header.total_length;
+    check int_t "ttl" 17 h'.Ipv4_header.ttl;
+    check bool_t "src" true (Ipaddr.equal h.Ipv4_header.src h'.Ipv4_header.src)
+
+let test_ipv4_bad_checksum () =
+  let h =
+    Ipv4_header.default ~total_length:100 ~proto:Proto.tcp
+      ~src:(Ipaddr.v4 10 0 0 1) ~dst:(Ipaddr.v4 10 0 0 2) ()
+  in
+  let buf = Bytes.create 20 in
+  Ipv4_header.serialize h buf 0;
+  Bytes.set buf 8 '\xAA';
+  check bool_t "detected" true
+    (match Ipv4_header.parse buf 0 with
+     | Error Ipv4_header.Bad_checksum -> true
+     | Ok _ | Error _ -> false)
+
+let test_ipv4_truncated () =
+  check bool_t "truncated" true
+    (match Ipv4_header.parse (Bytes.create 10) 0 with
+     | Error Ipv4_header.Truncated -> true
+     | Ok _ | Error _ -> false)
+
+(* --- IPv6 header and options ---------------------------------------- *)
+
+let test_ipv6_roundtrip () =
+  let h =
+    Ipv6_header.default ~traffic_class:0xB8 ~flow_label:0xABCDE ~hop_limit:3
+      ~payload_length:512 ~next_header:Proto.udp
+      ~src:(Ipaddr.of_string "2001:db8::1") ~dst:(Ipaddr.of_string "2001:db8::2") ()
+  in
+  let buf = Bytes.create 40 in
+  Ipv6_header.serialize h buf 0;
+  match Ipv6_header.parse buf 0 with
+  | Error e -> Alcotest.failf "parse: %a" Ipv6_header.pp_error e
+  | Ok h' ->
+    check int_t "tclass" 0xB8 h'.Ipv6_header.traffic_class;
+    check int_t "flow label" 0xABCDE h'.Ipv6_header.flow_label;
+    check int_t "plen" 512 h'.Ipv6_header.payload_length;
+    check bool_t "dst" true (Ipaddr.equal h.Ipv6_header.dst h'.Ipv6_header.dst)
+
+let test_hop_by_hop_roundtrip () =
+  let open Ipv6_header in
+  let hbh =
+    {
+      Hop_by_hop.next_header = Proto.udp;
+      options = [ Option_tlv.Router_alert 0; Option_tlv.Jumbo_payload 100000 ];
+    }
+  in
+  let len = Hop_by_hop.wire_length hbh in
+  check int_t "multiple of 8" 0 (len mod 8);
+  let buf = Bytes.create len in
+  let written = Hop_by_hop.serialize hbh buf 0 in
+  check int_t "written" len written;
+  match Hop_by_hop.parse buf 0 with
+  | Error e -> Alcotest.failf "parse: %a" pp_error e
+  | Ok (hbh', len') ->
+    check int_t "length back" len len';
+    check int_t "next header" Proto.udp hbh'.Hop_by_hop.next_header;
+    let alerts =
+      List.filter
+        (function Option_tlv.Router_alert _ -> true | _ -> false)
+        hbh'.Hop_by_hop.options
+    in
+    check int_t "router alert survives" 1 (List.length alerts)
+
+(* --- UDP / TCP ------------------------------------------------------ *)
+
+let test_udp_roundtrip () =
+  let u = { Udp_header.sport = 5000; dport = 6000; length = 108; checksum = 0 } in
+  let buf = Bytes.create 8 in
+  Udp_header.serialize u buf 0;
+  match Udp_header.parse buf 0 with
+  | Error e -> Alcotest.failf "parse: %a" Udp_header.pp_error e
+  | Ok u' ->
+    check int_t "sport" 5000 u'.Udp_header.sport;
+    check int_t "dport" 6000 u'.Udp_header.dport;
+    check int_t "length" 108 u'.Udp_header.length
+
+let test_tcp_roundtrip () =
+  let t =
+    {
+      Tcp_header.sport = 80;
+      dport = 43210;
+      seq = 0x12345678l;
+      ack_seq = 0x9ABCDEF0l;
+      flags = { Tcp_header.no_flags with syn = true; ack = true };
+      window = 8192;
+      checksum = 0;
+      urgent = 0;
+    }
+  in
+  let buf = Bytes.create 20 in
+  Tcp_header.serialize t buf 0;
+  match Tcp_header.parse buf 0 with
+  | Error e -> Alcotest.failf "parse: %a" Tcp_header.pp_error e
+  | Ok t' ->
+    check bool_t "syn" true t'.Tcp_header.flags.Tcp_header.syn;
+    check bool_t "fin" false t'.Tcp_header.flags.Tcp_header.fin;
+    check int_t "window" 8192 t'.Tcp_header.window;
+    check bool_t "seq" true (t'.Tcp_header.seq = 0x12345678l)
+
+(* --- Flow_key ------------------------------------------------------- *)
+
+let test_flow_key_equal_hash () =
+  let k1 =
+    Flow_key.make ~src:(Ipaddr.v4 10 0 0 1) ~dst:(Ipaddr.v4 10 0 0 2)
+      ~proto:Proto.udp ~sport:1000 ~dport:2000 ~iface:0
+  in
+  let k2 = { k1 with Flow_key.iface = 0 } in
+  check bool_t "equal" true (Flow_key.equal k1 k2);
+  check int_t "hash equal" (Flow_key.hash k1) (Flow_key.hash k2);
+  let k3 = { k1 with Flow_key.dport = 2001 } in
+  check bool_t "different" false (Flow_key.equal k1 k3)
+
+(* --- Mbuf ----------------------------------------------------------- *)
+
+let test_mbuf_udp_v4_roundtrip () =
+  let m =
+    Mbuf.udp_v4 ~src:(Ipaddr.v4 192 168 1 1) ~dst:(Ipaddr.v4 192 168 1 2)
+      ~sport:1234 ~dport:4321 ~iface:2 ~payload:"hello world" ()
+  in
+  match m.Mbuf.raw with
+  | None -> Alcotest.fail "no raw bytes"
+  | Some raw ->
+    (match Mbuf.of_bytes ~iface:2 raw with
+     | Error e -> Alcotest.failf "parse: %a" Mbuf.pp_error e
+     | Ok m' ->
+       check bool_t "key" true (Flow_key.equal m.Mbuf.key m'.Mbuf.key);
+       check int_t "len" m.Mbuf.len m'.Mbuf.len)
+
+let test_mbuf_udp_v6_roundtrip () =
+  let m =
+    Mbuf.udp_v6 ~flow_label:99
+      ~options:[ Ipv6_header.Option_tlv.Router_alert 0 ]
+      ~src:(Ipaddr.of_string "2001:db8::1") ~dst:(Ipaddr.of_string "2001:db8::2")
+      ~sport:53 ~dport:53 ~iface:1 ~payload:"dns-ish" ()
+  in
+  match m.Mbuf.raw with
+  | None -> Alcotest.fail "no raw bytes"
+  | Some raw ->
+    (match Mbuf.of_bytes ~iface:1 raw with
+     | Error e -> Alcotest.failf "parse: %a" Mbuf.pp_error e
+     | Ok m' ->
+       check bool_t "key" true (Flow_key.equal m.Mbuf.key m'.Mbuf.key);
+       check int_t "flow label" 99 m'.Mbuf.flow_label;
+       check int_t "options" 1 (List.length m'.Mbuf.options))
+
+let test_mbuf_udp_checksum_valid () =
+  let src = Ipaddr.v4 10 1 1 1 and dst = Ipaddr.v4 10 1 1 2 in
+  let m = Mbuf.udp_v4 ~src ~dst ~sport:7 ~dport:7 ~iface:0 ~payload:"payload" () in
+  match m.Mbuf.raw with
+  | None -> Alcotest.fail "no raw"
+  | Some raw ->
+    let udp_len = m.Mbuf.len - Ipv4_header.size in
+    (* Recomputing over the datagram with its embedded checksum
+       treated as zero must reproduce the embedded value. *)
+    let embedded =
+      Char.code (Bytes.get raw (Ipv4_header.size + 6)) * 256
+      + Char.code (Bytes.get raw (Ipv4_header.size + 7))
+    in
+    let expect = Udp_header.compute_checksum ~src ~dst raw Ipv4_header.size udp_len in
+    check int_t "udp checksum" expect embedded
+
+let prop_mbuf_v4_roundtrip =
+  qtest ~count:200 "mbuf: udp_v4 build/parse roundtrip"
+    QCheck2.Gen.(
+      tup5 gen_v4_full gen_v4_full (int_bound 65535) (int_bound 65535)
+        (string_size (int_range 0 100)))
+    (fun (src, dst, sport, dport, payload) ->
+      let m = Mbuf.udp_v4 ~src ~dst ~sport ~dport ~iface:0 ~payload () in
+      match m.Mbuf.raw with
+      | None -> false
+      | Some raw ->
+        (match Mbuf.of_bytes ~iface:0 raw with
+         | Ok m' -> Flow_key.equal m.Mbuf.key m'.Mbuf.key && m.Mbuf.len = m'.Mbuf.len
+         | Error _ -> false))
+
+let () =
+  Alcotest.run "rp_pkt"
+    [
+      ( "ipaddr",
+        [
+          Alcotest.test_case "v4 to_string" `Quick test_v4_to_string;
+          Alcotest.test_case "v4 of_string" `Quick test_v4_of_string;
+          Alcotest.test_case "v6 strings" `Quick test_v6_strings;
+          Alcotest.test_case "v6 parse variants" `Quick test_v6_parse_variants;
+          Alcotest.test_case "bit access" `Quick test_bits;
+          Alcotest.test_case "prefix_bits" `Quick test_prefix_bits;
+          Alcotest.test_case "common_prefix_len" `Quick test_common_prefix_len;
+          prop_string_roundtrip;
+          prop_bytes_roundtrip;
+          prop_common_prefix_symmetric;
+        ] );
+      ( "prefix",
+        [
+          Alcotest.test_case "basics" `Quick test_prefix_basics;
+          Alcotest.test_case "normalize" `Quick test_prefix_normalize;
+          Alcotest.test_case "subsumes" `Quick test_prefix_subsumes;
+          prop_prefix_matches_self;
+          prop_prefix_subsumes_matches;
+          prop_prefix_string_roundtrip;
+        ] );
+      ( "checksum",
+        [
+          Alcotest.test_case "rfc1071 example" `Quick test_checksum_rfc1071;
+          Alcotest.test_case "embed and verify" `Quick test_checksum_verifies;
+          prop_checksum_detects_flip;
+        ] );
+      ( "headers",
+        [
+          Alcotest.test_case "ipv4 roundtrip" `Quick test_ipv4_roundtrip;
+          Alcotest.test_case "ipv4 bad checksum" `Quick test_ipv4_bad_checksum;
+          Alcotest.test_case "ipv4 truncated" `Quick test_ipv4_truncated;
+          Alcotest.test_case "ipv6 roundtrip" `Quick test_ipv6_roundtrip;
+          Alcotest.test_case "hop-by-hop roundtrip" `Quick test_hop_by_hop_roundtrip;
+          Alcotest.test_case "udp roundtrip" `Quick test_udp_roundtrip;
+          Alcotest.test_case "tcp roundtrip" `Quick test_tcp_roundtrip;
+        ] );
+      ( "flow_key",
+        [ Alcotest.test_case "equal/hash" `Quick test_flow_key_equal_hash ] );
+      ( "mbuf",
+        [
+          Alcotest.test_case "udp v4 roundtrip" `Quick test_mbuf_udp_v4_roundtrip;
+          Alcotest.test_case "udp v6 roundtrip" `Quick test_mbuf_udp_v6_roundtrip;
+          Alcotest.test_case "udp checksum" `Quick test_mbuf_udp_checksum_valid;
+          prop_mbuf_v4_roundtrip;
+        ] );
+    ]

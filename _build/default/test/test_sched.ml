@@ -1,0 +1,513 @@
+(* Tests for the scheduling plugins: DRR fairness and weighting,
+   service curves, H-FSC link sharing and delay decoupling, RED, the
+   token-bucket policer, and FIFO. *)
+
+open Rp_pkt
+open Rp_core
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+
+let key id =
+  Flow_key.make ~src:(Ipaddr.v4 10 0 0 id) ~dst:(Ipaddr.v4 192 168 1 1)
+    ~proto:Proto.udp ~sport:(1000 + id) ~dport:9000 ~iface:0
+
+let pkt ?(len = 1000) id seq =
+  let m = Mbuf.synth ~key:(key id) ~len () in
+  m.Mbuf.seq <- seq;
+  m
+
+let scheduler_of (inst : Plugin.t) =
+  match inst.Plugin.scheduler with
+  | Some s -> s
+  | None -> Alcotest.fail "instance has no scheduler"
+
+let mk_instance (module P : Plugin.PLUGIN) config =
+  ok (P.create_instance ~instance_id:1 ~code:0 ~config)
+
+(* Drain [n] packets, returning the per-flow-id counts (flows are
+   identified by the source's last octet). *)
+let drain s n =
+  let counts = Hashtbl.create 8 in
+  for _ = 1 to n do
+    match s.Plugin.dequeue ~now:0L with
+    | Some m ->
+      let id =
+        match m.Mbuf.key.Flow_key.src with
+        | Ipaddr.V4 x -> Int32.to_int (Int32.logand x 0xFFl)
+        | Ipaddr.V6 _ -> -1
+      in
+      Hashtbl.replace counts id (1 + Option.value (Hashtbl.find_opt counts id) ~default:0)
+    | None -> ()
+  done;
+  counts
+
+let count counts id = Option.value (Hashtbl.find_opt counts id) ~default:0
+
+(* --- FIFO ------------------------------------------------------------- *)
+
+let test_fifo_order_and_limit () =
+  let inst = mk_instance (module Rp_sched.Fifo_plugin) [ ("limit", "3") ] in
+  let s = scheduler_of inst in
+  for i = 0 to 2 do
+    match s.Plugin.enqueue ~now:0L (pkt 1 i) None with
+    | Plugin.Enqueued -> ()
+    | Plugin.Rejected _ -> Alcotest.fail "premature reject"
+  done;
+  (match s.Plugin.enqueue ~now:0L (pkt 1 3) None with
+   | Plugin.Rejected _ -> ()
+   | Plugin.Enqueued -> Alcotest.fail "limit not enforced");
+  check int_t "backlog" 3 (s.Plugin.backlog ());
+  let seqs =
+    List.init 3 (fun _ ->
+        match s.Plugin.dequeue ~now:0L with
+        | Some m -> m.Mbuf.seq
+        | None -> -1)
+  in
+  check bool_t "FIFO order" true (seqs = [ 0; 1; 2 ]);
+  check bool_t "empty" true (s.Plugin.dequeue ~now:0L = None)
+
+(* --- DRR --------------------------------------------------------------- *)
+
+(* Without bindings the DRR classifies internally (monolithic mode),
+   which is convenient for unit testing the scheduling logic. *)
+let test_drr_equal_fairness () =
+  let inst = mk_instance (module Rp_sched.Drr_plugin) [ ("quantum", "500") ] in
+  let s = scheduler_of inst in
+  (* Three flows, 30 equal packets each. *)
+  for seq = 0 to 29 do
+    for id = 1 to 3 do
+      ignore (s.Plugin.enqueue ~now:0L (pkt id seq) None)
+    done
+  done;
+  let counts = drain s 30 in
+  (* After 30 served packets, each flow must have gotten 10 ± 1. *)
+  for id = 1 to 3 do
+    let c = count counts id in
+    check bool_t (Printf.sprintf "flow %d fair share (got %d)" id c) true
+      (c >= 9 && c <= 11)
+  done
+
+let test_drr_weighted_shares () =
+  let inst = mk_instance (module Rp_sched.Drr_plugin) [ ("quantum", "1000") ] in
+  let s = scheduler_of inst in
+  (* Flow 1 reserved at 3x the rate of flow 2. *)
+  ok (Rp_sched.Drr_plugin.reserve ~instance_id:1 ~key:(key 1) ~rate_bps:3_000_000);
+  ok (Rp_sched.Drr_plugin.reserve ~instance_id:1 ~key:(key 2) ~rate_bps:1_000_000);
+  check bool_t "weight 3" true
+    (Rp_sched.Drr_plugin.weight_of ~instance_id:1 ~key:(key 1) = Some 3);
+  check bool_t "weight 1" true
+    (Rp_sched.Drr_plugin.weight_of ~instance_id:1 ~key:(key 2) = Some 1);
+  for seq = 0 to 79 do
+    ignore (s.Plugin.enqueue ~now:0L (pkt 1 seq) None);
+    ignore (s.Plugin.enqueue ~now:0L (pkt 2 seq) None)
+  done;
+  let counts = drain s 40 in
+  let c1 = count counts 1 and c2 = count counts 2 in
+  check int_t "all served" 40 (c1 + c2);
+  (* 3:1 split of 40 = 30/10, allow rounding slack. *)
+  check bool_t (Printf.sprintf "3:1 shares (got %d:%d)" c1 c2) true
+    (c1 >= 27 && c1 <= 33)
+
+let test_drr_mixed_packet_sizes () =
+  (* Fairness is in bytes, not packets: a flow of small packets gets
+     more packets through. *)
+  let inst = mk_instance (module Rp_sched.Drr_plugin) [ ("quantum", "500") ] in
+  let s = scheduler_of inst in
+  for seq = 0 to 99 do
+    ignore (s.Plugin.enqueue ~now:0L (pkt ~len:1500 1 seq) None);
+    ignore (s.Plugin.enqueue ~now:0L (pkt ~len:500 2 seq) None)
+  done;
+  (* Serve ~60000 bytes worth. *)
+  let bytes = ref 0 in
+  let c1 = ref 0 and c2 = ref 0 in
+  while !bytes < 60_000 do
+    match s.Plugin.dequeue ~now:0L with
+    | Some m ->
+      bytes := !bytes + m.Mbuf.len;
+      let id =
+        match m.Mbuf.key.Flow_key.src with
+        | Ipaddr.V4 x -> Int32.to_int (Int32.logand x 0xFFl)
+        | Ipaddr.V6 _ -> -1
+      in
+      if id = 1 then incr c1 else incr c2
+    | None -> bytes := max_int
+  done;
+  let b1 = !c1 * 1500 and b2 = !c2 * 500 in
+  let ratio = float_of_int b1 /. float_of_int (max 1 b2) in
+  check bool_t (Printf.sprintf "byte fairness (%d vs %d bytes)" b1 b2) true
+    (ratio > 0.8 && ratio < 1.25)
+
+let test_drr_per_flow_limit () =
+  let inst =
+    mk_instance (module Rp_sched.Drr_plugin) [ ("flow-limit", "4") ]
+  in
+  let s = scheduler_of inst in
+  let accepted = ref 0 in
+  for seq = 0 to 9 do
+    match s.Plugin.enqueue ~now:0L (pkt 1 seq) None with
+    | Plugin.Enqueued -> incr accepted
+    | Plugin.Rejected _ -> ()
+  done;
+  check int_t "per-flow limit" 4 !accepted;
+  check int_t "drops counted" 6 (Rp_sched.Drr_plugin.drop_count ~instance_id:1)
+
+let prop_drr_work_conserving =
+  qtest ~count:100 "drr: work conserving (dequeues everything enqueued)"
+    QCheck2.Gen.(list_size (int_range 1 60) (pair (int_range 1 4) (int_range 64 1500)))
+    (fun arrivals ->
+      match
+        Rp_sched.Drr_plugin.create_instance ~instance_id:99 ~code:0 ~config:[]
+      with
+      | Error _ -> false
+      | Ok inst ->
+        let s = scheduler_of inst in
+        List.iteri
+          (fun seq (id, len) -> ignore (s.Plugin.enqueue ~now:0L (pkt ~len id seq) None))
+          arrivals;
+        let n = ref 0 in
+        let continue = ref true in
+        while !continue do
+          match s.Plugin.dequeue ~now:0L with
+          | Some _ -> incr n
+          | None -> continue := false
+        done;
+        !n = List.length arrivals && s.Plugin.backlog () = 0)
+
+(* --- Service curves ----------------------------------------------------- *)
+
+let test_service_curve_math () =
+  let sc = Rp_sched.Service_curve.make ~m1:2000.0 ~d:0.5 ~m2:1000.0 in
+  let feq name a b = check bool_t name true (abs_float (a -. b) < 1e-6) in
+  feq "value at 0" 0.0 (Rp_sched.Service_curve.value sc 0.0);
+  feq "m1 segment" 500.0 (Rp_sched.Service_curve.value sc 0.25);
+  feq "knee" 1000.0 (Rp_sched.Service_curve.value sc 0.5);
+  feq "m2 segment" 1500.0 (Rp_sched.Service_curve.value sc 1.0);
+  feq "inverse on m1" 0.25 (Rp_sched.Service_curve.inverse sc 500.0);
+  feq "inverse on m2" 1.0 (Rp_sched.Service_curve.inverse sc 1500.0);
+  let a = Rp_sched.Service_curve.anchor sc ~x:10.0 ~y:5000.0 in
+  feq "anchored value" 5500.0 (Rp_sched.Service_curve.anchored_value a 10.25);
+  feq "anchored inverse" 10.25 (Rp_sched.Service_curve.anchored_inverse a 5500.0)
+
+let prop_service_curve_inverse =
+  qtest "service curve: inverse (value t) <= t (and tight off plateaus)"
+    QCheck2.Gen.(
+      tup4 (float_range 100.0 10000.0) (float_range 0.0 2.0)
+        (float_range 100.0 10000.0) (float_range 0.0 5.0))
+    (fun (m1, d, m2, t) ->
+      let sc = Rp_sched.Service_curve.make ~m1 ~d ~m2 in
+      let y = Rp_sched.Service_curve.value sc t in
+      let t' = Rp_sched.Service_curve.inverse sc y in
+      t' <= t +. 1e-9
+      && Rp_sched.Service_curve.value sc t' >= y -. 1e-6)
+
+(* --- H-FSC --------------------------------------------------------------- *)
+
+let mk_hfsc ?(config = []) () =
+  let inst = mk_instance (module Rp_sched.Hfsc_plugin) config in
+  (inst, scheduler_of inst)
+
+let test_hfsc_link_share_ratio () =
+  let _inst, s = mk_hfsc () in
+  (* Two leaves sharing 3:1. *)
+  ok
+    (Rp_sched.Hfsc_plugin.add_class ~instance_id:1 ~cname:"gold"
+       ~fsc:(Rp_sched.Service_curve.linear 3000.0) ());
+  ok
+    (Rp_sched.Hfsc_plugin.add_class ~instance_id:1 ~cname:"bronze"
+       ~fsc:(Rp_sched.Service_curve.linear 1000.0) ());
+  ok (Rp_sched.Hfsc_plugin.assign ~instance_id:1 ~key:(key 1) ~cname:"gold");
+  ok (Rp_sched.Hfsc_plugin.assign ~instance_id:1 ~key:(key 2) ~cname:"bronze");
+  for seq = 0 to 79 do
+    ignore (s.Plugin.enqueue ~now:0L (pkt 1 seq) None);
+    ignore (s.Plugin.enqueue ~now:0L (pkt 2 seq) None)
+  done;
+  let counts = drain s 40 in
+  let c1 = count counts 1 and c2 = count counts 2 in
+  check bool_t (Printf.sprintf "3:1 link share (got %d:%d)" c1 c2) true
+    (c1 + c2 = 40 && c1 >= 27 && c1 <= 33)
+
+let test_hfsc_hierarchy () =
+  (* Two agencies split 1:1; agency A subdivides 2:1 internally. *)
+  let _inst, s = mk_hfsc () in
+  let sc r = Rp_sched.Service_curve.linear r in
+  ok (Rp_sched.Hfsc_plugin.add_class ~instance_id:1 ~cname:"agencyA" ~fsc:(sc 1000.0) ());
+  ok (Rp_sched.Hfsc_plugin.add_class ~instance_id:1 ~cname:"agencyB" ~fsc:(sc 1000.0) ());
+  ok
+    (Rp_sched.Hfsc_plugin.add_class ~instance_id:1 ~cname:"a-video"
+       ~parent:"agencyA" ~fsc:(sc 2000.0) ());
+  ok
+    (Rp_sched.Hfsc_plugin.add_class ~instance_id:1 ~cname:"a-data"
+       ~parent:"agencyA" ~fsc:(sc 1000.0) ());
+  ok (Rp_sched.Hfsc_plugin.add_class ~instance_id:1 ~cname:"b-all" ~parent:"agencyB"
+        ~fsc:(sc 1000.0) ());
+  ok (Rp_sched.Hfsc_plugin.assign ~instance_id:1 ~key:(key 1) ~cname:"a-video");
+  ok (Rp_sched.Hfsc_plugin.assign ~instance_id:1 ~key:(key 2) ~cname:"a-data");
+  ok (Rp_sched.Hfsc_plugin.assign ~instance_id:1 ~key:(key 3) ~cname:"b-all");
+  for seq = 0 to 119 do
+    for id = 1 to 3 do
+      ignore (s.Plugin.enqueue ~now:0L (pkt id seq) None)
+    done
+  done;
+  let counts = drain s 60 in
+  let c1 = count counts 1 and c2 = count counts 2 and c3 = count counts 3 in
+  (* Agencies split 30/30; inside A, video:data = 2:1 = 20/10. *)
+  check bool_t (Printf.sprintf "agency split (got %d+%d vs %d)" c1 c2 c3) true
+    (abs (c1 + c2 - 30) <= 3 && abs (c3 - 30) <= 3);
+  check bool_t (Printf.sprintf "intra-agency 2:1 (got %d:%d)" c1 c2) true
+    (c1 > c2 && abs (c1 - 20) <= 4)
+
+let test_hfsc_realtime_priority () =
+  (* A leaf with a concave RSC (m1 >> m2) must be served ahead of a
+     pure link-share leaf right after becoming backlogged, even though
+     its long-term share is small: delay decoupled from bandwidth. *)
+  let _inst, s = mk_hfsc () in
+  ok
+    (Rp_sched.Hfsc_plugin.add_class ~instance_id:1 ~cname:"voice"
+       ~rsc:(Rp_sched.Service_curve.make ~m1:1_000_000.0 ~d:0.1 ~m2:1000.0)
+       ~fsc:(Rp_sched.Service_curve.linear 1000.0) ());
+  ok
+    (Rp_sched.Hfsc_plugin.add_class ~instance_id:1 ~cname:"bulk"
+       ~fsc:(Rp_sched.Service_curve.linear 100_000.0) ());
+  ok (Rp_sched.Hfsc_plugin.assign ~instance_id:1 ~key:(key 1) ~cname:"voice");
+  ok (Rp_sched.Hfsc_plugin.assign ~instance_id:1 ~key:(key 2) ~cname:"bulk");
+  (* Bulk already backlogged, voice packet arrives. *)
+  for seq = 0 to 9 do
+    ignore (s.Plugin.enqueue ~now:1000L (pkt 2 seq) None)
+  done;
+  ignore (s.Plugin.enqueue ~now:2000L (pkt ~len:200 1 0) None);
+  (match s.Plugin.dequeue ~now:3000L with
+   | Some m ->
+     check bool_t "voice served first" true
+       (Flow_key.equal m.Mbuf.key (key 1))
+   | None -> Alcotest.fail "nothing dequeued");
+  (* But over the long run bulk dominates (voice m2 is tiny). *)
+  for seq = 10 to 29 do
+    ignore (s.Plugin.enqueue ~now:4000L (pkt 2 seq) None)
+  done;
+  for seq = 1 to 5 do
+    ignore (s.Plugin.enqueue ~now:4000L (pkt ~len:200 1 seq) None)
+  done;
+  let counts = drain s 20 in
+  check bool_t "bulk gets the long-run share" true (count counts 2 >= 14)
+
+(* HSF: DRR inside an H-FSC leaf — flows sharing a leaf divide its
+   service fairly instead of FIFO's arrival-order capture. *)
+let test_hfsc_drr_leaf_fairness () =
+  let run leaf =
+    let _inst, s = mk_hfsc () in
+    ok (Rp_sched.Hfsc_plugin.add_class ~instance_id:1 ~cname:"shared"
+          ~fsc:(Rp_sched.Service_curve.linear 1000.0) ~leaf ());
+    ok (Rp_sched.Hfsc_plugin.assign ~instance_id:1 ~key:(key 1) ~cname:"shared");
+    ok (Rp_sched.Hfsc_plugin.assign ~instance_id:1 ~key:(key 2) ~cname:"shared");
+    (* Flow 1 floods the leaf before flow 2's packets arrive. *)
+    for seq = 0 to 59 do
+      ignore (s.Plugin.enqueue ~now:0L (pkt 1 seq) None)
+    done;
+    for seq = 0 to 19 do
+      ignore (s.Plugin.enqueue ~now:0L (pkt 2 seq) None)
+    done;
+    let counts = drain s 40 in
+    (count counts 1, count counts 2)
+  in
+  let fifo1, fifo2 = run `Fifo in
+  (* FIFO: flow 1's head-of-line burst takes everything. *)
+  check bool_t (Printf.sprintf "fifo capture (%d:%d)" fifo1 fifo2) true
+    (fifo1 = 40 && fifo2 = 0);
+  let drr1, drr2 = run (`Drr 500) in
+  (* DRR leaf: both flows share the leaf's service ~equally. *)
+  check bool_t (Printf.sprintf "drr leaf fairness (%d:%d)" drr1 drr2) true
+    (drr1 + drr2 = 40 && abs (drr1 - drr2) <= 2)
+
+let test_hfsc_drr_leaf_via_message () =
+  let _inst, _s = mk_hfsc () in
+  (match Rp_sched.Hfsc_plugin.message "add-class" "1 premium fsc=2000:0:2000 leaf=drr:256" with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "message add-class: %s" e);
+  ok (Rp_sched.Hfsc_plugin.assign ~instance_id:1 ~key:(key 1) ~cname:"premium")
+
+let test_hfsc_upper_limit () =
+  (* Two greedy classes; one capped at ~1 MB/s by an upper-limit
+     curve.  Over one simulated second of continuous dequeues, the
+     capped class must get ~1 MB while the other takes the rest. *)
+  let _inst, s = mk_hfsc () in
+  ok
+    (Rp_sched.Hfsc_plugin.add_class ~instance_id:1 ~cname:"capped"
+       ~fsc:(Rp_sched.Service_curve.linear 5_000_000.0)
+       ~usc:(Rp_sched.Service_curve.linear 1_000_000.0)
+       ~limit:100_000 ());
+  ok
+    (Rp_sched.Hfsc_plugin.add_class ~instance_id:1 ~cname:"open"
+       ~fsc:(Rp_sched.Service_curve.linear 5_000_000.0) ~limit:100_000 ());
+  ok (Rp_sched.Hfsc_plugin.assign ~instance_id:1 ~key:(key 1) ~cname:"capped");
+  ok (Rp_sched.Hfsc_plugin.assign ~instance_id:1 ~key:(key 2) ~cname:"open");
+  (* Keep both permanently backlogged: 6000 x 1000B each. *)
+  for seq = 0 to 5999 do
+    ignore (s.Plugin.enqueue ~now:0L (pkt 1 seq) None);
+    ignore (s.Plugin.enqueue ~now:0L (pkt 2 seq) None)
+  done;
+  (* A 5 MB/s link serves one 1000-byte packet every 200 us; walk one
+     simulated second. *)
+  let served_capped = ref 0 and served_open = ref 0 in
+  for i = 0 to 4999 do
+    match s.Plugin.dequeue ~now:(Int64.of_int (i * 200_000)) with
+    | Some m ->
+      if Flow_key.equal m.Mbuf.key (key 1) then incr served_capped
+      else incr served_open
+    | None -> ()
+  done;
+  (* capped: ~1 MB = ~1000 packets of 1000 B; open: the rest. *)
+  check bool_t
+    (Printf.sprintf "cap respected (%d pkts ~ 1MB)" !served_capped)
+    true
+    (!served_capped >= 900 && !served_capped <= 1100);
+  check bool_t
+    (Printf.sprintf "open class takes the remainder (%d)" !served_open)
+    true
+    (!served_open >= 3800)
+
+let test_hfsc_class_errors () =
+  let _inst, _ = mk_hfsc () in
+  (match Rp_sched.Hfsc_plugin.add_class ~instance_id:1 ~cname:"default" () with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "duplicate class accepted");
+  (match Rp_sched.Hfsc_plugin.add_class ~instance_id:1 ~cname:"x" ~parent:"ghost" () with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "missing parent accepted");
+  match Rp_sched.Hfsc_plugin.assign ~instance_id:1 ~key:(key 1) ~cname:"root" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "assigning to an inner class accepted"
+
+(* --- RED ----------------------------------------------------------------- *)
+
+let test_red_no_drops_when_light () =
+  let inst =
+    mk_instance (module Rp_sched.Red_plugin)
+      [ ("min-th", "5"); ("max-th", "15") ]
+  in
+  let s = scheduler_of inst in
+  (* Alternate enqueue/dequeue: queue stays short, no early drops. *)
+  for seq = 0 to 199 do
+    (match s.Plugin.enqueue ~now:(Int64.of_int (seq * 1000)) (pkt 1 seq) None with
+     | Plugin.Enqueued -> ()
+     | Plugin.Rejected r -> Alcotest.failf "unexpected drop: %s" r);
+    ignore (s.Plugin.dequeue ~now:(Int64.of_int (seq * 1000)))
+  done
+
+let test_red_drops_when_congested () =
+  let inst =
+    mk_instance (module Rp_sched.Red_plugin)
+      [ ("min-th", "5"); ("max-th", "15"); ("wq", "0.2") ]
+  in
+  let s = scheduler_of inst in
+  let dropped = ref 0 in
+  for seq = 0 to 199 do
+    match s.Plugin.enqueue ~now:0L (pkt 1 seq) None with
+    | Plugin.Enqueued -> ()
+    | Plugin.Rejected _ -> incr dropped
+  done;
+  check bool_t (Printf.sprintf "congestion causes drops (%d)" !dropped) true
+    (!dropped > 50);
+  (* The average tracked above max-th forces drops; backlog stays
+     bounded near max-th rather than at the hard limit. *)
+  check bool_t "backlog bounded by RED, not the hard limit" true
+    (s.Plugin.backlog () < 100)
+
+(* --- Token bucket ---------------------------------------------------------- *)
+
+let mk_binding () : Plugin.t Rp_classifier.Flow_table.binding option =
+  (* A standalone binding record to carry soft state in tests. *)
+  let dummy_instance =
+    Plugin.simple ~instance_id:0 ~code:0 ~plugin_name:"x" ~gate:Gate.Congestion
+      (fun _ _ -> Plugin.Continue)
+  in
+  Some { Rp_classifier.Flow_table.instance = dummy_instance; filter = None; soft = None }
+
+let test_token_bucket_conformance () =
+  let inst =
+    mk_instance (module Rp_sched.Tb_plugin)
+      [ ("rate", "10000"); ("burst", "5000") ]
+  in
+  let binding = mk_binding () in
+  let ctx now : Plugin.ctx = { Plugin.now_ns = now; binding } in
+  (* Burst of 5 x 1000B conforms (burst = 5000). *)
+  for i = 0 to 4 do
+    match inst.Plugin.handle (ctx 0L) (pkt 1 i) with
+    | Plugin.Continue | Plugin.Consumed -> ()
+    | Plugin.Drop r -> Alcotest.failf "conforming packet dropped: %s" r
+  done;
+  (* The sixth is out of profile. *)
+  (match inst.Plugin.handle (ctx 0L) (pkt 1 5) with
+   | Plugin.Drop _ -> ()
+   | Plugin.Continue | Plugin.Consumed -> Alcotest.fail "non-conforming packet passed");
+  (* After a second, 10000 bytes of tokens refill (capped at burst):
+     5 more packets pass. *)
+  let passed = ref 0 in
+  for i = 6 to 12 do
+    match inst.Plugin.handle (ctx 1_000_000_000L) (pkt 1 i) with
+    | Plugin.Continue -> incr passed
+    | Plugin.Drop _ | Plugin.Consumed -> ()
+  done;
+  check int_t "refill honours burst cap" 5 !passed
+
+let test_token_bucket_mark_action () =
+  let inst =
+    mk_instance (module Rp_sched.Tb_plugin)
+      [ ("rate", "1000"); ("burst", "1000"); ("action", "mark"); ("dscp", "7") ]
+  in
+  let binding = mk_binding () in
+  let ctx : Plugin.ctx = { Plugin.now_ns = 0L; binding } in
+  ignore (inst.Plugin.handle ctx (pkt ~len:1000 1 0));
+  let m = pkt ~len:1000 1 1 in
+  (match inst.Plugin.handle ctx m with
+   | Plugin.Continue | Plugin.Consumed -> ()
+   | Plugin.Drop _ -> Alcotest.fail "mark action must not drop");
+  check int_t "dscp marked" 7 m.Mbuf.tos;
+  check bool_t "tagged" true (Mbuf.has_tag m "out-of-profile")
+
+let () =
+  Alcotest.run "rp_sched"
+    [
+      ("fifo", [ Alcotest.test_case "order and limit" `Quick test_fifo_order_and_limit ]);
+      ( "drr",
+        [
+          Alcotest.test_case "equal fairness" `Quick test_drr_equal_fairness;
+          Alcotest.test_case "weighted shares" `Quick test_drr_weighted_shares;
+          Alcotest.test_case "byte fairness" `Quick test_drr_mixed_packet_sizes;
+          Alcotest.test_case "per-flow limit" `Quick test_drr_per_flow_limit;
+          prop_drr_work_conserving;
+        ] );
+      ( "service_curve",
+        [
+          Alcotest.test_case "two-piece math" `Quick test_service_curve_math;
+          prop_service_curve_inverse;
+        ] );
+      ( "hfsc",
+        [
+          Alcotest.test_case "link share ratio" `Quick test_hfsc_link_share_ratio;
+          Alcotest.test_case "hierarchy" `Quick test_hfsc_hierarchy;
+          Alcotest.test_case "realtime priority" `Quick test_hfsc_realtime_priority;
+          Alcotest.test_case "HSF: drr leaf fairness" `Quick test_hfsc_drr_leaf_fairness;
+          Alcotest.test_case "HSF: drr leaf via message" `Quick test_hfsc_drr_leaf_via_message;
+          Alcotest.test_case "upper-limit curve" `Quick test_hfsc_upper_limit;
+          Alcotest.test_case "class errors" `Quick test_hfsc_class_errors;
+        ] );
+      ( "red",
+        [
+          Alcotest.test_case "no drops when light" `Quick test_red_no_drops_when_light;
+          Alcotest.test_case "drops when congested" `Quick test_red_drops_when_congested;
+        ] );
+      ( "token_bucket",
+        [
+          Alcotest.test_case "conformance" `Quick test_token_bucket_conformance;
+          Alcotest.test_case "mark action" `Quick test_token_bucket_mark_action;
+        ] );
+    ]
