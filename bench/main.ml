@@ -77,6 +77,14 @@ let table2 () =
       name
       (float_of_int !worst *. 60.0 /. 1000.0)
       (float_of_int paper_total *. 60.0 /. 1000.0);
+    (* CI regression gate reads these from the --metrics-out JSON. *)
+    let slug = String.lowercase_ascii name in
+    Rp_obs.Registry.set
+      (Printf.sprintf "bench.table2.%s.worst_accesses" slug)
+      (float_of_int !worst);
+    Rp_obs.Registry.set
+      (Printf.sprintf "bench.table2.%s.full_walk_accesses" slug)
+      (float_of_int accesses);
     Gc.full_major ()
   in
   Printf.printf
@@ -110,7 +118,7 @@ let install_extra_filters r ~gate ~upto =
          (fun _ _ -> Plugin.Continue))
   done
 
-let table3_run ~label ~configure () =
+let table3_run ~label ~slug ~configure () =
   let s =
     configure ()
   in
@@ -118,6 +126,7 @@ let table3_run ~label ~configure () =
   Rp_sim.Scenario.run s ~seconds:1.0;
   let node = s.Rp_sim.Scenario.node in
   let cycles = Rp_sim.Net.cycles_per_packet node in
+  Rp_obs.Registry.set (Printf.sprintf "bench.table3.%s.cycles" slug) cycles;
   let st = Rp_sim.Net.stats node in
   (label, cycles, st.Rp_sim.Net.received, st.Rp_sim.Net.forwarded)
 
@@ -169,13 +178,14 @@ let table3 () =
   in
   let rows =
     [
-      table3_run ~label:"unmodified best-effort kernel" ~configure:best_effort ();
+      table3_run ~label:"unmodified best-effort kernel" ~slug:"best_effort"
+        ~configure:best_effort ();
       table3_run ~label:"plugin framework (3 gates, empty plugins)"
-        ~configure:plugins_3gates ();
+        ~slug:"plugins_3gates" ~configure:plugins_3gates ();
       table3_run ~label:"monolithic kernel + built-in DRR (ALTQ-like)"
-        ~configure:monolithic_drr ();
+        ~slug:"monolithic_drr" ~configure:monolithic_drr ();
       table3_run ~label:"plugin framework + DRR plugin (1 gate)"
-        ~configure:plugins_drr ();
+        ~slug:"plugins_drr" ~configure:plugins_drr ();
     ]
   in
   let paper = [ (6460, 27.73); (6970, 29.91); (8160, 35.0); (8110, 34.8) ] in
@@ -954,10 +964,17 @@ let sections =
   ]
 
 let () =
+  (* [--metrics-out FILE] may appear anywhere among the section names:
+     dump the metric registry (bench gauges included) as JSON at the
+     end of the run. *)
+  let rec split_metrics acc = function
+    | [] -> (List.rev acc, None)
+    | "--metrics-out" :: path :: rest -> (List.rev_append acc rest, Some path)
+    | x :: rest -> split_metrics (x :: acc) rest
+  in
+  let names, metrics_out = split_metrics [] (List.tl (Array.to_list Sys.argv)) in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst sections
+    match names with [] -> List.map fst sections | names -> names
   in
   Printf.printf
     "Router Plugins benchmark harness — reproducing the evaluation of\n\
@@ -974,4 +991,9 @@ let () =
       | None ->
         Printf.printf "unknown section %S; available: %s\n" name
           (String.concat ", " (List.map fst sections)))
-    requested
+    requested;
+  match metrics_out with
+  | Some path ->
+    Rp_obs.Registry.write_json path;
+    Printf.printf "\nmetrics written to %s\n" path
+  | None -> ()

@@ -73,7 +73,8 @@ let cmd =
       `P "bind N <FILTER>; unbind N <FILTER>; attach N IFACE; detach IFACE;";
       `P "reserve N RATE <FILTER>; message PLUGIN KEY [PAYLOAD];";
       `P "route add PREFIX IFACE [NEXTHOP]; route del PREFIX;";
-      `P "show plugins|instances|ifaces|routes|flows";
+      `P "show plugins|instances|ifaces|routes|flows;";
+      `P "stats show|json [PATTERN]; stats reset";
     ]
   in
   Cmd.v

@@ -45,7 +45,9 @@ let parse_flow s =
   in
   { id; rate; len; pattern }
 
-let main script flows seconds in_ifaces bandwidth_mbps mode_str =
+let main script flows seconds in_ifaces bandwidth_mbps mode_str metrics_out
+    trace =
+  Rp_obs.Trace.enabled := trace;
   let mode =
     match mode_str with
     | "best-effort" -> Rp_core.Router.Best_effort
@@ -123,7 +125,18 @@ let main script flows seconds in_ifaces bandwidth_mbps mode_str =
    | Error _ -> ());
   Array.iter
     (fun ifc -> Format.printf "%a@." Rp_core.Iface.pp ifc)
-    router.Rp_core.Router.ifaces
+    router.Rp_core.Router.ifaces;
+  if trace then begin
+    Printf.printf "\n== last %d trace spans ==\n" (Rp_obs.Trace.recorded ());
+    List.iter
+      (fun s -> Format.printf "%a@." Rp_obs.Trace.pp_span s)
+      (Rp_obs.Trace.spans ())
+  end;
+  match metrics_out with
+  | Some path ->
+    Rp_obs.Registry.write_json path;
+    Printf.printf "\nmetrics written to %s\n" path
+  | None -> ()
 
 let script_arg =
   Arg.(value & opt (some file) None
@@ -149,11 +162,23 @@ let mode_arg =
   Arg.(value & opt string "plugins"
        & info [ "mode" ] ~docv:"MODE" ~doc:"plugins (default) or best-effort.")
 
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Write the metric registry as JSON (schema rp-metrics/1) \
+                 to $(docv) on exit.")
+
+let trace_arg =
+  Arg.(value & flag
+       & info [ "trace" ]
+           ~doc:"Record per-gate trace spans and print the tail of the \
+                 ring buffer.")
+
 let cmd =
   let doc = "simulate a router plugins EISR under synthetic traffic" in
   Cmd.v
     (Cmd.info "rp_router" ~version:"1.0" ~doc)
     Term.(const main $ script_arg $ flow_arg $ seconds_arg $ ifaces_arg
-          $ bw_arg $ mode_arg)
+          $ bw_arg $ mode_arg $ metrics_arg $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -18,6 +18,10 @@ let create ?engine ?buckets ?initial_records ?max_records ?on_evict ~gates () =
 
 let gates t = t.n_gates
 
+let m_full_walks = Rp_obs.Registry.counter "aiu.full_walks"
+let m_fix_hits = Rp_obs.Registry.counter "aiu.fix_hits"
+let m_fix_stale = Rp_obs.Registry.counter "aiu.fix_stale"
+
 let check_gate t gate =
   if gate < 0 || gate >= t.n_gates then invalid_arg "Aiu: gate out of range"
 
@@ -41,6 +45,7 @@ let flow_table t = t.flows
 (* Uncached path: consult every gate's filter table once and cache the
    results in a fresh flow record. *)
 let classify_miss t key ~now =
+  Rp_obs.Counter.inc m_full_walks;
   let record = Flow_table.insert t.flows key ~now in
   for g = 0 to t.n_gates - 1 do
     match Dag.lookup t.tables.(g) key with
@@ -69,9 +74,12 @@ let classify t mbuf ~gate ~now =
     match mbuf.Mbuf.fix with
     | Some fix ->
       (match Flow_table.find_fix t.flows fix with
-       | Some r -> Some r
+       | Some r ->
+         Rp_obs.Counter.inc m_fix_hits;
+         Some r
        | None ->
          (* Stale FIX (row recycled): drop it and reclassify. *)
+         Rp_obs.Counter.inc m_fix_stale;
          mbuf.Mbuf.fix <- None;
          None)
     | None -> None

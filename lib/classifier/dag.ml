@@ -27,11 +27,21 @@ end)
 
 let addr_matcher_of_engine (module E : Rp_lpm.Lpm_intf.S) () =
   let t = E.create () in
+  (* Per-engine meters: every address lookup through this wrapper
+     counts once, and its [Access]-metered memory accesses are
+     attributed to the engine by name. *)
+  let m_lookups = Rp_obs.Registry.counter ("lpm." ^ E.name ^ ".lookups") in
+  let m_accesses = Rp_obs.Registry.counter ("lpm." ^ E.name ^ ".accesses") in
   {
     am_name = E.name;
     am_insert = (fun p v -> E.insert t p v);
     am_find = (fun p -> E.find_exact t p);
-    am_lookup = (fun a -> E.lookup t a);
+    am_lookup =
+      (fun a ->
+        Rp_obs.Counter.inc m_lookups;
+        let r, accesses = Rp_lpm.Access.measure (fun () -> E.lookup t a) in
+        Rp_obs.Counter.add m_accesses accesses;
+        r);
     am_iter = (fun f -> E.iter f t);
   }
 
@@ -92,6 +102,21 @@ type 'a t = {
 }
 
 let n_levels = 6
+
+(* Lookup-path meters, mirroring the Table-2 decomposition: per-level
+   accesses spent inside each level's index structure, plus the edge
+   follows between levels.  These observe the same [Access] meter the
+   cost model reads; they never charge it. *)
+let level_names = [| "src"; "dst"; "proto"; "sport"; "dport"; "iface" |]
+
+let m_level_accesses =
+  Array.init n_levels (fun i ->
+      Rp_obs.Registry.counter ("dag.level." ^ level_names.(i) ^ ".accesses"))
+
+let m_lookups = Rp_obs.Registry.counter "dag.lookups"
+let m_matches = Rp_obs.Registry.counter "dag.matches"
+let m_edges = Rp_obs.Registry.counter "dag.edge_accesses"
+let m_skips = Rp_obs.Registry.counter "dag.skip_jumps"
 
 let mk_node engine nodes level =
   incr nodes;
@@ -362,6 +387,7 @@ let optimize t =
   visit t.root
 
 let lookup t key =
+  Rp_obs.Counter.inc m_lookups;
   (* Function-pointer fetches for the BMP and index-hash functions
      (Table 2, rows 1-2). *)
   Rp_lpm.Access.charge 2;
@@ -369,20 +395,34 @@ let lookup t key =
     match node.skip with
     | Some target ->
       Rp_lpm.Access.charge 1;
+      Rp_obs.Counter.inc m_skips;
+      Rp_obs.Counter.inc m_edges;
       walk_kids target
     | None -> walk_kids node
 
   and walk_kids node =
     match node.kids with
-    | Leaf l -> l.best
+    | Leaf l ->
+      (match l.best with
+       | Some _ as best ->
+         Rp_obs.Counter.inc m_matches;
+         best
+       | None -> None)
     | Addr a ->
-      (match a.matcher.am_lookup (addr_value key node.level) with
+      let result, accesses =
+        Rp_lpm.Access.measure (fun () ->
+            a.matcher.am_lookup (addr_value key node.level))
+      in
+      Rp_obs.Counter.add m_level_accesses.(node.level) accesses;
+      (match result with
        | Some (_, child) ->
          Rp_lpm.Access.charge 1;
+         Rp_obs.Counter.inc m_edges;
          walk child
        | None -> None)
     | Ports p ->
       Rp_lpm.Access.charge 1;
+      Rp_obs.Counter.inc m_level_accesses.(node.level);
       let v = port_value key node.level in
       let rec find = function
         | [] -> p.wild
@@ -392,6 +432,7 @@ let lookup t key =
       (match find p.intervals with
        | Some child ->
          Rp_lpm.Access.charge 1;
+         Rp_obs.Counter.inc m_edges;
          walk child
        | None -> None)
     | Exact e ->
@@ -404,6 +445,7 @@ let lookup t key =
       (match child with
        | Some child ->
          Rp_lpm.Access.charge 1;
+         Rp_obs.Counter.inc m_edges;
          walk child
        | None -> None)
   in

@@ -51,6 +51,16 @@ let dummy_key =
   Flow_key.make ~src:Ipaddr.zero_v4 ~dst:Ipaddr.zero_v4 ~proto:0 ~sport:0
     ~dport:0 ~iface:0
 
+(* Process-wide counters (all tables aggregated); the per-table [stats]
+   record remains the precise per-instance view. *)
+let m_lookups = Rp_obs.Registry.counter "flow_table.lookups"
+let m_hits = Rp_obs.Registry.counter "flow_table.hits"
+let m_misses = Rp_obs.Registry.counter "flow_table.misses"
+let m_inserts = Rp_obs.Registry.counter "flow_table.inserts"
+let m_evictions = Rp_obs.Registry.counter "flow_table.evictions"
+let m_recycled = Rp_obs.Registry.counter "flow_table.recycled"
+let m_expired = Rp_obs.Registry.counter "flow_table.expired"
+
 let default_buckets = 32768
 let default_initial = 1024
 
@@ -92,16 +102,19 @@ let bucket_of t key = Flow_key.hash key mod Array.length t.buckets
 
 let lookup t key ~now =
   t.s_lookups <- t.s_lookups + 1;
+  Rp_obs.Counter.inc m_lookups;
   Rp_lpm.Access.charge 1;
   let rec walk depth = function
     | None ->
       t.s_misses <- t.s_misses + 1;
+      Rp_obs.Counter.inc m_misses;
       t.s_chain_max <- max t.s_chain_max depth;
       None
     | Some r ->
       Rp_lpm.Access.charge 1;
       if r.in_use && Flow_key.equal r.key key then begin
         t.s_hits <- t.s_hits + 1;
+        Rp_obs.Counter.inc m_hits;
         t.s_chain_max <- max t.s_chain_max (depth + 1);
         r.last_use_ns <- now;
         Some r
@@ -143,7 +156,8 @@ let evict t r =
     r.in_use <- false;
     r.next <- None;
     t.live <- t.live - 1;
-    t.s_evictions <- t.s_evictions + 1
+    t.s_evictions <- t.s_evictions + 1;
+    Rp_obs.Counter.inc m_evictions
   end
 
 (* Grow the record pool exponentially (1024, 2048, 4096, ...), as the
@@ -197,6 +211,8 @@ let rec allocate t =
       evict t r;
       t.s_recycled <- t.s_recycled + 1;
       t.s_evictions <- t.s_evictions - 1;
+      Rp_obs.Counter.inc m_recycled;
+      Rp_obs.Counter.add m_evictions (-1);
       r
     end
 
@@ -223,6 +239,7 @@ let insert t key ~now =
   r.next <- t.buckets.(b);
   t.buckets.(b) <- Some r;
   t.live <- t.live + 1;
+  Rp_obs.Counter.inc m_inserts;
   Queue.push (r.slot, r.gen) t.fifo;
   r
 
@@ -239,6 +256,7 @@ let expire t ~now ~idle_ns =
     if r.in_use && Int64.sub now r.last_use_ns > idle_ns then begin
       evict t r;
       t.free <- r.slot :: t.free;
+      Rp_obs.Counter.inc m_expired;
       incr count
     end
   done;

@@ -198,6 +198,16 @@ let exec router line =
        Route_table.remove router.Router.routes p;
        Ok (Printf.sprintf "route %s removed" (Prefix.to_string p)))
   | [ "show"; what ] -> show router what
+  (* The metric registry: the same snapshot the --metrics-out flags
+     write.  [pattern] is a substring filter over metric names. *)
+  | [ "stats"; "show" ] -> Ok (Rp_obs.Registry.dump ())
+  | [ "stats"; "show"; pattern ] -> Ok (Rp_obs.Registry.dump ~pattern ())
+  | [ "stats"; "json" ] -> Ok (Rp_obs.Registry.dump_json ())
+  | [ "stats"; "json"; pattern ] -> Ok (Rp_obs.Registry.dump_json ~pattern ())
+  | [ "stats"; "reset" ] ->
+    Rp_obs.Registry.reset ();
+    Ok "counters reset"
+  | "stats" :: _ -> Error "usage: stats show|json [pattern] | stats reset"
   | cmd :: _ -> Error (Printf.sprintf "unknown command %S" cmd)
 
 let exec_script router text =

@@ -50,3 +50,21 @@ let of_name s =
 
 let pp ppf g = Format.pp_print_string ppf (name g)
 let equal a b = to_int a = to_int b
+
+(* Per-gate data-path meters, indexed by [to_int]; created at load
+   time so a metrics dump always carries the full gate schema, zeros
+   included.  All IP-core call sites (inline gates, the routing gate,
+   the scheduling classification at enqueue) share these. *)
+let per_gate suffix =
+  Array.of_list
+    (List.map
+       (fun g -> Rp_obs.Registry.counter ("gate." ^ name g ^ "." ^ suffix))
+       all)
+
+let m_dispatch = per_gate "dispatch"
+let m_cycles = per_gate "cycles"
+let m_drops = per_gate "drops"
+
+let dispatch g = m_dispatch.(to_int g)
+let cycles g = m_cycles.(to_int g)
+let drops g = m_drops.(to_int g)

@@ -8,6 +8,17 @@ type counters = {
   mutable drops : int;
 }
 
+(* Aggregated over all interfaces; the per-interface [counters] record
+   stays the precise view.  "sched.drops" counts qdisc rejections,
+   "iface.fifo.drops" the default FIFO's tail drops — together they
+   are every output-queue drop in the system. *)
+let m_rx_packets = Rp_obs.Registry.counter "iface.rx_packets"
+let m_rx_bytes = Rp_obs.Registry.counter "iface.rx_bytes"
+let m_tx_packets = Rp_obs.Registry.counter "iface.tx_packets"
+let m_tx_bytes = Rp_obs.Registry.counter "iface.tx_bytes"
+let m_fifo_drops = Rp_obs.Registry.counter "iface.fifo.drops"
+let m_sched_drops = Rp_obs.Registry.counter "sched.drops"
+
 type t = {
   id : int;
   name : string;
@@ -51,6 +62,7 @@ let enqueue t ~now ~binding m =
         | Plugin.Enqueued -> true
         | Plugin.Rejected _ ->
           t.counters.drops <- t.counters.drops + 1;
+          Rp_obs.Counter.inc m_sched_drops;
           false)
      | None ->
        (* attach_scheduler guarantees this cannot happen *)
@@ -58,6 +70,7 @@ let enqueue t ~now ~binding m =
   | None ->
     if Queue.length t.fifo >= t.fifo_limit then begin
       t.counters.drops <- t.counters.drops + 1;
+      Rp_obs.Counter.inc m_fifo_drops;
       false
     end
     else begin
@@ -86,11 +99,15 @@ let backlog t =
 
 let count_tx t m =
   t.counters.tx_packets <- t.counters.tx_packets + 1;
-  t.counters.tx_bytes <- t.counters.tx_bytes + m.Mbuf.len
+  t.counters.tx_bytes <- t.counters.tx_bytes + m.Mbuf.len;
+  Rp_obs.Counter.inc m_tx_packets;
+  Rp_obs.Counter.add m_tx_bytes m.Mbuf.len
 
 let count_rx t m =
   t.counters.rx_packets <- t.counters.rx_packets + 1;
-  t.counters.rx_bytes <- t.counters.rx_bytes + m.Mbuf.len
+  t.counters.rx_bytes <- t.counters.rx_bytes + m.Mbuf.len;
+  Rp_obs.Counter.inc m_rx_packets;
+  Rp_obs.Counter.add m_rx_bytes m.Mbuf.len
 
 let pp ppf t =
   Format.fprintf ppf "%s: rx %d/%dB tx %d/%dB drops %d backlog %d%s" t.name

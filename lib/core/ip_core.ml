@@ -12,6 +12,15 @@ let pp_verdict ppf = function
   | Absorbed -> Format.pp_print_string ppf "consumed by a plugin"
   | Dropped why -> Format.fprintf ppf "dropped (%s)" why
 
+(* Verdict counters over every [process] invocation, self-generated
+   ICMP traffic included (unlike the per-node simulator stats, which
+   count injected packets only). *)
+let m_packets = Rp_obs.Registry.counter "ip_core.packets"
+let m_forwarded = Rp_obs.Registry.counter "ip_core.forwarded"
+let m_delivered = Rp_obs.Registry.counter "ip_core.delivered_local"
+let m_absorbed = Rp_obs.Registry.counter "ip_core.absorbed"
+let m_dropped = Rp_obs.Registry.counter "ip_core.dropped"
+
 (* Classify at [gate], charging the framework costs: the flow hash the
    first time this packet consults the AIU, one gate's invocation
    overhead, and the measured memory accesses of whatever lookups the
@@ -32,12 +41,28 @@ let classify_at router ~now ~gate m =
 let binding_of record ~gate =
   Rp_classifier.Flow_table.binding record ~gate:(Gate.to_int gate)
 
+(* One gate traversal: dispatch count, cycle cost attributed to the
+   gate, and (behind the flag) a trace span.  The meters only observe
+   the existing [Cost] / [Access] counters — nothing here charges the
+   cost model, so Table-3 figures are untouched. *)
 let invoke_gate router ~now ~gate m =
-  match classify_at router ~now ~gate m with
-  | None -> Plugin.Continue
-  | Some (inst, record) ->
-    let binding = binding_of record ~gate in
-    inst.Plugin.handle { Plugin.now_ns = now; binding } m
+  Rp_obs.Counter.inc (Gate.dispatch gate);
+  let (verdict, cycles), accesses =
+    Rp_lpm.Access.measure (fun () ->
+        Cost.measure (fun () ->
+            match classify_at router ~now ~gate m with
+            | None -> Plugin.Continue
+            | Some (inst, record) ->
+              let binding = binding_of record ~gate in
+              inst.Plugin.handle { Plugin.now_ns = now; binding } m))
+  in
+  Rp_obs.Counter.add (Gate.cycles gate) cycles;
+  if !Rp_obs.Trace.enabled then
+    Rp_obs.Trace.record ~name:("gate." ^ Gate.name gate) ~cycles ~accesses;
+  (match verdict with
+   | Plugin.Drop _ -> Rp_obs.Counter.inc (Gate.drops gate)
+   | Plugin.Continue | Plugin.Consumed -> ());
+  verdict
 
 (* Gates traversed inline, in data-path order (scheduling is handled
    at enqueue time, routing right after the punt check). *)
@@ -91,10 +116,17 @@ let route router ~now m =
 let rec enqueue router ~now m out =
   let ifc = Router.iface router out in
   let binding =
-    if Router.gate_enabled router Gate.Scheduling then
-      match classify_at router ~now ~gate:Gate.Scheduling m with
-      | Some (_inst, record) -> binding_of record ~gate:Gate.Scheduling
-      | None -> None
+    if Router.gate_enabled router Gate.Scheduling then begin
+      Rp_obs.Counter.inc (Gate.dispatch Gate.Scheduling);
+      let b, cycles =
+        Cost.measure (fun () ->
+            match classify_at router ~now ~gate:Gate.Scheduling m with
+            | Some (_inst, record) -> binding_of record ~gate:Gate.Scheduling
+            | None -> None)
+      in
+      Rp_obs.Counter.add (Gate.cycles Gate.Scheduling) cycles;
+      b
+    end
     else None
   in
   if not (Frag.needs_fragmentation m ~mtu:ifc.Iface.mtu) then begin
@@ -116,6 +148,16 @@ let rec enqueue router ~now m out =
            ("needs fragmentation", Some (Icmp.Packet_too_big ifc.Iface.mtu)))
 
 and process router ~now m =
+  Rp_obs.Counter.inc m_packets;
+  let verdict = process_inner router ~now m in
+  (match verdict with
+   | Enqueued _ -> Rp_obs.Counter.inc m_forwarded
+   | Delivered_local -> Rp_obs.Counter.inc m_delivered
+   | Absorbed -> Rp_obs.Counter.inc m_absorbed
+   | Dropped _ -> Rp_obs.Counter.inc m_dropped);
+  verdict
+
+and process_inner router ~now m =
   Cost.charge Cost.base_forward;
   Iface.count_rx (Router.iface router m.Mbuf.key.Flow_key.iface) m;
   if m.Mbuf.ttl <= 1 then begin

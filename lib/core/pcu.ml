@@ -6,6 +6,16 @@ type loaded = {
   mutable live_instances : int;
 }
 
+(* Control-path message counters: one per PCU operation of the
+   paper's standardized message set, counted on success. *)
+let m_modloads = Rp_obs.Registry.counter "pcu.modloads"
+let m_modunloads = Rp_obs.Registry.counter "pcu.modunloads"
+let m_creates = Rp_obs.Registry.counter "pcu.instances_created"
+let m_frees = Rp_obs.Registry.counter "pcu.instances_freed"
+let m_registers = Rp_obs.Registry.counter "pcu.registrations"
+let m_deregisters = Rp_obs.Registry.counter "pcu.deregistrations"
+let m_messages = Rp_obs.Registry.counter "pcu.messages"
+
 type t = {
   plugins : (string, loaded) Hashtbl.t;
   instances : (int, Plugin.t) Hashtbl.t;
@@ -45,6 +55,7 @@ let modload t (module P : Plugin.PLUGIN) =
     t.next_impl.(g) <- impl + 1;
     Hashtbl.add t.plugins P.name
       { plugin = (module P); impl; live_instances = 0 };
+    Rp_obs.Counter.inc m_modloads;
     Logs.info (fun m -> m "pcu: loaded plugin %s (gate %s, code %#x)" P.name
                   (Gate.name P.gate) (Plugin.code ~gate:P.gate ~impl));
     Ok ()
@@ -58,7 +69,26 @@ let modunload t name =
       (Printf.sprintf "plugin %s has %d live instance(s)" name l.live_instances)
   | Some _ ->
     Hashtbl.remove t.plugins name;
+    Rp_obs.Counter.inc m_modunloads;
     Ok ()
+
+(* Scheduling plugins get per-instance queue-depth and drop gauges.
+   Registered with replace semantics: a re-created instance with the
+   same id takes over its names. *)
+let register_sched_gauges inst =
+  match inst.Plugin.scheduler with
+  | None -> ()
+  | Some s ->
+    let prefix =
+      Printf.sprintf "sched.%s.%d" inst.Plugin.plugin_name
+        inst.Plugin.instance_id
+    in
+    Rp_obs.Registry.gauge (prefix ^ ".backlog") (fun () ->
+        float_of_int (s.Plugin.backlog ()));
+    Rp_obs.Registry.gauge (prefix ^ ".dropped") (fun () ->
+        match List.assoc_opt "dropped" (s.Plugin.sched_stats ()) with
+        | Some v -> ( try float_of_string v with _ -> 0.)
+        | None -> 0.)
 
 let create_instance t ~plugin config =
   match Hashtbl.find_opt t.plugins plugin with
@@ -74,6 +104,8 @@ let create_instance t ~plugin config =
        l.live_instances <- l.live_instances + 1;
        Hashtbl.add t.instances instance_id inst;
        Hashtbl.add t.registrations instance_id (ref []);
+       register_sched_gauges inst;
+       Rp_obs.Counter.inc m_creates;
        Ok inst)
 
 let find_instance t id = Hashtbl.find_opt t.instances id
@@ -91,6 +123,7 @@ let register_instance t ~instance f =
     Aiu.bind t.aiu ~gate f inst;
     let regs = registrations_of t instance in
     if not (List.exists (Filter.equal f) !regs) then regs := f :: !regs;
+    Rp_obs.Counter.inc m_registers;
     Ok ()
 
 let deregister_instance t ~instance f =
@@ -107,6 +140,7 @@ let deregister_instance t ~instance f =
        | Some bound when bound == inst -> Aiu.unbind t.aiu ~gate f
        | Some _ | None -> ());
       regs := List.filter (fun g -> not (Filter.equal f g)) !regs;
+      Rp_obs.Counter.inc m_deregisters;
       Ok ()
     end
     else Error "filter not registered for this instance"
@@ -128,6 +162,7 @@ let free_instance t id =
        Aiu.unbind already performed; if the instance had no filters,
        flush explicitly. *)
     if !regs = [] then Aiu.flush_flows t.aiu;
+    Rp_obs.Counter.inc m_frees;
     Ok ()
 
 let message t ~plugin key payload =
@@ -135,6 +170,7 @@ let message t ~plugin key payload =
   | None -> Error (Printf.sprintf "plugin %s not loaded" plugin)
   | Some l ->
     let module P = (val l.plugin : Plugin.PLUGIN) in
+    Rp_obs.Counter.inc m_messages;
     P.message key payload
 
 let instances t = Hashtbl.fold (fun _ i acc -> i :: acc) t.instances []

@@ -39,10 +39,16 @@ let add t route =
 
 let remove t prefix = t.m.remove prefix
 
+let m_lookups = Rp_obs.Registry.counter "route_table.lookups"
+let m_misses = Rp_obs.Registry.counter "route_table.misses"
+
 let lookup t dst =
+  Rp_obs.Counter.inc m_lookups;
   match t.m.lookup dst with
   | Some (_, r) -> Some r
-  | None -> None
+  | None ->
+    Rp_obs.Counter.inc m_misses;
+    None
 
 let length t = t.m.length ()
 let iter f t = t.m.iter (fun _ r -> f r)

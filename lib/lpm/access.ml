@@ -12,3 +12,10 @@ let measure f =
 
 let set_enabled b = enabled := b
 let is_enabled () = !enabled
+
+(* Dump-time view of the meter itself: zero hot-path cost, the gauge
+   callback reads the raw counter only when a snapshot is taken. *)
+let () =
+  Rp_obs.Registry.gauge "lpm.access.total" (fun () -> float_of_int !counter);
+  Rp_obs.Registry.gauge "lpm.access.enabled" (fun () ->
+      if !enabled then 1.0 else 0.0)

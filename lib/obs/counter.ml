@@ -1,0 +1,8 @@
+type t = { name : string; mutable v : int }
+
+let make name = { name; v = 0 }
+let name t = t.name
+let inc t = t.v <- t.v + 1
+let add t n = t.v <- t.v + n
+let get t = t.v
+let reset t = t.v <- 0

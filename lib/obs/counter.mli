@@ -1,0 +1,24 @@
+(** Monotonic event counters — the data path's always-on meter.
+
+    A counter is a single mutable native int; incrementing one is two
+    memory operations, cheap enough to leave on in the packet path
+    (the Snabb [core.counter] discipline).  Values wrap around on
+    native-int overflow ([max_int + 1 = min_int]); at one increment
+    per nanosecond that takes ~292 years on 64-bit, so overflow is a
+    documented curiosity, not an error.
+
+    Counters are normally obtained through {!Registry.counter}, which
+    names them and includes them in dumps. *)
+
+type t
+
+(** An unregistered counter (tests, scratch use). *)
+val make : string -> t
+
+val name : t -> string
+val inc : t -> unit
+val add : t -> int -> unit
+val get : t -> int
+
+(** Reset to zero — control-path only (e.g. [pmgr stats reset]). *)
+val reset : t -> unit

@@ -1,0 +1,6 @@
+type t = { name : string; read : unit -> float }
+
+let make name read = { name; read }
+let constant name v = { name; read = (fun () -> v) }
+let name t = t.name
+let read t = t.read ()

@@ -1,0 +1,16 @@
+(** Gauges: point-in-time values sampled at dump time.
+
+    A gauge is a callback, so the instrumented code pays nothing per
+    packet — queue depths, table occupancy and the like are read only
+    when somebody asks for a snapshot. *)
+
+type t
+
+val make : string -> (unit -> float) -> t
+
+(** A gauge frozen at [v] — for recording one-shot results (bench
+    outcomes) into the registry. *)
+val constant : string -> float -> t
+
+val name : t -> string
+val read : t -> float

@@ -1,0 +1,55 @@
+type t = {
+  name : string;
+  bounds : int array;  (* strictly increasing upper bounds *)
+  counts : int array;  (* length = Array.length bounds + 1; last = overflow *)
+  mutable total : int;
+  mutable sum : int;
+}
+
+let default_bounds = [| 100; 250; 500; 1_000; 2_500; 5_000; 10_000; 25_000 |]
+
+let make ?(bounds = default_bounds) name =
+  if Array.length bounds = 0 then invalid_arg "Histogram.make: no buckets";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && b <= bounds.(i - 1) then
+        invalid_arg "Histogram.make: bounds must be strictly increasing")
+    bounds;
+  {
+    name;
+    bounds = Array.copy bounds;
+    counts = Array.make (Array.length bounds + 1) 0;
+    total = 0;
+    sum = 0;
+  }
+
+let name t = t.name
+
+(* Binary search for the first bucket whose bound is >= v; values above
+   the last bound land in the trailing overflow bucket. *)
+let bucket_index t v =
+  let n = Array.length t.bounds in
+  if v > t.bounds.(n - 1) then n
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.bounds.(mid) >= v then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
+let observe t v =
+  t.counts.(bucket_index t v) <- t.counts.(bucket_index t v) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum + v
+
+let total t = t.total
+let sum t = t.sum
+let bounds t = Array.copy t.bounds
+let counts t = Array.copy t.counts
+
+let reset t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.total <- 0;
+  t.sum <- 0

@@ -1,0 +1,35 @@
+(** Fixed-bucket histograms for latency / cost distributions.
+
+    Buckets are defined once by an array of strictly increasing
+    integer upper bounds; a trailing overflow bucket catches
+    everything above the last bound.  [observe] is a binary search
+    over a handful of bounds plus three writes — cheap enough for the
+    per-packet path.  The default bounds suit the repository's cycle
+    cost model (hundreds to tens of thousands of cycles). *)
+
+type t
+
+val default_bounds : int array
+
+(** [make ?bounds name] — raises [Invalid_argument] if [bounds] is
+    empty or not strictly increasing. *)
+val make : ?bounds:int array -> string -> t
+
+val name : t -> string
+
+(** Record one value (negative values land in the first bucket). *)
+val observe : t -> int -> unit
+
+(** Number of observations. *)
+val total : t -> int
+
+(** Sum of observed values. *)
+val sum : t -> int
+
+val bounds : t -> int array
+
+(** Per-bucket counts; length is [Array.length (bounds t) + 1], the
+    last entry being the overflow bucket. *)
+val counts : t -> int array
+
+val reset : t -> unit

@@ -1,0 +1,42 @@
+type span = { seq : int; name : string; cycles : int; accesses : int }
+
+let enabled = ref false
+
+let dummy = { seq = 0; name = ""; cycles = 0; accesses = 0 }
+let buf = ref (Array.make 1024 dummy)
+let next = ref 0  (* write position *)
+let stored = ref 0  (* spans currently in the ring *)
+let seq = ref 0  (* spans ever recorded *)
+
+let capacity () = Array.length !buf
+
+let clear () =
+  next := 0;
+  stored := 0;
+  seq := 0
+
+let set_capacity n =
+  if n <= 0 then invalid_arg "Trace.set_capacity";
+  buf := Array.make n dummy;
+  clear ()
+
+let record ~name ~cycles ~accesses =
+  if !enabled then begin
+    let b = !buf in
+    b.(!next) <- { seq = !seq; name; cycles; accesses };
+    incr seq;
+    next := (!next + 1) mod Array.length b;
+    if !stored < Array.length b then incr stored
+  end
+
+let recorded () = !seq
+
+let spans () =
+  let b = !buf in
+  let n = !stored in
+  let start = (!next - n + Array.length b) mod Array.length b in
+  List.init n (fun i -> b.((start + i) mod Array.length b))
+
+let pp_span ppf s =
+  Format.fprintf ppf "#%d %s cycles=%d accesses=%d" s.seq s.name s.cycles
+    s.accesses

@@ -1,0 +1,34 @@
+(** Optional per-packet trace spans.
+
+    Off by default: the data path guards every [record] behind the
+    {!enabled} flag, so the disabled cost is one ref read per
+    candidate span.  When enabled, completed spans — a name plus the
+    cycle-model and memory-access deltas the caller measured — are
+    kept in a bounded ring buffer, oldest spans overwritten first.
+
+    The recorder is deliberately passive (callers measure, the ring
+    stores): the obs library stays dependency-free, and the cost /
+    access meters live in [Rp_core.Cost] and [Rp_lpm.Access]. *)
+
+type span = { seq : int; name : string; cycles : int; accesses : int }
+
+(** Master switch; flip with [pmgr stats trace on|off]. *)
+val enabled : bool ref
+
+(** Ring capacity in spans (default 1024). *)
+val capacity : unit -> int
+
+(** Resize (and clear) the ring. *)
+val set_capacity : int -> unit
+
+(** Record a completed span; no-op unless {!enabled}. *)
+val record : name:string -> cycles:int -> accesses:int -> unit
+
+(** Spans still in the ring, oldest first. *)
+val spans : unit -> span list
+
+(** Total spans ever recorded (including overwritten ones). *)
+val recorded : unit -> int
+
+val clear : unit -> unit
+val pp_span : Format.formatter -> span -> unit

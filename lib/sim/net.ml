@@ -53,6 +53,13 @@ let connect node ~iface endpoint ~prop_ns =
     invalid_arg "Net.connect: no such interface";
   node.links.(iface) <- Some { dest = endpoint; prop_ns }
 
+(* Modelled per-packet cost distribution; the buckets straddle the
+   Table-3 range (plain forwarding 6460 cycles, full gate chain
+   ~8160). *)
+let h_pkt_cycles =
+  Rp_obs.Registry.histogram "sim.pkt_cycles"
+    ~bounds:[| 6_500; 7_000; 7_500; 8_000; 8_500; 10_000; 15_000; 25_000 |]
+
 let count_drop st reason =
   st.dropped <- st.dropped + 1;
   let count = try List.assoc reason st.drop_reasons with Not_found -> 0 in
@@ -100,6 +107,7 @@ and receive node m =
   node.n_stats.received <- node.n_stats.received + 1;
   let verdict, cycles = Cost.measure (fun () -> Ip_core.process node.rtr ~now m) in
   node.n_stats.cycles <- node.n_stats.cycles + cycles;
+  Rp_obs.Histogram.observe h_pkt_cycles cycles;
   (match verdict with
    | Ip_core.Enqueued _ | Ip_core.Absorbed -> ()
    | Ip_core.Delivered_local -> node.n_stats.delivered <- node.n_stats.delivered + 1

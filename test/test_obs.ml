@@ -1,0 +1,310 @@
+(* Tests for rp_obs: counters (wraparound), histograms (bucketing),
+   the registry (determinism, JSON validity), trace spans, and the
+   integration of the data-path instrumentation with the oracle
+   statistics the flow table and IP core keep themselves. *)
+
+open Rp_pkt
+open Rp_obs
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let string_t = Alcotest.string
+
+(* --- Counter --------------------------------------------------------- *)
+
+let test_counter_basics () =
+  let c = Counter.make "t.basics" in
+  check int_t "starts at zero" 0 (Counter.get c);
+  Counter.inc c;
+  Counter.inc c;
+  Counter.add c 40;
+  check int_t "inc + add" 42 (Counter.get c);
+  check string_t "name" "t.basics" (Counter.name c);
+  Counter.reset c;
+  check int_t "reset" 0 (Counter.get c)
+
+let test_counter_overflow () =
+  (* Documented semantics: plain int arithmetic, so the counter wraps
+     to [min_int] rather than raising or saturating. *)
+  let c = Counter.make "t.overflow" in
+  Counter.add c max_int;
+  Counter.inc c;
+  check bool_t "wraps to min_int" true (Counter.get c = min_int);
+  Counter.inc c;
+  check bool_t "keeps counting" true (Counter.get c = min_int + 1)
+
+(* --- Histogram ------------------------------------------------------- *)
+
+let test_histogram_bucketing () =
+  let h = Histogram.make "t.hist" ~bounds:[| 10; 20; 30 |] in
+  (* One value per region: <=10, <=20, <=30, and overflow. *)
+  List.iter (Histogram.observe h) [ 5; 10; 11; 20; 30; 31; 1000 ];
+  check int_t "total" 7 (Histogram.total h);
+  check int_t "sum" (5 + 10 + 11 + 20 + 30 + 31 + 1000) (Histogram.sum h);
+  let counts = Histogram.counts h in
+  check int_t "bucket le=10" 2 counts.(0);
+  check int_t "bucket le=20" 2 counts.(1);
+  check int_t "bucket le=30" 1 counts.(2);
+  check int_t "overflow bucket" 2 counts.(3);
+  Histogram.reset h;
+  check int_t "reset total" 0 (Histogram.total h);
+  check int_t "reset sum" 0 (Histogram.sum h)
+
+let test_histogram_bad_bounds () =
+  let raises bounds =
+    match Histogram.make "t.bad" ~bounds with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check bool_t "empty bounds" true (raises [||]);
+  check bool_t "non-increasing" true (raises [| 10; 10 |]);
+  check bool_t "decreasing" true (raises [| 20; 10 |])
+
+(* --- Registry -------------------------------------------------------- *)
+
+let test_registry_get_or_create () =
+  let a = Registry.counter "t.reg.same" in
+  let b = Registry.counter "t.reg.same" in
+  check bool_t "same counter object" true (a == b);
+  Counter.inc a;
+  check int_t "shared state" 1 (Counter.get b);
+  (match Registry.histogram "t.reg.same" with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "kind mismatch should raise");
+  Registry.remove "t.reg.same"
+
+let test_registry_gauge_replace () =
+  Registry.gauge "t.reg.g" (fun () -> 1.0);
+  Registry.gauge "t.reg.g" (fun () -> 2.0);
+  (match Registry.find "t.reg.g" with
+   | Some (Registry.Gauge g) ->
+     check bool_t "latest registration wins" true (Gauge.read g = 2.0)
+   | _ -> Alcotest.fail "gauge not found");
+  Registry.remove "t.reg.g"
+
+let test_registry_dump_deterministic () =
+  (* Register in shuffled order: dumps sort by name, so two snapshots
+     of equal state are byte-equal regardless of insertion order. *)
+  List.iter
+    (fun n -> Counter.add (Registry.counter ("t.det." ^ n)) 7)
+    [ "zeta"; "alpha"; "mid" ];
+  Registry.set "t.det.gauge" 1.5;
+  let d1 = Registry.dump ~pattern:"t.det." () in
+  let d2 = Registry.dump ~pattern:"t.det." () in
+  check string_t "byte-equal dumps" d1 d2;
+  check string_t "sorted, one per line"
+    "t.det.alpha 7\nt.det.gauge 1.5\nt.det.mid 7\nt.det.zeta 7\n" d1;
+  let j1 = Registry.dump_json ~pattern:"t.det." () in
+  let j2 = Registry.dump_json ~pattern:"t.det." () in
+  check string_t "byte-equal JSON" j1 j2;
+  List.iter Registry.remove (Registry.names ~pattern:"t.det." ())
+
+let test_registry_reset () =
+  let c = Registry.counter "t.rst.c" in
+  let h = Registry.histogram "t.rst.h" in
+  Counter.add c 5;
+  Histogram.observe h 123;
+  Registry.set "t.rst.g" 9.0;
+  Registry.reset ();
+  check int_t "counter cleared" 0 (Counter.get c);
+  check int_t "histogram cleared" 0 (Histogram.total h);
+  (match Registry.find "t.rst.g" with
+   | Some (Registry.Gauge g) ->
+     check bool_t "gauge untouched" true (Gauge.read g = 9.0)
+   | _ -> Alcotest.fail "gauge lost");
+  List.iter Registry.remove [ "t.rst.c"; "t.rst.h"; "t.rst.g" ]
+
+(* A minimal JSON syntax checker, enough to validate the emitter's
+   output without an external parser: objects, strings, and numbers. *)
+let json_valid s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\n' || s.[!pos] = '\t')
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if peek () = Some c then incr pos else failwith "unexpected char"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '"' -> string ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> failwith "bad value"
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then incr pos
+    else begin
+      let rec members () =
+        skip_ws ();
+        string ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          incr pos;
+          members ()
+        | Some '}' -> incr pos
+        | _ -> failwith "bad object"
+      in
+      members ()
+    end
+  and string () =
+    expect '"';
+    while peek () <> Some '"' && !pos < n do
+      incr pos
+    done;
+    expect '"'
+  and number () =
+    if peek () = Some '-' then incr pos;
+    let start = !pos in
+    while
+      !pos < n
+      && (match s.[!pos] with '0' .. '9' | '.' | 'e' | '-' | '+' -> true
+          | _ -> false)
+    do
+      incr pos
+    done;
+    if !pos = start then failwith "bad number"
+  in
+  match
+    value ();
+    skip_ws ();
+    !pos = n
+  with
+  | b -> b
+  | exception Failure _ -> false
+
+let test_registry_json_valid () =
+  (* The full registry, data-path metrics and all. *)
+  check bool_t "syntax checker accepts emitter output" true
+    (json_valid (Registry.dump_json ()));
+  check bool_t "filtered dump also valid" true
+    (json_valid (Registry.dump_json ~pattern:"flow_table" ()));
+  (* Sanity: the checker itself rejects garbage. *)
+  check bool_t "checker rejects garbage" false (json_valid "{\"a\": }")
+
+(* --- Trace ----------------------------------------------------------- *)
+
+let test_trace_ring () =
+  Trace.clear ();
+  Trace.record ~name:"off" ~cycles:1 ~accesses:1;
+  check int_t "disabled records nothing" 0 (Trace.recorded ());
+  Trace.enabled := true;
+  Trace.set_capacity 4;
+  for i = 1 to 6 do
+    Trace.record ~name:("s" ^ string_of_int i) ~cycles:i ~accesses:0
+  done;
+  Trace.enabled := false;
+  let spans = Trace.spans () in
+  check int_t "capacity bounds the buffer" 4 (List.length spans);
+  check bool_t "oldest first, newest kept" true
+    (List.map (fun s -> s.Trace.name) spans = [ "s3"; "s4"; "s5"; "s6" ]);
+  check bool_t "seq increases" true
+    (let seqs = List.map (fun s -> s.Trace.seq) spans in
+     seqs = List.sort compare seqs);
+  Trace.clear ();
+  check int_t "clear" 0 (Trace.recorded ())
+
+(* --- Integration: flow-table counters vs oracle stats ---------------- *)
+
+let mk_key i =
+  Flow_key.make
+    ~src:(Ipaddr.v4 10 0 (i lsr 8) (i land 0xFF))
+    ~dst:(Ipaddr.v4 10 1 0 1) ~proto:Proto.udp ~sport:(1000 + i) ~dport:53
+    ~iface:0
+
+let test_flow_table_counters_match_oracle () =
+  let module Ft = Rp_classifier.Flow_table in
+  let snap () =
+    List.map
+      (fun n -> Counter.get (Registry.counter ("flow_table." ^ n)))
+      [ "lookups"; "hits"; "misses"; "inserts"; "recycled" ]
+  in
+  let before = snap () in
+  (* Same shape as the classifier oracle tests: misses, inserts, hits,
+     and a recycle once the fixed-size table is full. *)
+  let t = Ft.create ~buckets:16 ~initial_records:4 ~max_records:4 ~gates:1 () in
+  for i = 0 to 4 do
+    ignore (Ft.lookup t (mk_key i) ~now:(Int64.of_int i));
+    ignore (Ft.insert t (mk_key i) ~now:(Int64.of_int i))
+  done;
+  for i = 1 to 4 do
+    ignore (Ft.lookup t (mk_key i) ~now:10L)
+  done;
+  let s = Ft.stats t in
+  let deltas = List.map2 (fun a b -> a - b) (snap ()) before in
+  check int_t "oracle lookups" s.Ft.lookups (List.nth deltas 0);
+  check int_t "oracle hits" s.Ft.hits (List.nth deltas 1);
+  check int_t "oracle misses" s.Ft.misses (List.nth deltas 2);
+  check int_t "inserts" 5 (List.nth deltas 3);
+  check int_t "oracle recycled" s.Ft.recycled (List.nth deltas 4);
+  check int_t "recycled once" 1 s.Ft.recycled
+
+(* --- Integration: gate dispatch counters over the data path ---------- *)
+
+let test_gate_dispatch_counters () =
+  let open Rp_core in
+  let ifaces = [ Iface.create ~id:0 (); Iface.create ~id:1 () ] in
+  let r = Router.create ~mode:Router.Plugins ~ifaces () in
+  Router.add_route r (Prefix.of_string "192.168.0.0/16") ~iface:1 ();
+  let key =
+    Flow_key.make ~src:(Ipaddr.v4 10 0 0 1) ~dst:(Ipaddr.v4 192 168 1 1)
+      ~proto:Proto.udp ~sport:1 ~dport:9 ~iface:0
+  in
+  let d_before = Counter.get (Gate.dispatch Gate.Firewall) in
+  let p_before = Counter.get (Registry.counter "ip_core.packets") in
+  let f_before = Counter.get (Registry.counter "ip_core.forwarded") in
+  for _ = 1 to 10 do
+    match Ip_core.process r ~now:0L (Mbuf.synth ~key ~len:100 ()) with
+    | Ip_core.Enqueued out -> ignore (Iface.dequeue (Router.iface r out) ~now:0L)
+    | v -> Alcotest.failf "unexpected verdict: %s" (Format.asprintf "%a" Ip_core.pp_verdict v)
+  done;
+  check int_t "one firewall dispatch per packet" 10
+    (Counter.get (Gate.dispatch Gate.Firewall) - d_before);
+  check int_t "ip_core.packets" 10
+    (Counter.get (Registry.counter "ip_core.packets") - p_before);
+  check int_t "ip_core.forwarded" 10
+    (Counter.get (Registry.counter "ip_core.forwarded") - f_before)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "counter",
+        [
+          Alcotest.test_case "basics" `Quick test_counter_basics;
+          Alcotest.test_case "overflow wraps" `Quick test_counter_overflow;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "bucketing" `Quick test_histogram_bucketing;
+          Alcotest.test_case "bad bounds" `Quick test_histogram_bad_bounds;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "get-or-create" `Quick test_registry_get_or_create;
+          Alcotest.test_case "gauge replace" `Quick test_registry_gauge_replace;
+          Alcotest.test_case "deterministic dump" `Quick
+            test_registry_dump_deterministic;
+          Alcotest.test_case "reset" `Quick test_registry_reset;
+          Alcotest.test_case "json validity" `Quick test_registry_json_valid;
+        ] );
+      ( "trace", [ Alcotest.test_case "ring buffer" `Quick test_trace_ring ] );
+      ( "integration",
+        [
+          Alcotest.test_case "flow-table counters vs oracle" `Quick
+            test_flow_table_counters_match_oracle;
+          Alcotest.test_case "gate dispatch counters" `Quick
+            test_gate_dispatch_counters;
+        ] );
+    ]
