@@ -1,0 +1,101 @@
+(* fault_soak — the fault-isolation soak scenario run by CI.
+
+   Drives a single-router scenario with the deterministic
+   fault-injection plugin bound to all IPv4 traffic, in two phases:
+
+   1. a plugin that raises on every packet: the router must survive
+      the whole run, auto-quarantine the instance after the
+      consecutive-fault threshold, and keep forwarding the remaining
+      traffic on the gate's default path;
+   2. a plugin that burns cycles past the router's per-invocation
+      budget: same containment, same quarantine.
+
+   Exits 0 only if every assertion holds — "zero crashes and a clean
+   quarantine". *)
+
+open Rp_core
+
+let failures = ref 0
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+  at 0
+
+let check label ok =
+  if ok then Printf.printf "ok   %s\n" label
+  else begin
+    Printf.printf "FAIL %s\n" label;
+    incr failures
+  end
+
+let run_phase ~label ~fault_config ?cycle_budget () =
+  Printf.printf "== %s ==\n" label;
+  Rp_obs.Registry.reset ();
+  let s = Rp_sim.Scenario.single_router () in
+  let router = s.Rp_sim.Scenario.router in
+  (match cycle_budget with
+   | Some b -> router.Router.cycle_budget <- Some b
+   | None -> ());
+  let script =
+    String.concat "\n"
+      [ "modload fault-firewall";
+        "create fault-firewall " ^ fault_config;
+        "bind 1 <*, *, UDP, *, *, *>" ]
+  in
+  (match Rp_control.Pmgr.exec_script router script with
+   | Ok _ -> ()
+   | Error e ->
+     Printf.printf "FAIL setup: %s\n" e;
+     incr failures);
+  Rp_sim.Scenario.table3_workload s ();
+  (* The soak itself: any exception escaping [process] ends the run. *)
+  (match Rp_sim.Scenario.run s ~seconds:2.0 with
+   | () -> check (label ^ ": simulation completed without a crash") true
+   | exception e ->
+     check
+       (Printf.sprintf "%s: simulation crashed: %s" label
+          (Printexc.to_string e))
+       false);
+  let faults = Rp_obs.Counter.get (Gate.faults Gate.Firewall) in
+  let threshold = Pcu.quarantine_threshold router.Router.pcu in
+  check
+    (Printf.sprintf "%s: faults contained and counted (%d)" label faults)
+    (faults >= threshold);
+  check
+    (Printf.sprintf "%s: faults stopped at the quarantine threshold (%d)"
+       label threshold)
+    (faults = threshold);
+  check (label ^ ": instance auto-quarantined")
+    (Pcu.is_quarantined router.Router.pcu 1);
+  let delivered = Rp_sim.Sink.total_packets s.Rp_sim.Scenario.sink in
+  check
+    (Printf.sprintf "%s: traffic degraded to the default path (%d delivered)"
+       label delivered)
+    (delivered > 0);
+  (* The quarantine is visible and reversible from the control plane. *)
+  (match Rp_control.Pmgr.exec router "faults show" with
+   | Ok out ->
+     check (label ^ ": faults show reports the quarantine")
+       (contains ~needle:"QUARANTINED" out)
+   | Error e ->
+     Printf.printf "FAIL %s: faults show: %s\n" label e;
+     incr failures);
+  match Rp_control.Pmgr.exec router "plugin restore 1" with
+  | Ok _ ->
+    check (label ^ ": restore succeeds")
+      (not (Pcu.is_quarantined router.Router.pcu 1))
+  | Error e ->
+    Printf.printf "FAIL %s: restore: %s\n" label e;
+    incr failures
+
+let () =
+  run_phase ~label:"raise on every packet" ~fault_config:"mode=raise every=1"
+    ();
+  run_phase ~label:"cycle-budget burn" ~fault_config:"mode=burn every=1"
+    ~cycle_budget:50_000 ();
+  if !failures = 0 then print_endline "fault soak: all checks passed"
+  else begin
+    Printf.printf "fault soak: %d check(s) failed\n" !failures;
+    exit 1
+  end

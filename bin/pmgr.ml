@@ -74,7 +74,10 @@ let cmd =
       `P "reserve N RATE <FILTER>; message PLUGIN KEY [PAYLOAD];";
       `P "route add PREFIX IFACE [NEXTHOP]; route del PREFIX;";
       `P "show plugins|instances|ifaces|routes|flows;";
-      `P "stats show|json [PATTERN]; stats reset";
+      `P "stats show|json [PATTERN]; stats reset;";
+      `P "faults show; plugin quarantine N; plugin restore N;";
+      `P "fault policy drop|continue|unbind; fault budget N|off;";
+      `P "fault threshold N";
     ]
   in
   Cmd.v

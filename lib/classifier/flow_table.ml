@@ -26,6 +26,7 @@ type stats = {
   evictions : int;
   recycled : int;
   chain_max : int;
+  fifo_depth : int;
 }
 
 type 'a t = {
@@ -37,6 +38,9 @@ type 'a t = {
   max_records : int;
   mutable fifo : (int * int) Queue.t;
       (** (slot, gen) in insertion order, for recycling; gen detects stale entries *)
+  mutable fifo_stale : int;
+      (** entries in [fifo] whose record has since been evicted; kept
+          so the queue can be compacted before stale entries dominate *)
   on_evict : gate:int -> 'a binding -> unit;
   mutable live : int;
   mutable s_lookups : int;
@@ -88,6 +92,7 @@ let create ?(buckets = default_buckets) ?(initial_records = default_initial)
     free = List.init n (fun i -> i);
     max_records;
     fifo = Queue.create ();
+    fifo_stale = 0;
     on_evict;
     live = 0;
     s_lookups = 0;
@@ -142,6 +147,26 @@ let unlink t r =
       Some x
   in
   t.buckets.(b) <- remove t.buckets.(b)
+
+(* Every in-use record has exactly one live [(slot, gen)] entry in the
+   recycling FIFO (pushed by [insert]).  Evicting outside the recycle
+   path strands that entry; [mark_stale] accounts for it and compacts
+   the queue once stale entries outnumber live ones, so the FIFO stays
+   O(live records) under insert/remove churn even with the default
+   unbounded [max_records]. *)
+let compact t =
+  let fresh = Queue.create () in
+  Queue.iter
+    (fun ((slot, gen) as e) ->
+      let r = t.records.(slot) in
+      if r.in_use && r.gen = gen then Queue.push e fresh)
+    t.fifo;
+  t.fifo <- fresh;
+  t.fifo_stale <- 0
+
+let mark_stale t =
+  t.fifo_stale <- t.fifo_stale + 1;
+  if 2 * t.fifo_stale > Queue.length t.fifo then compact t
 
 let evict t r =
   if r.in_use then begin
@@ -205,7 +230,11 @@ let rec allocate t =
         else
           let slot, gen = Queue.pop t.fifo in
           let r = t.records.(slot) in
-          if r.in_use && r.gen = gen then r else pop ()
+          if r.in_use && r.gen = gen then r
+          else begin
+            t.fifo_stale <- t.fifo_stale - 1;
+            pop ()
+          end
       in
       let r = pop () in
       evict t r;
@@ -227,7 +256,8 @@ let insert t key ~now =
   (match find t.buckets.(bucket_of t key) with
    | Some old ->
      evict t old;
-     t.free <- old.slot :: t.free
+     t.free <- old.slot :: t.free;
+     mark_stale t
    | None -> ());
   let r = allocate t in
   r.key <- key;
@@ -246,7 +276,8 @@ let insert t key ~now =
 let remove t r =
   if r.in_use then begin
     evict t r;
-    t.free <- r.slot :: t.free
+    t.free <- r.slot :: t.free;
+    mark_stale t
   end
 
 let expire t ~now ~idle_ns =
@@ -256,6 +287,7 @@ let expire t ~now ~idle_ns =
     if r.in_use && Int64.sub now r.last_use_ns > idle_ns then begin
       evict t r;
       t.free <- r.slot :: t.free;
+      mark_stale t;
       Rp_obs.Counter.inc m_expired;
       incr count
     end
@@ -270,7 +302,8 @@ let flush t =
       t.free <- r.slot :: t.free
     end
   done;
-  Queue.clear t.fifo
+  Queue.clear t.fifo;
+  t.fifo_stale <- 0
 
 let set_binding t r ~gate ?filter instance =
   if gate < 0 || gate >= t.gates then invalid_arg "Flow_table.set_binding: gate";
@@ -289,6 +322,7 @@ let stats t =
     evictions = t.s_evictions;
     recycled = t.s_recycled;
     chain_max = t.s_chain_max;
+    fifo_depth = Queue.length t.fifo;
   }
 
 let iter f t =

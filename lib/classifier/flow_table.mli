@@ -46,6 +46,10 @@ type stats = {
   evictions : int;
   recycled : int;
   chain_max : int;  (** longest bucket chain encountered *)
+  fifo_depth : int;
+      (** current recycling-FIFO length; stays O(live records) because
+          stale entries are compacted away when they outnumber live
+          ones *)
 }
 
 (** [create ~gates ()] — [gates] is the number of gates whose bindings

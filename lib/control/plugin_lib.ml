@@ -21,6 +21,11 @@ let available : (string * (module Plugin.PLUGIN)) list =
     ("empty-options", Empty_plugin.make ~gate:Gate.Ip_options ~name:"empty-options");
     ("empty-security", Empty_plugin.make ~gate:Gate.Security_in ~name:"empty-security");
     ("empty-stats", Empty_plugin.make ~gate:Gate.Stats ~name:"empty-stats");
+    (* Deterministic fault injectors — test vehicles for the
+       fault-isolation layer (exception / cycle-budget containment). *)
+    ("fault-firewall", Fault_plugin.make ~gate:Gate.Firewall ~name:"fault-firewall");
+    ("fault-options", Fault_plugin.make ~gate:Gate.Ip_options ~name:"fault-options");
+    ("fault-stats", Fault_plugin.make ~gate:Gate.Stats ~name:"fault-stats");
   ]
 
 let find name = List.assoc_opt name available

@@ -111,6 +111,31 @@ let show router what =
          s.Flow_table.recycled)
   | _ -> Error (Printf.sprintf "show: unknown object %S" what)
 
+let show_faults router =
+  let pcu = router.Router.pcu in
+  let header =
+    Printf.sprintf "policy=%s budget=%s threshold=%d"
+      (Fault.policy_name router.Router.fault_policy)
+      (match router.Router.cycle_budget with
+       | Some b -> string_of_int b
+       | None -> "unlimited")
+      (Pcu.quarantine_threshold pcu)
+  in
+  let lines =
+    List.map
+      (fun (i : Pcu.fault_info) ->
+        Printf.sprintf "%d: %s@%s faults=%d consecutive=%d%s%s"
+          i.Pcu.instance.Plugin.instance_id
+          i.Pcu.instance.Plugin.plugin_name
+          (Gate.name i.Pcu.instance.Plugin.gate)
+          i.Pcu.total_faults i.Pcu.consecutive_faults
+          (if i.Pcu.quarantined then " QUARANTINED" else "")
+          (if i.Pcu.last_fault = "" then ""
+           else Printf.sprintf " last=%S" i.Pcu.last_fault))
+      (Pcu.fault_report pcu)
+  in
+  Ok (String.concat "\n" (header :: lines))
+
 let exec router line =
   let* tokens = tokenize line in
   match tokens with
@@ -197,6 +222,39 @@ let exec router line =
      | Some p ->
        Route_table.remove router.Router.routes p;
        Ok (Printf.sprintf "route %s removed" (Prefix.to_string p)))
+  | [ "faults"; "show" ] -> show_faults router
+  | [ "plugin"; "quarantine"; id ] ->
+    let* id = int_arg "instance" id in
+    let* () = Router.quarantine router id in
+    Ok (Printf.sprintf "instance %d quarantined" id)
+  | [ "plugin"; "restore"; id ] ->
+    let* id = int_arg "instance" id in
+    let* () = Router.restore router id in
+    Ok (Printf.sprintf "instance %d restored" id)
+  | [ "fault"; "policy"; p ] ->
+    (match Fault.policy_of_name p with
+     | Some policy ->
+       router.Router.fault_policy <- policy;
+       Ok (Printf.sprintf "fault policy = %s" p)
+     | None -> Error "fault policy: expected drop|continue|unbind")
+  | [ "fault"; "budget"; "off" ] ->
+    router.Router.cycle_budget <- None;
+    Ok "fault budget = unlimited"
+  | [ "fault"; "budget"; n ] ->
+    let* n = int_arg "budget" n in
+    if n < 1 then Error "fault budget: expected a positive cycle count or off"
+    else begin
+      router.Router.cycle_budget <- Some n;
+      Ok (Printf.sprintf "fault budget = %d cycles" n)
+    end
+  | [ "fault"; "threshold"; n ] ->
+    let* n = int_arg "threshold" n in
+    if n < 1 then Error "fault threshold: expected a positive count"
+    else begin
+      Pcu.set_quarantine_threshold router.Router.pcu n;
+      Ok (Printf.sprintf "fault threshold = %d consecutive" n)
+    end
+  | "fault" :: _ -> Error "usage: fault policy drop|continue|unbind | fault budget N|off | fault threshold N"
   | [ "show"; what ] -> show router what
   (* The metric registry: the same snapshot the --metrics-out flags
      write.  [pattern] is a substring filter over metric names. *)

@@ -21,6 +21,12 @@
     route add <prefix> <iface> [<next-hop>]
     route del <prefix>
     show plugins | instances | ifaces | routes | flows
+    faults show                           per-instance fault/quarantine state
+    plugin quarantine <instance>          tear down bindings, degrade to default
+    plugin restore <instance>             re-bind a quarantined instance
+    fault policy drop|continue|unbind     packet fate on a contained fault
+    fault budget <cycles>|off             per-invocation handler cycle budget
+    fault threshold <n>                   consecutive faults before quarantine
     v}
 
     Filters use the paper's six-tuple syntax, e.g.

@@ -1,0 +1,75 @@
+(** Deterministic fault-injection plugin — the test vehicle for the
+    fault-isolation layer.
+
+    Config:
+    - [every=N] fault on every Nth packet (default 1: every packet);
+    - [mode=raise|burn] what a fault looks like: raise an exception
+      (default), or burn cycles to trip the router's per-invocation
+      cycle budget;
+    - [burn=CYCLES] cycles charged in burn mode (default 100000).
+
+    Like {!Empty_plugin}, [make ~gate ~name] manufactures one module
+    per gate, since a plugin's type is fixed by its gate. *)
+
+exception Injected of string
+
+let make ~gate ~name : (module Plugin.PLUGIN) =
+  (module struct
+    let name = name
+    let gate = gate
+    let description = "deterministic fault injection (exception or cycle burn)"
+
+    let create_instance ~instance_id ~code ~config =
+      let int_cfg key default =
+        match List.assoc_opt key config with
+        | None -> Ok default
+        | Some s -> (
+            match int_of_string_opt s with
+            | Some v when v > 0 -> Ok v
+            | Some _ | None ->
+              Error (Printf.sprintf "%s: %s must be a positive number" name key))
+      in
+      match int_cfg "every" 1 with
+      | Error _ as e -> e
+      | Ok every -> (
+        match int_cfg "burn" 100_000 with
+        | Error _ as e -> e
+        | Ok burn ->
+          let mode =
+            match List.assoc_opt "mode" config with
+            | None | Some "raise" -> Ok `Raise
+            | Some "burn" -> Ok `Burn
+            | Some other ->
+              Error (Printf.sprintf "%s: unknown mode %S" name other)
+          in
+          match mode with
+          | Error e -> Error e
+          | Ok mode ->
+            let seen = ref 0 in
+            Ok
+              (Plugin.simple ~instance_id ~code ~plugin_name:name ~gate ~config
+                 ~describe:(fun () ->
+                   Printf.sprintf
+                     "fault injector: every %d pkt(s), mode=%s, %d pkts seen"
+                     every
+                     (match mode with `Raise -> "raise" | `Burn -> "burn")
+                     !seen)
+                 (fun _ctx _m ->
+                   incr seen;
+                   if !seen mod every = 0 then
+                     match mode with
+                     | `Raise ->
+                       raise
+                         (Injected
+                            (Printf.sprintf "%s#%d packet %d" name instance_id
+                               !seen))
+                     | `Burn ->
+                       Cost.charge burn;
+                       Plugin.Continue
+                   else Plugin.Continue)))
+
+    let message key _payload =
+      match key with
+      | "plugin-info" -> Ok description
+      | _ -> Error (Printf.sprintf "%s: unknown message %s" name key)
+  end)

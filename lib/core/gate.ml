@@ -64,7 +64,9 @@ let per_gate suffix =
 let m_dispatch = per_gate "dispatch"
 let m_cycles = per_gate "cycles"
 let m_drops = per_gate "drops"
+let m_faults = per_gate "faults"
 
 let dispatch g = m_dispatch.(to_int g)
 let cycles g = m_cycles.(to_int g)
 let drops g = m_drops.(to_int g)
+let faults g = m_faults.(to_int g)

@@ -32,9 +32,10 @@ val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool
 
 (** Per-gate observability counters ([gate.<name>.dispatch] /
-    [.cycles] / [.drops] in the {!Rp_obs.Registry}), shared by every
-    data-path call site that traverses the gate. *)
+    [.cycles] / [.drops] / [.faults] in the {!Rp_obs.Registry}),
+    shared by every data-path call site that traverses the gate. *)
 
 val dispatch : t -> Rp_obs.Counter.t
 val cycles : t -> Rp_obs.Counter.t
 val drops : t -> Rp_obs.Counter.t
+val faults : t -> Rp_obs.Counter.t

@@ -21,6 +21,11 @@ let m_delivered = Rp_obs.Registry.counter "ip_core.delivered_local"
 let m_absorbed = Rp_obs.Registry.counter "ip_core.absorbed"
 let m_dropped = Rp_obs.Registry.counter "ip_core.dropped"
 
+(* Fragments lost to a full output queue while siblings of the same
+   datagram were accepted — the datagram itself is then reported
+   [Dropped], since an incomplete fragment set cannot reassemble. *)
+let m_frag_drops = Rp_obs.Registry.counter "ip_core.fragment_drops"
+
 (* Classify at [gate], charging the framework costs: the flow hash the
    first time this packet consults the AIU, one gate's invocation
    overhead, and the measured memory accesses of whatever lookups the
@@ -41,24 +46,76 @@ let classify_at router ~now ~gate m =
 let binding_of record ~gate =
   Rp_classifier.Flow_table.binding record ~gate:(Gate.to_int gate)
 
+(* Fault containment (the plugin may be third-party code the router
+   does not trust): count the fault, attribute it to the instance in
+   the PCU — which auto-quarantines past the consecutive-fault
+   threshold — and convert it to the router's fault policy.  Nothing
+   here charges the cost model. *)
+let contain_fault router ~gate inst (reason : Fault.reason) =
+  Rp_obs.Counter.inc (Gate.faults gate);
+  let id = inst.Plugin.instance_id in
+  Logs.warn (fun m ->
+      m "ip_core: contained fault of %a at gate %s: %s" Plugin.pp inst
+        (Gate.name gate) (Fault.reason_to_string reason));
+  (match
+     Pcu.record_fault router.Router.pcu id
+       ~reason:(Fault.reason_to_string reason)
+   with
+   | `Quarantine -> ignore (Router.quarantine router id)
+   | `Ok -> ());
+  match router.Router.fault_policy with
+  | Fault.Drop_packet -> Plugin.Drop "plugin fault"
+  | Fault.Continue_packet -> Plugin.Continue
+  | Fault.Unbind ->
+    if not (Pcu.is_quarantined router.Router.pcu id) then
+      ignore (Router.quarantine router id);
+    Plugin.Continue
+
+(* Run one instance's handler under containment: an escaping exception
+   or a per-invocation cycle-budget overrun becomes a fault instead of
+   unwinding [process].  The inner [Cost.measure] only reads the cycle
+   counter, so the charged costs are exactly the handler's own. *)
+let run_handler router ~now ~gate inst binding m =
+  let outcome, handler_cycles =
+    Cost.measure (fun () ->
+        try Ok (inst.Plugin.handle { Plugin.now_ns = now; binding } m)
+        with e -> Error (Fault.Exn (Printexc.to_string e)))
+  in
+  match outcome with
+  | Error reason -> contain_fault router ~gate inst reason
+  | Ok action -> (
+      match router.Router.cycle_budget with
+      | Some budget when handler_cycles > budget ->
+        contain_fault router ~gate inst (Fault.Budget handler_cycles)
+      | _ ->
+        Pcu.record_success router.Router.pcu inst.Plugin.instance_id;
+        action)
+
 (* One gate traversal: dispatch count, cycle cost attributed to the
-   gate, and (behind the flag) a trace span.  The meters only observe
-   the existing [Cost] / [Access] counters — nothing here charges the
-   cost model, so Table-3 figures are untouched. *)
-let invoke_gate router ~now ~gate m =
+   gate, and (behind the flag) a trace span.  Shared by [invoke_gate]
+   and the scheduling classification in [enqueue], so every gate call
+   site meters identically.  The meters only observe the existing
+   [Cost] / [Access] counters — nothing here charges the cost model,
+   so Table-3 figures are untouched. *)
+let instrumented ~gate f =
   Rp_obs.Counter.inc (Gate.dispatch gate);
-  let (verdict, cycles), accesses =
-    Rp_lpm.Access.measure (fun () ->
-        Cost.measure (fun () ->
-            match classify_at router ~now ~gate m with
-            | None -> Plugin.Continue
-            | Some (inst, record) ->
-              let binding = binding_of record ~gate in
-              inst.Plugin.handle { Plugin.now_ns = now; binding } m))
+  let (result, cycles), accesses =
+    Rp_lpm.Access.measure (fun () -> Cost.measure f)
   in
   Rp_obs.Counter.add (Gate.cycles gate) cycles;
   if !Rp_obs.Trace.enabled then
     Rp_obs.Trace.record ~name:("gate." ^ Gate.name gate) ~cycles ~accesses;
+  result
+
+let invoke_gate router ~now ~gate m =
+  let verdict =
+    instrumented ~gate (fun () ->
+        match classify_at router ~now ~gate m with
+        | None -> Plugin.Continue
+        | Some (inst, record) ->
+          let binding = binding_of record ~gate in
+          run_handler router ~now ~gate inst binding m)
+  in
   (match verdict with
    | Plugin.Drop _ -> Rp_obs.Counter.inc (Gate.drops gate)
    | Plugin.Continue | Plugin.Consumed -> ());
@@ -109,6 +166,36 @@ let route router ~now m =
              ( "no route to destination",
                Some (Icmp.Dest_unreachable Icmp.Net_unreachable) )))
 
+(* Hand one packet (or fragment) to the output queue, with the same
+   containment as [invoke_gate]: an exception escaping an attached
+   scheduler is counted at the scheduling gate, attributed to the
+   qdisc instance, and treated as a queue drop (a quarantined qdisc is
+   detached, so subsequent packets take the default FIFO).  Queue
+   rejections count as scheduling-gate drops, matching the drop
+   metering of the inline gates. *)
+let queue_on router ifc ~now ~binding m =
+  let sched_on = Router.gate_enabled router Gate.Scheduling in
+  let ok =
+    match Iface.enqueue ifc ~now ~binding m with
+    | ok ->
+      (match ifc.Iface.qdisc with
+       | Some inst when ok ->
+         Pcu.record_success router.Router.pcu inst.Plugin.instance_id
+       | Some _ | None -> ());
+      ok
+    | exception e ->
+      (match ifc.Iface.qdisc with
+       | Some inst ->
+         ignore
+           (contain_fault router ~gate:Gate.Scheduling inst
+              (Fault.Exn (Printexc.to_string e)))
+       | None -> Rp_obs.Counter.inc (Gate.faults Gate.Scheduling));
+      false
+  in
+  if (not ok) && sched_on then
+    Rp_obs.Counter.inc (Gate.drops Gate.Scheduling);
+  ok
+
 (* Queue one (possibly fragmented) packet on the egress interface.
    Fragmentation happens here, after all gates: a datagram larger than
    the egress MTU is split (IPv4 without DF), or dropped with an ICMP
@@ -116,32 +203,34 @@ let route router ~now m =
 let rec enqueue router ~now m out =
   let ifc = Router.iface router out in
   let binding =
-    if Router.gate_enabled router Gate.Scheduling then begin
-      Rp_obs.Counter.inc (Gate.dispatch Gate.Scheduling);
-      let b, cycles =
-        Cost.measure (fun () ->
-            match classify_at router ~now ~gate:Gate.Scheduling m with
-            | Some (_inst, record) -> binding_of record ~gate:Gate.Scheduling
-            | None -> None)
-      in
-      Rp_obs.Counter.add (Gate.cycles Gate.Scheduling) cycles;
-      b
-    end
+    if Router.gate_enabled router Gate.Scheduling then
+      instrumented ~gate:Gate.Scheduling (fun () ->
+          match classify_at router ~now ~gate:Gate.Scheduling m with
+          | Some (_inst, record) -> binding_of record ~gate:Gate.Scheduling
+          | None -> None)
     else None
   in
   if not (Frag.needs_fragmentation m ~mtu:ifc.Iface.mtu) then begin
-    if Iface.enqueue ifc ~now ~binding m then Enqueued out
+    if queue_on router ifc ~now ~binding m then Enqueued out
     else Dropped "output queue"
   end
   else
     match Frag.fragment m ~mtu:ifc.Iface.mtu with
     | Ok fragments ->
+      let total = List.length fragments in
       let accepted =
         List.fold_left
-          (fun acc f -> if Iface.enqueue ifc ~now ~binding f then acc + 1 else acc)
+          (fun acc f -> if queue_on router ifc ~now ~binding f then acc + 1 else acc)
           0 fragments
       in
-      if accepted > 0 then Enqueued out else Dropped "output queue"
+      let lost = total - accepted in
+      if lost > 0 then Rp_obs.Counter.add m_frag_drops lost;
+      if accepted = 0 then Dropped "output queue"
+      else if lost > 0 then
+        Dropped
+          (Printf.sprintf "partial fragment loss (%d/%d fragments queued)"
+             accepted total)
+      else Enqueued out
     | Error (`Dont_fragment | `V6_never_fragments) ->
       raise
         (Dropped_exn

@@ -15,12 +15,30 @@ let m_frees = Rp_obs.Registry.counter "pcu.instances_freed"
 let m_registers = Rp_obs.Registry.counter "pcu.registrations"
 let m_deregisters = Rp_obs.Registry.counter "pcu.deregistrations"
 let m_messages = Rp_obs.Registry.counter "pcu.messages"
+let m_faults = Rp_obs.Registry.counter "pcu.faults"
+let m_quarantines = Rp_obs.Registry.counter "pcu.quarantines"
+let m_restores = Rp_obs.Registry.counter "pcu.restores"
+
+(* Per-instance fault bookkeeping.  [consecutive] resets on every
+   successful handler return, so only an unbroken run of faults
+   triggers the auto-quarantine. *)
+type fault_state = {
+  mutable consecutive : int;
+  mutable total : int;
+  mutable quarantined : bool;
+  mutable last_reason : string;
+  counter : Rp_obs.Counter.t;  (* plugin.<name>.<id>.faults *)
+}
+
+let default_quarantine_threshold = 3
 
 type t = {
   plugins : (string, loaded) Hashtbl.t;
   instances : (int, Plugin.t) Hashtbl.t;
   (* instance id -> filters currently registered for it *)
   registrations : (int, Filter.t list ref) Hashtbl.t;
+  faults : (int, fault_state) Hashtbl.t;
+  mutable quarantine_threshold : int;
   aiu : Plugin.t Aiu.t;
   mutable next_instance : int;
   mutable next_impl : int array;  (** per gate *)
@@ -36,6 +54,8 @@ let create ?engine ?buckets ?initial_records ?max_records () =
     plugins = Hashtbl.create 16;
     instances = Hashtbl.create 64;
     registrations = Hashtbl.create 64;
+    faults = Hashtbl.create 64;
+    quarantine_threshold = default_quarantine_threshold;
     aiu =
       Aiu.create ?engine ?buckets ?initial_records ?max_records ~on_evict
         ~gates:Gate.count ();
@@ -104,6 +124,16 @@ let create_instance t ~plugin config =
        l.live_instances <- l.live_instances + 1;
        Hashtbl.add t.instances instance_id inst;
        Hashtbl.add t.registrations instance_id (ref []);
+       Hashtbl.add t.faults instance_id
+         {
+           consecutive = 0;
+           total = 0;
+           quarantined = false;
+           last_reason = "";
+           counter =
+             Rp_obs.Registry.counter
+               (Printf.sprintf "plugin.%s.%d.faults" P.name instance_id);
+         };
        register_sched_gauges inst;
        Rp_obs.Counter.inc m_creates;
        Ok inst)
@@ -115,9 +145,17 @@ let registrations_of t id =
   | Some r -> r
   | None -> invalid_arg "Pcu: unknown instance"
 
+let fault_state t id = Hashtbl.find_opt t.faults id
+
+let is_quarantined t id =
+  match fault_state t id with Some s -> s.quarantined | None -> false
+
 let register_instance t ~instance f =
   match find_instance t instance with
   | None -> Error (Printf.sprintf "no instance %d" instance)
+  | Some _ when is_quarantined t instance ->
+    Error
+      (Printf.sprintf "instance %d is quarantined (restore it first)" instance)
   | Some inst ->
     let gate = Gate.to_int inst.Plugin.gate in
     Aiu.bind t.aiu ~gate f inst;
@@ -155,6 +193,10 @@ let free_instance t id =
       !regs;
     Hashtbl.remove t.registrations id;
     Hashtbl.remove t.instances id;
+    (match fault_state t id with
+     | Some s -> Rp_obs.Registry.remove (Rp_obs.Counter.name s.counter)
+     | None -> ());
+    Hashtbl.remove t.faults id;
     (match Hashtbl.find_opt t.plugins inst.Plugin.plugin_name with
      | Some l -> l.live_instances <- l.live_instances - 1
      | None -> ());
@@ -180,3 +222,111 @@ let bindings_of t ~instance =
   match Hashtbl.find_opt t.registrations instance with
   | Some r -> !r
   | None -> []
+
+(* --- Fault isolation -------------------------------------------------- *)
+
+let quarantine_threshold t = t.quarantine_threshold
+
+let set_quarantine_threshold t n =
+  if n < 1 then invalid_arg "Pcu.set_quarantine_threshold";
+  t.quarantine_threshold <- n
+
+(* Tear down the instance's data-path presence: every registered
+   filter is unbound from its gate's table (which flushes the flow
+   cache, so no cached binding survives), while the registration list
+   is kept so [restore] can rebind.  Traffic for those flows falls
+   back to the gate's default path. *)
+let quarantine t id =
+  match find_instance t id with
+  | None -> Error (Printf.sprintf "no instance %d" id)
+  | Some inst ->
+    (match fault_state t id with
+     | Some s when s.quarantined ->
+       Error (Printf.sprintf "instance %d is already quarantined" id)
+     | fs ->
+       let gate = Gate.to_int inst.Plugin.gate in
+       List.iter
+         (fun f ->
+           match Dag.find (Aiu.filter_table t.aiu ~gate) f with
+           | Some bound when bound == inst -> Aiu.unbind t.aiu ~gate f
+           | Some _ | None -> ())
+         (bindings_of t ~instance:id);
+       (* Even a filterless instance (e.g. an attached scheduler) may
+          be cached in flow records; make sure nothing stale stays. *)
+       Aiu.flush_flows t.aiu;
+       (match fs with
+        | Some s -> s.quarantined <- true
+        | None -> ());
+       Rp_obs.Counter.inc m_quarantines;
+       Logs.warn (fun m ->
+           m "pcu: quarantined %s#%d (%d filter binding(s) torn down)"
+             inst.Plugin.plugin_name id
+             (List.length (bindings_of t ~instance:id)));
+       Ok ())
+
+let restore t id =
+  match find_instance t id with
+  | None -> Error (Printf.sprintf "no instance %d" id)
+  | Some inst ->
+    (match fault_state t id with
+     | Some s when s.quarantined ->
+       let gate = Gate.to_int inst.Plugin.gate in
+       List.iter
+         (fun f -> Aiu.bind t.aiu ~gate f inst)
+         (bindings_of t ~instance:id);
+       s.quarantined <- false;
+       s.consecutive <- 0;
+       Rp_obs.Counter.inc m_restores;
+       Logs.info (fun m ->
+           m "pcu: restored %s#%d" inst.Plugin.plugin_name id);
+       Ok ()
+     | Some _ | None ->
+       Error (Printf.sprintf "instance %d is not quarantined" id))
+
+(* Called by the data path on every contained fault.  Returns
+   [`Quarantine] when this fault crossed the consecutive-fault
+   threshold; the caller performs the actual teardown (it may have
+   router-level state, e.g. qdisc attachments, to detach too). *)
+let record_fault t id ~reason =
+  Rp_obs.Counter.inc m_faults;
+  match fault_state t id with
+  | None -> `Ok
+  | Some s ->
+    s.total <- s.total + 1;
+    s.consecutive <- s.consecutive + 1;
+    s.last_reason <- reason;
+    Rp_obs.Counter.inc s.counter;
+    if (not s.quarantined) && s.consecutive >= t.quarantine_threshold then
+      `Quarantine
+    else `Ok
+
+let record_success t id =
+  match fault_state t id with
+  | Some s -> s.consecutive <- 0
+  | None -> ()
+
+type fault_info = {
+  instance : Plugin.t;
+  total_faults : int;
+  consecutive_faults : int;
+  quarantined : bool;
+  last_fault : string;
+}
+
+let fault_report t =
+  Hashtbl.fold
+    (fun id s acc ->
+      match find_instance t id with
+      | None -> acc
+      | Some inst ->
+        {
+          instance = inst;
+          total_faults = s.total;
+          consecutive_faults = s.consecutive;
+          quarantined = s.quarantined;
+          last_fault = s.last_reason;
+        }
+        :: acc)
+    t.faults []
+  |> List.sort (fun a b ->
+         compare a.instance.Plugin.instance_id b.instance.Plugin.instance_id)

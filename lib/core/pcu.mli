@@ -56,3 +56,47 @@ val find_instance : t -> int -> Plugin.t option
 val instances : t -> Plugin.t list
 val plugin_names : t -> string list
 val bindings_of : t -> instance:int -> Filter.t list
+
+(** {2 Fault isolation}
+
+    The data path (see {!Ip_core}) reports every contained plugin
+    fault here; an instance whose {e consecutive} fault count reaches
+    the threshold is flagged for quarantine.  Quarantining tears the
+    instance's filter bindings out of the AIU (flushing the flow
+    cache) so its traffic degrades to the gate's default path; the
+    registration list is kept, so [restore] puts the bindings back. *)
+
+val quarantine_threshold : t -> int
+
+val set_quarantine_threshold : t -> int -> unit
+(** @raise Invalid_argument if the threshold is < 1. *)
+
+val record_fault : t -> int -> reason:string -> [ `Ok | `Quarantine ]
+(** [record_fault t id ~reason] counts one fault against instance
+    [id] ([pcu.faults], [plugin.<name>.<id>.faults]).  Returns
+    [`Quarantine] when this fault crossed the consecutive-fault
+    threshold; the caller then performs the teardown (via
+    {!quarantine}, plus any router-level detach). *)
+
+val record_success : t -> int -> unit
+(** Resets the instance's consecutive-fault count. *)
+
+val quarantine : t -> int -> (unit, string) result
+(** Fails if the instance does not exist or is already quarantined. *)
+
+val restore : t -> int -> (unit, string) result
+(** Re-binds the instance's registered filters and clears the
+    quarantine flag and consecutive-fault count. *)
+
+val is_quarantined : t -> int -> bool
+
+type fault_info = {
+  instance : Plugin.t;
+  total_faults : int;
+  consecutive_faults : int;
+  quarantined : bool;
+  last_fault : string;  (** human-readable reason of the last fault *)
+}
+
+val fault_report : t -> fault_info list
+(** One entry per live instance, sorted by instance id. *)

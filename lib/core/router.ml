@@ -16,22 +16,30 @@ type t = {
   punts : (int, now:int64 -> Mbuf.t -> punt_action) Hashtbl.t;
   mutable local_addrs : Ipaddr.t list;
   mutable icmp_sent : int;
+  mutable fault_policy : Fault.policy;
+  mutable cycle_budget : int option;
 }
 
 let create ?(name = "router") ?(mode = Plugins) ?(gates = Gate.all) ?engine
-    ?flow_buckets ?flow_max ~ifaces () =
+    ?flow_buckets ?flow_max ?(fault_policy = Fault.Drop_packet) ?cycle_budget
+    ?quarantine_threshold ~ifaces () =
   if ifaces = [] then invalid_arg "Router.create: no interfaces";
+  let pcu = Pcu.create ?engine ?buckets:flow_buckets ?max_records:flow_max () in
+  (match quarantine_threshold with
+   | Some n -> Pcu.set_quarantine_threshold pcu n
+   | None -> ());
   {
     name;
     mode;
-    pcu =
-      Pcu.create ?engine ?buckets:flow_buckets ?max_records:flow_max ();
+    pcu;
     routes = Route_table.create ?engine ();
     ifaces = Array.of_list ifaces;
     enabled_gates = gates;
     punts = Hashtbl.create 8;
     local_addrs = [];
     icmp_sent = 0;
+    fault_policy;
+    cycle_budget;
   }
 
 let iface t i =
@@ -67,3 +75,23 @@ let clear_punt t ~proto = Hashtbl.remove t.punts proto
 
 let expire_flows t ~now ~idle_ns =
   Rp_classifier.Aiu.expire_flows (aiu t) ~now ~idle_ns
+
+(* Quarantine is a PCU operation (filter-binding teardown) plus a
+   router-level one: a scheduling instance attached as a qdisc must
+   also be detached so the interface degrades to its default FIFO. *)
+let quarantine t id =
+  match Pcu.quarantine t.pcu id with
+  | Error _ as e -> e
+  | Ok () ->
+    Array.iter
+      (fun ifc ->
+        match ifc.Iface.qdisc with
+        | Some q when q.Plugin.instance_id = id -> Iface.detach_scheduler ifc
+        | Some _ | None -> ())
+      t.ifaces;
+    Ok ()
+
+(* The symmetric restore only re-binds filters; a previously attached
+   qdisc is *not* re-attached automatically — the operator re-attaches
+   once satisfied the plugin is healthy. *)
+let restore t id = Pcu.restore t.pcu id

@@ -32,12 +32,18 @@ let compare a b =
           let c = Int.compare a.dport b.dport in
           if c <> 0 then c else Int.compare a.iface b.iface
 
-(* Fold-and-xor over the five tuple fields: a handful of ALU
-   operations, mirroring the paper's 17-cycle hash. *)
+(* Fold-and-xor over all six tuple fields (the paper classifies on the
+   6-tuple, incoming interface included): a handful of ALU operations,
+   mirroring the paper's 17-cycle hash.  [iface] must participate —
+   [equal] distinguishes interfaces, so flows differing only by
+   interface would otherwise systematically share a bucket. *)
 let hash k =
   let a = Ipaddr.hash k.src in
   let b = Ipaddr.hash k.dst in
-  let h = a lxor (b lsl 1) lxor (k.proto lsl 16) lxor (k.sport lsl 8) lxor k.dport in
+  let h =
+    a lxor (b lsl 1) lxor (k.proto lsl 16) lxor (k.sport lsl 8) lxor k.dport
+    lxor (k.iface lsl 5) lxor k.iface
+  in
   h land max_int
 
 let to_string k =

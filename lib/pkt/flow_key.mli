@@ -20,10 +20,11 @@ val make :
 val equal : t -> t -> bool
 val compare : t -> t -> int
 
-(** Deliberately cheap hash over the five header fields (the paper's
+(** Deliberately cheap hash over all six tuple fields (the paper's
     flow-table hash runs in 17 cycles on a Pentium; see section 5.2).
-    The incoming interface is not hashed, matching the paper's use of
-    the five-tuple for the hash index. *)
+    The incoming interface participates: {!equal} distinguishes it, so
+    keys differing only by interface must not systematically collide
+    into the same bucket. *)
 val hash : t -> int
 
 val pp : Format.formatter -> t -> unit

@@ -532,6 +532,40 @@ let test_flow_table_recycling () =
     (Flow_table.lookup t (mk_key 1) ~now:11L <> None);
   check int_t "recycled count" 1 (Flow_table.stats t).Flow_table.recycled
 
+let test_flow_table_fifo_bounded () =
+  (* Regression: with the default unbounded [max_records], the
+     recycling FIFO was only drained on the recycle path, so
+     insert/remove churn grew it one stale entry per insert forever.
+     Stale entries are now compacted away when they outnumber live
+     ones. *)
+  let t = Flow_table.create ~buckets:64 ~initial_records:16 ~gates:2 () in
+  for i = 1 to 10_000 do
+    let r = Flow_table.insert t (mk_key (i land 0xFF)) ~now:0L in
+    Flow_table.remove t r
+  done;
+  check int_t "no live records after churn" 0 (Flow_table.length t);
+  let depth = (Flow_table.stats t).Flow_table.fifo_depth in
+  check bool_t (Printf.sprintf "fifo drained (depth %d)" depth) true
+    (depth <= 1);
+  (* Mixed churn around a stable working set: depth must stay
+     O(live), not O(inserts). *)
+  let live =
+    Array.init 50 (fun i -> Flow_table.insert t (mk_key (10_000 + i)) ~now:0L)
+  in
+  for i = 1 to 5_000 do
+    let r = Flow_table.insert t (mk_key (20_000 + (i land 0x3F))) ~now:0L in
+    Flow_table.remove t r
+  done;
+  let depth = (Flow_table.stats t).Flow_table.fifo_depth in
+  let alive = Flow_table.length t in
+  check bool_t
+    (Printf.sprintf "fifo O(live) under churn (depth %d, live %d)" depth alive)
+    true
+    (depth <= (2 * alive) + 2);
+  (* Recycling still works after compaction rounds. *)
+  Array.iter (fun r -> Flow_table.remove t r) live;
+  check int_t "empty again" 0 (Flow_table.length t)
+
 let test_flow_table_eviction_callback () =
   let evicted = ref [] in
   let on_evict ~gate (b : string Flow_table.binding) =
@@ -719,6 +753,8 @@ let () =
           Alcotest.test_case "fix generation" `Quick test_flow_table_fix;
           Alcotest.test_case "growth" `Quick test_flow_table_growth;
           Alcotest.test_case "recycling" `Quick test_flow_table_recycling;
+          Alcotest.test_case "fifo bounded under churn" `Quick
+            test_flow_table_fifo_bounded;
           Alcotest.test_case "eviction callback" `Quick test_flow_table_eviction_callback;
           Alcotest.test_case "expire" `Quick test_flow_table_expire;
           prop_flow_table_model;

@@ -102,6 +102,40 @@ let test_pmgr_show_routes_flows () =
   check bool_t "flow stats format" true
     (String.length flows >= 5 && String.sub flows 0 5 = "live=")
 
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_pmgr_fault_commands () =
+  let r = mk_router () in
+  check string_t "policy" "fault policy = continue"
+    (ok (Rp_control.Pmgr.exec r "fault policy continue"));
+  check string_t "budget" "fault budget = 5000 cycles"
+    (ok (Rp_control.Pmgr.exec r "fault budget 5000"));
+  check string_t "budget off" "fault budget = unlimited"
+    (ok (Rp_control.Pmgr.exec r "fault budget off"));
+  check string_t "threshold" "fault threshold = 2 consecutive"
+    (ok (Rp_control.Pmgr.exec r "fault threshold 2"));
+  (* Manual quarantine round trip on a real instance. *)
+  ignore (ok (Rp_control.Pmgr.exec r "modload fault-firewall"));
+  ignore (ok (Rp_control.Pmgr.exec r "create fault-firewall mode=raise"));
+  ignore (ok (Rp_control.Pmgr.exec r "bind 1 <*, *, UDP, *, *, *>"));
+  check string_t "quarantine" "instance 1 quarantined"
+    (ok (Rp_control.Pmgr.exec r "plugin quarantine 1"));
+  check bool_t "faults show flags it" true
+    (contains ~needle:"QUARANTINED" (ok (Rp_control.Pmgr.exec r "faults show")));
+  (match Rp_control.Pmgr.exec r "plugin quarantine 1" with
+   | Error _ -> ()
+   | Ok out -> Alcotest.failf "double quarantine accepted: %S" out);
+  check string_t "restore" "instance 1 restored"
+    (ok (Rp_control.Pmgr.exec r "plugin restore 1"));
+  check bool_t "flag cleared" false
+    (contains ~needle:"QUARANTINED" (ok (Rp_control.Pmgr.exec r "faults show")));
+  match Rp_control.Pmgr.exec r "fault policy bogus" with
+  | Error _ -> ()
+  | Ok out -> Alcotest.failf "bad policy accepted: %S" out
+
 (* --- SSP ---------------------------------------------------------------- *)
 
 let flow_of_id id =
@@ -359,6 +393,7 @@ let () =
           Alcotest.test_case "errors" `Quick test_pmgr_errors;
           Alcotest.test_case "script error line" `Quick test_pmgr_script_error_line;
           Alcotest.test_case "show routes/flows" `Quick test_pmgr_show_routes_flows;
+          Alcotest.test_case "fault commands" `Quick test_pmgr_fault_commands;
         ] );
       ( "ssp",
         [

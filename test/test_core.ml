@@ -302,6 +302,180 @@ let test_gate_disabled_costs_nothing () =
   ignore (Ip_core.process r ~now:0L (mk_pkt ()));
   check int_t "no gates = base" Cost.base_forward (Cost.get ())
 
+(* --- Fault isolation --------------------------------------------------- *)
+
+let bind_fault_plugin ?(config = [ ("mode", "raise"); ("every", "1") ]) r =
+  ok (Pcu.modload r.Router.pcu (Fault_plugin.make ~gate:Gate.Firewall ~name:"fault-fw"));
+  let inst = ok (Pcu.create_instance r.Router.pcu ~plugin:"fault-fw" config) in
+  ok
+    (Pcu.register_instance r.Router.pcu ~instance:inst.Plugin.instance_id
+       (Rp_classifier.Filter.v4 ~proto:Proto.udp ()));
+  inst
+
+let test_fault_contained_and_quarantined () =
+  let r = mk_router () in
+  let inst = bind_fault_plugin r in
+  let id = inst.Plugin.instance_id in
+  let faults0 = Rp_obs.Counter.get (Gate.faults Gate.Firewall) in
+  let threshold = Pcu.quarantine_threshold r.Router.pcu in
+  (* Every packet faults; the default policy is fail-closed: the
+     packet is dropped, [process] never sees the exception. *)
+  for i = 1 to threshold do
+    match Ip_core.process r ~now:(Int64.of_int i) (mk_pkt ~sport:(3000 + i) ()) with
+    | Ip_core.Dropped "plugin fault" -> ()
+    | v -> Alcotest.failf "packet %d: expected fault drop, got %a" i Ip_core.pp_verdict v
+  done;
+  check int_t "gate fault counter" threshold
+    (Rp_obs.Counter.get (Gate.faults Gate.Firewall) - faults0);
+  check bool_t "auto-quarantined at the threshold" true
+    (Pcu.is_quarantined r.Router.pcu id);
+  (* Bindings are torn down: traffic degrades to the gate default. *)
+  (match Ip_core.process r ~now:99L (mk_pkt ~sport:4000 ()) with
+   | Ip_core.Enqueued 1 -> ()
+   | v -> Alcotest.failf "expected default-path forward, got %a" Ip_core.pp_verdict v);
+  check int_t "no further faults once quarantined" threshold
+    (Rp_obs.Counter.get (Gate.faults Gate.Firewall) - faults0);
+  (* Re-binding a quarantined instance is refused; restore re-arms it. *)
+  err "register while quarantined"
+    (Pcu.register_instance r.Router.pcu ~instance:id
+       (Rp_classifier.Filter.v4 ~proto:Proto.tcp ()));
+  ok (Router.restore r id);
+  check bool_t "restored" false (Pcu.is_quarantined r.Router.pcu id);
+  match Ip_core.process r ~now:100L (mk_pkt ~sport:5000 ()) with
+  | Ip_core.Dropped "plugin fault" -> ()
+  | v -> Alcotest.failf "expected fault drop after restore, got %a" Ip_core.pp_verdict v
+
+let test_fault_continue_policy () =
+  let r = mk_router () in
+  r.Router.fault_policy <- Fault.Continue_packet;
+  ignore (bind_fault_plugin r);
+  (* Fail-open: the faulting gate is skipped, the packet forwards. *)
+  for i = 1 to 5 do
+    match Ip_core.process r ~now:(Int64.of_int i) (mk_pkt ~sport:(3000 + i) ()) with
+    | Ip_core.Enqueued 1 -> ()
+    | v -> Alcotest.failf "packet %d: expected forward, got %a" i Ip_core.pp_verdict v
+  done
+
+let test_fault_unbind_policy () =
+  let r = mk_router () in
+  r.Router.fault_policy <- Fault.Unbind;
+  let inst = bind_fault_plugin r in
+  (* One fault is enough: the instance is quarantined immediately and
+     this very packet continues on the default path. *)
+  (match Ip_core.process r ~now:1L (mk_pkt ()) with
+   | Ip_core.Enqueued 1 -> ()
+   | v -> Alcotest.failf "expected forward, got %a" Ip_core.pp_verdict v);
+  check bool_t "quarantined on first fault" true
+    (Pcu.is_quarantined r.Router.pcu inst.Plugin.instance_id)
+
+let test_fault_cycle_budget () =
+  let r = mk_router () in
+  r.Router.cycle_budget <- Some 10_000;
+  let inst =
+    bind_fault_plugin r ~config:[ ("mode", "burn"); ("burn", "50000") ]
+  in
+  (match Ip_core.process r ~now:1L (mk_pkt ()) with
+   | Ip_core.Dropped "plugin fault" -> ()
+   | v -> Alcotest.failf "expected budget drop, got %a" Ip_core.pp_verdict v);
+  match
+    List.find_opt
+      (fun (i : Pcu.fault_info) ->
+        i.Pcu.instance.Plugin.instance_id = inst.Plugin.instance_id)
+      (Pcu.fault_report r.Router.pcu)
+  with
+  | Some i ->
+    check int_t "one fault" 1 i.Pcu.total_faults;
+    check bool_t "reason mentions the budget" true
+      (String.length i.Pcu.last_fault >= 12
+       && String.sub i.Pcu.last_fault 0 12 = "cycle budget")
+  | None -> Alcotest.fail "instance missing from fault report"
+
+let test_fault_consecutive_resets_on_success () =
+  let r = mk_router () in
+  (* Faults every 2nd packet: consecutive count keeps resetting, so
+     the instance must never be quarantined. *)
+  let inst = bind_fault_plugin r ~config:[ ("mode", "raise"); ("every", "2") ] in
+  for i = 1 to 20 do
+    ignore (Ip_core.process r ~now:(Int64.of_int i) (mk_pkt ~sport:(3000 + i) ()))
+  done;
+  check bool_t "alternating faults never quarantine" false
+    (Pcu.is_quarantined r.Router.pcu inst.Plugin.instance_id)
+
+let test_qdisc_fault_contained () =
+  let r = mk_router () in
+  let raising_sched =
+    {
+      (Plugin.simple ~instance_id:77 ~code:0 ~plugin_name:"bad-sched"
+         ~gate:Gate.Scheduling (fun _ _ -> Plugin.Continue))
+      with
+      Plugin.scheduler =
+        Some
+          {
+            Plugin.enqueue = (fun ~now:_ _ _ -> failwith "qdisc boom");
+            dequeue = (fun ~now:_ -> None);
+            backlog = (fun () -> 0);
+            sched_stats = (fun () -> []);
+          };
+    }
+  in
+  Iface.attach_scheduler (Router.iface r 1) raising_sched;
+  let faults0 = Rp_obs.Counter.get (Gate.faults Gate.Scheduling) in
+  (match Ip_core.process r ~now:0L (mk_pkt ()) with
+   | Ip_core.Dropped "output queue" -> ()
+   | v -> Alcotest.failf "expected queue drop, got %a" Ip_core.pp_verdict v);
+  check int_t "scheduling fault counted" 1
+    (Rp_obs.Counter.get (Gate.faults Gate.Scheduling) - faults0)
+
+(* --- data-path metering fixes ------------------------------------------ *)
+
+let test_partial_fragment_loss_is_visible () =
+  let ifaces =
+    [ Iface.create ~id:0 (); Iface.create ~id:1 ~mtu:296 ~fifo_limit:2 () ]
+  in
+  let r = Router.create ~ifaces () in
+  Router.add_route r (Prefix.of_string "192.168.0.0/16") ~iface:1 ();
+  let drops_counter = Rp_obs.Registry.counter "ip_core.fragment_drops" in
+  let drops0 = Rp_obs.Counter.get drops_counter in
+  (* 1000 bytes over a 296-byte MTU -> 4 fragments; only 2 fit the
+     queue.  The datagram cannot reassemble, so the verdict is a drop
+     and the lost fragments are counted. *)
+  (match Ip_core.process r ~now:0L (mk_pkt ()) with
+   | Ip_core.Dropped reason ->
+     check bool_t
+       (Printf.sprintf "partial-loss reason (%s)" reason)
+       true
+       (String.length reason >= 7 && String.sub reason 0 7 = "partial")
+   | v -> Alcotest.failf "expected partial-loss drop, got %a" Ip_core.pp_verdict v);
+  let lost = Rp_obs.Counter.get drops_counter - drops0 in
+  check bool_t (Printf.sprintf "fragment drops counted (%d)" lost) true (lost > 0);
+  check int_t "two fragments queued" 2 (Iface.backlog (Router.iface r 1))
+
+let test_sched_gate_metering_parity () =
+  let ifaces =
+    [ Iface.create ~id:0 (); Iface.create ~id:1 ~fifo_limit:1 () ]
+  in
+  let r = Router.create ~ifaces () in
+  Router.add_route r (Prefix.of_string "192.168.0.0/16") ~iface:1 ();
+  let dispatch0 = Rp_obs.Counter.get (Gate.dispatch Gate.Scheduling) in
+  let drops0 = Rp_obs.Counter.get (Gate.drops Gate.Scheduling) in
+  Rp_obs.Trace.clear ();
+  Rp_obs.Trace.enabled := true;
+  ignore (Ip_core.process r ~now:0L (mk_pkt ()));
+  (* Second packet overflows the 1-slot FIFO: a drop at the
+     scheduling gate, metered like any other gate drop. *)
+  (match Ip_core.process r ~now:1L (mk_pkt ~sport:1001 ()) with
+   | Ip_core.Dropped "output queue" -> ()
+   | v -> Alcotest.failf "expected queue drop, got %a" Ip_core.pp_verdict v);
+  Rp_obs.Trace.enabled := false;
+  check int_t "dispatch counted per packet" 2
+    (Rp_obs.Counter.get (Gate.dispatch Gate.Scheduling) - dispatch0);
+  check int_t "queue drop counted at the gate" 1
+    (Rp_obs.Counter.get (Gate.drops Gate.Scheduling) - drops0);
+  check bool_t "trace span emitted for the scheduling gate" true
+    (List.exists
+       (fun (s : Rp_obs.Trace.span) -> s.Rp_obs.Trace.name = "gate.scheduling")
+       (Rp_obs.Trace.spans ()))
+
 (* --- misc edge cases --------------------------------------------------- *)
 
 let test_router_edge_cases () =
@@ -377,6 +551,25 @@ let () =
           Alcotest.test_case "ipv6 options gate" `Quick test_options_gate_v6;
           Alcotest.test_case "punt handler" `Quick test_punt_handler;
           Alcotest.test_case "local delivery" `Quick test_local_delivery;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "contain + auto-quarantine + restore" `Quick
+            test_fault_contained_and_quarantined;
+          Alcotest.test_case "continue policy" `Quick test_fault_continue_policy;
+          Alcotest.test_case "unbind policy" `Quick test_fault_unbind_policy;
+          Alcotest.test_case "cycle budget" `Quick test_fault_cycle_budget;
+          Alcotest.test_case "success resets consecutive" `Quick
+            test_fault_consecutive_resets_on_success;
+          Alcotest.test_case "raising qdisc contained" `Quick
+            test_qdisc_fault_contained;
+        ] );
+      ( "metering",
+        [
+          Alcotest.test_case "partial fragment loss" `Quick
+            test_partial_fragment_loss_is_visible;
+          Alcotest.test_case "scheduling gate parity" `Quick
+            test_sched_gate_metering_parity;
         ] );
       ( "edges",
         [

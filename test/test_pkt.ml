@@ -331,6 +331,29 @@ let test_flow_key_equal_hash () =
   let k3 = { k1 with Flow_key.dport = 2001 } in
   check bool_t "different" false (Flow_key.equal k1 k3)
 
+(* Regression: the hash used to omit [iface] while [equal] includes
+   it, so flows differing only by incoming interface — distinct flows
+   of the paper's 6-tuple — systematically collided into the same
+   bucket. *)
+let test_flow_key_iface_hashes_apart () =
+  let k iface =
+    Flow_key.make ~src:(Ipaddr.v4 10 0 0 1) ~dst:(Ipaddr.v4 10 0 0 2)
+      ~proto:Proto.udp ~sport:1000 ~dport:2000 ~iface
+  in
+  check bool_t "iface-differing keys are distinct flows" false
+    (Flow_key.equal (k 0) (k 1));
+  check bool_t "iface participates in the hash" true
+    (Flow_key.hash (k 0) <> Flow_key.hash (k 1));
+  (* The difference must reach the low bits that pick the bucket
+     (default table: 32768 buckets). *)
+  List.iter
+    (fun other ->
+      check bool_t
+        (Printf.sprintf "if0 and if%d land in different buckets" other)
+        true
+        (Flow_key.hash (k 0) mod 32768 <> Flow_key.hash (k other) mod 32768))
+    [ 1; 2; 3; 7; 15 ]
+
 (* --- Mbuf ----------------------------------------------------------- *)
 
 let test_mbuf_udp_v4_roundtrip () =
@@ -436,7 +459,11 @@ let () =
           Alcotest.test_case "tcp roundtrip" `Quick test_tcp_roundtrip;
         ] );
       ( "flow_key",
-        [ Alcotest.test_case "equal/hash" `Quick test_flow_key_equal_hash ] );
+        [
+          Alcotest.test_case "equal/hash" `Quick test_flow_key_equal_hash;
+          Alcotest.test_case "iface hashes apart" `Quick
+            test_flow_key_iface_hashes_apart;
+        ] );
       ( "mbuf",
         [
           Alcotest.test_case "udp v4 roundtrip" `Quick test_mbuf_udp_v4_roundtrip;
