@@ -13,6 +13,7 @@
      fig-l4          L4 switching through the classifier (§8)
      fig-collapse    wildcard-chain collapsing ablation (§5.1.2)
      fig-grid        grid-of-tries vs set pruning, 2D filters (§5.1.2)
+     fig-shard       multicore engine throughput scaling, 1..4 domains
      micro           Bechamel wall-clock micro-benchmarks
 
    Run all sections: [dune exec bench/main.exe]; or name the sections
@@ -946,6 +947,92 @@ let micro () =
   Rp_lpm.Access.set_enabled true
 
 (* ---------------------------------------------------------------------- *)
+(* Multicore engine: aggregate throughput scaling across domains.         *)
+(* ---------------------------------------------------------------------- *)
+
+(* Classifier-heavy workload (three gates with bound plugins plus the
+   Table-3 inert filter load) pumped through the sharded engine at
+   1, 2 and 4 worker domains.  Throughput is the cycle model's:
+   aggregate mpps = packets / (slowest shard's charged cycles / Hz) —
+   shards run flow-disjoint traffic concurrently, so the makespan is
+   the busiest shard.  Wall-clock mpps is reported as an informational
+   column (it depends on the host's core count, which CI does not
+   control). *)
+let fig_shard () =
+  section "fig-shard: engine throughput scaling across worker domains";
+  let flows = 64 and per_flow = 200 in
+  Printf.printf
+    "%d flows x %d packets through the sharded engine; per-flow state\n\
+     and flow caches are domain-private, RSS distribution by flow hash.\n\n"
+    flows per_flow;
+  let run domains =
+    let s = Rp_sim.Scenario.single_router ~in_ifaces:1 () in
+    let r = s.Rp_sim.Scenario.router in
+    List.iteri
+      (fun i gate ->
+        let name = Printf.sprintf "shard-empty-%d" i in
+        ok (Pcu.modload r.Router.pcu (Empty_plugin.make ~gate ~name));
+        let inst = ok (Pcu.create_instance r.Router.pcu ~plugin:name []) in
+        ok
+          (Pcu.register_instance r.Router.pcu ~instance:inst.Plugin.instance_id
+             (Rp_classifier.Filter.v4 ~proto:Proto.udp ()));
+        install_extra_filters r ~gate:(Gate.to_int gate) ~upto:13)
+      [ Gate.Ip_options; Gate.Firewall; Gate.Stats ];
+    let e = Rp_engine.Engine.create (Rp_engine.Engine.Sharded domains) r in
+    let drained = ref 0 in
+    let record _ = incr drained in
+    let t0 = Unix.gettimeofday () in
+    for f = 0 to flows - 1 do
+      let key = Rp_sim.Scenario.sink_key ~id:(100 + f) () in
+      for _ = 1 to per_flow do
+        let m = Mbuf.synth ~key ~len:1000 () in
+        while not (Rp_engine.Engine.submit e ~now:0L m) do
+          ignore (Rp_engine.Engine.drain e ~f:record)
+        done
+      done
+    done;
+    ignore (Rp_engine.Engine.flush e ~f:record);
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let max_cycles = ref 0 in
+    for i = 0 to domains - 1 do
+      let c = Rp_engine.Engine.shard_cycles e i in
+      if c > !max_cycles then max_cycles := c
+    done;
+    Rp_engine.Engine.stop e;
+    let hz = Cost.cpu_mhz *. 1e6 in
+    let mpps =
+      float_of_int !drained /. (float_of_int !max_cycles /. hz) /. 1e6
+    in
+    let wall_mpps = float_of_int !drained /. wall_s /. 1e6 in
+    (mpps, wall_mpps, !drained, !max_cycles)
+  in
+  Printf.printf "  %-8s %12s %14s %16s %12s\n" "domains" "packets"
+    "model mpps" "busiest cycles" "wall mpps";
+  let results =
+    List.map
+      (fun d ->
+        let ((mpps, wall_mpps, drained, max_cycles) as res) = run d in
+        Printf.printf "  %-8d %12d %14.3f %16d %12.3f\n" d drained mpps
+          max_cycles wall_mpps;
+        Rp_obs.Registry.set
+          (Printf.sprintf "bench.fig_shard.domains%d.mpps" d)
+          mpps;
+        Rp_obs.Registry.set
+          (Printf.sprintf "bench.fig_shard.domains%d.wall_mpps" d)
+          wall_mpps;
+        (d, res))
+      [ 1; 2; 4 ]
+  in
+  let mpps_of d =
+    match List.assoc_opt d results with
+    | Some (mpps, _, _, _) -> mpps
+    | None -> 0.0
+  in
+  let speedup = if mpps_of 1 > 0.0 then mpps_of 4 /. mpps_of 1 else 0.0 in
+  Rp_obs.Registry.set "bench.fig_shard.speedup_4v1" speedup;
+  Printf.printf "\n  aggregate speedup at 4 domains vs 1: %.2fx\n" speedup
+
+(* ---------------------------------------------------------------------- *)
 
 let sections =
   [
@@ -960,6 +1047,7 @@ let sections =
     ("fig-l4", fig_l4);
     ("fig-collapse", fig_collapse);
     ("fig-grid", fig_grid);
+    ("fig-shard", fig_shard);
     ("micro", micro);
   ]
 

@@ -89,11 +89,158 @@ let run_phase ~label ~fault_config ?cycle_budget () =
     Printf.printf "FAIL %s: restore: %s\n" label e;
     incr failures
 
+(* Sharded soak: same fault plugin, but the traffic runs through the
+   multicore engine.  Faults are contained on worker domains and
+   attributed on drain; under concurrency more than [threshold] faults
+   may land before every shard observes the quarantine snapshot, so
+   the count is checked as a lower bound (the inline phases above keep
+   the exact-equality check).  Also asserts the engine's counters are
+   internally consistent and that no flow is cached off its owning
+   shard. *)
+let run_sharded_phase ~label ~shards ~fault_config ?cycle_budget () =
+  let open Rp_engine in
+  Printf.printf "== %s (sharded %d) ==\n" label shards;
+  Rp_obs.Registry.reset ();
+  let s = Rp_sim.Scenario.single_router () in
+  let router = s.Rp_sim.Scenario.router in
+  (match cycle_budget with
+   | Some b -> router.Router.cycle_budget <- Some b
+   | None -> ());
+  let script =
+    String.concat "\n"
+      [ "modload fault-firewall";
+        "create fault-firewall " ^ fault_config;
+        "bind 1 <*, *, UDP, *, *, *>" ]
+  in
+  (match Rp_control.Pmgr.exec_script router script with
+   | Ok _ -> ()
+   | Error e ->
+     Printf.printf "FAIL setup: %s\n" e;
+     incr failures);
+  let e = Engine.create (Engine.Sharded shards) router in
+  let forwarded = ref 0 and dropped = ref 0 in
+  let record (res : Rp_engine.Shard.result) =
+    match res.Shard.outcome with
+    | Shard.Forwarded _ -> incr forwarded
+    | Shard.Dropped _ -> incr dropped
+    | Shard.Absorbed -> ()
+  in
+  let accepted = ref 0 in
+  let pump flows per_flow =
+    for f = 0 to flows - 1 do
+      for _ = 1 to per_flow do
+        let key = Rp_sim.Scenario.sink_key ~id:(1000 + f) () in
+        let m = Rp_pkt.Mbuf.synth ~key ~len:1000 () in
+        while not (Engine.submit e ~now:0L m) do
+          ignore (Engine.drain e ~f:record)
+        done;
+        incr accepted
+      done
+    done;
+    ignore (Engine.flush e ~f:record)
+  in
+  (match pump 32 50 with
+   | () -> check (label ^ ": sharded soak completed without a crash") true
+   | exception ex ->
+     check
+       (Printf.sprintf "%s: sharded soak crashed: %s" label
+          (Printexc.to_string ex))
+       false);
+  let faults = Rp_obs.Counter.get (Gate.faults Gate.Firewall) in
+  let threshold = Pcu.quarantine_threshold router.Router.pcu in
+  check
+    (Printf.sprintf "%s: faults contained and counted (%d >= %d)" label faults
+       threshold)
+    (faults >= threshold);
+  check (label ^ ": instance auto-quarantined from the drain path")
+    (Pcu.is_quarantined router.Router.pcu 1);
+  (* After every shard has synced past the quarantine, traffic must
+     forward on the default path. *)
+  let spins = ref 0 in
+  while (not (Engine.synced e)) && !spins < 100_000_000 do
+    incr spins;
+    Domain.cpu_relax ()
+  done;
+  check (label ^ ": shards synced to the quarantine snapshot")
+    (Engine.synced e);
+  let fwd_before = !forwarded in
+  pump 32 10;
+  check
+    (Printf.sprintf "%s: traffic degraded to the default path (%d forwarded)"
+       label (!forwarded - fwd_before))
+    (!forwarded - fwd_before = 320);
+  (* Counter consistency: nothing lost, nothing double-counted. *)
+  let counter name = Rp_obs.Counter.get (Rp_obs.Registry.counter name) in
+  let rx_sum = ref 0 in
+  for i = 0 to shards - 1 do
+    rx_sum := !rx_sum + counter (Printf.sprintf "engine.shard%d.rx" i)
+  done;
+  check
+    (Printf.sprintf "%s: sum of shard rx (%d) = accepted submissions (%d)"
+       label !rx_sum !accepted)
+    (!rx_sum = !accepted);
+  check
+    (Printf.sprintf "%s: drained results (%d) = dispatched packets" label
+       (!forwarded + !dropped))
+    (!forwarded + !dropped = !accepted);
+  check
+    (Printf.sprintf "%s: submitted counter agrees (%d)" label
+       (counter "engine.submitted"))
+    (counter "engine.submitted" = !accepted);
+  (* No cross-shard flow-state access: every cached flow key hashes to
+     the shard caching it. *)
+  let misplaced = ref 0 in
+  for i = 0 to shards - 1 do
+    List.iter
+      (fun key ->
+        if Rp_pkt.Flow_key.hash key land max_int mod shards <> i then
+          incr misplaced)
+      (Engine.shard_flow_keys e i)
+  done;
+  check (label ^ ": no flow cached off its owning shard") (!misplaced = 0);
+  (match Rp_control.Pmgr.exec router "engine stats" with
+   | Ok out ->
+     check (label ^ ": pmgr engine stats reports the engine")
+       (contains ~needle:"mode=sharded" out)
+   | Error e ->
+     Printf.printf "FAIL %s: engine stats: %s\n" label e;
+     incr failures);
+  (match Rp_control.Pmgr.exec router "plugin restore 1" with
+   | Ok _ ->
+     check (label ^ ": restore succeeds")
+       (not (Pcu.is_quarantined router.Router.pcu 1))
+   | Error e ->
+     Printf.printf "FAIL %s: restore: %s\n" label e;
+     incr failures);
+  Engine.stop e
+
+(* Plain argv parsing: [--engine sharded N] or [--engine sharded:N]
+   adds the multicore phases; the default run is unchanged. *)
+let sharded_domains () =
+  let argv = Array.to_list Sys.argv in
+  let rec find = function
+    | "--engine" :: "sharded" :: n :: _ -> int_of_string_opt n
+    | "--engine" :: spec :: _ -> (
+        match Rp_engine.Engine.mode_of_string spec with
+        | Ok (Rp_engine.Engine.Sharded n) -> Some n
+        | Ok Rp_engine.Engine.Inline | Error _ -> None)
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find argv
+
 let () =
   run_phase ~label:"raise on every packet" ~fault_config:"mode=raise every=1"
     ();
   run_phase ~label:"cycle-budget burn" ~fault_config:"mode=burn every=1"
     ~cycle_budget:50_000 ();
+  (match sharded_domains () with
+   | Some n ->
+     run_sharded_phase ~label:"raise on every packet" ~shards:n
+       ~fault_config:"mode=raise every=1" ();
+     run_sharded_phase ~label:"cycle-budget burn" ~shards:n
+       ~fault_config:"mode=burn every=1" ~cycle_budget:50_000 ()
+   | None -> ());
   if !failures = 0 then print_endline "fault soak: all checks passed"
   else begin
     Printf.printf "fault soak: %d check(s) failed\n" !failures;

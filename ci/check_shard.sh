@@ -1,0 +1,47 @@
+#!/bin/sh
+# Multicore-scaling gate, run by CI after
+#   dune exec bench/main.exe -- fig-shard --metrics-out shard.json
+#
+# Fails when the sharded engine's aggregate model throughput at
+# 4 worker domains is less than 2x the single-domain figure on the
+# classifier-heavy fig-shard workload.  The speedup is computed from
+# the cycle model (busiest shard's charged cycles), so the gate holds
+# regardless of how many hardware cores the CI runner exposes.
+#
+# The metrics file is rp-metrics/1 JSON, written one metric per line
+# precisely so this script needs no JSON parser.
+set -eu
+
+file="${1:-shard.json}"
+if [ ! -f "$file" ]; then
+  echo "check_shard: $file not found" >&2
+  exit 2
+fi
+
+fail=0
+
+metric() {
+  sed -n "s/^[[:space:]]*\"$1\": \([0-9][0-9.]*\),\{0,1\}[[:space:]]*$/\1/p" \
+    "$file" | head -n1
+}
+
+# check_min NAME BOUND — fail when NAME is missing or below BOUND.
+check_min() {
+  v="$(metric "$1")"
+  if [ -z "$v" ]; then
+    echo "FAIL $1: missing from $file"
+    fail=1
+  elif awk "BEGIN { exit !($v >= $2) }"; then
+    echo "ok   $1 = $v (floor $2)"
+  else
+    echo "FAIL $1 = $v below floor $2"
+    fail=1
+  fi
+}
+
+echo "== fig-shard: engine throughput scaling =="
+check_min bench.fig_shard.domains1.mpps 0.001
+check_min bench.fig_shard.domains4.mpps 0.001
+check_min bench.fig_shard.speedup_4v1 2
+
+exit $fail

@@ -136,8 +136,20 @@ let show_faults router =
   in
   Ok (String.concat "\n" (header :: lines))
 
-let exec router line =
-  let* tokens = tokenize line in
+(* Commands that change what the sharded engine's workers classify or
+   route against: after one succeeds, an attached engine must
+   republish its snapshot so the shards recompile.  [stats reset] and
+   pure introspection are not here; neither are attach/detach (the
+   qdisc runs on the control domain, outside the snapshot). *)
+let mutates_classifier tokens =
+  match tokens with
+  | ("bind" | "unbind" | "free" | "reserve" | "modunload") :: _ -> true
+  | "route" :: ("add" | "del") :: _ -> true
+  | "plugin" :: ("quarantine" | "restore") :: _ -> true
+  | "fault" :: ("policy" | "budget" | "threshold") :: _ -> true
+  | _ -> false
+
+let exec_tokens router tokens =
   match tokens with
   | [] -> Ok ""
   | [ "modload"; p ] ->
@@ -266,7 +278,23 @@ let exec router line =
     Rp_obs.Registry.reset ();
     Ok "counters reset"
   | "stats" :: _ -> Error "usage: stats show|json [pattern] | stats reset"
+  | [ "engine"; "stats" ] ->
+    (match Rp_engine.Engine.find router with
+     | Some e -> Ok (Rp_engine.Engine.stats_string e)
+     | None -> Ok "engine: none attached (inline data path)")
+  | "engine" :: _ -> Error "usage: engine stats"
   | cmd :: _ -> Error (Printf.sprintf "unknown command %S" cmd)
+
+let exec router line =
+  let* tokens = tokenize line in
+  let* out = exec_tokens router tokens in
+  (* Control-plane changes reach running worker domains only through a
+     snapshot publication — same path as the programmatic API. *)
+  if mutates_classifier tokens then
+    (match Rp_engine.Engine.find router with
+     | Some e -> Rp_engine.Engine.publish e
+     | None -> ());
+  Ok out
 
 let exec_script router text =
   let lines = String.split_on_char '\n' text in

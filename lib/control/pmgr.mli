@@ -27,7 +27,12 @@
     fault policy drop|continue|unbind     packet fate on a contained fault
     fault budget <cycles>|off             per-invocation handler cycle budget
     fault threshold <n>                   consecutive faults before quarantine
+    engine stats                          sharded-engine state, if one is attached
     v}
+
+    When a {!Rp_engine.Engine.t} is attached to the router, every
+    command that mutates classification or routing state republishes
+    the engine's snapshot so worker shards pick the change up.
 
     Filters use the paper's six-tuple syntax, e.g.
     [<129.0.0.0/8, 192.94.233.10, TCP, *, *, *>]. *)

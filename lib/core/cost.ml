@@ -11,17 +11,23 @@ let drr_dequeue = 700
 let hfsc_enqueue = 1150
 let hfsc_dequeue = 1100
 
-let counter = ref 0
+(* Domain-local counter: each engine shard accounts its own model
+   cycles without racing the others, and the single-domain case keeps
+   the plain-ref cost (DLS lookup + ref bump, no atomics). *)
+let counter = Domain.DLS.new_key (fun () -> ref 0)
 
-let charge n = counter := !counter + n
-let charge_mem n = counter := !counter + (n * mem_access)
-let reset () = counter := 0
-let get () = !counter
+let[@inline] cur () = Domain.DLS.get counter
+
+let charge n = let c = cur () in c := !c + n
+let charge_mem n = let c = cur () in c := !c + (n * mem_access)
+let reset () = cur () := 0
+let get () = !(cur ())
 
 let measure f =
-  let before = !counter in
+  let c = cur () in
+  let before = !c in
   let result = f () in
-  (result, !counter - before)
+  (result, !c - before)
 
 let ns_of_cycles c = float_of_int c *. 1000.0 /. cpu_mhz
 let us_of_cycles c = ns_of_cycles c /. 1000.0

@@ -48,7 +48,12 @@ val hfsc_dequeue : int
 (** 1150 / 1100 — H-FSC's service-curve bookkeeping (the paper cites
     25-37 % overhead for H-FSC vs 20 % for DRR). *)
 
-(** Counter. *)
+(** Counter.
+
+    The counter is domain-local: each domain (e.g. an engine shard)
+    charges and reads its own meter, so concurrent shards account
+    their model cycles independently and without races.  [reset]/[get]
+    likewise act on the calling domain's meter only. *)
 
 val charge : int -> unit
 

@@ -51,22 +51,43 @@ let of_name s =
 let pp ppf g = Format.pp_print_string ppf (name g)
 let equal a b = to_int a = to_int b
 
-(* Per-gate data-path meters, indexed by [to_int]; created at load
-   time so a metrics dump always carries the full gate schema, zeros
-   included.  All IP-core call sites (inline gates, the routing gate,
-   the scheduling classification at enqueue) share these. *)
-let per_gate suffix =
-  Array.of_list
-    (List.map
-       (fun g -> Rp_obs.Registry.counter ("gate." ^ name g ^ "." ^ suffix))
-       all)
+(* Per-gate data-path meters, indexed by [to_int]; created eagerly so
+   a metrics dump always carries the full gate schema, zeros included.
+   [Meters.default] (prefix "gate.") is shared by every single-domain
+   IP-core call site; each engine shard creates its own set under an
+   "engine.shard<i>." prefix so per-shard traffic is attributable. *)
+module Meters = struct
+  type t = {
+    dispatch : Rp_obs.Counter.t array;
+    cycles : Rp_obs.Counter.t array;
+    drops : Rp_obs.Counter.t array;
+    faults : Rp_obs.Counter.t array;
+  }
 
-let m_dispatch = per_gate "dispatch"
-let m_cycles = per_gate "cycles"
-let m_drops = per_gate "drops"
-let m_faults = per_gate "faults"
+  let per_gate prefix suffix =
+    Array.of_list
+      (List.map
+         (fun g ->
+           Rp_obs.Registry.counter (prefix ^ "gate." ^ name g ^ "." ^ suffix))
+         all)
 
-let dispatch g = m_dispatch.(to_int g)
-let cycles g = m_cycles.(to_int g)
-let drops g = m_drops.(to_int g)
-let faults g = m_faults.(to_int g)
+  let create ~prefix =
+    {
+      dispatch = per_gate prefix "dispatch";
+      cycles = per_gate prefix "cycles";
+      drops = per_gate prefix "drops";
+      faults = per_gate prefix "faults";
+    }
+
+  let default = create ~prefix:""
+
+  let dispatch t g = t.dispatch.(to_int g)
+  let cycles t g = t.cycles.(to_int g)
+  let drops t g = t.drops.(to_int g)
+  let faults t g = t.faults.(to_int g)
+end
+
+let dispatch g = Meters.dispatch Meters.default g
+let cycles g = Meters.cycles Meters.default g
+let drops g = Meters.drops Meters.default g
+let faults g = Meters.faults Meters.default g

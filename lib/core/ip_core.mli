@@ -33,3 +33,11 @@ val process : Router.t -> now:int64 -> Mbuf.t -> verdict
     for one gate, exposed for tests and micro-benchmarks.  Returns the
     handler's action ([Continue] when no instance is bound). *)
 val invoke_gate : Router.t -> now:int64 -> gate:Gate.t -> Mbuf.t -> Plugin.action
+
+(** The inline gates run before (ip-options, security-in, firewall)
+    and after (congestion, security-out, stats) the routing decision —
+    the gate order of Figure 3, exposed so the sharded engine's worker
+    dispatch mirrors the same traversal. *)
+
+val inline_gates_pre : Gate.t list
+val inline_gates_post : Gate.t list

@@ -1,0 +1,346 @@
+open Rp_pkt
+open Rp_core
+
+type mode =
+  | Inline
+  | Sharded of int
+
+let mode_to_string = function
+  | Inline -> "inline"
+  | Sharded n -> Printf.sprintf "sharded:%d" n
+
+let mode_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "inline" -> Ok Inline
+  | s when String.length s > 8 && String.sub s 0 8 = "sharded:" -> (
+      match int_of_string_opt (String.sub s 8 (String.length s - 8)) with
+      | Some n when n >= 1 -> Ok (Sharded n)
+      | Some _ -> Error "sharded:N needs N >= 1"
+      | None -> Error ("bad shard count in " ^ s))
+  | _ -> Error (Printf.sprintf "unknown engine mode %S (inline | sharded:N)" s)
+
+let batch_size = 32
+
+type t = {
+  mode : mode;
+  router : Router.t;
+  snapshot : Snapshot.t Atomic.t;
+  shard_tbl : Shard.t array;  (* [||] for Inline *)
+  rx : Mbuf.t Spsc.t array;
+  tx : Shard.result Spsc.t array;
+  busy : bool Atomic.t array;  (* worker mid-batch *)
+  tx_ring_drops : Rp_obs.Counter.t array;
+  stop_flag : bool Atomic.t;
+  mutable domains : unit Domain.t array;
+  inline_q : Shard.result Queue.t;
+  m_submitted : Rp_obs.Counter.t;
+  m_bp_drops : Rp_obs.Counter.t;
+  m_drained : Rp_obs.Counter.t;
+  batch_hist : Rp_obs.Histogram.t;
+  mutable stopped : bool;
+}
+
+let mode t = t.mode
+let router t = t.router
+let generation t = (Atomic.get t.snapshot).Snapshot.gen
+
+let shards t = match t.mode with Inline -> 1 | Sharded n -> n
+
+let shard_of_key t key =
+  match t.mode with
+  | Inline -> 0
+  | Sharded n -> Flow_key.hash key land max_int mod n
+
+(* --- engine registry ------------------------------------------------ *)
+
+let registry : (Router.t * t) list ref = ref []
+let registry_lock = Mutex.create ()
+
+let find router =
+  Mutex.lock registry_lock;
+  let r = List.find_opt (fun (rt, _) -> rt == router) !registry in
+  Mutex.unlock registry_lock;
+  Option.map snd r
+
+let register t =
+  Mutex.lock registry_lock;
+  registry := (t.router, t) :: List.filter (fun (rt, _) -> rt != t.router) !registry;
+  Mutex.unlock registry_lock
+
+let deregister t =
+  Mutex.lock registry_lock;
+  registry := List.filter (fun (_, e) -> e != t) !registry;
+  Mutex.unlock registry_lock
+
+(* --- worker loop ---------------------------------------------------- *)
+
+let dummy_key =
+  Flow_key.make ~src:(Ipaddr.v4 0 0 0 0) ~dst:(Ipaddr.v4 0 0 0 0) ~proto:0
+    ~sport:0 ~dport:0 ~iface:0
+
+let dummy_mbuf () = Mbuf.synth ~key:dummy_key ~len:0 ()
+
+let worker_loop t i =
+  let shard = t.shard_tbl.(i) in
+  let rx = t.rx.(i) and tx = t.tx.(i) in
+  let busy = t.busy.(i) in
+  let tx_drops = t.tx_ring_drops.(i) in
+  let scratch = Array.make batch_size (dummy_mbuf ()) in
+  let running = ref true in
+  while !running do
+    (* Pick up a new snapshot generation even when idle, so control
+       waits ([synced]) terminate without traffic. *)
+    Shard.sync shard (Atomic.get t.snapshot);
+    let n = Spsc.pop_batch rx ~max:batch_size scratch in
+    if n = 0 then begin
+      if Atomic.get t.stop_flag && Spsc.is_empty rx then running := false
+      else Domain.cpu_relax ()
+    end
+    else begin
+      Atomic.set busy true;
+      Rp_obs.Histogram.observe t.batch_hist n;
+      let (), cycles =
+        Cost.measure (fun () ->
+            for j = 0 to n - 1 do
+              let m = scratch.(j) in
+              let result = Shard.dispatch shard ~now:m.Mbuf.birth_ns m in
+              if not (Spsc.push tx result) then
+                Rp_obs.Counter.inc tx_drops
+            done)
+      in
+      Shard.add_cycles shard cycles;
+      Atomic.set busy false
+    end
+  done
+
+(* --- construction --------------------------------------------------- *)
+
+let create ?(rx_capacity = 1024) ?(tx_capacity = 2048) mode router =
+  (match mode with
+   | Sharded n when n < 1 -> invalid_arg "Engine.create: Sharded n < 1"
+   | _ -> ());
+  let snap = Snapshot.capture ~gen:0 router in
+  let n = match mode with Inline -> 0 | Sharded n -> n in
+  let dummy_result =
+    { Shard.m = dummy_mbuf (); outcome = Shard.Dropped "dummy"; faults = [] }
+  in
+  let t =
+    {
+      mode;
+      router;
+      snapshot = Atomic.make snap;
+      shard_tbl = Array.init n (fun i -> Shard.create ~index:i snap);
+      rx =
+        Array.init n (fun _ ->
+            Spsc.create ~capacity:rx_capacity ~dummy:(dummy_mbuf ()));
+      tx =
+        Array.init n (fun _ ->
+            Spsc.create ~capacity:tx_capacity ~dummy:dummy_result);
+      busy = Array.init n (fun _ -> Atomic.make false);
+      tx_ring_drops =
+        Array.init n (fun i ->
+            Rp_obs.Registry.counter
+              (Printf.sprintf "engine.shard%d.tx_ring_drops" i));
+      stop_flag = Atomic.make false;
+      domains = [||];
+      inline_q = Queue.create ();
+      m_submitted = Rp_obs.Registry.counter "engine.submitted";
+      m_bp_drops = Rp_obs.Registry.counter "engine.backpressure_drops";
+      m_drained = Rp_obs.Registry.counter "engine.drained";
+      batch_hist =
+        Rp_obs.Registry.histogram ~bounds:[| 1; 2; 4; 8; 16; 32 |]
+          "engine.batch_size";
+      stopped = false;
+    }
+  in
+  Rp_obs.Registry.gauge "engine.shards" (fun () ->
+      float_of_int (shards t));
+  Rp_obs.Registry.gauge "engine.generation" (fun () ->
+      float_of_int (generation t));
+  Array.iteri
+    (fun i rx ->
+      Rp_obs.Registry.gauge
+        (Printf.sprintf "engine.shard%d.rx_depth" i)
+        (fun () -> float_of_int (Spsc.length rx)))
+    t.rx;
+  Array.iteri
+    (fun i tx ->
+      Rp_obs.Registry.gauge
+        (Printf.sprintf "engine.shard%d.tx_depth" i)
+        (fun () -> float_of_int (Spsc.length tx)))
+    t.tx;
+  t.domains <-
+    Array.init n (fun i -> Domain.spawn (fun () -> worker_loop t i));
+  register t;
+  t
+
+(* --- control-domain operations -------------------------------------- *)
+
+let publish t =
+  let gen = generation t + 1 in
+  Atomic.set t.snapshot (Snapshot.capture ~gen t.router)
+
+let synced t =
+  match t.mode with
+  | Inline -> true
+  | Sharded _ ->
+    let gen = generation t in
+    Array.for_all (fun s -> Shard.seen_gen s = gen) t.shard_tbl
+
+let idle t =
+  match t.mode with
+  | Inline -> true
+  | Sharded _ ->
+    Array.for_all Spsc.is_empty t.rx
+    && Array.for_all (fun b -> not (Atomic.get b)) t.busy
+
+let shard_cycles t i =
+  match t.mode with Inline -> Cost.get () | Sharded _ -> Shard.cycles t.shard_tbl.(i)
+
+let shard_flow_keys t i =
+  match t.mode with
+  | Inline ->
+    let keys = ref [] in
+    Rp_classifier.Flow_table.iter
+      (fun r -> keys := r.Rp_classifier.Flow_table.key :: !keys)
+      (Rp_classifier.Aiu.flow_table (Router.aiu t.router));
+    !keys
+  | Sharded _ -> Shard.flow_keys t.shard_tbl.(i)
+
+let verdict_to_outcome = function
+  | Ip_core.Enqueued i -> Shard.Forwarded i
+  | Ip_core.Delivered_local -> Shard.Absorbed
+  | Ip_core.Absorbed -> Shard.Absorbed
+  | Ip_core.Dropped why -> Shard.Dropped why
+
+let submit t ~now m =
+  m.Mbuf.birth_ns <- now;
+  match t.mode with
+  | Inline ->
+    Rp_obs.Counter.inc t.m_submitted;
+    let verdict = Ip_core.process t.router ~now m in
+    (match verdict with
+     | Ip_core.Enqueued out ->
+       (* Keep the output queue from filling: the engine has no
+          transmit loop, so pull what the data path queued. *)
+       let ifc = Router.iface t.router out in
+       let rec drain_iface () =
+         match Iface.dequeue ifc ~now with
+         | Some _ -> drain_iface ()
+         | None -> ()
+       in
+       drain_iface ()
+     | _ -> ());
+    Queue.add
+      { Shard.m; outcome = verdict_to_outcome verdict; faults = [] }
+      t.inline_q;
+    true
+  | Sharded n ->
+    let s = Flow_key.hash m.Mbuf.key land max_int mod n in
+    if Spsc.push t.rx.(s) m then begin
+      Rp_obs.Counter.inc t.m_submitted;
+      true
+    end
+    else begin
+      Rp_obs.Counter.inc t.m_bp_drops;
+      false
+    end
+
+(* Apply one result's contained-fault events to the shared control
+   state.  Returns true when the bindings changed (a quarantine), so
+   the caller republishes once per drain. *)
+let apply_faults t (result : Shard.result) =
+  List.fold_left
+    (fun changed (id, reason) ->
+      let pcu = t.router.Router.pcu in
+      let changed =
+        match Pcu.record_fault pcu id ~reason with
+        | `Quarantine ->
+          (match Router.quarantine t.router id with Ok () | Error _ -> ());
+          true
+        | `Ok -> changed
+      in
+      match t.router.Router.fault_policy with
+      | Fault.Unbind when not (Pcu.is_quarantined pcu id) ->
+        (match Router.quarantine t.router id with Ok () | Error _ -> ());
+        true
+      | _ -> changed)
+    false result.Shard.faults
+
+let drain ?(max = max_int) t ~f =
+  let drained = ref 0 in
+  let republish = ref false in
+  let handle result =
+    incr drained;
+    Rp_obs.Counter.inc t.m_drained;
+    if result.Shard.faults <> [] then
+      if apply_faults t result then republish := true;
+    f result
+  in
+  (match t.mode with
+   | Inline ->
+     while !drained < max && not (Queue.is_empty t.inline_q) do
+       handle (Queue.pop t.inline_q)
+     done
+   | Sharded _ ->
+     Array.iter
+       (fun tx ->
+         let continue = ref true in
+         while !continue && !drained < max do
+           match Spsc.pop tx with
+           | Some result -> handle result
+           | None -> continue := false
+         done)
+       t.tx);
+  if !republish then publish t;
+  !drained
+
+let flush t ~f =
+  let total = ref 0 in
+  let quiet = ref 0 in
+  (* Two consecutive quiet passes over an idle engine: the first can
+     race a worker finishing its last batch, the second cannot. *)
+  while !quiet < 2 do
+    let n = drain t ~f in
+    total := !total + n;
+    if n = 0 && idle t then incr quiet else quiet := 0;
+    if !quiet < 2 then Domain.cpu_relax ()
+  done;
+  !total
+
+let stats_string t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "engine: mode=%s gen=%d synced=%b\n" (mode_to_string t.mode)
+       (generation t) (synced t));
+  Buffer.add_string b
+    (Printf.sprintf "  submitted=%d drained=%d backpressure_drops=%d\n"
+       (Rp_obs.Counter.get t.m_submitted)
+       (Rp_obs.Counter.get t.m_drained)
+       (Rp_obs.Counter.get t.m_bp_drops));
+  Array.iteri
+    (fun i shard ->
+      let g suffix =
+        Rp_obs.Counter.get
+          (Rp_obs.Registry.counter (Printf.sprintf "engine.shard%d.%s" i suffix))
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "  shard%d: rx=%d fwd=%d drop=%d absorbed=%d cycles=%d \
+            rx_depth=%d tx_depth=%d flow_flushes=%d tx_ring_drops=%d\n"
+           i (g "rx") (g "forwarded") (g "dropped") (g "absorbed")
+           (Shard.cycles shard)
+           (Spsc.length t.rx.(i))
+           (Spsc.length t.tx.(i))
+           (g "flow_flushes") (g "tx_ring_drops")))
+    t.shard_tbl;
+  Buffer.contents b
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Atomic.set t.stop_flag true;
+    Array.iter Domain.join t.domains;
+    t.domains <- [||];
+    deregister t
+  end

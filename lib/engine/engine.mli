@@ -1,0 +1,105 @@
+(** The packet engine: single-domain inline execution or RSS-style
+    sharding across OCaml 5 worker domains.
+
+    [Sharded n] spawns [n] worker domains.  The control (main) domain
+    distributes packets to per-shard SPSC RX rings by
+    [Flow_key.hash mod n], so every packet of a flow lands on the same
+    shard and per-flow soft state stays domain-private.  Workers run
+    batched gate dispatch (default batch 32) against a read-only
+    classifier {!Snapshot} published through one atomic pointer with a
+    generation counter; control-plane changes (bind/unbind, route
+    changes, quarantine) go through {!publish}, and each shard
+    recompiles its private classifier — flushing its flow cache — when
+    it observes a new generation.  The hot path takes no locks.
+    Results (and contained-fault events) return on per-shard TX rings;
+    {!drain} applies fault attribution to the PCU on the control
+    domain and republishes when a quarantine changed the bindings.
+
+    [Inline] runs the full single-domain {!Rp_core.Ip_core} path
+    synchronously in [submit] — bit-for-bit the deterministic behavior
+    of the rest of the repository — so callers can treat both modes
+    uniformly.
+
+    Full rings drop rather than block ({!submit} returns [false] and
+    the engine counts a backpressure drop), like a NIC RX ring. *)
+
+open Rp_pkt
+open Rp_core
+
+type mode =
+  | Inline
+  | Sharded of int  (** number of worker domains (>= 1) *)
+
+val mode_of_string : string -> (mode, string) result
+val mode_to_string : mode -> string
+
+type t
+
+(** [create mode router] — for [Sharded n] this captures the first
+    snapshot, registers the engine's metrics and spawns the worker
+    domains.  [rx_capacity] / [tx_capacity] size the per-shard rings
+    (rounded up to powers of two; defaults 1024 / 2048).
+    @raise Invalid_argument on [Sharded n] with [n < 1]. *)
+val create : ?rx_capacity:int -> ?tx_capacity:int -> mode -> Router.t -> t
+
+val mode : t -> mode
+val router : t -> Router.t
+
+(** Number of shards (1 for [Inline]). *)
+val shards : t -> int
+
+(** The shard [key] hashes to. *)
+val shard_of_key : t -> Flow_key.t -> int
+
+(** Flow keys cached by shard [i] (test introspection). *)
+val shard_flow_keys : t -> int -> Flow_key.t list
+
+(** [submit t ~now m] hands one packet to the engine.  [Inline]: runs
+    the packet synchronously and queues its result for {!drain}.
+    [Sharded]: pushes to the owning shard's RX ring; [false] means the
+    ring was full and the packet was dropped (counted). *)
+val submit : t -> now:int64 -> Mbuf.t -> bool
+
+(** [drain t ~f] pulls completed results from every shard, applies
+    contained-fault events to the PCU/router (auto-quarantine and the
+    [Unbind] policy republish the snapshot), and calls [f] on each
+    result.  Returns the number of results drained.  Control domain
+    only. *)
+val drain : ?max:int -> t -> f:(Shard.result -> unit) -> int
+
+(** Current snapshot generation. *)
+val generation : t -> int
+
+(** Capture the router's control state and publish it as a new
+    generation.  Call after any control-plane mutation (bind, unbind,
+    route change, quarantine, policy change). *)
+val publish : t -> unit
+
+(** Have all shards compiled the current generation? *)
+val synced : t -> bool
+
+(** True when no packets are in flight (all RX rings empty and every
+    worker idle); results may still await {!drain}. *)
+val idle : t -> bool
+
+(** [flush t ~f] waits for in-flight packets to complete, draining
+    results to [f] as it spins.  Returns the number drained. *)
+val flush : t -> f:(Shard.result -> unit) -> int
+
+(** Model cycles charged by shard [i] since creation. *)
+val shard_cycles : t -> int -> int
+
+(** Human-readable stats block (the [pmgr engine stats] payload). *)
+val stats_string : t -> string
+
+(** Stop the workers (joining their domains) and deregister the
+    engine.  Idempotent.  Packets still in RX rings are dispatched
+    before workers exit; call {!drain} afterwards to collect them. *)
+val stop : t -> unit
+
+(** {2 Engine registry}
+
+    The control plane ([pmgr]) finds the engine attached to the router
+    it operates on, so mutating commands can republish. *)
+
+val find : Router.t -> t option

@@ -1,0 +1,211 @@
+open Rp_pkt
+open Rp_core
+
+type outcome =
+  | Forwarded of int
+  | Absorbed
+  | Dropped of string
+
+type result = {
+  m : Mbuf.t;
+  outcome : outcome;
+  faults : (int * string) list;
+}
+
+type t = {
+  index : int;
+  meters : Gate.Meters.t;
+  m_rx : Rp_obs.Counter.t;
+  m_forwarded : Rp_obs.Counter.t;
+  m_dropped : Rp_obs.Counter.t;
+  m_absorbed : Rp_obs.Counter.t;
+  m_flow_flushes : Rp_obs.Counter.t;
+  seen_gen : int Atomic.t;
+  cycles_acc : int Atomic.t;
+  (* Domain-private compiled state; written only by [sync] on the
+     shard's own domain, after which only that domain reads it. *)
+  mutable aiu : Plugin.t Rp_classifier.Aiu.t;
+  mutable routes : Route_table.t;
+  mutable gates : Gate.t list;
+  mutable policy : Fault.policy;
+  mutable budget : int option;
+}
+
+let index t = t.index
+let meters t = t.meters
+let seen_gen t = Atomic.get t.seen_gen
+let cycles t = Atomic.get t.cycles_acc
+let add_cycles t n = ignore (Atomic.fetch_and_add t.cycles_acc n)
+
+let compile snap =
+  let aiu = Rp_classifier.Aiu.create ~gates:Gate.count () in
+  List.iter
+    (fun (gate, filter, inst) -> Rp_classifier.Aiu.bind aiu ~gate filter inst)
+    snap.Snapshot.bindings;
+  let routes = Route_table.create () in
+  List.iter (fun r -> Route_table.add routes r) snap.Snapshot.routes;
+  (aiu, routes)
+
+let apply t (snap : Snapshot.t) =
+  let aiu, routes = compile snap in
+  t.aiu <- aiu;
+  t.routes <- routes;
+  t.gates <- snap.gates;
+  t.policy <- snap.policy;
+  t.budget <- snap.budget;
+  Atomic.set t.seen_gen snap.gen
+
+let create ~index snap =
+  let prefix = Printf.sprintf "engine.shard%d." index in
+  let counter suffix = Rp_obs.Registry.counter (prefix ^ suffix) in
+  let t =
+    {
+      index;
+      meters = Gate.Meters.create ~prefix;
+      m_rx = counter "rx";
+      m_forwarded = counter "forwarded";
+      m_dropped = counter "dropped";
+      m_absorbed = counter "absorbed";
+      m_flow_flushes = counter "flow_flushes";
+      seen_gen = Atomic.make (-1);
+      cycles_acc = Atomic.make 0;
+      aiu = Rp_classifier.Aiu.create ~gates:Gate.count ();
+      routes = Route_table.create ();
+      gates = [];
+      policy = Fault.Drop_packet;
+      budget = None;
+    }
+  in
+  apply t snap;
+  t
+
+let sync t snap =
+  if snap.Snapshot.gen <> Atomic.get t.seen_gen then begin
+    apply t snap;
+    (* A recompile discards the private flow cache — same semantics as
+       the single-domain AIU flush on any filter-table mutation. *)
+    Rp_obs.Counter.inc t.m_flow_flushes
+  end
+
+(* --- data path ------------------------------------------------------ *)
+
+exception Drop_exn of string
+exception Consumed_exn
+
+(* Same framework charges as [Ip_core.classify_at], against the
+   shard's private AIU. *)
+let classify_at t ~now ~gate m =
+  let had_fix = m.Mbuf.fix <> None in
+  let result, accesses =
+    Rp_lpm.Access.measure (fun () ->
+        Rp_classifier.Aiu.classify t.aiu m ~gate:(Gate.to_int gate) ~now)
+  in
+  if not had_fix then Cost.charge Cost.flow_hash;
+  Cost.charge_mem accesses;
+  Cost.charge Cost.gate_invoke;
+  result
+
+(* Worker-side fault containment: count (shard meters and the global
+   per-gate meters — counters are atomic) and record the event for the
+   control domain; the PCU is never touched from here. *)
+let contain t ~gate inst (reason : Fault.reason) faults =
+  Rp_obs.Counter.inc (Gate.Meters.faults t.meters gate);
+  Rp_obs.Counter.inc (Gate.faults gate);
+  faults :=
+    (inst.Plugin.instance_id, Fault.reason_to_string reason) :: !faults;
+  match t.policy with
+  | Fault.Drop_packet -> Plugin.Drop "plugin fault"
+  | Fault.Continue_packet | Fault.Unbind -> Plugin.Continue
+
+let invoke_gate t ~now ~gate m faults =
+  Rp_obs.Counter.inc (Gate.Meters.dispatch t.meters gate);
+  let action, gate_cycles =
+    Cost.measure (fun () ->
+        match classify_at t ~now ~gate m with
+        | None -> Plugin.Continue
+        | Some (inst, record) -> (
+            let binding =
+              Rp_classifier.Flow_table.binding record ~gate:(Gate.to_int gate)
+            in
+            let outcome, handler_cycles =
+              Cost.measure (fun () ->
+                  try
+                    Ok (inst.Plugin.handle { Plugin.now_ns = now; binding } m)
+                  with e -> Error (Fault.Exn (Printexc.to_string e)))
+            in
+            match outcome with
+            | Error reason -> contain t ~gate inst reason faults
+            | Ok action -> (
+                match t.budget with
+                | Some budget when handler_cycles > budget ->
+                  contain t ~gate inst (Fault.Budget handler_cycles) faults
+                | _ -> action)))
+  in
+  Rp_obs.Counter.add (Gate.Meters.cycles t.meters gate) gate_cycles;
+  (match action with
+   | Plugin.Drop _ -> Rp_obs.Counter.inc (Gate.Meters.drops t.meters gate)
+   | Plugin.Continue | Plugin.Consumed -> ());
+  action
+
+let gate_enabled t g = List.exists (Gate.equal g) t.gates
+
+let run_gates t ~now m gates faults =
+  List.iter
+    (fun gate ->
+      if gate_enabled t gate then
+        match invoke_gate t ~now ~gate m faults with
+        | Plugin.Continue -> ()
+        | Plugin.Consumed -> raise Consumed_exn
+        | Plugin.Drop why -> raise (Drop_exn why))
+    gates
+
+let route t ~now m faults =
+  if gate_enabled t Gate.Routing then begin
+    match invoke_gate t ~now ~gate:Gate.Routing m faults with
+    | Plugin.Continue -> ()
+    | Plugin.Consumed -> raise Consumed_exn
+    | Plugin.Drop why -> raise (Drop_exn why)
+  end;
+  match m.Mbuf.out_iface with
+  | Some i -> i
+  | None -> (
+      match Route_table.lookup t.routes m.Mbuf.key.Flow_key.dst with
+      | Some r ->
+        m.Mbuf.out_iface <- Some r.Route_table.iface;
+        m.Mbuf.next_hop <-
+          (match r.Route_table.next_hop with
+           | Some _ as nh -> nh
+           | None -> Some m.Mbuf.key.Flow_key.dst);
+        r.Route_table.iface
+      | None -> raise (Drop_exn "no route to destination"))
+
+let dispatch t ~now m =
+  Rp_obs.Counter.inc t.m_rx;
+  Cost.charge Cost.base_forward;
+  let faults = ref [] in
+  let outcome =
+    if m.Mbuf.ttl <= 1 then Dropped "ttl expired"
+    else begin
+      m.Mbuf.ttl <- m.Mbuf.ttl - 1;
+      try
+        run_gates t ~now m Ip_core.inline_gates_pre faults;
+        let out = route t ~now m faults in
+        run_gates t ~now m Ip_core.inline_gates_post faults;
+        Forwarded out
+      with
+      | Drop_exn why -> Dropped why
+      | Consumed_exn -> Absorbed
+    end
+  in
+  (match outcome with
+   | Forwarded _ -> Rp_obs.Counter.inc t.m_forwarded
+   | Absorbed -> Rp_obs.Counter.inc t.m_absorbed
+   | Dropped _ -> Rp_obs.Counter.inc t.m_dropped);
+  { m; outcome; faults = List.rev !faults }
+
+let flow_keys t =
+  let keys = ref [] in
+  Rp_classifier.Flow_table.iter
+    (fun r -> keys := r.Rp_classifier.Flow_table.key :: !keys)
+    (Rp_classifier.Aiu.flow_table t.aiu);
+  !keys

@@ -1,0 +1,68 @@
+(** One worker shard: a domain-private slice of the data path.
+
+    A shard owns everything its packets touch — a private AIU
+    (compiled from the published {!Snapshot}), a private route table,
+    a private flow cache, and its own {!Rp_core.Gate.Meters} set under
+    the [engine.shard<i>.] registry prefix — so two shards never share
+    mutable per-flow state.  RSS-style distribution by
+    [Flow_key.hash mod shards] guarantees every packet of a flow lands
+    on the same shard, keeping per-flow soft state coherent without
+    locks.
+
+    [dispatch] mirrors the single-domain {!Rp_core.Ip_core} data path
+    (base-forward charge, TTL, pre gates, routing gate/table, post
+    gates, fault containment) with the control-plane pieces removed:
+    no fragmentation, no ICMP generation, no local punt/delivery —
+    those need shared router state and stay on the control domain.
+    Faults are contained locally (counted, policy applied) and
+    reported in the {!result}; the control domain attributes them to
+    the PCU when it drains, so workers never mutate shared state. *)
+
+open Rp_pkt
+open Rp_core
+
+(** What the shard decided for the packet.  [Forwarded i] means the
+    packet routed to interface [i]; the engine does not run interface
+    queues (those live on the control domain). *)
+type outcome =
+  | Forwarded of int
+  | Absorbed  (** a plugin consumed the packet *)
+  | Dropped of string
+
+type result = {
+  m : Mbuf.t;
+  outcome : outcome;
+  faults : (int * string) list;
+      (** (instance id, reason) per contained fault, dispatch order —
+          applied to the PCU by the control domain on drain *)
+}
+
+type t
+
+val create : index:int -> Snapshot.t -> t
+
+val index : t -> int
+val meters : t -> Gate.Meters.t
+
+(** Snapshot generation this shard last compiled. *)
+val seen_gen : t -> int
+
+(** [sync t snap] recompiles the shard's private AIU and route table
+    from [snap] if its generation differs — which also flushes the
+    shard's flow cache.  Runs on the shard's own domain. *)
+val sync : t -> Snapshot.t -> unit
+
+(** [dispatch t ~now m] runs one packet; must only be called from the
+    shard's own domain. *)
+val dispatch : t -> now:int64 -> Mbuf.t -> result
+
+(** Model cycles charged by this shard's dispatches so far (readable
+    from any domain). *)
+val cycles : t -> int
+
+(** [add_cycles t n] accumulates into {!cycles} (worker side). *)
+val add_cycles : t -> int -> unit
+
+(** Flow keys currently cached in this shard's private flow table
+    (test introspection: cross-shard ownership checks). *)
+val flow_keys : t -> Flow_key.t list

@@ -1,0 +1,36 @@
+open Rp_core
+
+type t = {
+  gen : int;
+  gates : Gate.t list;
+  bindings : (int * Rp_classifier.Filter.t * Plugin.t) list;
+  routes : Route_table.route list;
+  policy : Fault.policy;
+  budget : int option;
+}
+
+let capture ~gen router =
+  let aiu = Router.aiu router in
+  let bindings = ref [] in
+  for gate = 0 to Gate.count - 1 do
+    Rp_classifier.Dag.iter
+      (fun filter inst -> bindings := (gate, filter, inst) :: !bindings)
+      (Rp_classifier.Aiu.filter_table aiu ~gate)
+  done;
+  let routes = ref [] in
+  Route_table.iter (fun r -> routes := r :: !routes) router.Router.routes;
+  {
+    gen;
+    (* via [gate_enabled] so Best_effort mode snapshots no gates *)
+    gates = List.filter (Router.gate_enabled router) Gate.all;
+    bindings = !bindings;
+    routes = !routes;
+    policy = router.Router.fault_policy;
+    budget = router.Router.cycle_budget;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "snapshot gen=%d gates=%d bindings=%d routes=%d" t.gen
+    (List.length t.gates)
+    (List.length t.bindings)
+    (List.length t.routes)

@@ -1,0 +1,35 @@
+(** Immutable classifier snapshot, published to worker domains.
+
+    Workers never read the router's live AIU or routing table — the
+    DAG filter tables and BMP tries build lookup structures lazily, so
+    sharing them across domains would race.  Instead the control plane
+    captures the {e contents} (filter bindings per gate, routes, the
+    fault policy and budget, the enabled-gate set) into a plain
+    immutable value, and each shard compiles its own private AIU and
+    route table from it on generation change.  Rebuilding from scratch
+    is also what flushes the shard's flow cache — exactly the
+    semantics the single-domain AIU has on any filter-table mutation.
+
+    The engine publishes a snapshot through one [Atomic.t] pointer;
+    the monotonically increasing [gen] tells a shard whether its
+    compiled state is current. *)
+
+open Rp_core
+
+type t = {
+  gen : int;
+  gates : Gate.t list;  (** enabled gates, data-path order *)
+  bindings : (int * Rp_classifier.Filter.t * Plugin.t) list;
+      (** (gate index, filter, bound instance) — quarantined instances
+          are naturally absent (their filters are torn out of the AIU) *)
+  routes : Route_table.route list;
+  policy : Fault.policy;
+  budget : int option;
+}
+
+(** [capture ~gen router] reads the router's current control state.
+    Runs on the control domain; cost is proportional to the installed
+    filters and routes, never charged to the packet cost model. *)
+val capture : gen:int -> Router.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+type 'a t = {
+  buf : 'a array;
+  mask : int;
+  dummy : 'a;
+  head : int Atomic.t;  (* consumer index: next slot to pop *)
+  tail : int Atomic.t;  (* producer index: next slot to fill *)
+}
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create ~capacity ~dummy =
+  if capacity < 1 then invalid_arg "Spsc.create: capacity < 1";
+  let cap = pow2 capacity 2 in
+  {
+    buf = Array.make cap dummy;
+    mask = cap - 1;
+    dummy;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let capacity t = t.mask + 1
+
+let length t =
+  (* Read head first: a concurrent push can only make the result
+     conservative (smaller), never negative or beyond capacity. *)
+  let h = Atomic.get t.head in
+  let tl = Atomic.get t.tail in
+  tl - h
+
+let is_empty t = length t = 0
+
+let push t x =
+  let tl = Atomic.get t.tail in
+  if tl - Atomic.get t.head >= capacity t then false
+  else begin
+    t.buf.(tl land t.mask) <- x;
+    (* The seq_cst set publishes the element write above. *)
+    Atomic.set t.tail (tl + 1);
+    true
+  end
+
+let pop t =
+  let h = Atomic.get t.head in
+  if Atomic.get t.tail - h <= 0 then None
+  else begin
+    let x = t.buf.(h land t.mask) in
+    t.buf.(h land t.mask) <- t.dummy;
+    Atomic.set t.head (h + 1);
+    Some x
+  end
+
+let pop_batch t ~max dst =
+  if max > Array.length dst then invalid_arg "Spsc.pop_batch: dst too small";
+  let h = Atomic.get t.head in
+  let avail = Atomic.get t.tail - h in
+  let n = if avail < max then avail else max in
+  if n <= 0 then 0
+  else begin
+    for i = 0 to n - 1 do
+      let slot = (h + i) land t.mask in
+      dst.(i) <- t.buf.(slot);
+      t.buf.(slot) <- t.dummy
+    done;
+    Atomic.set t.head (h + n);
+    n
+  end

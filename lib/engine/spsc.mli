@@ -1,0 +1,45 @@
+(** Single-producer single-consumer ring buffer.
+
+    The engine's RX rings (main domain → worker) and TX rings (worker
+    → main domain) are SPSC by construction, which makes the ring the
+    cheapest possible lock-free queue: one atomic index per side, no
+    CAS loops, no allocation per element.  Indices grow monotonically
+    and are masked into a power-of-two array, so full/empty are
+    distinguished without a spare slot.
+
+    The atomics are sequentially consistent, which under the OCaml
+    memory model makes the element write in [push] happen-before the
+    read in [pop] that observes the advanced tail — elements are
+    published safely across domains.
+
+    A full ring makes [push] return [false]; the producer counts the
+    packet as a backpressure drop rather than blocking the data path
+    (drop-tail, like a NIC RX ring). *)
+
+type 'a t
+
+(** [create ~capacity ~dummy] — [capacity] is rounded up to a power of
+    two (minimum 2); [dummy] fills empty slots so popped elements don't
+    pin old values against the GC.  @raise Invalid_argument if
+    [capacity < 1]. *)
+val create : capacity:int -> dummy:'a -> 'a t
+
+val capacity : 'a t -> int
+
+(** Number of elements currently queued.  Racy by nature (either side
+    may be mid-operation); used for depth gauges and idle checks. *)
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** Producer side.  [push t x] is [false] when the ring is full. *)
+val push : 'a t -> 'a -> bool
+
+(** Consumer side. *)
+val pop : 'a t -> 'a option
+
+(** [pop_batch t ~max dst] pops up to [max] elements into [dst.(0..)]
+    and returns the count, advancing the consumer index once —
+    amortizing the atomic operations over the whole batch.
+    @raise Invalid_argument if [max > Array.length dst]. *)
+val pop_batch : 'a t -> max:int -> 'a array -> int

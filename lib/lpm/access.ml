@@ -1,21 +1,27 @@
-let counter = ref 0
-let enabled = ref true
+(* Domain-local meter: each engine shard accounts its own lookup
+   accesses; the single-domain case keeps the plain-ref cost. *)
+let counter = Domain.DLS.new_key (fun () -> ref 0)
+let enabled = Domain.DLS.new_key (fun () -> ref true)
 
-let charge n = if !enabled then counter := !counter + n
-let reset () = counter := 0
-let get () = !counter
+let[@inline] cur () = Domain.DLS.get counter
+
+let charge n = if !(Domain.DLS.get enabled) then (let c = cur () in c := !c + n)
+let reset () = cur () := 0
+let get () = !(cur ())
 
 let measure f =
-  let before = !counter in
+  let c = cur () in
+  let before = !c in
   let result = f () in
-  (result, !counter - before)
+  (result, !c - before)
 
-let set_enabled b = enabled := b
-let is_enabled () = !enabled
+let set_enabled b = Domain.DLS.get enabled := b
+let is_enabled () = !(Domain.DLS.get enabled)
 
 (* Dump-time view of the meter itself: zero hot-path cost, the gauge
-   callback reads the raw counter only when a snapshot is taken. *)
+   callback reads the dumping domain's counter only when a snapshot is
+   taken (dumps run on the main/control domain). *)
 let () =
-  Rp_obs.Registry.gauge "lpm.access.total" (fun () -> float_of_int !counter);
+  Rp_obs.Registry.gauge "lpm.access.total" (fun () -> float_of_int (get ()));
   Rp_obs.Registry.gauge "lpm.access.enabled" (fun () ->
-      if !enabled then 1.0 else 0.0)
+      if is_enabled () then 1.0 else 0.0)

@@ -4,7 +4,11 @@
     accesses} (Table 2).  Every lookup structure in this repository
     charges this counter once per dependent memory reference
     (node/bucket/edge dereference), so the benchmarks measure the data
-    structures themselves rather than a formula. *)
+    structures themselves rather than a formula.
+
+    The counter (and the [enabled] flag) are domain-local: each engine
+    shard accounts — and resets — its own meter without racing the
+    others. *)
 
 (** [charge n] adds [n] memory accesses to the running counter. *)
 val charge : int -> unit

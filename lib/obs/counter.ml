@@ -1,8 +1,20 @@
-type t = { name : string; mutable v : int }
+(* Striped atomic cells: a domain increments the cell indexed by its
+   own id, so concurrent shards almost never contend on a cache line,
+   and [get] folds the stripes.  [stripes] is a power of two so the
+   domain-id fold is a mask, not a modulo. *)
+let stripes = 8
 
-let make name = { name; v = 0 }
+type t = { name : string; cells : int Atomic.t array }
+
+let make name = { name; cells = Array.init stripes (fun _ -> Atomic.make 0) }
 let name t = t.name
-let inc t = t.v <- t.v + 1
-let add t n = t.v <- t.v + n
-let get t = t.v
-let reset t = t.v <- 0
+
+let[@inline] cell t =
+  t.cells.((Domain.self () :> int) land (stripes - 1))
+
+let inc t = Atomic.incr (cell t)
+let add t n = ignore (Atomic.fetch_and_add (cell t) n)
+
+let get t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.cells
+
+let reset t = Array.iter (fun c -> Atomic.set c 0) t.cells

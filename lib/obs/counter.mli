@@ -1,11 +1,14 @@
 (** Monotonic event counters — the data path's always-on meter.
 
-    A counter is a single mutable native int; incrementing one is two
-    memory operations, cheap enough to leave on in the packet path
-    (the Snabb [core.counter] discipline).  Values wrap around on
-    native-int overflow ([max_int + 1 = min_int]); at one increment
-    per nanosecond that takes ~292 years on 64-bit, so overflow is a
-    documented curiosity, not an error.
+    A counter is a small set of striped atomic cells; a domain
+    increments the cell indexed by its own id, so increments are
+    lock-free, never lost under concurrent domains (the sharded
+    engine's requirement), and almost never contended.  [get] folds
+    the stripes, so a read taken while other domains are incrementing
+    is a momentary snapshot, not a serialization point.  Values wrap
+    around on native-int overflow ([max_int + 1 = min_int]); at one
+    increment per nanosecond that takes ~292 years on 64-bit, so
+    overflow is a documented curiosity, not an error.
 
     Counters are normally obtained through {!Registry.counter}, which
     names them and includes them in dumps. *)
@@ -20,5 +23,6 @@ val inc : t -> unit
 val add : t -> int -> unit
 val get : t -> int
 
-(** Reset to zero — control-path only (e.g. [pmgr stats reset]). *)
+(** Reset to zero — control-path only (e.g. [pmgr stats reset]); a
+    reset racing live increments may drop in-flight ones. *)
 val reset : t -> unit

@@ -1,9 +1,10 @@
 type t = {
   name : string;
   bounds : int array;  (* strictly increasing upper bounds *)
-  counts : int array;  (* length = Array.length bounds + 1; last = overflow *)
-  mutable total : int;
-  mutable sum : int;
+  counts : int Atomic.t array;
+      (* length = Array.length bounds + 1; last = overflow *)
+  total : int Atomic.t;
+  sum : int Atomic.t;
 }
 
 let default_bounds = [| 100; 250; 500; 1_000; 2_500; 5_000; 10_000; 25_000 |]
@@ -18,9 +19,9 @@ let make ?(bounds = default_bounds) name =
   {
     name;
     bounds = Array.copy bounds;
-    counts = Array.make (Array.length bounds + 1) 0;
-    total = 0;
-    sum = 0;
+    counts = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+    total = Atomic.make 0;
+    sum = Atomic.make 0;
   }
 
 let name t = t.name
@@ -40,16 +41,16 @@ let bucket_index t v =
   end
 
 let observe t v =
-  t.counts.(bucket_index t v) <- t.counts.(bucket_index t v) + 1;
-  t.total <- t.total + 1;
-  t.sum <- t.sum + v
+  Atomic.incr t.counts.(bucket_index t v);
+  Atomic.incr t.total;
+  ignore (Atomic.fetch_and_add t.sum v)
 
-let total t = t.total
-let sum t = t.sum
+let total t = Atomic.get t.total
+let sum t = Atomic.get t.sum
 let bounds t = Array.copy t.bounds
-let counts t = Array.copy t.counts
+let counts t = Array.map Atomic.get t.counts
 
 let reset t =
-  Array.fill t.counts 0 (Array.length t.counts) 0;
-  t.total <- 0;
-  t.sum <- 0
+  Array.iter (fun c -> Atomic.set c 0) t.counts;
+  Atomic.set t.total 0;
+  Atomic.set t.sum 0

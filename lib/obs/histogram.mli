@@ -3,9 +3,12 @@
     Buckets are defined once by an array of strictly increasing
     integer upper bounds; a trailing overflow bucket catches
     everything above the last bound.  [observe] is a binary search
-    over a handful of bounds plus three writes — cheap enough for the
-    per-packet path.  The default bounds suit the repository's cycle
-    cost model (hundreds to tens of thousands of cycles). *)
+    over a handful of bounds plus three atomic increments — cheap
+    enough for the per-packet path, and safe from concurrent domains
+    (a read concurrent with observes may see total/sum/bucket
+    momentarily out of step, but nothing is ever lost).  The default
+    bounds suit the repository's cycle cost model (hundreds to tens
+    of thousands of cycles). *)
 
 type t
 

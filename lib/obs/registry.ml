@@ -5,32 +5,49 @@ type source =
 
 let tbl : (string, source) Hashtbl.t = Hashtbl.create 256
 
-let find name = Hashtbl.find_opt tbl name
+(* The table itself is control-path state (registration, dumps); the
+   hot path only increments already-created counters.  A lock keeps
+   concurrent registration — e.g. a shard registering its meters while
+   the main domain dumps — from corrupting the hashtable. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let find name = locked (fun () -> Hashtbl.find_opt tbl name)
 
 let counter name =
-  match find name with
-  | Some (Counter c) -> c
-  | Some _ -> invalid_arg ("Registry.counter: " ^ name ^ " is not a counter")
-  | None ->
-    let c = Counter.make name in
-    Hashtbl.replace tbl name (Counter c);
-    c
+  locked (fun () ->
+      match Hashtbl.find_opt tbl name with
+      | Some (Counter c) -> c
+      | Some _ -> invalid_arg ("Registry.counter: " ^ name ^ " is not a counter")
+      | None ->
+        let c = Counter.make name in
+        Hashtbl.replace tbl name (Counter c);
+        c)
 
 let histogram ?bounds name =
-  match find name with
-  | Some (Histogram h) -> h
-  | Some _ -> invalid_arg ("Registry.histogram: " ^ name ^ " is not a histogram")
-  | None ->
-    let h = Histogram.make ?bounds name in
-    Hashtbl.replace tbl name (Histogram h);
-    h
+  locked (fun () ->
+      match Hashtbl.find_opt tbl name with
+      | Some (Histogram h) -> h
+      | Some _ ->
+        invalid_arg ("Registry.histogram: " ^ name ^ " is not a histogram")
+      | None ->
+        let h = Histogram.make ?bounds name in
+        Hashtbl.replace tbl name (Histogram h);
+        h)
 
 (* Gauges are replaced, not get-or-created: a re-created scheduler
    instance re-registers its depth gauge under the same name and the
    stale closure (and the state it captures) is dropped. *)
-let gauge name read = Hashtbl.replace tbl name (Gauge (Gauge.make name read))
-let set name v = Hashtbl.replace tbl name (Gauge (Gauge.constant name v))
-let remove name = Hashtbl.remove tbl name
+let gauge name read =
+  locked (fun () -> Hashtbl.replace tbl name (Gauge (Gauge.make name read)))
+
+let set name v =
+  locked (fun () -> Hashtbl.replace tbl name (Gauge (Gauge.constant name v)))
+
+let remove name = locked (fun () -> Hashtbl.remove tbl name)
 
 let matches pattern name =
   match pattern with
@@ -41,20 +58,24 @@ let matches pattern name =
     np = 0 || at 0
 
 let names ?pattern () =
-  Hashtbl.fold (fun n _ acc -> if matches pattern n then n :: acc else acc) tbl []
+  locked (fun () ->
+      Hashtbl.fold
+        (fun n _ acc -> if matches pattern n then n :: acc else acc)
+        tbl [])
   |> List.sort String.compare
 
 let sources ?pattern () =
   List.filter_map (fun n -> find n) (names ?pattern ())
 
 let reset () =
-  Hashtbl.iter
-    (fun _ s ->
-      match s with
-      | Counter c -> Counter.reset c
-      | Histogram h -> Histogram.reset h
-      | Gauge _ -> ())
-    tbl
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ s ->
+          match s with
+          | Counter c -> Counter.reset c
+          | Histogram h -> Histogram.reset h
+          | Gauge _ -> ())
+        tbl)
 
 (* --- rendering ------------------------------------------------------ *)
 

@@ -1,0 +1,400 @@
+(* Tests for rp_engine: the SPSC ring (including with real producer /
+   consumer domains), RSS shard stability, snapshot publication, and
+   the sharded engine's fault path. *)
+
+open Rp_pkt
+open Rp_core
+open Rp_engine
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* Spin until [pred] holds; domains are preemptively scheduled OS
+   threads, so a bounded spin always observes a live worker's
+   progress. *)
+let wait ?(max_spins = 100_000_000) label pred =
+  let spins = ref 0 in
+  while (not (pred ())) && !spins < max_spins do
+    incr spins;
+    Domain.cpu_relax ()
+  done;
+  if not (pred ()) then Alcotest.failf "timeout waiting for %s" label
+
+(* --- SPSC ring ------------------------------------------------------- *)
+
+let test_spsc_capacity () =
+  let q = Spsc.create ~capacity:5 ~dummy:(-1) in
+  check int_t "rounded to power of two" 8 (Spsc.capacity q);
+  for i = 0 to 7 do
+    check bool_t "push below capacity" true (Spsc.push q i)
+  done;
+  check bool_t "push at capacity rejected" false (Spsc.push q 8);
+  check int_t "length" 8 (Spsc.length q);
+  (match Spsc.pop q with
+   | Some 0 -> ()
+   | _ -> Alcotest.fail "expected head element 0");
+  check bool_t "push after pop" true (Spsc.push q 8);
+  check bool_t "full again" false (Spsc.push q 9)
+
+let spsc_fifo =
+  qtest "fifo order, no loss/dup (single domain)"
+    QCheck2.Gen.(list_size (int_range 0 200) int)
+    (fun xs ->
+      let q = Spsc.create ~capacity:256 ~dummy:0 in
+      List.iter (fun x -> assert (Spsc.push q x)) xs;
+      let out = ref [] in
+      let rec drain () =
+        match Spsc.pop q with
+        | Some x ->
+          out := x :: !out;
+          drain ()
+        | None -> ()
+      in
+      drain ();
+      List.rev !out = xs && Spsc.is_empty q)
+
+let spsc_pop_batch =
+  qtest "pop_batch = repeated pop"
+    QCheck2.Gen.(
+      pair (list_size (int_range 0 64) int) (int_range 1 16))
+    (fun (xs, max) ->
+      let q = Spsc.create ~capacity:64 ~dummy:0 in
+      List.iter (fun x -> assert (Spsc.push q x)) xs;
+      let dst = Array.make max 0 in
+      let out = ref [] in
+      let rec drain () =
+        let n = Spsc.pop_batch q ~max dst in
+        if n > 0 then begin
+          for i = 0 to n - 1 do
+            out := dst.(i) :: !out
+          done;
+          drain ()
+        end
+      in
+      drain ();
+      List.rev !out = xs)
+
+(* Real producer and consumer domains: every element arrives exactly
+   once, in order, through an intentionally small ring so wrap-around
+   and full/empty transitions are exercised under contention. *)
+let spsc_concurrent =
+  qtest ~count:10 "fifo order, no loss/dup (two domains)"
+    QCheck2.Gen.(pair (int_range 1 2000) (int_range 1 32))
+    (fun (n, cap) ->
+      let q = Spsc.create ~capacity:cap ~dummy:(-1) in
+      let consumer =
+        Domain.spawn (fun () ->
+            let out = ref [] in
+            let got = ref 0 in
+            while !got < n do
+              match Spsc.pop q with
+              | Some x ->
+                out := x :: !out;
+                incr got
+              | None -> Domain.cpu_relax ()
+            done;
+            List.rev !out)
+      in
+      for i = 0 to n - 1 do
+        while not (Spsc.push q i) do
+          Domain.cpu_relax ()
+        done
+      done;
+      Domain.join consumer = List.init n Fun.id)
+
+let spsc_concurrent_batched =
+  qtest ~count:10 "batched consumer sees every element once (two domains)"
+    QCheck2.Gen.(pair (int_range 1 2000) (int_range 1 32))
+    (fun (n, cap) ->
+      let q = Spsc.create ~capacity:cap ~dummy:(-1) in
+      let consumer =
+        Domain.spawn (fun () ->
+            let dst = Array.make 8 (-1) in
+            let out = ref [] in
+            let got = ref 0 in
+            while !got < n do
+              let k = Spsc.pop_batch q ~max:8 dst in
+              if k = 0 then Domain.cpu_relax ()
+              else begin
+                for i = 0 to k - 1 do
+                  out := dst.(i) :: !out
+                done;
+                got := !got + k
+              end
+            done;
+            List.rev !out)
+      in
+      for i = 0 to n - 1 do
+        while not (Spsc.push q i) do
+          Domain.cpu_relax ()
+        done
+      done;
+      Domain.join consumer = List.init n Fun.id)
+
+(* --- router / traffic helpers ---------------------------------------- *)
+
+let mk_router ?(gates = Gate.all) () =
+  let ifaces = [ Iface.create ~id:0 (); Iface.create ~id:1 () ] in
+  let r = Router.create ~gates ~ifaces () in
+  Router.add_route r (Prefix.of_string "192.168.0.0/16") ~iface:1 ();
+  r
+
+let mk_pkt ?(sport = 1000) ?(dport = 9000) () =
+  let key =
+    Flow_key.make ~src:(Ipaddr.v4 10 0 0 1) ~dst:(Ipaddr.v4 192 168 1 1)
+      ~proto:Proto.udp ~sport ~dport ~iface:0
+  in
+  Mbuf.synth ~key ~len:1000 ()
+
+(* A plugin whose handler bumps an atomic hit counter — callable from
+   worker domains. *)
+let counting_plugin ~gate ~name =
+  let hits = Atomic.make 0 in
+  let pm : (module Plugin.PLUGIN) =
+    (module struct
+      let name = name
+      let gate = gate
+      let description = "atomic hit counter"
+
+      let create_instance ~instance_id ~code ~config =
+        Ok
+          (Plugin.simple ~instance_id ~code ~plugin_name:name ~gate ~config
+             (fun _ctx _m ->
+               Atomic.incr hits;
+               Plugin.Continue))
+
+      let message _ _ = Error "no messages"
+    end)
+  in
+  (pm, hits)
+
+let bind_counting r ~gate ~name =
+  let pm, hits = counting_plugin ~gate ~name in
+  ok (Pcu.modload r.Router.pcu pm);
+  let inst = ok (Pcu.create_instance r.Router.pcu ~plugin:name []) in
+  ok
+    (Pcu.register_instance r.Router.pcu ~instance:inst.Plugin.instance_id
+       (Rp_classifier.Filter.v4 ~proto:Proto.udp ()));
+  (inst, hits)
+
+let counter_get name = Rp_obs.Counter.get (Rp_obs.Registry.counter name)
+
+(* --- shard stability -------------------------------------------------- *)
+
+let key_gen =
+  QCheck2.Gen.(
+    let octet = int_range 0 255 in
+    map
+      (fun (((a, b), (c, d)), ((sport, dport), iface)) ->
+        Flow_key.make ~src:(Ipaddr.v4 a b c d) ~dst:(Ipaddr.v4 d c b a)
+          ~proto:Proto.udp ~sport ~dport ~iface)
+      (pair
+         (pair (pair octet octet) (pair octet octet))
+         (pair (pair (int_range 0 65535) (int_range 0 65535)) (int_range 0 3))))
+
+let shard_stability =
+  qtest "shard choice is stable and in range"
+    QCheck2.Gen.(pair key_gen (int_range 1 8))
+    (fun (key, n) ->
+      let s = Flow_key.hash key land max_int mod n in
+      s >= 0 && s < n && s = Flow_key.hash key land max_int mod n)
+
+let test_flows_stay_on_owning_shard () =
+  let r = mk_router () in
+  let e = Engine.create (Sharded 2) r in
+  let flows = 64 and per_flow = 3 in
+  for round = 1 to per_flow do
+    ignore round;
+    for f = 0 to flows - 1 do
+      ignore (Engine.submit e ~now:0L (mk_pkt ~sport:(2000 + f) ()))
+    done
+  done;
+  let drained = Engine.flush e ~f:(fun _ -> ()) in
+  check int_t "all packets drained" (flows * per_flow) drained;
+  (* Every flow key cached by a shard hashes to that shard: no
+     cross-shard flow-state access is possible. *)
+  for i = 0 to 1 do
+    List.iter
+      (fun key ->
+        check int_t
+          (Printf.sprintf "flow %s owned by shard %d" (Flow_key.to_string key) i)
+          i
+          (Flow_key.hash key land max_int mod 2))
+      (Engine.shard_flow_keys e i)
+  done;
+  let cached =
+    List.length (Engine.shard_flow_keys e 0)
+    + List.length (Engine.shard_flow_keys e 1)
+  in
+  check int_t "every flow cached exactly once" flows cached;
+  Engine.stop e
+
+(* --- snapshot publication --------------------------------------------- *)
+
+let test_unbind_stops_classification () =
+  let r = mk_router () in
+  let inst, hits = bind_counting r ~gate:Gate.Firewall ~name:"count-fw" in
+  let flushes0 =
+    counter_get "engine.shard0.flow_flushes"
+    + counter_get "engine.shard1.flow_flushes"
+  in
+  let e = Engine.create (Sharded 2) r in
+  let pump n =
+    for f = 0 to n - 1 do
+      ignore (Engine.submit e ~now:0L (mk_pkt ~sport:(3000 + f) ()))
+    done;
+    Engine.flush e ~f:(fun _ -> ())
+  in
+  check int_t "first wave drained" 40 (pump 40);
+  check int_t "every packet hit the bound instance" 40 (Atomic.get hits);
+  (* Tear the binding down and publish; once every shard has compiled
+     the new generation, no packet may reach the old instance. *)
+  ok
+    (Pcu.deregister_instance r.Router.pcu ~instance:inst.Plugin.instance_id
+       (Rp_classifier.Filter.v4 ~proto:Proto.udp ()));
+  Engine.publish e;
+  wait "shards to sync" (fun () -> Engine.synced e);
+  check int_t "second wave drained" 40 (pump 40);
+  check int_t "no packet classified by the torn-down binding" 40
+    (Atomic.get hits);
+  let flushes =
+    counter_get "engine.shard0.flow_flushes"
+    + counter_get "engine.shard1.flow_flushes"
+    - flushes0
+  in
+  check bool_t "per-shard flow caches flushed on gen bump" true (flushes >= 2);
+  Engine.stop e
+
+let test_quarantine_while_draining () =
+  let r = mk_router () in
+  ok
+    (Pcu.modload r.Router.pcu
+       (Fault_plugin.make ~gate:Gate.Firewall ~name:"fault-fw"));
+  let inst =
+    ok
+      (Pcu.create_instance r.Router.pcu ~plugin:"fault-fw"
+         [ ("mode", "raise"); ("every", "1") ])
+  in
+  let id = inst.Plugin.instance_id in
+  ok
+    (Pcu.register_instance r.Router.pcu ~instance:id
+       (Rp_classifier.Filter.v4 ~proto:Proto.udp ()));
+  let e = Engine.create (Sharded 2) r in
+  let outcomes = Hashtbl.create 4 in
+  let record (res : Shard.result) =
+    let k =
+      match res.Shard.outcome with
+      | Shard.Forwarded _ -> "forwarded"
+      | Shard.Absorbed -> "absorbed"
+      | Shard.Dropped _ -> "dropped"
+    in
+    Hashtbl.replace outcomes k (1 + Option.value ~default:0 (Hashtbl.find_opt outcomes k))
+  in
+  let threshold = Pcu.quarantine_threshold r.Router.pcu in
+  (* Enough faulting packets on each shard to cross the threshold. *)
+  for f = 0 to (4 * threshold) - 1 do
+    ignore (Engine.submit e ~now:0L (mk_pkt ~sport:(4000 + f) ()))
+  done;
+  ignore (Engine.flush e ~f:record);
+  check bool_t "instance auto-quarantined from the drain path" true
+    (Pcu.is_quarantined r.Router.pcu id);
+  (* The quarantine republished; once shards sync, traffic takes the
+     gate's default path and forwards. *)
+  wait "shards to sync after quarantine" (fun () -> Engine.synced e);
+  Hashtbl.reset outcomes;
+  for f = 0 to 19 do
+    ignore (Engine.submit e ~now:0L (mk_pkt ~sport:(6000 + f) ()))
+  done;
+  ignore (Engine.flush e ~f:record);
+  check int_t "all packets forward once quarantined" 20
+    (Option.value ~default:0 (Hashtbl.find_opt outcomes "forwarded"));
+  Engine.stop e
+
+(* --- inline mode ------------------------------------------------------ *)
+
+let test_inline_engine_matches_ip_core () =
+  let r = mk_router () in
+  let e = Engine.create Inline r in
+  check int_t "one logical shard" 1 (Engine.shards e);
+  for f = 0 to 9 do
+    check bool_t "inline submit accepts" true
+      (Engine.submit e ~now:0L (mk_pkt ~sport:(7000 + f) ()))
+  done;
+  let fwd = ref 0 in
+  let n =
+    Engine.drain e ~f:(fun res ->
+        match res.Shard.outcome with
+        | Shard.Forwarded 1 -> incr fwd
+        | _ -> Alcotest.fail "inline verdict differs from ip_core")
+  in
+  check int_t "all results drained" 10 n;
+  check int_t "all forwarded to if1" 10 !fwd;
+  (* Same traffic straight through Ip_core on a fresh router agrees. *)
+  let r2 = mk_router () in
+  (match Ip_core.process r2 ~now:0L (mk_pkt ~sport:7000 ()) with
+   | Ip_core.Enqueued 1 -> ()
+   | v -> Alcotest.failf "direct path: %a" Ip_core.pp_verdict v);
+  Engine.stop e
+
+(* --- counter consistency under concurrency ---------------------------- *)
+
+let test_counter_consistency () =
+  let r = mk_router () in
+  let submitted0 = counter_get "engine.submitted" in
+  let drained0 = counter_get "engine.drained" in
+  let rx0 = counter_get "engine.shard0.rx" + counter_get "engine.shard1.rx" in
+  let e = Engine.create (Sharded 2) r in
+  let accepted = ref 0 in
+  for f = 0 to 199 do
+    if Engine.submit e ~now:0L (mk_pkt ~sport:(8000 + f) ()) then incr accepted
+  done;
+  ignore (Engine.flush e ~f:(fun _ -> ()));
+  let rx = counter_get "engine.shard0.rx" + counter_get "engine.shard1.rx" - rx0 in
+  check int_t "sum of shard rx = accepted submissions" !accepted rx;
+  check int_t "submitted counter = accepted" !accepted
+    (counter_get "engine.submitted" - submitted0);
+  check int_t "drained = dispatched (tx rings kept up)" !accepted
+    (counter_get "engine.drained" - drained0);
+  Engine.stop e
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "spsc",
+        [
+          Alcotest.test_case "capacity and backpressure" `Quick
+            test_spsc_capacity;
+          spsc_fifo;
+          spsc_pop_batch;
+          spsc_concurrent;
+          spsc_concurrent_batched;
+        ] );
+      ( "sharding",
+        [
+          shard_stability;
+          Alcotest.test_case "flows stay on owning shard" `Quick
+            test_flows_stay_on_owning_shard;
+          Alcotest.test_case "counter consistency" `Quick
+            test_counter_consistency;
+        ] );
+      ( "publication",
+        [
+          Alcotest.test_case "unbind stops classification" `Quick
+            test_unbind_stops_classification;
+          Alcotest.test_case "quarantine while draining" `Quick
+            test_quarantine_while_draining;
+        ] );
+      ( "inline",
+        [
+          Alcotest.test_case "inline engine matches ip_core" `Quick
+            test_inline_engine_matches_ip_core;
+        ] );
+    ]

@@ -34,6 +34,23 @@ let test_counter_overflow () =
   Counter.inc c;
   check bool_t "keeps counting" true (Counter.get c = min_int + 1)
 
+let test_counter_concurrent () =
+  (* The sharded engine's requirement: increments from concurrent
+     domains are never lost. *)
+  let c = Counter.make "t.concurrent" in
+  let per_domain = 100_000 in
+  let bump () =
+    for _ = 1 to per_domain do
+      Counter.inc c
+    done
+  in
+  let d1 = Domain.spawn bump and d2 = Domain.spawn bump in
+  bump ();
+  Domain.join d1;
+  Domain.join d2;
+  check int_t "no increment lost across 3 domains" (3 * per_domain)
+    (Counter.get c)
+
 (* --- Histogram ------------------------------------------------------- *)
 
 let test_histogram_bucketing () =
@@ -284,6 +301,8 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_counter_basics;
           Alcotest.test_case "overflow wraps" `Quick test_counter_overflow;
+          Alcotest.test_case "concurrent domains" `Quick
+            test_counter_concurrent;
         ] );
       ( "histogram",
         [
