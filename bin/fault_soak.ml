@@ -10,6 +10,12 @@
    2. a plugin that burns cycles past the router's per-invocation
       budget: same containment, same quarantine.
 
+   A third, telemetry phase runs clean traffic with sampled tracing on
+   and asserts the NetFlow-style flow records reconcile exactly with
+   the gate dispatch and flow-accounting counters, writing the trace
+   and flow log out for CI to archive.  With [--engine sharded N] all
+   phases also run through the multicore engine.
+
    Exits 0 only if every assertion holds — "zero crashes and a clean
    quarantine". *)
 
@@ -214,6 +220,138 @@ let run_sharded_phase ~label ~shards ~fault_config ?cycle_budget () =
      incr failures);
   Engine.stop e
 
+(* --- telemetry phases ----------------------------------------------- *)
+
+(* Every packet of every flow must be accounted exactly once: the sum
+   of exported NetFlow-style record packet/byte totals has to equal
+   both the flow table's always-on accounting counters and the
+   dispatch count of the first gate on the path (each packet enters
+   ip-options exactly once).  Tracing runs sampled (1-in-4) on top to
+   exercise the event rings; the trace and flow log are written out
+   for the CI soak job to upload as artifacts. *)
+
+let trace_file = "soak-trace.json"
+let flow_log_file = "soak-flows.log"
+
+let counter name = Rp_obs.Counter.get (Rp_obs.Registry.counter name)
+
+let write_flow_log records =
+  let oc = open_out flow_log_file in
+  List.iter
+    (fun r ->
+      output_string oc (Rp_obs.Flowlog.to_json_line r);
+      output_char oc '\n')
+    records;
+  close_out oc
+
+let gate_name g =
+  match Gate.of_int g with Some g -> Gate.name g | None -> string_of_int g
+
+let reconcile ~label ~dispatch records =
+  let pkts = List.fold_left (fun a (r : Rp_obs.Flowlog.record) -> a + r.packets) 0 records in
+  let bytes = List.fold_left (fun a (r : Rp_obs.Flowlog.record) -> a + r.bytes) 0 records in
+  let acc_pkts = counter "flow_table.accounted_packets" in
+  let acc_bytes = counter "flow_table.accounted_bytes" in
+  check
+    (Printf.sprintf "%s: flow-record packets (%d) = accounted packets (%d)"
+       label pkts acc_pkts)
+    (pkts = acc_pkts);
+  check
+    (Printf.sprintf "%s: flow-record bytes (%d) = accounted bytes (%d)" label
+       bytes acc_bytes)
+    (bytes = acc_bytes);
+  check
+    (Printf.sprintf "%s: flow-record packets (%d) = ip-options dispatches (%d)"
+       label pkts dispatch)
+    (pkts = dispatch)
+
+let run_telemetry_phase () =
+  let label = "telemetry reconcile" in
+  Printf.printf "== %s ==\n" label;
+  Rp_obs.Registry.reset ();
+  Rp_obs.Flowlog.clear ();
+  Rp_obs.Telemetry.enable ~every:4;
+  let s = Rp_sim.Scenario.single_router () in
+  let router = s.Rp_sim.Scenario.router in
+  Rp_sim.Scenario.table3_workload s ();
+  (match Rp_sim.Scenario.run s ~seconds:2.0 with
+   | () -> check (label ^ ": simulation completed without a crash") true
+   | exception e ->
+     check
+       (Printf.sprintf "%s: simulation crashed: %s" label
+          (Printexc.to_string e))
+       false);
+  Rp_obs.Telemetry.disable ();
+  (* Export the still-live flow-cache entries so the log is complete. *)
+  Rp_classifier.Aiu.flush_flows (Router.aiu router);
+  let records = Rp_obs.Flowlog.drain () in
+  check
+    (Printf.sprintf "%s: flow records exported (%d)" label
+       (List.length records))
+    (records <> []);
+  reconcile ~label ~dispatch:(counter "gate.ip-options.dispatch") records;
+  check
+    (Printf.sprintf "%s: events recorded (%d)" label
+       (Rp_obs.Telemetry.recorded ()))
+    (Rp_obs.Telemetry.recorded () > 0);
+  Rp_obs.Telemetry.write_chrome_json ~gate_name ~mhz:Cost.cpu_mhz trace_file;
+  write_flow_log records;
+  Printf.printf "     (wrote %s, %s)\n" trace_file flow_log_file
+
+let run_sharded_telemetry_phase ~shards () =
+  let open Rp_engine in
+  let label = "telemetry reconcile" in
+  Printf.printf "== %s (sharded %d) ==\n" label shards;
+  Rp_obs.Registry.reset ();
+  Rp_obs.Flowlog.clear ();
+  Rp_obs.Telemetry.enable ~every:4;
+  let s = Rp_sim.Scenario.single_router () in
+  let router = s.Rp_sim.Scenario.router in
+  let e = Engine.create (Engine.Sharded shards) router in
+  let drained = ref 0 in
+  let record (_ : Shard.result) = incr drained in
+  (match
+     for f = 0 to 31 do
+       for _ = 1 to 50 do
+         let key = Rp_sim.Scenario.sink_key ~id:(2000 + f) () in
+         let m = Rp_pkt.Mbuf.synth ~key ~len:1000 () in
+         while not (Engine.submit e ~now:0L m) do
+           ignore (Engine.drain e ~f:record)
+         done
+       done
+     done;
+     ignore (Engine.flush e ~f:record)
+   with
+   | () -> check (label ^ ": sharded soak completed without a crash") true
+   | exception ex ->
+     check
+       (Printf.sprintf "%s: sharded soak crashed: %s" label
+          (Printexc.to_string ex))
+       false);
+  Rp_obs.Telemetry.disable ();
+  Engine.stop e;
+  (* Workers joined: flushing the domain-private shard flow caches is
+     now safe, and exports every still-live record. *)
+  Engine.flush_flows e;
+  let records = Rp_obs.Flowlog.drain () in
+  check
+    (Printf.sprintf "%s: flow records exported (%d)" label
+       (List.length records))
+    (records <> []);
+  let dispatch = ref 0 in
+  for i = 0 to shards - 1 do
+    dispatch :=
+      !dispatch + counter (Printf.sprintf "engine.shard%d.gate.ip-options.dispatch" i)
+  done;
+  reconcile ~label ~dispatch:!dispatch records;
+  check
+    (Printf.sprintf "%s: events recorded across worker rings (%d)" label
+       (Rp_obs.Telemetry.recorded ()))
+    (Rp_obs.Telemetry.recorded () > 0);
+  Rp_obs.Telemetry.write_chrome_json ~gate_name ~mhz:Cost.cpu_mhz trace_file;
+  write_flow_log records;
+  Printf.printf "     (wrote %s, %s)\n" trace_file flow_log_file
+
 (* Plain argv parsing: [--engine sharded N] or [--engine sharded:N]
    adds the multicore phases; the default run is unchanged. *)
 let sharded_domains () =
@@ -234,12 +372,14 @@ let () =
     ();
   run_phase ~label:"cycle-budget burn" ~fault_config:"mode=burn every=1"
     ~cycle_budget:50_000 ();
+  run_telemetry_phase ();
   (match sharded_domains () with
    | Some n ->
      run_sharded_phase ~label:"raise on every packet" ~shards:n
        ~fault_config:"mode=raise every=1" ();
      run_sharded_phase ~label:"cycle-budget burn" ~shards:n
-       ~fault_config:"mode=burn every=1" ~cycle_budget:50_000 ()
+       ~fault_config:"mode=burn every=1" ~cycle_budget:50_000 ();
+     run_sharded_telemetry_phase ~shards:n ()
    | None -> ());
   if !failures = 0 then print_endline "fault soak: all checks passed"
   else begin

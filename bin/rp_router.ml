@@ -45,12 +45,36 @@ let parse_flow s =
   in
   { id; rate; len; pattern }
 
+let gate_name g =
+  match Rp_core.Gate.of_int g with
+  | Some g -> Rp_core.Gate.name g
+  | None -> string_of_int g
+
+let write_trace_out path =
+  Rp_obs.Telemetry.write_chrome_json ~gate_name ~mhz:Rp_core.Cost.cpu_mhz path;
+  Printf.printf "trace written to %s (%d events recorded, %d overwritten)\n"
+    path
+    (Rp_obs.Telemetry.recorded ())
+    (Rp_obs.Telemetry.overwritten ())
+
+let write_flow_log path =
+  let records = Rp_obs.Flowlog.drain () in
+  let oc = open_out path in
+  List.iter
+    (fun r ->
+      output_string oc (Rp_obs.Flowlog.to_json_line r);
+      output_char oc '\n')
+    records;
+  close_out oc;
+  Printf.printf "flow log written to %s (%d records)\n" path
+    (List.length records)
+
 (* Sharded-engine run: instead of the event-driven simulator, the
    flows' packets are pregenerated and pumped through the multicore
    engine; throughput is reported from the cycle model (aggregate =
    packets / slowest shard's charged cycles) with wall-clock mpps as
    an informational figure (wall clock depends on host core count). *)
-let run_sharded router n specs seconds metrics_out =
+let run_sharded router n specs seconds metrics_out trace_out flow_log =
   let open Rp_engine in
   let e = Engine.create (Engine.Sharded n) router in
   let forwarded = ref 0 and dropped = ref 0 and absorbed = ref 0 in
@@ -101,6 +125,11 @@ let run_sharded router n specs seconds metrics_out =
   Rp_obs.Registry.set "engine.mpps_model" mpps_model;
   Rp_obs.Registry.set "engine.mpps_wall" mpps_wall;
   Engine.stop e;
+  (* Workers have joined: the shards' domain-private flow caches are
+     safe to flush, so the flow log covers still-live flows too. *)
+  if flow_log <> None then Engine.flush_flows e;
+  Option.iter write_trace_out trace_out;
+  Option.iter write_flow_log flow_log;
   match metrics_out with
   | Some path ->
     Rp_obs.Registry.write_json path;
@@ -108,8 +137,13 @@ let run_sharded router n specs seconds metrics_out =
   | None -> ()
 
 let main script flows seconds in_ifaces bandwidth_mbps mode_str engine_str
-    metrics_out trace =
+    metrics_out trace trace_out trace_sample flow_log =
   Rp_obs.Trace.enabled := trace;
+  if trace_sample < 1 then begin
+    Printf.eprintf "--trace-sample: expected a positive sampling period\n%!";
+    exit 2
+  end;
+  if trace_out <> None then Rp_obs.Telemetry.enable ~every:trace_sample;
   let mode =
     match mode_str with
     | "best-effort" -> Rp_core.Router.Best_effort
@@ -143,7 +177,7 @@ let main script flows seconds in_ifaces bandwidth_mbps mode_str engine_str
   let specs = if specs = [] then [ { id = 1; rate = 100.0; len = 1000; pattern = `Cbr } ] else specs in
   (match engine_mode with
    | Rp_engine.Engine.Sharded n ->
-     run_sharded router n specs seconds metrics_out;
+     run_sharded router n specs seconds metrics_out trace_out flow_log;
      exit 0
    | Rp_engine.Engine.Inline ->
      (* The default: the deterministic single-domain simulator path
@@ -209,6 +243,12 @@ let main script flows seconds in_ifaces bandwidth_mbps mode_str engine_str
       (fun s -> Format.printf "%a@." Rp_obs.Trace.pp_span s)
       (Rp_obs.Trace.spans ())
   end;
+  (* Flush live flow-cache entries through the exporter before writing
+     the flow log and metrics, so both cover in-flight flows. *)
+  if flow_log <> None then
+    Rp_classifier.Aiu.flush_flows (Rp_core.Router.aiu router);
+  Option.iter write_trace_out trace_out;
+  Option.iter write_flow_log flow_log;
   match metrics_out with
   | Some path ->
     Rp_obs.Registry.write_json path;
@@ -249,7 +289,7 @@ let engine_arg =
 let metrics_arg =
   Arg.(value & opt (some string) None
        & info [ "metrics-out" ] ~docv:"FILE"
-           ~doc:"Write the metric registry as JSON (schema rp-metrics/1) \
+           ~doc:"Write the metric registry as JSON (schema rp-metrics/2) \
                  to $(docv) on exit.")
 
 let trace_arg =
@@ -258,11 +298,31 @@ let trace_arg =
            ~doc:"Record per-gate trace spans and print the tail of the \
                  ring buffer.")
 
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Enable hot-path event tracing and write a Chrome \
+                 trace-event JSON file (loadable in Perfetto / \
+                 about:tracing) to $(docv) on exit.")
+
+let trace_sample_arg =
+  Arg.(value & opt int 1
+       & info [ "trace-sample" ] ~docv:"N"
+           ~doc:"With $(b,--trace-out), sample one packet in $(docv) \
+                 (default 1 = every packet).")
+
+let flow_log_arg =
+  Arg.(value & opt (some string) None
+       & info [ "flow-log" ] ~docv:"FILE"
+           ~doc:"Write NetFlow-style flow records (JSON lines, one \
+                 object per evicted/flushed flow) to $(docv) on exit.")
+
 let cmd =
   let doc = "simulate a router plugins EISR under synthetic traffic" in
   Cmd.v
     (Cmd.info "rp_router" ~version:"1.0" ~doc)
     Term.(const main $ script_arg $ flow_arg $ seconds_arg $ ifaces_arg
-          $ bw_arg $ mode_arg $ engine_arg $ metrics_arg $ trace_arg)
+          $ bw_arg $ mode_arg $ engine_arg $ metrics_arg $ trace_arg
+          $ trace_out_arg $ trace_sample_arg $ flow_log_arg)
 
 let () = exit (Cmd.eval cmd)

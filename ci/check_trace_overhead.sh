@@ -1,0 +1,56 @@
+#!/bin/sh
+# Trace-overhead gate, run by CI as
+#   dune exec bench/main.exe -- table3 --metrics-out table3-base.json
+#   dune exec bench/main.exe -- table3 --trace-sample 1 --metrics-out table3-traced.json
+#   ci/check_trace_overhead.sh table3-base.json table3-traced.json
+#
+# Fails when a tracing-enabled Table-3 run's per-packet model cycles
+# exceed the untraced baseline by more than 5% on any kernel.  By
+# design the telemetry layer never charges the cycle cost model, so
+# the two runs should be byte-identical on these metrics — the gate
+# exists to catch a future change that accidentally puts event
+# recording inside the modeled path.
+#
+# The metrics files are rp-metrics/2 JSON, written one metric per line
+# precisely so this script needs no JSON parser.
+set -eu
+
+base="${1:-table3-base.json}"
+traced="${2:-table3-traced.json}"
+for f in "$base" "$traced"; do
+  if [ ! -f "$f" ]; then
+    echo "check_trace_overhead: $f not found" >&2
+    exit 2
+  fi
+done
+
+fail=0
+
+metric() {
+  sed -n "s/^[[:space:]]*\"$2\": \([0-9][0-9.]*\),\{0,1\}[[:space:]]*$/\1/p" \
+    "$1" | head -n1
+}
+
+# check_overhead NAME — fail when NAME is missing from either file or
+# the traced value exceeds the baseline by more than 5%.
+check_overhead() {
+  b="$(metric "$base" "$1")"
+  t="$(metric "$traced" "$1")"
+  if [ -z "$b" ] || [ -z "$t" ]; then
+    echo "FAIL $1: missing (base='$b' traced='$t')"
+    fail=1
+  elif awk "BEGIN { exit !($t <= $b * 1.05) }"; then
+    echo "ok   $1: base $b, traced $t (<= 5% overhead)"
+  else
+    echo "FAIL $1: base $b, traced $t (> 5% overhead)"
+    fail=1
+  fi
+}
+
+echo "== Table 3 model cycles: traced (sampling 1-in-1) vs untraced =="
+check_overhead bench.table3.best_effort.cycles
+check_overhead bench.table3.plugins_3gates.cycles
+check_overhead bench.table3.monolithic_drr.cycles
+check_overhead bench.table3.plugins_drr.cycles
+
+exit $fail

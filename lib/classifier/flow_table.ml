@@ -17,6 +17,13 @@ type 'a record = {
   mutable last_use_ns : int64;
   mutable created_ns : int64;
   mutable next : 'a record option;
+  (* NetFlow-style per-flow accounting, reset when the slot is
+     (re-)inserted and exported when the record leaves the table. *)
+  mutable packets : int;
+  mutable bytes : int;
+  mutable fwd : int;
+  mutable dropped : int;
+  mutable absorbed : int;
 }
 
 type stats = {
@@ -42,6 +49,7 @@ type 'a t = {
       (** entries in [fifo] whose record has since been evicted; kept
           so the queue can be compacted before stale entries dominate *)
   on_evict : gate:int -> 'a binding -> unit;
+  mutable exporter : (reason:string -> 'a record -> unit) option;
   mutable live : int;
   mutable s_lookups : int;
   mutable s_hits : int;
@@ -81,6 +89,11 @@ let create ?(buckets = default_buckets) ?(initial_records = default_initial)
       last_use_ns = 0L;
       created_ns = 0L;
       next = None;
+      packets = 0;
+      bytes = 0;
+      fwd = 0;
+      dropped = 0;
+      absorbed = 0;
     }
   in
   let n = min initial_records max_records in
@@ -94,6 +107,7 @@ let create ?(buckets = default_buckets) ?(initial_records = default_initial)
     fifo = Queue.create ();
     fifo_stale = 0;
     on_evict;
+    exporter = None;
     live = 0;
     s_lookups = 0;
     s_hits = 0;
@@ -168,8 +182,11 @@ let mark_stale t =
   t.fifo_stale <- t.fifo_stale + 1;
   if 2 * t.fifo_stale > Queue.length t.fifo then compact t
 
-let evict t r =
+let evict ?(reason = "evicted") t r =
   if r.in_use then begin
+    (* Export the flow record first, while key/accounting/bindings are
+       still intact — this is the NetFlow emission point. *)
+    (match t.exporter with Some f -> f ~reason r | None -> ());
     Array.iteri
       (fun gate binding ->
         match binding with
@@ -201,6 +218,11 @@ let grow t =
         last_use_ns = 0L;
         created_ns = 0L;
         next = None;
+        packets = 0;
+        bytes = 0;
+        fwd = 0;
+        dropped = 0;
+        absorbed = 0;
       }
     in
     let bigger =
@@ -237,7 +259,7 @@ let rec allocate t =
           end
       in
       let r = pop () in
-      evict t r;
+      evict ~reason:"recycled" t r;
       t.s_recycled <- t.s_recycled + 1;
       t.s_evictions <- t.s_evictions - 1;
       Rp_obs.Counter.inc m_recycled;
@@ -255,7 +277,7 @@ let insert t key ~now =
   in
   (match find t.buckets.(bucket_of t key) with
    | Some old ->
-     evict t old;
+     evict ~reason:"replaced" t old;
      t.free <- old.slot :: t.free;
      mark_stale t
    | None -> ());
@@ -265,6 +287,11 @@ let insert t key ~now =
   r.in_use <- true;
   r.last_use_ns <- now;
   r.created_ns <- now;
+  r.packets <- 0;
+  r.bytes <- 0;
+  r.fwd <- 0;
+  r.dropped <- 0;
+  r.absorbed <- 0;
   let b = bucket_of t key in
   r.next <- t.buckets.(b);
   t.buckets.(b) <- Some r;
@@ -275,7 +302,7 @@ let insert t key ~now =
 
 let remove t r =
   if r.in_use then begin
-    evict t r;
+    evict ~reason:"removed" t r;
     t.free <- r.slot :: t.free;
     mark_stale t
   end
@@ -285,7 +312,7 @@ let expire t ~now ~idle_ns =
   for slot = 0 to t.allocated - 1 do
     let r = t.records.(slot) in
     if r.in_use && Int64.sub now r.last_use_ns > idle_ns then begin
-      evict t r;
+      evict ~reason:"expired" t r;
       t.free <- r.slot :: t.free;
       mark_stale t;
       Rp_obs.Counter.inc m_expired;
@@ -298,12 +325,38 @@ let flush t =
   for slot = 0 to t.allocated - 1 do
     let r = t.records.(slot) in
     if r.in_use then begin
-      evict t r;
+      evict ~reason:"flushed" t r;
       t.free <- r.slot :: t.free
     end
   done;
   Queue.clear t.fifo;
   t.fifo_stale <- 0
+
+let set_exporter t f = t.exporter <- Some f
+
+(* Per-packet flow accounting, keyed off the packet's flow index so it
+   costs one generation-checked array read on top of the field bumps.
+   Done once per packet at verdict time; a packet whose record was
+   recycled mid-flight (only possible with a bounded table under
+   pressure) is simply not attributed. *)
+let m_acc_packets = Rp_obs.Registry.counter "flow_table.accounted_packets"
+let m_acc_bytes = Rp_obs.Registry.counter "flow_table.accounted_bytes"
+
+let account t (m : Mbuf.t) ~verdict =
+  match m.Mbuf.fix with
+  | None -> ()
+  | Some fix -> (
+      match find_fix t fix with
+      | None -> ()
+      | Some r ->
+        r.packets <- r.packets + 1;
+        r.bytes <- r.bytes + m.Mbuf.len;
+        (match verdict with
+         | `Fwd -> r.fwd <- r.fwd + 1
+         | `Drop -> r.dropped <- r.dropped + 1
+         | `Absorb -> r.absorbed <- r.absorbed + 1);
+        Rp_obs.Counter.inc m_acc_packets;
+        Rp_obs.Counter.add m_acc_bytes m.Mbuf.len)
 
 let set_binding t r ~gate ?filter instance =
   if gate < 0 || gate >= t.gates then invalid_arg "Flow_table.set_binding: gate";

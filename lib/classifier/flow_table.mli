@@ -35,6 +35,11 @@ type 'a record = {
   mutable last_use_ns : int64;
   mutable created_ns : int64;
   mutable next : 'a record option;  (** hash-chain link *)
+  mutable packets : int;  (** packets attributed via {!account} *)
+  mutable bytes : int;
+  mutable fwd : int;  (** per-verdict counts: forwarded, *)
+  mutable dropped : int;  (** dropped, *)
+  mutable absorbed : int;  (** absorbed / delivered locally *)
 }
 
 type 'a t
@@ -86,6 +91,22 @@ val expire : 'a t -> now:int64 -> idle_ns:int64 -> int
 (** [flush t] evicts everything (used when filter tables change, so no
     stale binding survives). *)
 val flush : 'a t -> unit
+
+(** [set_exporter t f] registers the NetFlow-style emission hook:
+    [f ~reason r] is called whenever an in-use record leaves the table
+    — [reason] is one of ["replaced"], ["recycled"], ["removed"],
+    ["expired"], ["flushed"] — while the record's key, accounting
+    fields and bindings are still intact. *)
+val set_exporter : 'a t -> (reason:string -> 'a record -> unit) -> unit
+
+(** [account t m ~verdict] attributes one packet (and [m.len] bytes)
+    to the record referenced by [m]'s flow index, bumping the verdict
+    count; a packet without a (still-valid) flow index is not
+    attributed.  Also bumps the process-wide
+    [flow_table.accounted_packets] / [flow_table.accounted_bytes]
+    counters, against which exported flow records reconcile. *)
+val account :
+  'a t -> Mbuf.t -> verdict:[ `Fwd | `Drop | `Absorb ] -> unit
 
 val set_binding : 'a t -> 'a record -> gate:int -> ?filter:Filter.t -> 'a -> unit
 val binding : 'a record -> gate:int -> 'a binding option

@@ -136,6 +136,44 @@ let show_faults router =
   in
   Ok (String.concat "\n" (header :: lines))
 
+let gate_name_of_int g =
+  match Gate.of_int g with Some g -> Gate.name g | None -> string_of_int g
+
+let trace_json () =
+  Rp_obs.Telemetry.to_chrome_json ~gate_name:gate_name_of_int ~mhz:Cost.cpu_mhz
+    ()
+
+(* Top-N flows by bytes: buffered export records plus the live entries
+   still sitting in the inline flow table, so the view covers both
+   finished and in-flight flows.  (Sharded workers' private tables are
+   domain-private and not read here; their records appear once
+   exported.) *)
+let flows_top router n =
+  let live = ref [] in
+  Flow_table.iter
+    (fun r ->
+      if r.Flow_table.packets > 0 then
+        live := Flow_export.record_of ~reason:"live" r :: !live)
+    (Aiu.flow_table (Router.aiu router));
+  let all = List.rev_append !live (Rp_obs.Flowlog.peek ()) in
+  let all =
+    List.sort
+      (fun (a : Rp_obs.Flowlog.record) b ->
+        compare (b.bytes, b.packets) (a.bytes, a.packets))
+      all
+  in
+  let top = List.filteri (fun i _ -> i < n) all in
+  let header =
+    Printf.sprintf "%-44s %8s %10s %6s %6s %6s  %s" "flow" "pkts" "bytes"
+      "fwd" "drop" "abs" "state"
+  in
+  let row (r : Rp_obs.Flowlog.record) =
+    Printf.sprintf "%-44s %8d %10d %6d %6d %6d  %s"
+      (Rp_obs.Flowlog.key_string r)
+      r.packets r.bytes r.forwarded r.dropped r.absorbed r.reason
+  in
+  Ok (String.concat "\n" (header :: List.map row top))
+
 (* Commands that change what the sharded engine's workers classify or
    route against: after one succeeds, an attached engine must
    republish its snapshot so the shards recompile.  [stats reset] and
@@ -283,6 +321,34 @@ let exec_tokens router tokens =
      | Some e -> Ok (Rp_engine.Engine.stats_string e)
      | None -> Ok "engine: none attached (inline data path)")
   | "engine" :: _ -> Error "usage: engine stats"
+  (* Hot-path event tracing (per-domain event rings). *)
+  | [ "trace"; "on" ] ->
+    Rp_obs.Telemetry.enable ~every:1;
+    Ok "tracing on (sampling 1-in-1)"
+  | [ "trace"; "on"; n ] ->
+    let* n = int_arg "sampling period" n in
+    if n < 1 then Error "trace on: expected a positive sampling period"
+    else begin
+      Rp_obs.Telemetry.enable ~every:n;
+      Ok (Printf.sprintf "tracing on (sampling 1-in-%d)" n)
+    end
+  | [ "trace"; "off" ] ->
+    Rp_obs.Telemetry.disable ();
+    Ok "tracing off"
+  | [ "trace"; "status" ] -> Ok (Rp_obs.Telemetry.status ())
+  | [ "trace"; "dump" ] -> Ok (trace_json ())
+  | [ "trace"; "dump"; path ] ->
+    Rp_obs.Telemetry.write_chrome_json ~gate_name:gate_name_of_int
+      ~mhz:Cost.cpu_mhz path;
+    Ok (Printf.sprintf "trace written to %s" path)
+  | "trace" :: _ -> Error "usage: trace on [N] | trace off | trace status | trace dump [FILE]"
+  (* NetFlow-style flow records. *)
+  | [ "flows"; "top" ] -> flows_top router 10
+  | [ "flows"; "top"; n ] ->
+    let* n = int_arg "count" n in
+    if n < 1 then Error "flows top: expected a positive count"
+    else flows_top router n
+  | "flows" :: _ -> Error "usage: flows top [N]"
   | cmd :: _ -> Error (Printf.sprintf "unknown command %S" cmd)
 
 let exec router line =

@@ -28,6 +28,12 @@
     fault budget <cycles>|off             per-invocation handler cycle budget
     fault threshold <n>                   consecutive faults before quarantine
     engine stats                          sharded-engine state, if one is attached
+    stats show|json [pattern]             metric registry snapshot
+    stats reset                           zero all counters/histograms
+    trace on [N]                          hot-path tracing, sampling 1-in-N (default 1)
+    trace off | trace status
+    trace dump [FILE]                     Chrome trace-event JSON (Perfetto-loadable)
+    flows top [N]                         top flows by bytes (live + exported records)
     v}
 
     When a {!Rp_engine.Engine.t} is attached to the router, every

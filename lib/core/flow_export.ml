@@ -1,0 +1,59 @@
+(* Bridge from the flow table's eviction hook to the obs flow-record
+   ring: renders the typed flow-table record (addresses, gate
+   bindings) into the string-keyed export form obs can hold without
+   depending on lib/pkt or the plugin types.
+
+   Installed on every AIU that carries live traffic — the router's own
+   (inline path) and each shard's domain-private one — so a record
+   leaving any flow table for any reason (recycled, expired, replaced,
+   removed, flushed) becomes one NetFlow-style export record.  Flows
+   that never carried an accounted packet (e.g. control-plane test
+   classifications) are skipped. *)
+
+open Rp_pkt
+
+let record_of ~reason (r : Plugin.t Rp_classifier.Flow_table.record) =
+  let key = r.Rp_classifier.Flow_table.key in
+  let bindings =
+    List.rev
+      (snd
+         (Array.fold_left
+            (fun (gate, acc) b ->
+              match b with
+              | None -> (gate + 1, acc)
+              | Some (b : Plugin.t Rp_classifier.Flow_table.binding) ->
+                let name =
+                  match Gate.of_int gate with
+                  | Some g -> Gate.name g
+                  | None -> string_of_int gate
+                in
+                ( gate + 1,
+                  (name,
+                   b.Rp_classifier.Flow_table.instance.Plugin.instance_id)
+                  :: acc ))
+            (0, []) r.Rp_classifier.Flow_table.bindings))
+  in
+  {
+    Rp_obs.Flowlog.src = Ipaddr.to_string key.Flow_key.src;
+    dst = Ipaddr.to_string key.Flow_key.dst;
+    proto = key.Flow_key.proto;
+    sport = key.Flow_key.sport;
+    dport = key.Flow_key.dport;
+    iface = key.Flow_key.iface;
+    packets = r.Rp_classifier.Flow_table.packets;
+    bytes = r.Rp_classifier.Flow_table.bytes;
+    forwarded = r.Rp_classifier.Flow_table.fwd;
+    dropped = r.Rp_classifier.Flow_table.dropped;
+    absorbed = r.Rp_classifier.Flow_table.absorbed;
+    created_ns = r.Rp_classifier.Flow_table.created_ns;
+    last_ns = r.Rp_classifier.Flow_table.last_use_ns;
+    bindings;
+    reason;
+  }
+
+let install (aiu : Plugin.t Rp_classifier.Aiu.t) =
+  Rp_classifier.Flow_table.set_exporter
+    (Rp_classifier.Aiu.flow_table aiu)
+    (fun ~reason r ->
+      if r.Rp_classifier.Flow_table.packets > 0 then
+        Rp_obs.Flowlog.emit (record_of ~reason r))

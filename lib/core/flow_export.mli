@@ -1,0 +1,19 @@
+(** NetFlow-style flow-record emission.
+
+    Installs {!Rp_obs.Flowlog} export on an AIU's flow table: every
+    in-use record leaving the table (recycled / expired / replaced /
+    removed / flushed) that carried at least one accounted packet is
+    rendered — 5-tuple, packet/byte and per-verdict totals, lifetime,
+    bound plugin instances per gate, eviction reason — and pushed onto
+    the export ring.  {!Router.create} installs it on the inline
+    path's AIU; each engine shard installs it on its domain-private
+    AIU. *)
+
+(** Install the exporter (replaces any previous one on this table). *)
+val install : Plugin.t Rp_classifier.Aiu.t -> unit
+
+(** The rendering itself, exposed for tests and custom sinks. *)
+val record_of :
+  reason:string ->
+  Plugin.t Rp_classifier.Flow_table.record ->
+  Rp_obs.Flowlog.record

@@ -91,3 +91,20 @@ let dispatch g = Meters.dispatch Meters.default g
 let cycles g = Meters.cycles Meters.default g
 let drops g = Meters.drops Meters.default g
 let faults g = Meters.faults Meters.default g
+
+(* Per-gate invocation-latency histograms (model cycles), fed by the
+   telemetry layer for sampled packets.  One process-wide set — the
+   histograms are multicore-safe, and per-shard quantiles would
+   multiply the dump eightfold for little insight; per-shard *counts*
+   remain available through each shard's Meters. *)
+let span_bounds = [| 50; 100; 150; 250; 500; 1_000; 2_500; 5_000; 10_000 |]
+
+let spans =
+  Array.of_list
+    (List.map
+       (fun g ->
+         Rp_obs.Registry.histogram ~bounds:span_bounds
+           ("telemetry.gate." ^ name g ^ ".cycles"))
+       all)
+
+let span g = spans.(to_int g)

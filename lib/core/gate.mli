@@ -62,3 +62,9 @@ val dispatch : t -> Rp_obs.Counter.t
 val cycles : t -> Rp_obs.Counter.t
 val drops : t -> Rp_obs.Counter.t
 val faults : t -> Rp_obs.Counter.t
+
+(** Per-gate invocation-latency histogram
+    ([telemetry.gate.<name>.cycles], model cycles), observed for
+    sampled packets when tracing is enabled; process-wide (shared by
+    the inline path and all shards). *)
+val span : t -> Rp_obs.Histogram.t

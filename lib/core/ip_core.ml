@@ -41,6 +41,9 @@ let classify_at router ~now ~gate m =
   if not had_fix then Cost.charge Cost.flow_hash;
   Cost.charge_mem accesses;
   Cost.charge Cost.gate_invoke;
+  if m.Mbuf.tseq <> 0 then
+    Rp_obs.Telemetry.record ~ts:(Cost.get ()) ~kind:Rp_obs.Telemetry.Classify
+      ~gate:(Gate.to_int gate) ~pkt:m.Mbuf.tseq ~arg:accesses;
   result
 
 let binding_of record ~gate =
@@ -51,9 +54,14 @@ let binding_of record ~gate =
    the PCU — which auto-quarantines past the consecutive-fault
    threshold — and convert it to the router's fault policy.  Nothing
    here charges the cost model. *)
-let contain_fault router ~gate inst (reason : Fault.reason) =
+let contain_fault router ~gate ~tseq inst (reason : Fault.reason) =
   Rp_obs.Counter.inc (Gate.faults gate);
   let id = inst.Plugin.instance_id in
+  (* Faults are rare and diagnostic gold: when tracing is on they are
+     recorded even for unsampled packets (pkt 0). *)
+  if Rp_obs.Telemetry.on () then
+    Rp_obs.Telemetry.record ~ts:(Cost.get ()) ~kind:Rp_obs.Telemetry.Fault
+      ~gate:(Gate.to_int gate) ~pkt:tseq ~arg:id;
   Logs.warn (fun m ->
       m "ip_core: contained fault of %a at gate %s: %s" Plugin.pp inst
         (Gate.name gate) (Fault.reason_to_string reason));
@@ -81,12 +89,13 @@ let run_handler router ~now ~gate inst binding m =
         try Ok (inst.Plugin.handle { Plugin.now_ns = now; binding } m)
         with e -> Error (Fault.Exn (Printexc.to_string e)))
   in
+  let tseq = m.Mbuf.tseq in
   match outcome with
-  | Error reason -> contain_fault router ~gate inst reason
+  | Error reason -> contain_fault router ~gate ~tseq inst reason
   | Ok action -> (
       match router.Router.cycle_budget with
       | Some budget when handler_cycles > budget ->
-        contain_fault router ~gate inst (Fault.Budget handler_cycles)
+        contain_fault router ~gate ~tseq inst (Fault.Budget handler_cycles)
       | _ ->
         Pcu.record_success router.Router.pcu inst.Plugin.instance_id;
         action)
@@ -97,19 +106,29 @@ let run_handler router ~now ~gate inst binding m =
    site meters identically.  The meters only observe the existing
    [Cost] / [Access] counters — nothing here charges the cost model,
    so Table-3 figures are untouched. *)
-let instrumented ~gate f =
+let instrumented ~gate ~tseq f =
   Rp_obs.Counter.inc (Gate.dispatch gate);
+  if tseq <> 0 then
+    Rp_obs.Telemetry.record ~ts:(Cost.get ())
+      ~kind:Rp_obs.Telemetry.Gate_enter ~gate:(Gate.to_int gate) ~pkt:tseq
+      ~arg:0;
   let (result, cycles), accesses =
     Rp_lpm.Access.measure (fun () -> Cost.measure f)
   in
   Rp_obs.Counter.add (Gate.cycles gate) cycles;
+  if tseq <> 0 then begin
+    Rp_obs.Telemetry.record ~ts:(Cost.get ())
+      ~kind:Rp_obs.Telemetry.Gate_exit ~gate:(Gate.to_int gate) ~pkt:tseq
+      ~arg:accesses;
+    Rp_obs.Histogram.observe (Gate.span gate) cycles
+  end;
   if !Rp_obs.Trace.enabled then
     Rp_obs.Trace.record ~name:("gate." ^ Gate.name gate) ~cycles ~accesses;
   result
 
 let invoke_gate router ~now ~gate m =
   let verdict =
-    instrumented ~gate (fun () ->
+    instrumented ~gate ~tseq:m.Mbuf.tseq (fun () ->
         match classify_at router ~now ~gate m with
         | None -> Plugin.Continue
         | Some (inst, record) ->
@@ -187,7 +206,7 @@ let queue_on router ifc ~now ~binding m =
       (match ifc.Iface.qdisc with
        | Some inst ->
          ignore
-           (contain_fault router ~gate:Gate.Scheduling inst
+           (contain_fault router ~gate:Gate.Scheduling ~tseq:m.Mbuf.tseq inst
               (Fault.Exn (Printexc.to_string e)))
        | None -> Rp_obs.Counter.inc (Gate.faults Gate.Scheduling));
       false
@@ -204,7 +223,7 @@ let rec enqueue router ~now m out =
   let ifc = Router.iface router out in
   let binding =
     if Router.gate_enabled router Gate.Scheduling then
-      instrumented ~gate:Gate.Scheduling (fun () ->
+      instrumented ~gate:Gate.Scheduling ~tseq:m.Mbuf.tseq (fun () ->
           match classify_at router ~now ~gate:Gate.Scheduling m with
           | Some (_inst, record) -> binding_of record ~gate:Gate.Scheduling
           | None -> None)
@@ -238,12 +257,45 @@ let rec enqueue router ~now m out =
 
 and process router ~now m =
   Rp_obs.Counter.inc m_packets;
+  (* Telemetry sampling decision, made once per packet on entry.
+     Self-generated packets (ICMP errors, echo replies) re-enter
+     [process] on fresh mbufs and get their own decision.  Nothing in
+     the telemetry path charges the cost model, so traced and
+     untraced runs report identical Table-3 cycles. *)
+  if Rp_obs.Telemetry.on () && m.Mbuf.tseq = 0 then
+    m.Mbuf.tseq <- Rp_obs.Telemetry.sample ();
+  let tseq = m.Mbuf.tseq in
+  let t0 = if tseq <> 0 then Cost.get () else 0 in
+  if tseq <> 0 then
+    Rp_obs.Telemetry.record ~ts:t0 ~kind:Rp_obs.Telemetry.Pkt_start ~gate:(-1)
+      ~pkt:tseq ~arg:m.Mbuf.len;
   let verdict = process_inner router ~now m in
   (match verdict with
    | Enqueued _ -> Rp_obs.Counter.inc m_forwarded
    | Delivered_local -> Rp_obs.Counter.inc m_delivered
    | Absorbed -> Rp_obs.Counter.inc m_absorbed
    | Dropped _ -> Rp_obs.Counter.inc m_dropped);
+  if tseq <> 0 then begin
+    let ts = Cost.get () in
+    (match verdict with
+     | Dropped _ ->
+       Rp_obs.Telemetry.record ~ts ~kind:Rp_obs.Telemetry.Drop ~gate:(-1)
+         ~pkt:tseq ~arg:0
+     | Enqueued _ | Delivered_local | Absorbed -> ());
+    Rp_obs.Telemetry.record ~ts ~kind:Rp_obs.Telemetry.Pkt_end ~gate:(-1)
+      ~pkt:tseq ~arg:0;
+    Rp_obs.Histogram.observe Rp_obs.Telemetry.packet_hist (ts - t0)
+  end;
+  (* Always-on NetFlow accounting: attribute the packet to its flow
+     record (if classification gave it a flow index) at verdict time. *)
+  Rp_classifier.Flow_table.account
+    (Rp_classifier.Aiu.flow_table (Router.aiu router))
+    m
+    ~verdict:
+      (match verdict with
+       | Enqueued _ -> `Fwd
+       | Dropped _ -> `Drop
+       | Delivered_local | Absorbed -> `Absorb);
   verdict
 
 and process_inner router ~now m =

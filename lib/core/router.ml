@@ -28,6 +28,7 @@ let create ?(name = "router") ?(mode = Plugins) ?(gates = Gate.all) ?engine
   (match quarantine_threshold with
    | Some n -> Pcu.set_quarantine_threshold pcu n
    | None -> ());
+  Flow_export.install (Pcu.aiu pcu);
   {
     name;
     mode;

@@ -336,6 +336,16 @@ let stats_string t =
     t.shard_tbl;
   Buffer.contents b
 
+(* Flush every flow cache the engine owns, exporting records to the
+   Flowlog ring: the router's own table (inline mode, or the control
+   path's classifications) plus each shard's private table.  Shard
+   tables are domain-private, so this must only run while the workers
+   are idle (drained) or stopped — e.g. right before/after [stop], or
+   after a [flush] returned with no backlog. *)
+let flush_flows t =
+  Rp_classifier.Aiu.flush_flows (Router.aiu t.router);
+  Array.iter Shard.flush_flows t.shard_tbl
+
 let stop t =
   if not t.stopped then begin
     t.stopped <- true;

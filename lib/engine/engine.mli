@@ -92,6 +92,13 @@ val shard_cycles : t -> int -> int
 (** Human-readable stats block (the [pmgr engine stats] payload). *)
 val stats_string : t -> string
 
+(** Flush every flow cache the engine owns (the router's table plus
+    each shard's private one), exporting the records to the
+    {!Rp_obs.Flowlog} ring.  Shard flow tables are domain-private:
+    only call this while the workers are idle ({!flush} returned with
+    no backlog) or after {!stop}. *)
+val flush_flows : t -> unit
+
 (** Stop the workers (joining their domains) and deregister the
     engine.  Idempotent.  Packets still in RX rings are dispatched
     before workers exit; call {!drain} afterwards to collect them. *)

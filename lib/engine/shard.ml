@@ -39,6 +39,7 @@ let add_cycles t n = ignore (Atomic.fetch_and_add t.cycles_acc n)
 
 let compile snap =
   let aiu = Rp_classifier.Aiu.create ~gates:Gate.count () in
+  Flow_export.install aiu;
   List.iter
     (fun (gate, filter, inst) -> Rp_classifier.Aiu.bind aiu ~gate filter inst)
     snap.Snapshot.bindings;
@@ -48,6 +49,9 @@ let compile snap =
 
 let apply t (snap : Snapshot.t) =
   let aiu, routes = compile snap in
+  (* Export the outgoing cache's flow records before dropping it, so a
+     recompile never loses NetFlow accounting. *)
+  Rp_classifier.Aiu.flush_flows t.aiu;
   t.aiu <- aiu;
   t.routes <- routes;
   t.gates <- snap.gates;
@@ -103,14 +107,20 @@ let classify_at t ~now ~gate m =
   if not had_fix then Cost.charge Cost.flow_hash;
   Cost.charge_mem accesses;
   Cost.charge Cost.gate_invoke;
+  if m.Mbuf.tseq <> 0 then
+    Rp_obs.Telemetry.record ~ts:(Cost.get ()) ~kind:Rp_obs.Telemetry.Classify
+      ~gate:(Gate.to_int gate) ~pkt:m.Mbuf.tseq ~arg:accesses;
   result
 
 (* Worker-side fault containment: count (shard meters and the global
    per-gate meters — counters are atomic) and record the event for the
    control domain; the PCU is never touched from here. *)
-let contain t ~gate inst (reason : Fault.reason) faults =
+let contain t ~gate ~tseq inst (reason : Fault.reason) faults =
   Rp_obs.Counter.inc (Gate.Meters.faults t.meters gate);
   Rp_obs.Counter.inc (Gate.faults gate);
+  if Rp_obs.Telemetry.on () then
+    Rp_obs.Telemetry.record ~ts:(Cost.get ()) ~kind:Rp_obs.Telemetry.Fault
+      ~gate:(Gate.to_int gate) ~pkt:tseq ~arg:inst.Plugin.instance_id;
   faults :=
     (inst.Plugin.instance_id, Fault.reason_to_string reason) :: !faults;
   match t.policy with
@@ -119,6 +129,11 @@ let contain t ~gate inst (reason : Fault.reason) faults =
 
 let invoke_gate t ~now ~gate m faults =
   Rp_obs.Counter.inc (Gate.Meters.dispatch t.meters gate);
+  let tseq = m.Mbuf.tseq in
+  if tseq <> 0 then
+    Rp_obs.Telemetry.record ~ts:(Cost.get ())
+      ~kind:Rp_obs.Telemetry.Gate_enter ~gate:(Gate.to_int gate) ~pkt:tseq
+      ~arg:0;
   let action, gate_cycles =
     Cost.measure (fun () ->
         match classify_at t ~now ~gate m with
@@ -134,14 +149,21 @@ let invoke_gate t ~now ~gate m faults =
                   with e -> Error (Fault.Exn (Printexc.to_string e)))
             in
             match outcome with
-            | Error reason -> contain t ~gate inst reason faults
+            | Error reason -> contain t ~gate ~tseq inst reason faults
             | Ok action -> (
                 match t.budget with
                 | Some budget when handler_cycles > budget ->
-                  contain t ~gate inst (Fault.Budget handler_cycles) faults
+                  contain t ~gate ~tseq inst (Fault.Budget handler_cycles)
+                    faults
                 | _ -> action)))
   in
   Rp_obs.Counter.add (Gate.Meters.cycles t.meters gate) gate_cycles;
+  if tseq <> 0 then begin
+    Rp_obs.Telemetry.record ~ts:(Cost.get ())
+      ~kind:Rp_obs.Telemetry.Gate_exit ~gate:(Gate.to_int gate) ~pkt:tseq
+      ~arg:0;
+    Rp_obs.Histogram.observe (Gate.span gate) gate_cycles
+  end;
   (match action with
    | Plugin.Drop _ -> Rp_obs.Counter.inc (Gate.Meters.drops t.meters gate)
    | Plugin.Continue | Plugin.Consumed -> ());
@@ -181,6 +203,15 @@ let route t ~now m faults =
 
 let dispatch t ~now m =
   Rp_obs.Counter.inc t.m_rx;
+  (* Mirror of the inline path's telemetry in [Ip_core.process]: each
+     worker samples its own packets and writes its own event ring. *)
+  if Rp_obs.Telemetry.on () && m.Mbuf.tseq = 0 then
+    m.Mbuf.tseq <- Rp_obs.Telemetry.sample ();
+  let tseq = m.Mbuf.tseq in
+  let t0 = if tseq <> 0 then Cost.get () else 0 in
+  if tseq <> 0 then
+    Rp_obs.Telemetry.record ~ts:t0 ~kind:Rp_obs.Telemetry.Pkt_start ~gate:(-1)
+      ~pkt:tseq ~arg:m.Mbuf.len;
   Cost.charge Cost.base_forward;
   let faults = ref [] in
   let outcome =
@@ -201,7 +232,28 @@ let dispatch t ~now m =
    | Forwarded _ -> Rp_obs.Counter.inc t.m_forwarded
    | Absorbed -> Rp_obs.Counter.inc t.m_absorbed
    | Dropped _ -> Rp_obs.Counter.inc t.m_dropped);
+  if tseq <> 0 then begin
+    let ts = Cost.get () in
+    (match outcome with
+     | Dropped _ ->
+       Rp_obs.Telemetry.record ~ts ~kind:Rp_obs.Telemetry.Drop ~gate:(-1)
+         ~pkt:tseq ~arg:0
+     | Forwarded _ | Absorbed -> ());
+    Rp_obs.Telemetry.record ~ts ~kind:Rp_obs.Telemetry.Pkt_end ~gate:(-1)
+      ~pkt:tseq ~arg:0;
+    Rp_obs.Histogram.observe Rp_obs.Telemetry.packet_hist (ts - t0)
+  end;
+  Rp_classifier.Flow_table.account
+    (Rp_classifier.Aiu.flow_table t.aiu)
+    m
+    ~verdict:
+      (match outcome with
+       | Forwarded _ -> `Fwd
+       | Dropped _ -> `Drop
+       | Absorbed -> `Absorb);
   { m; outcome; faults = List.rev !faults }
+
+let flush_flows t = Rp_classifier.Aiu.flush_flows t.aiu
 
 let flow_keys t =
   let keys = ref [] in

@@ -66,3 +66,8 @@ val add_cycles : t -> int -> unit
 (** Flow keys currently cached in this shard's private flow table
     (test introspection: cross-shard ownership checks). *)
 val flow_keys : t -> Flow_key.t list
+
+(** Flush the shard's private flow cache, exporting every record to
+    the {!Rp_obs.Flowlog} ring.  Only safe while the shard's worker is
+    idle or stopped (the flow table is domain-private). *)
+val flush_flows : t -> unit

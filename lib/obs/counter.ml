@@ -17,4 +17,12 @@ let add t n = ignore (Atomic.fetch_and_add (cell t) n)
 
 let get t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.cells
 
-let reset t = Array.iter (fun c -> Atomic.set c 0) t.cells
+(* Read-and-zero each stripe atomically (exchange, not read-then-set):
+   an increment racing the swap either lands before the exchange and
+   is included in the returned total, or lands after and survives into
+   the next epoch — it is never lost, which is what makes a concurrent
+   [get]/dump see a consistent (never partially-reset) value. *)
+let swap t =
+  Array.fold_left (fun acc c -> acc + Atomic.exchange c 0) 0 t.cells
+
+let reset t = ignore (swap t)

@@ -23,6 +23,12 @@ val inc : t -> unit
 val add : t -> int -> unit
 val get : t -> int
 
-(** Reset to zero — control-path only (e.g. [pmgr stats reset]); a
-    reset racing live increments may drop in-flight ones. *)
+(** Atomically read-and-zero every stripe ([Atomic.exchange], not a
+    read followed by a store) and return the removed total.  An
+    increment racing the swap is either included in the returned total
+    or survives into the next epoch — never lost — so resets are safe
+    against concurrent [get]s and live data-path increments. *)
+val swap : t -> int
+
+(** [reset t] is [ignore (swap t)]. *)
 val reset : t -> unit

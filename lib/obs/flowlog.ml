@@ -1,0 +1,120 @@
+(* NetFlow-style flow-record export ring.
+
+   Flow records are emitted by the classifier when the flow table
+   evicts an entry (recycled, expired, replaced, removed, flushed) and
+   buffered here until a consumer drains them to a flow log or a
+   [pmgr flows top] view.  Emission happens on the data path (an
+   insert can recycle), but eviction is rare relative to packets, so a
+   mutex-guarded ring is cheap enough and keeps multi-domain emitters
+   (sharded engine workers own private flow tables) trivially safe.
+
+   Addresses are pre-rendered strings: obs cannot depend on lib/pkt,
+   and records are export-bound anyway. *)
+
+type record = {
+  src : string;
+  dst : string;
+  proto : int;
+  sport : int;
+  dport : int;
+  iface : int;
+  packets : int;
+  bytes : int;
+  forwarded : int;
+  dropped : int;
+  absorbed : int;
+  created_ns : int64;
+  last_ns : int64;
+  bindings : (string * int) list;
+  reason : string;
+}
+
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let default_capacity = 4096
+let buf : record option array ref = ref (Array.make default_capacity None)
+let head = ref 0 (* total records ever emitted *)
+
+let m_records = Registry.counter "telemetry.flow.records"
+let m_overwritten = Registry.counter "telemetry.flow.ring_overwrites"
+
+let emit r =
+  locked (fun () ->
+      let cap = Array.length !buf in
+      if !head >= cap && !buf.(!head mod cap) <> None then
+        Counter.inc m_overwritten;
+      !buf.(!head mod cap) <- Some r;
+      incr head;
+      Counter.inc m_records)
+
+let retained_unlocked () =
+  let cap = Array.length !buf in
+  let n = min !head cap in
+  let first = !head - n in
+  List.filter_map
+    (fun k -> !buf.((first + k) mod cap))
+    (List.init n (fun k -> k))
+
+let peek () = locked retained_unlocked
+
+let drain () =
+  locked (fun () ->
+      let out = retained_unlocked () in
+      Array.fill !buf 0 (Array.length !buf) None;
+      head := 0;
+      out)
+
+let clear () = ignore (drain ())
+
+let set_capacity cap =
+  if cap <= 0 then invalid_arg "Flowlog.set_capacity";
+  locked (fun () ->
+      buf := Array.make cap None;
+      head := 0)
+
+let capacity () = locked (fun () -> Array.length !buf)
+let emitted () = Counter.get m_records
+let overwritten () = Counter.get m_overwritten
+
+let duration_ns r = Int64.max 0L (Int64.sub r.last_ns r.created_ns)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* One JSON object per line (JSON-lines), so flow logs append and
+   stream without a closing bracket. *)
+let to_json_line r =
+  let bindings =
+    String.concat ","
+      (List.map
+         (fun (gate, inst) ->
+           Printf.sprintf "{\"gate\":\"%s\",\"instance\":%d}"
+             (json_escape gate) inst)
+         r.bindings)
+  in
+  Printf.sprintf
+    "{\"src\":\"%s\",\"dst\":\"%s\",\"proto\":%d,\"sport\":%d,\"dport\":%d,\
+     \"iface\":%d,\"packets\":%d,\"bytes\":%d,\"forwarded\":%d,\"dropped\":%d,\
+     \"absorbed\":%d,\"duration_ns\":%Ld,\"bindings\":[%s],\"reason\":\"%s\"}"
+    (json_escape r.src) (json_escape r.dst) r.proto r.sport r.dport r.iface
+    r.packets r.bytes r.forwarded r.dropped r.absorbed (duration_ns r)
+    bindings (json_escape r.reason)
+
+let key_string r =
+  Printf.sprintf "%s:%d -> %s:%d proto=%d if=%d" r.src r.sport r.dst r.dport
+    r.proto r.iface

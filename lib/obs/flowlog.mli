@@ -1,0 +1,58 @@
+(** NetFlow-style flow-record export ring.
+
+    The classifier emits a {!record} when the flow table evicts an
+    entry (recycled / expired / replaced / removed / flushed); records
+    buffer here — a mutex-guarded overwrite-oldest ring, safe for
+    multi-domain emitters — until a consumer drains them to a flow log
+    ([rp_router --flow-log]) or renders a [pmgr flows top] view.
+    Addresses arrive pre-rendered as strings so obs stays free of
+    lib/pkt dependencies. *)
+
+type record = {
+  src : string;
+  dst : string;
+  proto : int;
+  sport : int;
+  dport : int;
+  iface : int;
+  packets : int;
+  bytes : int;
+  forwarded : int;  (** packets that left on an egress interface *)
+  dropped : int;
+  absorbed : int;  (** delivered locally or absorbed by a plugin *)
+  created_ns : int64;
+  last_ns : int64;
+  bindings : (string * int) list;  (** (gate name, plugin instance id) *)
+  reason : string;  (** why the entry left the table *)
+}
+
+(** Append a record, overwriting the oldest when full (counted in
+    [telemetry.flow.ring_overwrites]). *)
+val emit : record -> unit
+
+(** Retained records oldest-first, leaving them buffered. *)
+val peek : unit -> record list
+
+(** Retained records oldest-first, emptying the ring. *)
+val drain : unit -> record list
+
+val clear : unit -> unit
+
+(** Replace the ring (control path only); raises on [cap <= 0]. *)
+val set_capacity : int -> unit
+
+val capacity : unit -> int
+
+(** Total records ever emitted ([telemetry.flow.records]). *)
+val emitted : unit -> int
+
+(** Records lost to ring overwrite. *)
+val overwritten : unit -> int
+
+val duration_ns : record -> int64
+
+(** One JSON object (single line, JSON-lines framing) per record. *)
+val to_json_line : record -> string
+
+(** ["src:sport -> dst:dport proto=p if=i"] display key. *)
+val key_string : record -> string

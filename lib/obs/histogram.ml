@@ -47,6 +47,39 @@ let observe t v =
 
 let total t = Atomic.get t.total
 let sum t = Atomic.get t.sum
+
+(* Quantile by linear interpolation *within* the containing bucket.
+   Returning a bucket's upper bound would overstate the quantile by up
+   to one bucket width; instead the rank's position inside the bucket
+   is mapped linearly onto the bucket's value range [lo, hi).  The
+   first bucket's lower edge is 0; the overflow bucket has no upper
+   edge, so ranks landing there report the last finite bound (a
+   conservative lower bound on the true value). *)
+let quantile t q =
+  let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+  let counts = Array.map Atomic.get t.counts in
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then 0.0
+  else begin
+    let n = Array.length t.bounds in
+    let target = q *. float_of_int total in
+    let rec go i acc =
+      if i >= n then float_of_int t.bounds.(n - 1)
+      else begin
+        let c = counts.(i) in
+        let acc' = acc + c in
+        if c > 0 && float_of_int acc' >= target then begin
+          let lo = if i = 0 then 0.0 else float_of_int t.bounds.(i - 1) in
+          let hi = float_of_int t.bounds.(i) in
+          let frac = (target -. float_of_int acc) /. float_of_int c in
+          let frac = if frac < 0.0 then 0.0 else frac in
+          lo +. ((hi -. lo) *. frac)
+        end
+        else go (i + 1) acc'
+      end
+    in
+    go 0 0
+  end
 let bounds t = Array.copy t.bounds
 let counts t = Array.map Atomic.get t.counts
 

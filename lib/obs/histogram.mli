@@ -29,6 +29,14 @@ val total : t -> int
 (** Sum of observed values. *)
 val sum : t -> int
 
+(** [quantile t q] estimates the [q]-quantile ([q] clamped to [0,1])
+    by linear interpolation within the containing bucket: the rank's
+    position inside the bucket maps linearly onto the bucket's value
+    range, the first bucket's lower edge being 0.  Ranks landing in
+    the overflow bucket report the last finite bound (a conservative
+    lower bound).  Returns 0.0 for an empty histogram. *)
+val quantile : t -> float -> float
+
 val bounds : t -> int array
 
 (** Per-bucket counts; length is [Array.length (bounds t) + 1], the

@@ -57,15 +57,16 @@ let matches pattern name =
     let rec at i = i + np <= nn && (String.sub name i np = p || at (i + 1)) in
     np = 0 || at 0
 
-let names ?pattern () =
-  locked (fun () ->
-      Hashtbl.fold
-        (fun n _ acc -> if matches pattern n then n :: acc else acc)
-        tbl [])
+let names_unlocked ?pattern () =
+  Hashtbl.fold
+    (fun n _ acc -> if matches pattern n then n :: acc else acc)
+    tbl []
   |> List.sort String.compare
 
-let sources ?pattern () =
-  List.filter_map (fun n -> find n) (names ?pattern ())
+let sources_unlocked ?pattern () =
+  List.filter_map (fun n -> Hashtbl.find_opt tbl n) (names_unlocked ?pattern ())
+
+let names ?pattern () = locked (fun () -> names_unlocked ?pattern ())
 
 let reset () =
   locked (fun () ->
@@ -86,31 +87,40 @@ let float_str v =
   else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%g" v
 
+(* Dumps render while HOLDING the registry lock: [reset] takes the
+   same lock, so a dump never interleaves with a reset half-way
+   through the table and reports some metrics zeroed and others not.
+   (Individual counter reads racing data-path increments remain
+   momentary snapshots — that is fine; partially-applied *resets* were
+   the bug.)  Gauge callbacks therefore must not call back into the
+   registry. *)
 let dump ?pattern () =
-  let b = Buffer.create 1024 in
-  List.iter
-    (fun s ->
-      match s with
-      | Counter c -> Buffer.add_string b
-          (Printf.sprintf "%s %d\n" (Counter.name c) (Counter.get c))
-      | Gauge g -> Buffer.add_string b
-          (Printf.sprintf "%s %s\n" (Gauge.name g) (float_str (Gauge.read g)))
-      | Histogram h ->
-        Buffer.add_string b
-          (Printf.sprintf "%s count=%d sum=%d" (Histogram.name h)
-             (Histogram.total h) (Histogram.sum h));
-        let bounds = Histogram.bounds h and counts = Histogram.counts h in
-        Array.iteri
-          (fun i c ->
-            let label =
-              if i < Array.length bounds then string_of_int bounds.(i)
-              else "+inf"
-            in
-            Buffer.add_string b (Printf.sprintf " le%s=%d" label c))
-          counts;
-        Buffer.add_char b '\n')
-    (sources ?pattern ());
-  Buffer.contents b
+  locked (fun () ->
+      let b = Buffer.create 1024 in
+      List.iter
+        (fun s ->
+          match s with
+          | Counter c -> Buffer.add_string b
+              (Printf.sprintf "%s %d\n" (Counter.name c) (Counter.get c))
+          | Gauge g -> Buffer.add_string b
+              (Printf.sprintf "%s %s\n" (Gauge.name g)
+                 (float_str (Gauge.read g)))
+          | Histogram h ->
+            Buffer.add_string b
+              (Printf.sprintf "%s count=%d sum=%d" (Histogram.name h)
+                 (Histogram.total h) (Histogram.sum h));
+            let bounds = Histogram.bounds h and counts = Histogram.counts h in
+            Array.iteri
+              (fun i c ->
+                let label =
+                  if i < Array.length bounds then string_of_int bounds.(i)
+                  else "+inf"
+                in
+                Buffer.add_string b (Printf.sprintf " le%s=%d" label c))
+              counts;
+            Buffer.add_char b '\n')
+        (sources_unlocked ?pattern ());
+      Buffer.contents b)
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -126,44 +136,59 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* Integer version for downstream consumers to switch on; the
+   human-readable "schema" string stays in step.  v2 added
+   [schema_version] itself and histogram p50/p90/p99 quantiles. *)
+let schema_version = 2
+
 (* One metric per line, keys sorted: dumps diff cleanly and simple
    line-oriented tools (the CI bench gate) can extract values without
-   a JSON parser. *)
+   a JSON parser.  Rendered under the registry lock — see [dump]. *)
 let dump_json ?pattern () =
-  let b = Buffer.create 4096 in
-  Buffer.add_string b "{\n  \"schema\": \"rp-metrics/1\",\n  \"metrics\": {\n";
-  let srcs = sources ?pattern () in
-  let n = List.length srcs in
-  List.iteri
-    (fun i s ->
-      let key name = Printf.sprintf "    \"%s\": " (json_escape name) in
-      (match s with
-       | Counter c ->
-         Buffer.add_string b (key (Counter.name c));
-         Buffer.add_string b (string_of_int (Counter.get c))
-       | Gauge g ->
-         Buffer.add_string b (key (Gauge.name g));
-         Buffer.add_string b (float_str (Gauge.read g))
-       | Histogram h ->
-         Buffer.add_string b (key (Histogram.name h));
-         Buffer.add_string b
-           (Printf.sprintf "{\"count\": %d, \"sum\": %d, \"buckets\": {"
-              (Histogram.total h) (Histogram.sum h));
-         let bounds = Histogram.bounds h and counts = Histogram.counts h in
-         Array.iteri
-           (fun j c ->
-             let label =
-               if j < Array.length bounds then string_of_int bounds.(j)
-               else "+inf"
-             in
-             if j > 0 then Buffer.add_string b ", ";
-             Buffer.add_string b (Printf.sprintf "\"%s\": %d" label c))
-           counts;
-         Buffer.add_string b "}}");
-      Buffer.add_string b (if i < n - 1 then ",\n" else "\n"))
-    srcs;
-  Buffer.add_string b "  }\n}\n";
-  Buffer.contents b
+  locked (fun () ->
+      let b = Buffer.create 4096 in
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\n  \"schema\": \"rp-metrics/%d\",\n  \"schema_version\": %d,\n\
+           \  \"metrics\": {\n"
+           schema_version schema_version);
+      let srcs = sources_unlocked ?pattern () in
+      let n = List.length srcs in
+      List.iteri
+        (fun i s ->
+          let key name = Printf.sprintf "    \"%s\": " (json_escape name) in
+          (match s with
+           | Counter c ->
+             Buffer.add_string b (key (Counter.name c));
+             Buffer.add_string b (string_of_int (Counter.get c))
+           | Gauge g ->
+             Buffer.add_string b (key (Gauge.name g));
+             Buffer.add_string b (float_str (Gauge.read g))
+           | Histogram h ->
+             Buffer.add_string b (key (Histogram.name h));
+             Buffer.add_string b
+               (Printf.sprintf
+                  "{\"count\": %d, \"sum\": %d, \"p50\": %s, \"p90\": %s, \
+                   \"p99\": %s, \"buckets\": {"
+                  (Histogram.total h) (Histogram.sum h)
+                  (float_str (Histogram.quantile h 0.50))
+                  (float_str (Histogram.quantile h 0.90))
+                  (float_str (Histogram.quantile h 0.99)));
+             let bounds = Histogram.bounds h and counts = Histogram.counts h in
+             Array.iteri
+               (fun j c ->
+                 let label =
+                   if j < Array.length bounds then string_of_int bounds.(j)
+                   else "+inf"
+                 in
+                 if j > 0 then Buffer.add_string b ", ";
+                 Buffer.add_string b (Printf.sprintf "\"%s\": %d" label c))
+               counts;
+             Buffer.add_string b "}}");
+          Buffer.add_string b (if i < n - 1 then ",\n" else "\n"))
+        srcs;
+      Buffer.add_string b "  }\n}\n";
+      Buffer.contents b)
 
 let write_json ?pattern path =
   let oc = open_out path in

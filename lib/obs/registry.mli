@@ -38,14 +38,26 @@ val remove : string -> unit
     sorted. *)
 val names : ?pattern:string -> unit -> string list
 
-(** Reset all counters and histograms; gauges are left alone. *)
+(** Reset all counters and histograms; gauges are left alone.  Runs
+    under the registry lock, and counter resets swap stripes
+    atomically, so a concurrent {!dump} never observes a
+    partially-reset registry. *)
 val reset : unit -> unit
 
-(** Text snapshot: one ["name value"] line per metric, sorted. *)
+(** The integer schema version emitted in {!dump_json} (and mirrored
+    in the ["rp-metrics/<n>"] schema string).  Bump on any change a
+    line-oriented consumer could notice. *)
+val schema_version : int
+
+(** Text snapshot: one ["name value"] line per metric, sorted.
+    Rendered under the registry lock (serialized against {!reset});
+    gauge callbacks must not call back into the registry. *)
 val dump : ?pattern:string -> unit -> string
 
-(** JSON snapshot, schema [rp-metrics/1]: sorted keys, one metric per
-    line (greppable by the CI bench gate without a JSON parser). *)
+(** JSON snapshot, schema [rp-metrics/2]: a ["schema_version"] field,
+    then sorted keys one metric per line (greppable by the CI bench
+    gate without a JSON parser); histograms include p50/p90/p99 from
+    {!Histogram.quantile}.  Rendered under the registry lock. *)
 val dump_json : ?pattern:string -> unit -> string
 
 (** [write_json path] writes {!dump_json} to [path]. *)

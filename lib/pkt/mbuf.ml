@@ -28,6 +28,7 @@ type t = {
   mutable ident : int;
   mutable dont_fragment : bool;
   mutable frag : frag_info option;
+  mutable tseq : int;
 }
 
 let synth ?(ttl = 64) ?(tos = 0) ?(flow_label = 0) ~key ~len () =
@@ -49,6 +50,7 @@ let synth ?(ttl = 64) ?(tos = 0) ?(flow_label = 0) ~key ~len () =
     ident = 0;
     dont_fragment = false;
     frag = None;
+    tseq = 0;
   }
 
 type error =
@@ -114,6 +116,7 @@ let of_bytes ~iface buf =
                    offset = h.Ipv4_header.fragment_offset * 8;
                    more = h.Ipv4_header.more_fragments;
                  });
+          tseq = 0;
         }
     else if version = 6 then
       let* h = Result.map_error (fun e -> V6_error e) (Ipv6_header.parse buf 0) in
@@ -164,6 +167,7 @@ let of_bytes ~iface buf =
           ident = 0;
           dont_fragment = true;  (* routers never fragment IPv6 *)
           frag = None;
+          tseq = 0;
         }
     else Error (V4_error (Ipv4_header.Bad_version version))
 

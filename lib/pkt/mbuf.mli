@@ -44,6 +44,9 @@ type t = {
   mutable ident : int;  (** IPv4 identification, for fragmentation *)
   mutable dont_fragment : bool;
   mutable frag : frag_info option;
+  mutable tseq : int;
+      (** telemetry trace id: 0 = unsampled, else the positive packet
+          id stamped by the IP core when tracing samples this packet *)
 }
 
 (** [synth ~key ~len ()] builds a descriptor without wire bytes — the

@@ -365,6 +365,57 @@ let test_counter_consistency () =
     (counter_get "engine.drained" - drained0);
   Engine.stop e
 
+(* --- telemetry on worker domains -------------------------------------- *)
+
+(* Workers write their own event rings and account flows in their
+   domain-private tables; after stop + flush_flows, the exported flow
+   records must cover every dispatched packet and the trace must be
+   loadable JSON with per-gate spans. *)
+let test_sharded_telemetry () =
+  let r = mk_router () in
+  Rp_obs.Flowlog.clear ();
+  Rp_obs.Telemetry.enable ~every:1;
+  let acc0 = counter_get "flow_table.accounted_packets" in
+  let e = Engine.create (Sharded 2) r in
+  let flows = 16 and per_flow = 5 in
+  for f = 0 to flows - 1 do
+    for _ = 1 to per_flow do
+      while not (Engine.submit e ~now:0L (mk_pkt ~sport:(9100 + f) ())) do
+        ignore (Engine.drain e ~f:(fun _ -> ()))
+      done
+    done
+  done;
+  ignore (Engine.flush e ~f:(fun _ -> ()));
+  Rp_obs.Telemetry.disable ();
+  Engine.stop e;
+  Engine.flush_flows e;
+  let records = Rp_obs.Flowlog.drain () in
+  let pkts =
+    List.fold_left (fun a fr -> a + fr.Rp_obs.Flowlog.packets) 0 records
+  in
+  check int_t "flow records cover every dispatched packet"
+    (flows * per_flow) pkts;
+  check int_t "and agree with the accounting counter" pkts
+    (counter_get "flow_table.accounted_packets" - acc0);
+  check bool_t "worker rings recorded events" true
+    (Rp_obs.Telemetry.recorded () > 0);
+  let json =
+    Rp_obs.Telemetry.to_chrome_json ~gate_name:(fun g ->
+        match Gate.of_int g with Some g -> Gate.name g | None -> "?")
+      ()
+  in
+  let contains ~needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec at i =
+      i + nl <= hl && (String.sub hay i nl = needle || at (i + 1))
+    in
+    at 0
+  in
+  check bool_t "trace has per-gate complete spans" true
+    (contains ~needle:"\"name\":\"gate.ip-options\"" json
+    && contains ~needle:"\"ph\":\"X\"" json);
+  Rp_obs.Telemetry.clear ()
+
 let () =
   Alcotest.run "engine"
     [
@@ -384,6 +435,8 @@ let () =
             test_flows_stay_on_owning_shard;
           Alcotest.test_case "counter consistency" `Quick
             test_counter_consistency;
+          Alcotest.test_case "worker telemetry and flow export" `Quick
+            test_sharded_telemetry;
         ] );
       ( "publication",
         [

@@ -51,6 +51,38 @@ let test_counter_concurrent () =
   check int_t "no increment lost across 3 domains" (3 * per_domain)
     (Counter.get c)
 
+(* The reset/read race fix: [swap] drains stripes with atomic
+   exchanges, so increments racing with a concurrent reset are either
+   returned by some swap or still in the counter — never lost. *)
+let test_counter_swap_conserves =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:5
+       ~name:"swap conserves increments racing with reset"
+       QCheck2.Gen.(int_range 1_000 30_000)
+       (fun per_domain ->
+         let c = Counter.make "t.swap" in
+         let stop = Atomic.make false in
+         let swapped = Atomic.make 0 in
+         let swapper =
+           Domain.spawn (fun () ->
+               while not (Atomic.get stop) do
+                 let n = Counter.swap c in
+                 ignore (Atomic.fetch_and_add swapped n)
+               done)
+         in
+         let bump () =
+           for _ = 1 to per_domain do
+             Counter.inc c
+           done
+         in
+         let d1 = Domain.spawn bump and d2 = Domain.spawn bump in
+         bump ();
+         Domain.join d1;
+         Domain.join d2;
+         Atomic.set stop true;
+         Domain.join swapper;
+         Atomic.get swapped + Counter.swap c = 3 * per_domain))
+
 (* --- Histogram ------------------------------------------------------- *)
 
 let test_histogram_bucketing () =
@@ -67,6 +99,52 @@ let test_histogram_bucketing () =
   Histogram.reset h;
   check int_t "reset total" 0 (Histogram.total h);
   check int_t "reset sum" 0 (Histogram.sum h)
+
+let float_t = Alcotest.float 1e-9
+
+let test_histogram_quantile_uniform () =
+  (* 1..100 over equal-width buckets: linear interpolation within the
+     containing bucket recovers the exact percentile. *)
+  let h = Histogram.make "t.q.uniform" ~bounds:[| 25; 50; 75; 100 |] in
+  for v = 1 to 100 do
+    Histogram.observe h v
+  done;
+  let q p = Histogram.quantile h p in
+  check float_t "p50" 50.0 (q 0.50);
+  check float_t "p90" 90.0 (q 0.90);
+  check float_t "p99" 99.0 (q 0.99);
+  check float_t "p0 is the first bucket's floor" 0.0 (q 0.0);
+  check float_t "p100" 100.0 (q 1.0);
+  check float_t "q clamped above 1" 100.0 (q 7.0);
+  check float_t "q clamped below 0" 0.0 (q (-1.0))
+
+let test_histogram_quantile_edges () =
+  let h = Histogram.make "t.q.single" ~bounds:[| 100 |] in
+  check float_t "empty histogram" 0.0 (Histogram.quantile h 0.5);
+  for _ = 1 to 10 do
+    Histogram.observe h 40
+  done;
+  check float_t "single bucket interpolates over [0, bound]" 50.0
+    (Histogram.quantile h 0.5);
+  let o = Histogram.make "t.q.over" ~bounds:[| 10 |] in
+  for _ = 1 to 4 do
+    Histogram.observe o 20
+  done;
+  check float_t "overflow bucket pins to the last finite bound" 10.0
+    (Histogram.quantile o 0.5);
+  (* Skewed distribution: quantile lands in the right bucket. *)
+  let s = Histogram.make "t.q.skew" ~bounds:[| 10; 20; 40 |] in
+  for _ = 1 to 90 do
+    Histogram.observe s 5
+  done;
+  for _ = 1 to 10 do
+    Histogram.observe s 30
+  done;
+  (* p50: target 50 of 90 in [0,10] -> 10 * 50/90. *)
+  check float_t "p50 in the heavy bucket" (10.0 *. 50.0 /. 90.0)
+    (Histogram.quantile s 0.50);
+  (* p95: target 95, 5 of the 10 in (20,40] -> 20 + 20 * 5/10. *)
+  check float_t "p95 in the tail bucket" 30.0 (Histogram.quantile s 0.95)
 
 let test_histogram_bad_bounds () =
   let raises bounds =
@@ -132,8 +210,9 @@ let test_registry_reset () =
    | _ -> Alcotest.fail "gauge lost");
   List.iter Registry.remove [ "t.rst.c"; "t.rst.h"; "t.rst.g" ]
 
-(* A minimal JSON syntax checker, enough to validate the emitter's
-   output without an external parser: objects, strings, and numbers. *)
+(* A minimal JSON syntax checker, enough to validate the emitters'
+   output without an external parser: objects, arrays, strings, and
+   numbers. *)
 let json_valid s =
   let n = String.length s in
   let pos = ref 0 in
@@ -152,9 +231,27 @@ let json_valid s =
     skip_ws ();
     match peek () with
     | Some '{' -> obj ()
+    | Some '[' -> arr ()
     | Some '"' -> string ()
     | Some ('-' | '0' .. '9') -> number ()
     | _ -> failwith "bad value"
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then incr pos
+    else begin
+      let rec elems () =
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          incr pos;
+          elems ()
+        | Some ']' -> incr pos
+        | _ -> failwith "bad array"
+      in
+      elems ()
+    end
   and obj () =
     expect '{';
     skip_ws ();
@@ -233,6 +330,170 @@ let test_trace_ring () =
   Trace.clear ();
   check int_t "clear" 0 (Trace.recorded ())
 
+(* --- Telemetry (event rings) ----------------------------------------- *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+  at 0
+
+let test_telemetry_sampling () =
+  Telemetry.enable ~every:3;
+  check bool_t "on" true (Telemetry.on ());
+  check int_t "period" 3 (Telemetry.sample_every ());
+  let ids = List.init 9 (fun _ -> Telemetry.sample ()) in
+  let sampled = List.filter (fun i -> i <> 0) ids in
+  check int_t "1-in-3 samples 3 of 9" 3 (List.length sampled);
+  check bool_t "ids positive and distinct" true
+    (List.for_all (fun i -> i > 0) sampled
+    && List.sort_uniq compare sampled = List.sort compare sampled);
+  Telemetry.disable ();
+  check bool_t "off" false (Telemetry.on ());
+  check int_t "off samples nothing" 0 (Telemetry.sample ())
+
+let test_telemetry_ring_overwrite () =
+  Telemetry.set_capacity 4;
+  Telemetry.enable ~every:1;
+  for i = 1 to 6 do
+    Telemetry.record ~ts:(100 + i) ~kind:Telemetry.Classify ~gate:0 ~pkt:i
+      ~arg:0
+  done;
+  let evs = Telemetry.events () in
+  check int_t "capacity bounds the ring" 4 (List.length evs);
+  check bool_t "overwrite-oldest keeps the newest, in order" true
+    (List.map (fun e -> e.Telemetry.pkt) evs = [ 3; 4; 5; 6 ]);
+  check int_t "recorded counts everything" 6 (Telemetry.recorded ());
+  check int_t "overwritten counted" 2 (Telemetry.overwritten ());
+  Telemetry.disable ();
+  Telemetry.set_capacity 4096
+
+let test_telemetry_chrome_json () =
+  Telemetry.enable ~every:1;
+  check bool_t "empty dump is valid JSON" true
+    (json_valid (Telemetry.to_chrome_json ()));
+  let pkt = Telemetry.sample () in
+  Telemetry.record ~ts:100 ~kind:Telemetry.Pkt_start ~gate:(-1) ~pkt ~arg:64;
+  Telemetry.record ~ts:110 ~kind:Telemetry.Gate_enter ~gate:2 ~pkt ~arg:0;
+  Telemetry.record ~ts:150 ~kind:Telemetry.Classify ~gate:2 ~pkt ~arg:7;
+  Telemetry.record ~ts:180 ~kind:Telemetry.Gate_exit ~gate:2 ~pkt ~arg:7;
+  Telemetry.record ~ts:300 ~kind:Telemetry.Pkt_end ~gate:(-1) ~pkt ~arg:0;
+  let json = Telemetry.to_chrome_json ~gate_name:(fun _ -> "firewall") () in
+  Telemetry.disable ();
+  check bool_t "dump is valid JSON" true (json_valid json);
+  check bool_t "has a traceEvents array" true
+    (contains ~needle:"\"traceEvents\":[" json);
+  check bool_t "gate span is a complete event" true
+    (contains ~needle:"\"name\":\"gate.firewall\",\"cat\":\"gate\",\"ph\":\"X\""
+       json);
+  check bool_t "packet span is a complete event" true
+    (contains ~needle:"\"name\":\"packet\",\"cat\":\"packet\",\"ph\":\"X\"" json);
+  check bool_t "classify is an instant event" true
+    (contains ~needle:"\"name\":\"classify\",\"cat\":\"classify\",\"ph\":\"i\""
+       json);
+  Telemetry.clear ()
+
+(* --- Flowlog (NetFlow-style export ring) ------------------------------ *)
+
+let mk_flow_rec ?(packets = 5) ?(bytes = 500) i =
+  {
+    Flowlog.src = Printf.sprintf "10.0.0.%d" i;
+    dst = "192.168.1.1";
+    proto = 17;
+    sport = 1000 + i;
+    dport = 53;
+    iface = 0;
+    packets;
+    bytes;
+    forwarded = packets;
+    dropped = 0;
+    absorbed = 0;
+    created_ns = 0L;
+    last_ns = 1_000_000L;
+    bindings = [ ("firewall", 1) ];
+    reason = "expired";
+  }
+
+let test_flowlog_ring () =
+  Flowlog.set_capacity 2;
+  List.iter Flowlog.emit [ mk_flow_rec 1; mk_flow_rec 2; mk_flow_rec 3 ];
+  let got = Flowlog.peek () in
+  check int_t "capacity bounds the ring" 2 (List.length got);
+  check bool_t "overwrite-oldest keeps the newest, in order" true
+    (List.map (fun r -> r.Flowlog.sport) got = [ 1002; 1003 ]);
+  check int_t "peek leaves records buffered" 2 (List.length (Flowlog.peek ()));
+  check int_t "drain empties the ring" 2 (List.length (Flowlog.drain ()));
+  check int_t "empty after drain" 0 (List.length (Flowlog.peek ()));
+  Flowlog.set_capacity 4096
+
+let test_flowlog_json () =
+  let r = mk_flow_rec 1 in
+  check bool_t "JSON line is valid" true (json_valid (Flowlog.to_json_line r));
+  check bool_t "JSON line carries the 5-tuple and bindings" true
+    (contains ~needle:"\"src\":\"10.0.0.1\"" (Flowlog.to_json_line r)
+    && contains ~needle:"{\"gate\":\"firewall\",\"instance\":1}"
+         (Flowlog.to_json_line r));
+  check string_t "display key" "10.0.0.1:1001 -> 192.168.1.1:53 proto=17 if=0"
+    (Flowlog.key_string r);
+  check bool_t "duration" true (Flowlog.duration_ns r = 1_000_000L)
+
+(* --- Registry schema -------------------------------------------------- *)
+
+let test_schema_version () =
+  check int_t "schema_version is 2" 2 Registry.schema_version;
+  let j = Registry.dump_json () in
+  check bool_t "schema string in step" true
+    (contains ~needle:"\"schema\": \"rp-metrics/2\"" j);
+  check bool_t "schema_version field present" true
+    (contains ~needle:"\"schema_version\": 2" j);
+  (* v2 also added quantiles to histogram objects (the telemetry
+     packet-latency histogram is always registered). *)
+  check bool_t "histograms carry p50/p90/p99" true
+    (contains ~needle:"\"p99\":" j)
+
+(* --- Integration: flow records reconcile with gate counters ----------- *)
+
+let test_flow_records_reconcile () =
+  let open Rp_core in
+  Flowlog.clear ();
+  let ifaces = [ Iface.create ~id:0 (); Iface.create ~id:1 () ] in
+  let r = Router.create ~mode:Router.Plugins ~ifaces () in
+  Router.add_route r (Prefix.of_string "192.168.0.0/16") ~iface:1 ();
+  let acc_p0 = Counter.get (Registry.counter "flow_table.accounted_packets") in
+  let acc_b0 = Counter.get (Registry.counter "flow_table.accounted_bytes") in
+  let d0 = Counter.get (Gate.dispatch Gate.Ip_options) in
+  let key i =
+    Flow_key.make ~src:(Ipaddr.v4 10 0 0 i) ~dst:(Ipaddr.v4 192 168 1 1)
+      ~proto:Proto.udp ~sport:(1000 + i) ~dport:9000 ~iface:0
+  in
+  for i = 1 to 3 do
+    for _ = 1 to 20 do
+      match Ip_core.process r ~now:0L (Mbuf.synth ~key:(key i) ~len:200 ()) with
+      | Ip_core.Enqueued out ->
+        ignore (Iface.dequeue (Router.iface r out) ~now:0L)
+      | v ->
+        Alcotest.failf "unexpected verdict: %s"
+          (Format.asprintf "%a" Ip_core.pp_verdict v)
+    done
+  done;
+  (* Evict everything through the exporter. *)
+  Rp_classifier.Aiu.flush_flows (Router.aiu r);
+  let records = Flowlog.drain () in
+  check int_t "one record per flow" 3 (List.length records);
+  let pkts =
+    List.fold_left (fun a fr -> a + fr.Flowlog.packets) 0 records
+  in
+  let bytes = List.fold_left (fun a fr -> a + fr.Flowlog.bytes) 0 records in
+  check int_t "record packets = packets processed" 60 pkts;
+  check int_t "record bytes = bytes processed" (60 * 200) bytes;
+  check int_t "record packets = accounting counter" pkts
+    (Counter.get (Registry.counter "flow_table.accounted_packets") - acc_p0);
+  check int_t "record bytes = accounting counter" bytes
+    (Counter.get (Registry.counter "flow_table.accounted_bytes") - acc_b0);
+  check int_t "record packets = ip-options dispatches" pkts
+    (Counter.get (Gate.dispatch Gate.Ip_options) - d0);
+  check bool_t "records carry the flush reason" true
+    (List.for_all (fun fr -> fr.Flowlog.reason = "flushed") records)
+
 (* --- Integration: flow-table counters vs oracle stats ---------------- *)
 
 let mk_key i =
@@ -303,10 +564,15 @@ let () =
           Alcotest.test_case "overflow wraps" `Quick test_counter_overflow;
           Alcotest.test_case "concurrent domains" `Quick
             test_counter_concurrent;
+          test_counter_swap_conserves;
         ] );
       ( "histogram",
         [
           Alcotest.test_case "bucketing" `Quick test_histogram_bucketing;
+          Alcotest.test_case "quantile: uniform distribution" `Quick
+            test_histogram_quantile_uniform;
+          Alcotest.test_case "quantile: edge cases" `Quick
+            test_histogram_quantile_edges;
           Alcotest.test_case "bad bounds" `Quick test_histogram_bad_bounds;
         ] );
       ( "registry",
@@ -317,10 +583,26 @@ let () =
             test_registry_dump_deterministic;
           Alcotest.test_case "reset" `Quick test_registry_reset;
           Alcotest.test_case "json validity" `Quick test_registry_json_valid;
+          Alcotest.test_case "schema version" `Quick test_schema_version;
         ] );
       ( "trace", [ Alcotest.test_case "ring buffer" `Quick test_trace_ring ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "sampling gate" `Quick test_telemetry_sampling;
+          Alcotest.test_case "ring overwrite" `Quick
+            test_telemetry_ring_overwrite;
+          Alcotest.test_case "chrome trace json" `Quick
+            test_telemetry_chrome_json;
+        ] );
+      ( "flowlog",
+        [
+          Alcotest.test_case "export ring" `Quick test_flowlog_ring;
+          Alcotest.test_case "json lines" `Quick test_flowlog_json;
+        ] );
       ( "integration",
         [
+          Alcotest.test_case "flow records reconcile" `Quick
+            test_flow_records_reconcile;
           Alcotest.test_case "flow-table counters vs oracle" `Quick
             test_flow_table_counters_match_oracle;
           Alcotest.test_case "gate dispatch counters" `Quick
