@@ -15,6 +15,7 @@
      fig-grid        grid-of-tries vs set pruning, 2D filters (§5.1.2)
      fig-shard       multicore engine throughput scaling, 1..4 domains
      fig-trace       hot-path tracing overhead vs sampling period
+     fig-churn       control-plane churn: delta publication vs recompile
      micro           Bechamel wall-clock micro-benchmarks
 
    Run all sections: [dune exec bench/main.exe]; or name the sections
@@ -1107,6 +1108,143 @@ let fig_trace () =
     \  kernels: traced model cycles within 5%% of untraced.\n"
 
 (* ---------------------------------------------------------------------- *)
+(* Control-plane churn: delta publication vs full recompilation.           *)
+(* ---------------------------------------------------------------------- *)
+
+(* Sustained filter update rate with ~512 background filters installed
+   and warm per-shard flow caches.  Each update registers or
+   deregisters one /24-source filter, publishes, and brings four
+   shards up to the new generation.  The shards are synced
+   synchronously on this domain (the exact [Shard.sync] code the
+   workers run) so the measurement captures the per-update *work* —
+   delta replay with selective invalidation vs recompiling the
+   513-filter classifier and flushing the flow cache — rather than
+   cross-domain scheduling noise, which on a single-core CI box drowns
+   the signal.  Three configurations: the inline engine (direct
+   mutation, the latency floor), four shards replaying deltas, and
+   four shards with delta recording off (every publication recompiles
+   from scratch — the previous behavior).  The CI gate
+   ci/check_churn.sh requires the delta path to sustain >= 10x the
+   full-recompile update rate. *)
+let fig_churn () =
+  section "fig-churn: control-plane churn — delta publication vs recompile";
+  let updates = 200 and background = 512 and flows = 32 in
+  Printf.printf
+    "%d background filters, %d warm flows per shard; %d single-filter\n\
+     updates (bind/unbind alternating), each published and applied to\n\
+     4 shards via Shard.sync on this domain (scheduler-free).\n\n"
+    background flows updates;
+  let counter name = Rp_obs.Counter.get (Rp_obs.Registry.counter name) in
+  let shard_flushes n =
+    let t = ref 0 in
+    for i = 0 to n - 1 do
+      t := !t + counter (Printf.sprintf "engine.shard%d.flow_flushes" i)
+    done;
+    !t
+  in
+  let run ~slug ~sync_shards ~deltas =
+    let s = Rp_sim.Scenario.single_router ~in_ifaces:1 () in
+    let r = s.Rp_sim.Scenario.router in
+    let name = "churn-fw" in
+    ok (Pcu.modload r.Router.pcu (Empty_plugin.make ~gate:Gate.Firewall ~name));
+    let inst = ok (Pcu.create_instance r.Router.pcu ~plugin:name []) in
+    let id = inst.Plugin.instance_id in
+    ok
+      (Pcu.register_instance r.Router.pcu ~instance:id
+         (Rp_classifier.Filter.v4 ~proto:Proto.udp ()));
+    (* Background filter load (the "16 filters installed" idea at
+       fig-churn scale); bound before the engine exists, so they are
+       part of the base snapshot, not the delta stream. *)
+    let aiu = Router.aiu r in
+    for i = 1 to background do
+      Rp_classifier.Aiu.bind aiu ~gate:(Gate.to_int Gate.Firewall)
+        (Rp_classifier.Filter.v4
+           ~src:
+             (Prefix.make (Ipaddr.v4 172 (16 + (i lsr 8)) (i land 0xFF) 0) 24)
+           ~proto:Proto.tcp ())
+        (Plugin.simple ~instance_id:(9000 + i) ~code:0 ~plugin_name:"inert"
+           ~gate:Gate.Firewall
+           (fun _ _ -> Plugin.Continue))
+    done;
+    (* The inline engine is the snapshot publisher: its AIU listener
+       records the mutation deltas exactly as in sharded mode. *)
+    let e = Rp_engine.Engine.create Rp_engine.Engine.Inline r in
+    Rp_engine.Engine.set_deltas e deltas;
+    Rp_engine.Engine.publish e;
+    let shards =
+      List.init sync_shards (fun i ->
+          Rp_engine.Shard.create ~index:i (Rp_engine.Engine.snapshot e))
+    in
+    let flushes0 = shard_flushes sync_shards in
+    (* Warm every shard's private flow cache (and the router's own, for
+       the inline row). *)
+    for f = 0 to flows - 1 do
+      let key = Rp_sim.Scenario.sink_key ~id:(300 + f) () in
+      if sync_shards = 0 then
+        ignore (Ip_core.process r ~now:0L (Mbuf.synth ~key ~len:1000 ()))
+      else
+        List.iter
+          (fun sh ->
+            ignore
+              (Rp_engine.Shard.dispatch sh ~now:0L
+                 (Mbuf.synth ~key ~len:1000 ())))
+          shards
+    done;
+    let churn_filter i =
+      Rp_classifier.Filter.v4
+        ~src:(Prefix.make (Ipaddr.v4 10 200 (i land 0xFF) 0) 24)
+        ~proto:Proto.udp ()
+    in
+    let lat = Array.make updates 0.0 in
+    let churn_s = ref 0.0 in
+    for u = 0 to updates - 1 do
+      let f = churn_filter (u / 2) in
+      let t0 = Unix.gettimeofday () in
+      (if u land 1 = 0 then
+         ok (Pcu.register_instance r.Router.pcu ~instance:id f)
+       else ok (Pcu.deregister_instance r.Router.pcu ~instance:id f));
+      Rp_engine.Engine.publish e;
+      let snap = Rp_engine.Engine.snapshot e in
+      List.iter (fun sh -> Rp_engine.Shard.sync sh snap) shards;
+      let dt = Unix.gettimeofday () -. t0 in
+      lat.(u) <- dt;
+      churn_s := !churn_s +. dt
+    done;
+    let flushes = shard_flushes sync_shards - flushes0 in
+    Rp_engine.Engine.stop e;
+    Array.sort compare lat;
+    let us p = lat.(min (updates - 1) (p * updates / 100)) *. 1e6 in
+    let ups = float_of_int updates /. !churn_s in
+    Rp_obs.Registry.set (Printf.sprintf "bench.churn.%s.updates_per_s" slug)
+      ups;
+    Rp_obs.Registry.set (Printf.sprintf "bench.churn.%s.setup_us_p50" slug)
+      (us 50);
+    Rp_obs.Registry.set (Printf.sprintf "bench.churn.%s.setup_us_p99" slug)
+      (us 99);
+    Gc.full_major ();
+    (ups, us 50, us 99, flushes)
+  in
+  Printf.printf "  %-22s %12s %12s %12s %14s\n" "configuration" "updates/s"
+    "p50 us" "p99 us" "flow flushes";
+  let report label (ups, p50, p99, flushes) =
+    Printf.printf "  %-22s %12.0f %12.1f %12.1f %14d\n" label ups p50 p99
+      flushes
+  in
+  let inline = run ~slug:"inline" ~sync_shards:0 ~deltas:true in
+  report "inline (direct)" inline;
+  let delta = run ~slug:"sharded4.delta" ~sync_shards:4 ~deltas:true in
+  report "sharded:4 delta" delta;
+  let full = run ~slug:"sharded4.full" ~sync_shards:4 ~deltas:false in
+  report "sharded:4 recompile" full;
+  let ups (u, _, _, _) = u in
+  let speedup = if ups full > 0.0 then ups delta /. ups full else 0.0 in
+  Rp_obs.Registry.set "bench.churn.delta_speedup_4" speedup;
+  Printf.printf
+    "\n  delta-over-recompile update-rate speedup at 4 shards: %.1fx\n\
+    \  (ci/check_churn.sh gates >= 10x and byte-identical Table-3 cycles)\n"
+    speedup
+
+(* ---------------------------------------------------------------------- *)
 
 let sections =
   [
@@ -1123,6 +1261,7 @@ let sections =
     ("fig-grid", fig_grid);
     ("fig-shard", fig_shard);
     ("fig-trace", fig_trace);
+    ("fig-churn", fig_churn);
     ("micro", micro);
   ]
 

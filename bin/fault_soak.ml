@@ -220,6 +220,74 @@ let run_sharded_phase ~label ~shards ~fault_config ?cycle_budget () =
      incr failures);
   Engine.stop e
 
+(* Churn regression: a quarantine's unbinds must travel the snapshot
+   delta log — every shard replays them on its private classifier
+   without recompiling — and once the shards have synced, the
+   quarantined instance must never be dispatched again: the gate's
+   fault counter has to stay exactly where the quarantine left it. *)
+let run_sharded_churn_phase ~shards () =
+  let open Rp_engine in
+  let label = "post-quarantine silence" in
+  Printf.printf "== %s (sharded %d) ==\n" label shards;
+  Rp_obs.Registry.reset ();
+  let s = Rp_sim.Scenario.single_router () in
+  let router = s.Rp_sim.Scenario.router in
+  let script =
+    String.concat "\n"
+      [ "modload fault-firewall";
+        "create fault-firewall mode=raise every=1";
+        "bind 1 <*, *, UDP, *, *, *>" ]
+  in
+  (match Rp_control.Pmgr.exec_script router script with
+   | Ok _ -> ()
+   | Error e ->
+     Printf.printf "FAIL setup: %s\n" e;
+     incr failures);
+  let e = Engine.create (Engine.Sharded shards) router in
+  let record (_ : Shard.result) = () in
+  let pump flows per_flow base =
+    for f = 0 to flows - 1 do
+      for _ = 1 to per_flow do
+        let key = Rp_sim.Scenario.sink_key ~id:(base + f) () in
+        let m = Rp_pkt.Mbuf.synth ~key ~len:1000 () in
+        while not (Engine.submit e ~now:0L m) do
+          ignore (Engine.drain e ~f:record)
+        done
+      done
+    done;
+    ignore (Engine.flush e ~f:record)
+  in
+  pump 32 50 3000;
+  check (label ^ ": instance auto-quarantined")
+    (Pcu.is_quarantined router.Router.pcu 1);
+  let spins = ref 0 in
+  while (not (Engine.synced e)) && !spins < 100_000_000 do
+    incr spins;
+    Domain.cpu_relax ()
+  done;
+  check (label ^ ": shards synced to the quarantine snapshot")
+    (Engine.synced e);
+  let counter name = Rp_obs.Counter.get (Rp_obs.Registry.counter name) in
+  let flushes = ref 0 and deltas = ref 0 in
+  for i = 0 to shards - 1 do
+    flushes := !flushes + counter (Printf.sprintf "engine.shard%d.flow_flushes" i);
+    deltas := !deltas + counter (Printf.sprintf "engine.shard%d.delta_applies" i)
+  done;
+  check
+    (Printf.sprintf
+       "%s: quarantine unbind replayed as deltas on every shard (%d)" label
+       !deltas)
+    (!deltas >= shards);
+  check (label ^ ": no shard recompiled (flow caches kept)") (!flushes = 0);
+  let faults_at_q = Rp_obs.Counter.get (Gate.faults Gate.Firewall) in
+  pump 32 10 5000;
+  let faults_after = Rp_obs.Counter.get (Gate.faults Gate.Firewall) in
+  check
+    (Printf.sprintf "%s: zero post-quarantine dispatches (%d = %d)" label
+       faults_after faults_at_q)
+    (faults_after = faults_at_q);
+  Engine.stop e
+
 (* --- telemetry phases ----------------------------------------------- *)
 
 (* Every packet of every flow must be accounted exactly once: the sum
@@ -379,6 +447,7 @@ let () =
        ~fault_config:"mode=raise every=1" ();
      run_sharded_phase ~label:"cycle-budget burn" ~shards:n
        ~fault_config:"mode=burn every=1" ~cycle_budget:50_000 ();
+     run_sharded_churn_phase ~shards:n ();
      run_sharded_telemetry_phase ~shards:n ()
    | None -> ());
   if !failures = 0 then print_endline "fault soak: all checks passed"

@@ -74,9 +74,13 @@ let write_flow_log path =
    engine; throughput is reported from the cycle model (aggregate =
    packets / slowest shard's charged cycles) with wall-clock mpps as
    an informational figure (wall clock depends on host core count). *)
-let run_sharded router n specs seconds metrics_out trace_out flow_log =
+let run_sharded router n specs seconds coalesce metrics_out trace_out flow_log
+    =
   let open Rp_engine in
   let e = Engine.create (Engine.Sharded n) router in
+  (match coalesce with
+   | Some (count, window_s) -> Engine.set_coalesce e ~count ?window_s ()
+   | None -> ());
   let forwarded = ref 0 and dropped = ref 0 and absorbed = ref 0 in
   let record (res : Shard.result) =
     match res.Shard.outcome with
@@ -136,8 +140,24 @@ let run_sharded router n specs seconds metrics_out trace_out flow_log =
     Printf.printf "\nmetrics written to %s\n" path
   | None -> ()
 
+(* "N" or "N:MS" — publication coalescing batch size and optional
+   wall-clock window in milliseconds. *)
+let parse_coalesce s =
+  let conv count ms =
+    match (count, ms) with
+    | Some c, Some w when c >= 1 && w >= 0.0 -> Some (c, Some (w /. 1e3))
+    | Some c, None when c >= 1 -> Some (c, None)
+    | _ -> None
+  in
+  match String.index_opt s ':' with
+  | Some i ->
+    conv
+      (int_of_string_opt (String.sub s 0 i))
+      (float_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)))
+  | None -> conv (int_of_string_opt s) None
+
 let main script flows seconds in_ifaces bandwidth_mbps mode_str engine_str
-    metrics_out trace trace_out trace_sample flow_log =
+    coalesce_str metrics_out trace trace_out trace_sample flow_log =
   Rp_obs.Trace.enabled := trace;
   if trace_sample < 1 then begin
     Printf.eprintf "--trace-sample: expected a positive sampling period\n%!";
@@ -155,6 +175,16 @@ let main script flows seconds in_ifaces bandwidth_mbps mode_str engine_str
     | Error e ->
       Printf.eprintf "--engine: %s\n%!" e;
       exit 2
+  in
+  let coalesce =
+    match coalesce_str with
+    | None -> None
+    | Some s ->
+      (match parse_coalesce s with
+       | Some _ as c -> c
+       | None ->
+         Printf.eprintf "--coalesce: expected N or N:MS (N >= 1)\n%!";
+         exit 2)
   in
   let s =
     Rp_sim.Scenario.single_router ~mode ~in_ifaces
@@ -177,7 +207,8 @@ let main script flows seconds in_ifaces bandwidth_mbps mode_str engine_str
   let specs = if specs = [] then [ { id = 1; rate = 100.0; len = 1000; pattern = `Cbr } ] else specs in
   (match engine_mode with
    | Rp_engine.Engine.Sharded n ->
-     run_sharded router n specs seconds metrics_out trace_out flow_log;
+     run_sharded router n specs seconds coalesce metrics_out trace_out
+       flow_log;
      exit 0
    | Rp_engine.Engine.Inline ->
      (* The default: the deterministic single-domain simulator path
@@ -286,6 +317,15 @@ let engine_arg =
                  single-domain simulator) or $(b,sharded:N) (pump the \
                  flows through N worker domains and report throughput).")
 
+let coalesce_arg =
+  Arg.(value & opt (some string) None
+       & info [ "coalesce" ] ~docv:"N[:MS]"
+           ~doc:"With $(b,--engine sharded:K): coalesce control-plane \
+                 publications — defer until $(docv) mutations are \
+                 pending, or the optional wall-clock window of MS \
+                 milliseconds has elapsed since the first deferred one \
+                 (same knob as $(b,pmgr engine coalesce)).")
+
 let metrics_arg =
   Arg.(value & opt (some string) None
        & info [ "metrics-out" ] ~docv:"FILE"
@@ -322,7 +362,7 @@ let cmd =
   Cmd.v
     (Cmd.info "rp_router" ~version:"1.0" ~doc)
     Term.(const main $ script_arg $ flow_arg $ seconds_arg $ ifaces_arg
-          $ bw_arg $ mode_arg $ engine_arg $ metrics_arg $ trace_arg
-          $ trace_out_arg $ trace_sample_arg $ flow_log_arg)
+          $ bw_arg $ mode_arg $ engine_arg $ coalesce_arg $ metrics_arg
+          $ trace_arg $ trace_out_arg $ trace_sample_arg $ flow_log_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,9 +1,18 @@
 open Rp_pkt
 
+(* Control-path mutation events, published to an optional listener so
+   a snapshot publisher (the multicore engine) can log them as deltas
+   instead of re-reading the whole AIU. *)
+type 'a event =
+  | Bound of int * Filter.t * 'a
+  | Unbound of int * Filter.t
+  | Flushed
+
 type 'a t = {
   n_gates : int;
   tables : 'a Dag.t array;
   flows : 'a Flow_table.t;
+  mutable listener : ('a event -> unit) option;
 }
 
 let create ?engine ?buckets ?initial_records ?max_records ?on_evict ~gates () =
@@ -14,27 +23,56 @@ let create ?engine ?buckets ?initial_records ?max_records ?on_evict ~gates () =
     flows =
       Flow_table.create ?buckets ?initial_records ?max_records ?on_evict
         ~gates ();
+    listener = None;
   }
 
 let gates t = t.n_gates
+let set_listener t fn = t.listener <- Some fn
+let clear_listener t = t.listener <- None
+let notify t ev = match t.listener with Some fn -> fn ev | None -> ()
 
 let m_full_walks = Rp_obs.Registry.counter "aiu.full_walks"
 let m_fix_hits = Rp_obs.Registry.counter "aiu.fix_hits"
 let m_fix_stale = Rp_obs.Registry.counter "aiu.fix_stale"
+let m_invalidated = Rp_obs.Registry.counter "aiu.invalidated"
+let m_gate_bumps = Rp_obs.Registry.counter "aiu.gate_bumps"
+let m_revalidations = Rp_obs.Registry.counter "aiu.revalidations"
 
 let check_gate t gate =
   if gate < 0 || gate >= t.n_gates then invalid_arg "Aiu: gate out of range"
 
+(* Selective invalidation: a filter change at one gate only concerns
+   flows the filter could match, so instead of flushing the whole flow
+   cache (which costs every unrelated flow its FIX fast path) evict
+   exactly the matching records.  A filter with both addresses
+   wildcarded can match almost anything — for those, bump the gate's
+   generation in O(1) and let the data path revalidate cached bindings
+   lazily, one DAG lookup per touched flow. *)
+let addr_wild (f : Filter.t) =
+  f.Filter.src.Prefix.len = 0 && f.Filter.dst.Prefix.len = 0
+
+let invalidate_for t ~gate f =
+  if addr_wild f then begin
+    Flow_table.bump_gate t.flows ~gate;
+    Rp_obs.Counter.inc m_gate_bumps
+  end
+  else
+    Rp_obs.Counter.add m_invalidated
+      (Flow_table.invalidate t.flows ~matches:(fun k -> Filter.matches f k))
+
 let bind t ~gate f v =
   check_gate t gate;
   Dag.insert t.tables.(gate) f v;
-  (* Cached instance pointers may now be stale. *)
-  Flow_table.flush t.flows
+  (* Cached instance pointers for flows this filter matches may now be
+     stale. *)
+  invalidate_for t ~gate f;
+  notify t (Bound (gate, f, v))
 
 let unbind t ~gate f =
   check_gate t gate;
   Dag.remove t.tables.(gate) f;
-  Flow_table.flush t.flows
+  invalidate_for t ~gate f;
+  notify t (Unbound (gate, f))
 
 let filter_table t ~gate =
   check_gate t gate;
@@ -59,6 +97,20 @@ let instance_of record ~gate =
   | Some b -> Some (b.Flow_table.instance, record)
   | None -> None
 
+(* Lazy revalidation after a gate-generation bump: re-resolve this
+   record's binding at [gate] with one DAG lookup, then re-stamp it.
+   Only runs for flows actually touched after a wildcard filter
+   change; steady-state traffic never reaches it. *)
+let revalidate t record ~gate =
+  if Flow_table.gate_stale t.flows record ~gate then begin
+    Flow_table.clear_binding t.flows record ~gate;
+    (match Dag.lookup t.tables.(gate) record.Flow_table.key with
+     | Some (filter, v) -> Flow_table.set_binding t.flows record ~gate ~filter v
+     | None -> ());
+    Flow_table.revalidated t.flows record ~gate;
+    Rp_obs.Counter.inc m_revalidations
+  end
+
 let classify_key t key ~gate ~now =
   check_gate t gate;
   let record =
@@ -66,6 +118,7 @@ let classify_key t key ~gate ~now =
     | Some r -> r
     | None -> classify_miss t key ~now
   in
+  revalidate t record ~gate;
   instance_of record ~gate
 
 let classify t mbuf ~gate ~now =
@@ -96,7 +149,10 @@ let classify t mbuf ~gate ~now =
       mbuf.Mbuf.fix <- Some (Flow_table.fix_of_record r);
       r
   in
+  revalidate t record ~gate;
   instance_of record ~gate
 
-let flush_flows t = Flow_table.flush t.flows
+let flush_flows t =
+  Flow_table.flush t.flows;
+  notify t Flushed
 let expire_flows t ~now ~idle_ns = Flow_table.expire t.flows ~now ~idle_ns

@@ -14,12 +14,22 @@
       ("the processing of the first packet of a new flow with n gates
       involves n filter table lookups", section 3.2).
 
-    Mutating any filter table flushes the flow cache so no stale
-    instance pointer survives a rebind. *)
+    Mutating a filter table invalidates {e selectively}: only flow
+    records the changed filter could match are evicted (or, when the
+    filter wildcards both addresses, the gate's generation is bumped
+    and cached bindings revalidate lazily on next use), so unrelated
+    flows keep their FIX fast path across control-plane churn. *)
 
 open Rp_pkt
 
 type 'a t
+
+(** Control-path mutation event, reported to the optional listener —
+    the multicore engine uses this to build snapshot delta logs. *)
+type 'a event =
+  | Bound of int * Filter.t * 'a  (** gate, filter, instance *)
+  | Unbound of int * Filter.t
+  | Flushed  (** whole flow cache flushed (e.g. routing change) *)
 
 (** [create ~gates ()] builds an AIU with [gates] filter tables.
     [engine] selects the BMP plugin used by the DAGs' address levels;
@@ -38,6 +48,12 @@ val bind : 'a t -> gate:int -> Filter.t -> 'a -> unit
 val unbind : 'a t -> gate:int -> Filter.t -> unit
 val filter_table : 'a t -> gate:int -> 'a Dag.t
 val flow_table : 'a t -> 'a Flow_table.t
+
+(** [set_listener t fn] registers [fn] to observe every bind/unbind
+    and flow-cache flush on this AIU (at most one listener). *)
+val set_listener : 'a t -> ('a event -> unit) -> unit
+
+val clear_listener : 'a t -> unit
 
 (** Data path.  [classify t mbuf ~gate ~now] returns the record and the
     instance bound at [gate] for this packet's flow ([None] if no

@@ -346,12 +346,149 @@ let insert t f v =
     insert_into t t.root (f, v)
   end
 
+(* --- removal (incremental) ------------------------------------------ *)
+
+(* Size of a detached subtree, so pruning keeps [node_count] honest. *)
+let rec subtree_nodes node =
+  1
+  + (match node.kids with
+     | Leaf _ -> 0
+     | Addr a ->
+       let n = ref 0 in
+       a.matcher.am_iter (fun _ c -> n := !n + subtree_nodes c);
+       !n
+     | Ports p ->
+       List.fold_left
+         (fun acc (_, _, c) -> acc + subtree_nodes c)
+         (match p.wild with Some c -> subtree_nodes c | None -> 0)
+         p.intervals
+     | Exact e ->
+       Hashtbl.fold
+         (fun _ c acc -> acc + subtree_nodes c)
+         e.table
+         (match e.ewild with Some c -> subtree_nodes c | None -> 0))
+
+let prune t node = t.nodes := !(t.nodes) - subtree_nodes node
+let node_empty node = node.filters = []
+let drop_filter f l = List.filter (fun (g, _) -> not (Filter.equal f g)) l
+
+(* Remove [f] everywhere it was inserted or seeded under [node],
+   restoring the structure a fresh build without [f] would produce:
+   the filter leaves every per-node list ([filters], the leaf [best],
+   the [label_filters]/[xwild_filters]/[pwild_filters] seed lists so it
+   cannot resurrect in children created by later inserts), emptied
+   port intervals and exact edges are pruned (an empty interval would
+   shadow the port wildcard), and memoized [skip] chains along the
+   path are cleared because they may point into a pruned subtree. *)
+let rec remove_from t node f =
+  node.filters <- drop_filter f node.filters;
+  node.skip <- None;
+  match node.kids with
+  | Leaf l ->
+    (* Replay the insert-time best-so-far fold over the survivors in
+       arrival order. *)
+    l.best <-
+      List.fold_left
+        (fun acc ((g, _) as gv) ->
+          match acc with
+          | Some (h, _) when not (more_specific g h) -> acc
+          | Some _ | None -> Some gv)
+        None
+        (List.rev node.filters)
+  | Addr a -> remove_addr t a node.level f
+  | Ports p -> remove_ports t p node.level f
+  | Exact e -> remove_exact t e node.level f
+
+and remove_addr t a level f =
+  let lab = addr_label f level in
+  (match Prefix_tbl.find_opt a.label_filters lab with
+   | Some l ->
+     l := drop_filter f !l;
+     if !l = [] then Prefix_tbl.remove a.label_filters lab
+   | None -> ());
+  (* [f] lives in the edge labelled [lab] and in every strictly more
+     specific edge it was replicated into — exactly subtree(lab).
+     Address edges themselves are not pruned (BMP engines have no
+     delete); an emptied edge is behaviourally equivalent to an absent
+     one because any shorter matching edge's filters were replicated
+     into it, so both resolve to the same (empty) answer. *)
+  Rp_lpm.Patricia.iter_subtree a.structure lab (fun _ c -> remove_from t c f)
+
+and remove_exact t e level f =
+  match exact_label f level with
+  | Filter.Any_num ->
+    e.xwild_filters <- drop_filter f e.xwild_filters;
+    (match e.ewild with
+     | Some c ->
+       remove_from t c f;
+       if node_empty c then begin
+         e.ewild <- None;
+         prune t c
+       end
+     | None -> ());
+    let dead = ref [] in
+    Hashtbl.iter
+      (fun n c ->
+        remove_from t c f;
+        if node_empty c then dead := (n, c) :: !dead)
+      e.table;
+    List.iter
+      (fun (n, c) ->
+        Hashtbl.remove e.table n;
+        prune t c)
+      !dead
+  | Filter.Num n ->
+    (match Hashtbl.find_opt e.table n with
+     | Some c ->
+       remove_from t c f;
+       if node_empty c then begin
+         Hashtbl.remove e.table n;
+         prune t c
+       end
+     | None -> ())
+
+and remove_ports t p level f =
+  (* Visit the intervals [sel] covers and drop the ones this removal
+     empties: a surviving empty interval would shadow [p.wild]. *)
+  let sweep sel =
+    p.intervals <-
+      List.filter
+        (fun (a, b, c) ->
+          if sel a b then begin
+            remove_from t c f;
+            if node_empty c then begin
+              prune t c;
+              false
+            end
+            else true
+          end
+          else true)
+        p.intervals
+  in
+  match port_label f level with
+  | Filter.Any_port ->
+    p.pwild_filters <- drop_filter f p.pwild_filters;
+    (match p.wild with
+     | Some c ->
+       remove_from t c f;
+       if node_empty c then begin
+         p.wild <- None;
+         prune t c
+       end
+     | None -> ());
+    sweep (fun _ _ -> true)
+  | Filter.Port q -> sweep (fun a b -> a >= q && b <= q)
+  | Filter.Port_range (lo, hi) ->
+    (* Insertion placed [f] into every elementary interval inside
+       [lo, hi]; later splits only subdivide those, never widen them. *)
+    sweep (fun a b -> a >= lo && b <= hi)
+
 let remove t f =
-  Filter_tbl.remove t.installed_tbl f;
-  t.installed <- List.filter (fun (g, _) -> not (Filter.equal f g)) t.installed;
-  t.nodes := 0;
-  t.root <- new_node t 0;
-  List.iter (fun fv -> insert_into t t.root fv) (List.rev t.installed)
+  if Filter_tbl.mem t.installed_tbl f then begin
+    Filter_tbl.remove t.installed_tbl f;
+    t.installed <- drop_filter f t.installed;
+    remove_from t t.root f
+  end
 
 let clear t =
   Filter_tbl.reset t.installed_tbl;

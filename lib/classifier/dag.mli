@@ -38,8 +38,11 @@ val engine_name : 'a t -> string
     binding of a structurally equal filter if present. *)
 val insert : 'a t -> Filter.t -> 'a -> unit
 
-(** [remove t f] uninstalls the filter structurally equal to [f].
-    Implemented by rebuilding the trie from the remaining filters. *)
+(** [remove t f] uninstalls the filter structurally equal to [f],
+    incrementally: the filter is deleted from every node it was
+    inserted or seeded into, emptied port intervals and exact edges
+    are pruned, and memoized wildcard-chain jumps along the path are
+    cleared, leaving the trie equivalent to one built without [f]. *)
 val remove : 'a t -> Filter.t -> unit
 
 (** [lookup t k] is the most specific installed filter matching [k]

@@ -13,6 +13,11 @@ type 'a record = {
   mutable gen : int;
   slot : int;
   bindings : 'a binding option array;
+  (* Per-gate generation stamp, copied from the table at insert time
+     and re-stamped when a gate's binding is revalidated; a gate whose
+     table-wide generation has moved past the record's stamp holds a
+     possibly-stale binding (see {!bump_gate}). *)
+  gate_gens : int array;
   mutable in_use : bool;
   mutable last_use_ns : int64;
   mutable created_ns : int64;
@@ -38,6 +43,9 @@ type stats = {
 
 type 'a t = {
   gates : int;
+  (* Table-wide per-gate generation, bumped when a wildcard-ish filter
+     change at that gate makes every cached binding there suspect. *)
+  gate_gens : int array;
   buckets : 'a record option array;
   mutable records : 'a record array;  (** all allocated records, by slot *)
   mutable allocated : int;  (** prefix of [records] actually initialized *)
@@ -85,6 +93,7 @@ let create ?(buckets = default_buckets) ?(initial_records = default_initial)
       gen = 0;
       slot;
       bindings = Array.make gates None;
+      gate_gens = Array.make gates 0;
       in_use = false;
       last_use_ns = 0L;
       created_ns = 0L;
@@ -99,6 +108,7 @@ let create ?(buckets = default_buckets) ?(initial_records = default_initial)
   let n = min initial_records max_records in
   {
     gates;
+    gate_gens = Array.make gates 0;
     buckets = Array.make buckets None;
     records = Array.init n mk_record;
     allocated = n;
@@ -214,6 +224,7 @@ let grow t =
         gen = 0;
         slot;
         bindings = Array.make t.gates None;
+        gate_gens = Array.make t.gates 0;
         in_use = false;
         last_use_ns = 0L;
         created_ns = 0L;
@@ -284,6 +295,7 @@ let insert t key ~now =
   let r = allocate t in
   r.key <- key;
   r.gen <- r.gen + 1;
+  Array.blit t.gate_gens 0 r.gate_gens 0 t.gates;
   r.in_use <- true;
   r.last_use_ns <- now;
   r.created_ns <- now;
@@ -363,6 +375,43 @@ let set_binding t r ~gate ?filter instance =
   r.bindings.(gate) <- Some { instance; filter; soft = None }
 
 let binding r ~gate = r.bindings.(gate)
+
+(* --- selective invalidation ----------------------------------------- *)
+
+let m_invalidated = Rp_obs.Registry.counter "flow_table.invalidated"
+
+let bump_gate t ~gate =
+  if gate < 0 || gate >= t.gates then invalid_arg "Flow_table.bump_gate: gate";
+  t.gate_gens.(gate) <- t.gate_gens.(gate) + 1
+
+let gate_stale t (r : 'a record) ~gate = r.gate_gens.(gate) <> t.gate_gens.(gate)
+let revalidated t (r : 'a record) ~gate = r.gate_gens.(gate) <- t.gate_gens.(gate)
+
+let clear_binding t r ~gate =
+  match r.bindings.(gate) with
+  | Some b ->
+    t.on_evict ~gate b;
+    r.bindings.(gate) <- None
+  | None -> ()
+
+(* Evict only the records whose key [matches] (a changed filter); each
+   goes through the common [evict] path, so it is exported exactly once
+   (the [in_use] guard) even if its (slot, gen) entry is still queued
+   in the recycling FIFO — the stranded entry is accounted stale via
+   [mark_stale], exactly as on the remove/expire paths. *)
+let invalidate t ~matches =
+  let count = ref 0 in
+  for slot = 0 to t.allocated - 1 do
+    let r = t.records.(slot) in
+    if r.in_use && matches r.key then begin
+      evict ~reason:"invalidated" t r;
+      t.free <- r.slot :: t.free;
+      mark_stale t;
+      Rp_obs.Counter.inc m_invalidated;
+      incr count
+    end
+  done;
+  !count
 
 let length t = t.live
 let capacity t = t.allocated

@@ -31,6 +31,8 @@ type 'a record = {
   mutable gen : int;
   slot : int;
   bindings : 'a binding option array;  (** indexed by gate *)
+  gate_gens : int array;
+      (** per-gate generation stamps (see {!bump_gate}/{!gate_stale}) *)
   mutable in_use : bool;
   mutable last_use_ns : int64;
   mutable created_ns : int64;
@@ -93,10 +95,10 @@ val expire : 'a t -> now:int64 -> idle_ns:int64 -> int
 val flush : 'a t -> unit
 
 (** [set_exporter t f] registers the NetFlow-style emission hook:
-    [f ~reason r] is called whenever an in-use record leaves the table
-    — [reason] is one of ["replaced"], ["recycled"], ["removed"],
-    ["expired"], ["flushed"] — while the record's key, accounting
-    fields and bindings are still intact. *)
+    [f ~reason r] is called {e exactly once} whenever an in-use record
+    leaves the table — [reason] is one of ["replaced"], ["recycled"],
+    ["removed"], ["expired"], ["flushed"], ["invalidated"] — while the
+    record's key, accounting fields and bindings are still intact. *)
 val set_exporter : 'a t -> (reason:string -> 'a record -> unit) -> unit
 
 (** [account t m ~verdict] attributes one packet (and [m.len] bytes)
@@ -110,6 +112,28 @@ val account :
 
 val set_binding : 'a t -> 'a record -> gate:int -> ?filter:Filter.t -> 'a -> unit
 val binding : 'a record -> gate:int -> 'a binding option
+
+(** Selective invalidation (control-plane churn support).
+
+    [invalidate t ~matches] evicts every in-use record whose key
+    satisfies [matches] (reason ["invalidated"]), returning the count.
+    Each record is exported exactly once even if a stale entry for it
+    remains in the recycling FIFO.
+
+    [bump_gate t ~gate] advances the table-wide generation for [gate]
+    — used when a wildcard filter change makes every cached binding at
+    that gate suspect without naming the affected flows.
+    [gate_stale t r ~gate] tests whether [r]'s binding at [gate]
+    predates the last bump; [revalidated t r ~gate] re-stamps it after
+    the caller re-resolved the binding.  [clear_binding t r ~gate]
+    drops one gate's binding (firing [on_evict] for its soft state)
+    without touching the rest of the record. *)
+val invalidate : 'a t -> matches:(Flow_key.t -> bool) -> int
+
+val bump_gate : 'a t -> gate:int -> unit
+val gate_stale : 'a t -> 'a record -> gate:int -> bool
+val revalidated : 'a t -> 'a record -> gate:int -> unit
+val clear_binding : 'a t -> 'a record -> gate:int -> unit
 
 val length : 'a t -> int
 val capacity : 'a t -> int

@@ -176,9 +176,10 @@ let flows_top router n =
 
 (* Commands that change what the sharded engine's workers classify or
    route against: after one succeeds, an attached engine must
-   republish its snapshot so the shards recompile.  [stats reset] and
-   pure introspection are not here; neither are attach/detach (the
-   qdisc runs on the control domain, outside the snapshot). *)
+   republish its snapshot so the shards replay the deltas (or
+   recompile).  [stats reset] and pure introspection are not here;
+   neither are attach/detach (the qdisc runs on the control domain,
+   outside the snapshot). *)
 let mutates_classifier tokens =
   match tokens with
   | ("bind" | "unbind" | "free" | "reserve" | "modunload") :: _ -> true
@@ -320,7 +321,67 @@ let exec_tokens router tokens =
     (match Rp_engine.Engine.find router with
      | Some e -> Ok (Rp_engine.Engine.stats_string e)
      | None -> Ok "engine: none attached (inline data path)")
-  | "engine" :: _ -> Error "usage: engine stats"
+  (* Delta-publication knobs.  [coalesce N [MS]] batches mutations:
+     classifier-changing commands publish only once N are pending (or
+     MS milliseconds passed since the first); [coalesce off] restores
+     publish-per-mutation.  [backlog N] bounds the delta log shards
+     can replay from; [delta on|off] toggles delta recording entirely
+     (off = every publication recompiles, the pre-delta behavior);
+     [publish] forces out anything pending right now. *)
+  | [ "engine"; "coalesce"; "off" ] ->
+    (match Rp_engine.Engine.find router with
+     | Some e ->
+       Rp_engine.Engine.set_coalesce e ~count:1 ();
+       Ok "coalescing off (publish per mutation)"
+     | None -> Error "engine coalesce: no engine attached")
+  | "engine" :: "coalesce" :: n :: rest ->
+    let* n = int_arg "mutation count" n in
+    let* window_s =
+      match rest with
+      | [] -> Ok None
+      | [ ms ] ->
+        let* ms = int_arg "window (ms)" ms in
+        if ms < 1 then Error "engine coalesce: window must be positive"
+        else Ok (Some (float_of_int ms /. 1000.))
+      | _ -> Error "usage: engine coalesce N [MS] | engine coalesce off"
+    in
+    if n < 1 then Error "engine coalesce: count must be positive"
+    else
+      (match Rp_engine.Engine.find router with
+       | Some e ->
+         Rp_engine.Engine.set_coalesce e ~count:n ?window_s ();
+         Ok
+           (Printf.sprintf "coalescing %d mutation(s)%s" n
+              (match window_s with
+               | Some w -> Printf.sprintf " or %.0f ms" (w *. 1000.)
+               | None -> ""))
+       | None -> Error "engine coalesce: no engine attached")
+  | [ "engine"; "backlog"; n ] ->
+    let* n = int_arg "backlog" n in
+    if n < 1 then Error "engine backlog: expected a positive limit"
+    else
+      (match Rp_engine.Engine.find router with
+       | Some e ->
+         Rp_engine.Engine.set_backlog e n;
+         Ok (Printf.sprintf "delta backlog = %d entries" n)
+       | None -> Error "engine backlog: no engine attached")
+  | [ "engine"; "delta"; ("on" | "off") as v ] ->
+    (match Rp_engine.Engine.find router with
+     | Some e ->
+       Rp_engine.Engine.set_deltas e (v = "on");
+       Ok (Printf.sprintf "delta publication %s" v)
+     | None -> Error "engine delta: no engine attached")
+  | [ "engine"; "publish" ] ->
+    (match Rp_engine.Engine.find router with
+     | Some e ->
+       Rp_engine.Engine.publish e;
+       Ok (Printf.sprintf "published generation %d"
+             (Rp_engine.Engine.generation e))
+     | None -> Error "engine publish: no engine attached")
+  | "engine" :: _ ->
+    Error
+      "usage: engine stats | engine coalesce N [MS]|off | engine backlog N | \
+       engine delta on|off | engine publish"
   (* Hot-path event tracing (per-domain event rings). *)
   | [ "trace"; "on" ] ->
     Rp_obs.Telemetry.enable ~every:1;
@@ -355,10 +416,12 @@ let exec router line =
   let* tokens = tokenize line in
   let* out = exec_tokens router tokens in
   (* Control-plane changes reach running worker domains only through a
-     snapshot publication — same path as the programmatic API. *)
+     snapshot publication — same path as the programmatic API.  Goes
+     through the coalescing gate, so setup bursts can be batched into
+     one publication (see [engine coalesce]). *)
   if mutates_classifier tokens then
     (match Rp_engine.Engine.find router with
-     | Some e -> Rp_engine.Engine.publish e
+     | Some e -> Rp_engine.Engine.maybe_publish e
      | None -> ());
   Ok out
 

@@ -232,10 +232,10 @@ let set_quarantine_threshold t n =
   t.quarantine_threshold <- n
 
 (* Tear down the instance's data-path presence: every registered
-   filter is unbound from its gate's table (which flushes the flow
-   cache, so no cached binding survives), while the registration list
-   is kept so [restore] can rebind.  Traffic for those flows falls
-   back to the gate's default path. *)
+   filter is unbound from its gate's table (selectively invalidating
+   the flow records it could match, so no cached binding survives),
+   while the registration list is kept so [restore] can rebind.
+   Traffic for those flows falls back to the gate's default path. *)
 let quarantine t id =
   match find_instance t id with
   | None -> Error (Printf.sprintf "no instance %d" id)
@@ -251,9 +251,14 @@ let quarantine t id =
            | Some bound when bound == inst -> Aiu.unbind t.aiu ~gate f
            | Some _ | None -> ())
          (bindings_of t ~instance:id);
-       (* Even a filterless instance (e.g. an attached scheduler) may
-          be cached in flow records; make sure nothing stale stays. *)
-       Aiu.flush_flows t.aiu;
+       (* Flow-record bindings only ever come from DAG lookups, so the
+          per-filter unbinds above (selective invalidation, and one
+          delta each for the engine's log) already purged every cached
+          pointer to a {e filtered} instance.  Only a filterless
+          instance (e.g. an attached scheduler) can still be cached in
+          flow records; flush only for those, so quarantining one
+          plugin does not cost every other flow its cache entry. *)
+       if bindings_of t ~instance:id = [] then Aiu.flush_flows t.aiu;
        (match fs with
         | Some s -> s.quarantined <- true
         | None -> ());

@@ -38,11 +38,27 @@ type t = {
   m_drained : Rp_obs.Counter.t;
   batch_hist : Rp_obs.Histogram.t;
   mutable stopped : bool;
+  (* Delta-publication state; control domain only. *)
+  mutable deltas_on : bool;
+  mutable backlog_limit : int;
+  mutable pending : Snapshot.delta list;  (* newest first *)
+  mutable pending_overflow : bool;
+      (* pending grew past the backlog (or delta recording was
+         toggled): the chain to older generations is unrecoverable,
+         so the next publication must force a recompile *)
+  mutable delta_log : (int * Snapshot.delta) list;  (* oldest first *)
+  mutable coalesce_count : int;  (* publish after N pending mutations *)
+  mutable coalesce_window_s : float option;  (* ... or this much wall time *)
+  mutable window_start : float;  (* wall time of first deferred mutation *)
+  m_publishes : Rp_obs.Counter.t;
+  m_delta_publishes : Rp_obs.Counter.t;
+  m_coalesced : Rp_obs.Counter.t;
 }
 
 let mode t = t.mode
 let router t = t.router
 let generation t = (Atomic.get t.snapshot).Snapshot.gen
+let snapshot t = Atomic.get t.snapshot
 
 let shards t = match t.mode with Inline -> 1 | Sharded n -> n
 
@@ -151,8 +167,41 @@ let create ?(rx_capacity = 1024) ?(tx_capacity = 2048) mode router =
         Rp_obs.Registry.histogram ~bounds:[| 1; 2; 4; 8; 16; 32 |]
           "engine.batch_size";
       stopped = false;
+      deltas_on = true;
+      backlog_limit = 64;
+      pending = [];
+      pending_overflow = false;
+      delta_log = [];
+      coalesce_count = 1;
+      coalesce_window_s = None;
+      window_start = 0.;
+      m_publishes = Rp_obs.Registry.counter "engine.publishes";
+      m_delta_publishes = Rp_obs.Registry.counter "engine.delta_publishes";
+      m_coalesced = Rp_obs.Registry.counter "engine.coalesced";
     }
   in
+  (* Observe every control-path AIU mutation so publications can carry
+     it as a delta instead of forcing shard recompiles.  The gen-0
+     snapshot above already reflects the AIU, so recording starts
+     only now. *)
+  Rp_classifier.Aiu.set_listener (Router.aiu router) (fun ev ->
+      if t.deltas_on then begin
+        if t.pending = [] then t.window_start <- Unix.gettimeofday ();
+        t.pending <-
+          (match ev with
+           | Rp_classifier.Aiu.Bound (gate, f, inst) ->
+             Snapshot.Bind (gate, f, inst)
+           | Rp_classifier.Aiu.Unbound (gate, f) -> Snapshot.Unbind (gate, f)
+           | Rp_classifier.Aiu.Flushed -> Snapshot.Flush)
+          :: t.pending;
+        if List.length t.pending > t.backlog_limit then begin
+          (* More outstanding mutations than any shard could replay
+             from the bounded log: give up on the chain now and let
+             the next publication recompile. *)
+          t.pending <- [];
+          t.pending_overflow <- true
+        end
+      end);
   Rp_obs.Registry.gauge "engine.shards" (fun () ->
       float_of_int (shards t));
   Rp_obs.Registry.gauge "engine.generation" (fun () ->
@@ -176,9 +225,83 @@ let create ?(rx_capacity = 1024) ?(tx_capacity = 2048) mode router =
 
 (* --- control-domain operations -------------------------------------- *)
 
+let rec list_drop n l =
+  if n <= 0 then l else match l with [] -> [] | _ :: tl -> list_drop (n - 1) tl
+
+(* Force a publication now.  With delta recording on and an intact
+   chain, the pending mutations are stamped with consecutive
+   generations, appended to the log (trimmed to the newest
+   [backlog_limit] entries) and shipped with the snapshot, so shards
+   at most [backlog_limit] generations behind replay instead of
+   recompiling.  A publication with nothing pending ships a single
+   [Refresh] delta — shards pick up routes/gates/policy/budget without
+   touching their classifier or flow cache. *)
 let publish t =
-  let gen = generation t + 1 in
-  Atomic.set t.snapshot (Snapshot.capture ~gen t.router)
+  Rp_obs.Counter.inc t.m_publishes;
+  let base = generation t in
+  if (not t.deltas_on) || t.pending_overflow then begin
+    (* Chain intentionally (or irrecoverably) broken: publish a bare
+       snapshot with an empty log, forcing every shard to recompile. *)
+    t.pending <- [];
+    t.pending_overflow <- false;
+    t.delta_log <- [];
+    Atomic.set t.snapshot (Snapshot.capture ~gen:(base + 1) t.router)
+  end
+  else begin
+    let ds =
+      match List.rev t.pending with [] -> [ Snapshot.Refresh ] | ds -> ds
+    in
+    t.pending <- [];
+    let stamped = List.mapi (fun i d -> (base + 1 + i, d)) ds in
+    let gen = base + List.length ds in
+    let log = t.delta_log @ stamped in
+    let log = list_drop (List.length log - t.backlog_limit) log in
+    t.delta_log <- log;
+    Atomic.set t.snapshot (Snapshot.capture ~gen ~deltas:log t.router);
+    Rp_obs.Counter.inc t.m_delta_publishes
+  end
+
+(* Coalescing-aware publication, used after ordinary control-plane
+   mutations ([pmgr]).  Defers while fewer than [coalesce_count]
+   mutations are pending and the optional wall-clock window has not
+   elapsed; anything that must reach the shards now (quarantine on the
+   drain path, [pmgr engine publish]) calls {!publish} directly. *)
+let maybe_publish t =
+  let n = List.length t.pending in
+  let window_hit =
+    match t.coalesce_window_s with
+    | Some w -> n > 0 && Unix.gettimeofday () -. t.window_start >= w
+    | None -> false
+  in
+  if n = 0 || t.pending_overflow || t.coalesce_count <= 1
+     || n >= t.coalesce_count || window_hit
+  then publish t
+  else Rp_obs.Counter.inc t.m_coalesced
+
+let set_coalesce t ~count ?window_s () =
+  if count < 1 then invalid_arg "Engine.set_coalesce: count";
+  t.coalesce_count <- count;
+  t.coalesce_window_s <- window_s
+
+let coalesce t = (t.coalesce_count, t.coalesce_window_s)
+let pending_deltas t = List.length t.pending
+
+let set_backlog t limit =
+  if limit < 1 then invalid_arg "Engine.set_backlog: limit";
+  t.backlog_limit <- limit
+
+let backlog t = t.backlog_limit
+
+let set_deltas t on =
+  if t.deltas_on <> on then begin
+    t.deltas_on <- on;
+    (* Mutations made while recording was off are absent from the log;
+       poison the chain so the next publication recompiles. *)
+    t.pending <- [];
+    t.pending_overflow <- true
+  end
+
+let deltas_enabled t = t.deltas_on
 
 let synced t =
   match t.mode with
@@ -318,6 +441,19 @@ let stats_string t =
        (Rp_obs.Counter.get t.m_submitted)
        (Rp_obs.Counter.get t.m_drained)
        (Rp_obs.Counter.get t.m_bp_drops));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  deltas=%s backlog=%d coalesce=%d%s pending=%d publishes=%d \
+        delta_publishes=%d coalesced=%d\n"
+       (if t.deltas_on then "on" else "off")
+       t.backlog_limit t.coalesce_count
+       (match t.coalesce_window_s with
+        | Some w -> Printf.sprintf " window=%.0fms" (w *. 1000.)
+        | None -> "")
+       (List.length t.pending)
+       (Rp_obs.Counter.get t.m_publishes)
+       (Rp_obs.Counter.get t.m_delta_publishes)
+       (Rp_obs.Counter.get t.m_coalesced));
   Array.iteri
     (fun i shard ->
       let g suffix =
@@ -327,12 +463,13 @@ let stats_string t =
       Buffer.add_string b
         (Printf.sprintf
            "  shard%d: rx=%d fwd=%d drop=%d absorbed=%d cycles=%d \
-            rx_depth=%d tx_depth=%d flow_flushes=%d tx_ring_drops=%d\n"
+            rx_depth=%d tx_depth=%d flow_flushes=%d delta_applies=%d \
+            tx_ring_drops=%d\n"
            i (g "rx") (g "forwarded") (g "dropped") (g "absorbed")
            (Shard.cycles shard)
            (Spsc.length t.rx.(i))
            (Spsc.length t.tx.(i))
-           (g "flow_flushes") (g "tx_ring_drops")))
+           (g "flow_flushes") (g "delta_applies") (g "tx_ring_drops")))
     t.shard_tbl;
   Buffer.contents b
 
@@ -349,6 +486,7 @@ let flush_flows t =
 let stop t =
   if not t.stopped then begin
     t.stopped <- true;
+    Rp_classifier.Aiu.clear_listener (Router.aiu t.router);
     Atomic.set t.stop_flag true;
     Array.iter Domain.join t.domains;
     t.domains <- [||];

@@ -8,9 +8,15 @@
     batched gate dispatch (default batch 32) against a read-only
     classifier {!Snapshot} published through one atomic pointer with a
     generation counter; control-plane changes (bind/unbind, route
-    changes, quarantine) go through {!publish}, and each shard
-    recompiles its private classifier — flushing its flow cache — when
-    it observes a new generation.  The hot path takes no locks.
+    changes, quarantine) go through {!publish} / {!maybe_publish}.
+    The engine records every AIU mutation as a {!Snapshot.delta}, so a
+    shard observing a new generation normally {e replays} just the
+    outstanding deltas on its private classifier — evicting only the
+    flows the changed filters could match — and recompiles from
+    scratch (flushing its flow cache) only when it has fallen further
+    behind than the bounded delta log reaches ({!set_backlog}), or
+    when delta recording is off ({!set_deltas}).  The hot path takes
+    no locks.
     Results (and contained-fault events) return on per-shard TX rings;
     {!drain} applies fault attribution to the PCU on the control
     domain and republishes when a quarantine changed the bindings.
@@ -70,10 +76,51 @@ val drain : ?max:int -> t -> f:(Shard.result -> unit) -> int
 (** Current snapshot generation. *)
 val generation : t -> int
 
+(** The currently published snapshot (bench/test introspection — e.g.
+    driving {!Shard.sync} synchronously without worker domains). *)
+val snapshot : t -> Snapshot.t
+
 (** Capture the router's control state and publish it as a new
-    generation.  Call after any control-plane mutation (bind, unbind,
-    route change, quarantine, policy change). *)
+    generation {e now}, shipping any pending mutation deltas with the
+    snapshot (or an empty log forcing recompiles, when delta recording
+    is off or the pending set overflowed the backlog).  Used for
+    changes that must reach the shards immediately — quarantine on the
+    drain path, [pmgr engine publish]. *)
 val publish : t -> unit
+
+(** Coalescing-aware publication for ordinary control-plane mutations:
+    publishes unless fewer than the configured batch of mutations is
+    pending and the optional wall-clock window has not elapsed (see
+    {!set_coalesce}), in which case the mutations stay buffered for a
+    later publication. *)
+val maybe_publish : t -> unit
+
+(** [set_coalesce t ~count ?window_s ()] — {!maybe_publish} defers
+    until [count] mutations are pending, or [window_s] seconds have
+    passed since the first deferred one.  [count = 1] (the default)
+    publishes every mutation immediately. *)
+val set_coalesce : t -> count:int -> ?window_s:float -> unit -> unit
+
+(** Current (count, window) coalescing configuration. *)
+val coalesce : t -> int * float option
+
+(** Mutations recorded but not yet published. *)
+val pending_deltas : t -> int
+
+(** [set_backlog t n] bounds the published delta log to the newest [n]
+    entries (default 64); a shard more than [n] generations behind
+    recompiles instead of replaying. *)
+val set_backlog : t -> int -> unit
+
+val backlog : t -> int
+
+(** [set_deltas t on] toggles delta recording.  Turning it off makes
+    every publication a full-recompile one (the PR-3 behavior — used
+    as the bench baseline); toggling in either direction poisons the
+    current chain so the next publication recompiles. *)
+val set_deltas : t -> bool -> unit
+
+val deltas_enabled : t -> bool
 
 (** Have all shards compiled the current generation? *)
 val synced : t -> bool

@@ -20,6 +20,8 @@ type t = {
   m_dropped : Rp_obs.Counter.t;
   m_absorbed : Rp_obs.Counter.t;
   m_flow_flushes : Rp_obs.Counter.t;
+  m_delta_applies : Rp_obs.Counter.t;
+  m_deltas_replayed : Rp_obs.Counter.t;
   seen_gen : int Atomic.t;
   cycles_acc : int Atomic.t;
   (* Domain-private compiled state; written only by [sync] on the
@@ -71,6 +73,8 @@ let create ~index snap =
       m_dropped = counter "dropped";
       m_absorbed = counter "absorbed";
       m_flow_flushes = counter "flow_flushes";
+      m_delta_applies = counter "delta_applies";
+      m_deltas_replayed = counter "deltas_replayed";
       seen_gen = Atomic.make (-1);
       cycles_acc = Atomic.make 0;
       aiu = Rp_classifier.Aiu.create ~gates:Gate.count ();
@@ -83,12 +87,52 @@ let create ~index snap =
   apply t snap;
   t
 
+(* Refresh the cheap whole-value state a snapshot always carries in
+   full: routes (rebuilt — route churn is orders of magnitude rarer
+   than filter churn), the enabled-gate list, fault policy/budget. *)
+let refresh_control t (snap : Snapshot.t) =
+  let routes = Route_table.create () in
+  List.iter (fun r -> Route_table.add routes r) snap.Snapshot.routes;
+  t.routes <- routes;
+  t.gates <- snap.gates;
+  t.policy <- snap.policy;
+  t.budget <- snap.budget
+
+let replay_delta t = function
+  | Snapshot.Bind (gate, f, inst) -> Rp_classifier.Aiu.bind t.aiu ~gate f inst
+  | Snapshot.Unbind (gate, f) -> Rp_classifier.Aiu.unbind t.aiu ~gate f
+  | Snapshot.Flush -> Rp_classifier.Aiu.flush_flows t.aiu
+  | Snapshot.Refresh -> ()
+
 let sync t snap =
-  if snap.Snapshot.gen <> Atomic.get t.seen_gen then begin
-    apply t snap;
-    (* A recompile discards the private flow cache — same semantics as
-       the single-domain AIU flush on any filter-table mutation. *)
-    Rp_obs.Counter.inc t.m_flow_flushes
+  let seen = Atomic.get t.seen_gen in
+  if snap.Snapshot.gen <> seen then begin
+    (* Deltas newer than our compiled state.  Generations in the log
+       are consecutive, so the chain reaches back to [seen] exactly
+       when one entry exists per missed generation; otherwise the log
+       was trimmed (backlog overflow) or a publication intentionally
+       broke the chain, and only a recompile is sound. *)
+    let pending =
+      List.filter (fun (g, _) -> g > seen) snap.Snapshot.deltas
+    in
+    if seen >= 0 && List.length pending = snap.Snapshot.gen - seen then begin
+      (* Incremental path: replay the outstanding mutations on the
+         private AIU.  Selective invalidation inside [Aiu.bind]/
+         [Aiu.unbind] evicts only the flows the changed filters could
+         match — unrelated flows keep their records and FIX fast
+         path. *)
+      List.iter (fun (_, d) -> replay_delta t d) pending;
+      refresh_control t snap;
+      Atomic.set t.seen_gen snap.gen;
+      Rp_obs.Counter.inc t.m_delta_applies;
+      Rp_obs.Counter.add t.m_deltas_replayed (List.length pending)
+    end
+    else begin
+      apply t snap;
+      (* A recompile discards the private flow cache — same semantics
+         as the single-domain AIU flush on any filter-table mutation. *)
+      Rp_obs.Counter.inc t.m_flow_flushes
+    end
   end
 
 (* --- data path ------------------------------------------------------ *)

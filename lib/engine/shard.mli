@@ -47,9 +47,13 @@ val meters : t -> Gate.Meters.t
 (** Snapshot generation this shard last compiled. *)
 val seen_gen : t -> int
 
-(** [sync t snap] recompiles the shard's private AIU and route table
-    from [snap] if its generation differs — which also flushes the
-    shard's flow cache.  Runs on the shard's own domain. *)
+(** [sync t snap] brings the shard's private state up to [snap]'s
+    generation.  When the snapshot's delta log covers every generation
+    the shard missed, the mutations are replayed incrementally on the
+    private AIU (selective flow invalidation only — unrelated flows
+    keep their cache entries); otherwise the AIU and route table are
+    recompiled from scratch, which also flushes the shard's flow
+    cache.  Runs on the shard's own domain. *)
 val sync : t -> Snapshot.t -> unit
 
 (** [dispatch t ~now m] runs one packet; must only be called from the

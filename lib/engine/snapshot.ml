@@ -1,5 +1,11 @@
 open Rp_core
 
+type delta =
+  | Bind of int * Rp_classifier.Filter.t * Plugin.t
+  | Unbind of int * Rp_classifier.Filter.t
+  | Flush
+  | Refresh
+
 type t = {
   gen : int;
   gates : Gate.t list;
@@ -7,9 +13,10 @@ type t = {
   routes : Route_table.route list;
   policy : Fault.policy;
   budget : int option;
+  deltas : (int * delta) list;
 }
 
-let capture ~gen router =
+let capture ~gen ?(deltas = []) router =
   let aiu = Router.aiu router in
   let bindings = ref [] in
   for gate = 0 to Gate.count - 1 do
@@ -27,10 +34,13 @@ let capture ~gen router =
     routes = !routes;
     policy = router.Router.fault_policy;
     budget = router.Router.cycle_budget;
+    deltas;
   }
 
 let pp ppf t =
-  Format.fprintf ppf "snapshot gen=%d gates=%d bindings=%d routes=%d" t.gen
+  Format.fprintf ppf "snapshot gen=%d gates=%d bindings=%d routes=%d deltas=%d"
+    t.gen
     (List.length t.gates)
     (List.length t.bindings)
     (List.length t.routes)
+    (List.length t.deltas)

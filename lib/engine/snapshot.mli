@@ -6,15 +6,31 @@
     captures the {e contents} (filter bindings per gate, routes, the
     fault policy and budget, the enabled-gate set) into a plain
     immutable value, and each shard compiles its own private AIU and
-    route table from it on generation change.  Rebuilding from scratch
-    is also what flushes the shard's flow cache — exactly the
-    semantics the single-domain AIU has on any filter-table mutation.
+    route table from it.
+
+    Alongside the full state the snapshot carries an ordered {e delta
+    log}: the tail of control-plane mutations, each stamped with the
+    generation it produced.  A shard whose compiled state is only a
+    few generations behind replays just the outstanding deltas on its
+    private AIU — keeping its flow cache (minus selectively
+    invalidated records) — and only falls back to a full recompile
+    when the log no longer reaches back to its generation (backlog
+    overflow, or a publication that intentionally broke the chain).
 
     The engine publishes a snapshot through one [Atomic.t] pointer;
     the monotonically increasing [gen] tells a shard whether its
     compiled state is current. *)
 
 open Rp_core
+
+(** One control-plane mutation.  [Refresh] carries no AIU change — it
+    re-publishes routes/gates/policy/budget (which shards re-read on
+    every delta application anyway). *)
+type delta =
+  | Bind of int * Rp_classifier.Filter.t * Plugin.t
+  | Unbind of int * Rp_classifier.Filter.t
+  | Flush  (** whole-flow-cache flush (e.g. routing change) *)
+  | Refresh
 
 type t = {
   gen : int;
@@ -25,11 +41,17 @@ type t = {
   routes : Route_table.route list;
   policy : Fault.policy;
   budget : int option;
+  deltas : (int * delta) list;
+      (** (generation, mutation), oldest first; generations are
+          consecutive and the last one equals [gen].  Bounded by the
+          engine's backlog limit — a shard further behind than the
+          oldest entry must recompile. *)
 }
 
-(** [capture ~gen router] reads the router's current control state.
-    Runs on the control domain; cost is proportional to the installed
-    filters and routes, never charged to the packet cost model. *)
-val capture : gen:int -> Router.t -> t
+(** [capture ~gen ?deltas router] reads the router's current control
+    state.  Runs on the control domain; cost is proportional to the
+    installed filters and routes, never charged to the packet cost
+    model. *)
+val capture : gen:int -> ?deltas:(int * delta) list -> Router.t -> t
 
 val pp : Format.formatter -> t -> unit

@@ -334,6 +334,48 @@ let dag_matches_reference_after_removal =
           | None, Some _ | Some _, None -> false)
         keys)
 
+(* The churn property (control-plane survival): random {e interleaved}
+   insert/remove sequences — not insert-then-remove — must leave the
+   DAG equivalent to one that never saw the removed filters.  This is
+   what exercises removal against structures later inserts created
+   from seed lists (xwild/pwild/label_filters) and against memoized
+   skip chains. *)
+let dag_matches_reference_interleaved_churn =
+  qtest ~count:300 "dag = linear reference under interleaved churn"
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 1 30)
+           (pair (oneofl [ `Insert; `Remove; `Optimize ]) (int_bound 11)))
+        (array_size (return 12) gen_filter)
+        (list_size (int_range 1 15) gen_key))
+    (fun (script, pool, keys) ->
+      let dag = Dag.create () in
+      let reference = Linear_ref.create () in
+      List.iteri
+        (fun step (op, i) ->
+          let f = pool.(i) in
+          match op with
+          | `Insert ->
+            Dag.insert dag f step;
+            Linear_ref.insert reference f step
+          | `Remove ->
+            Dag.remove dag f;
+            Linear_ref.remove reference f
+          | `Optimize ->
+            (* Memoize skip chains mid-churn so removals must clear
+               them. *)
+            Dag.optimize dag)
+        script;
+      Dag.length dag = Linear_ref.length reference
+      && List.for_all
+           (fun k ->
+             match Linear_ref.classify reference k, Dag.lookup dag k with
+             | None, None -> true
+             | Some (f, _), Some (f', _) ->
+               Filter.compare_specificity f f' = 0 && Filter.matches f' k
+             | None, Some _ | Some _, None -> false)
+           keys)
+
 (* --- DAG: wildcard-chain collapsing (§5.1.2 optimization) ------------- *)
 
 let test_dag_optimize_reduces_accesses () =
@@ -591,6 +633,73 @@ let test_flow_table_expire () =
   check bool_t "flow1 gone" true (Flow_table.lookup t (mk_key 1) ~now:1001L = None);
   check bool_t "flow2 kept" true (Flow_table.lookup t (mk_key 2) ~now:1001L <> None)
 
+let test_flow_table_invalidate () =
+  let t = Flow_table.create ~buckets:16 ~gates:1 () in
+  for i = 0 to 7 do
+    let r = Flow_table.insert t (mk_key i) ~now:0L in
+    Flow_table.set_binding t r ~gate:0 "x"
+  done;
+  (* mk_key i has sport = 1000 + i: invalidate the even sports. *)
+  let n =
+    Flow_table.invalidate t ~matches:(fun k -> k.Flow_key.sport mod 2 = 0)
+  in
+  check int_t "half invalidated" 4 n;
+  check int_t "half kept" 4 (Flow_table.length t);
+  for i = 0 to 7 do
+    let present = Flow_table.lookup t (mk_key i) ~now:1L <> None in
+    check bool_t (Printf.sprintf "flow %d" i) (i mod 2 = 1) present
+  done;
+  (* Slots freed by invalidation are reusable. *)
+  for i = 8 to 11 do
+    ignore (Flow_table.insert t (mk_key i) ~now:2L)
+  done;
+  check int_t "refilled" 8 (Flow_table.length t)
+
+(* Exactly-once export: drive eviction by invalidation, recycling and
+   expiry against the same single slot, with stale FIFO entries in
+   play, and count exporter calls per reason.  A record evicted by
+   invalidation while its (slot, gen) entry still sits in the
+   recycling FIFO must be neither double-exported nor leak
+   [fifo_stale]. *)
+let test_flow_table_export_exactly_once () =
+  let exported = Hashtbl.create 8 in
+  let t =
+    Flow_table.create ~buckets:8 ~initial_records:1 ~max_records:1 ~gates:1 ()
+  in
+  Flow_table.set_exporter t (fun ~reason r ->
+      let k = (reason, r.Flow_table.key, r.Flow_table.gen) in
+      Hashtbl.replace exported k (1 + Option.value ~default:0 (Hashtbl.find_opt exported k)));
+  let count reason =
+    Hashtbl.fold
+      (fun (re, _, _) n acc -> if re = reason then acc + n else acc)
+      exported 0
+  in
+  (* 1. Invalidate while the record's FIFO entry is live. *)
+  ignore (Flow_table.insert t (mk_key 0) ~now:0L);
+  check int_t "one invalidated" 1 (Flow_table.invalidate t ~matches:(fun _ -> true));
+  check int_t "invalidated exported once" 1 (count "invalidated");
+  (* 2. The stranded FIFO entry must not break recycling: fill the one
+     slot again, then force a recycle. *)
+  ignore (Flow_table.insert t (mk_key 1) ~now:1L);
+  ignore (Flow_table.insert t (mk_key 2) ~now:2L) (* recycles key 1 *);
+  check int_t "recycled exported once" 1 (count "recycled");
+  check bool_t "recycled was key 1" true
+    (Hashtbl.mem exported ("recycled", mk_key 1, 2));
+  (* 3. Expire the survivor. *)
+  check int_t "one expired" 1 (Flow_table.expire t ~now:1000L ~idle_ns:10L);
+  check int_t "expired exported once" 1 (count "expired");
+  check int_t "table empty" 0 (Flow_table.length t);
+  (* Every export fired exactly once — no (reason, key, gen) repeats. *)
+  Hashtbl.iter
+    (fun (reason, _, gen) n ->
+      check int_t (Printf.sprintf "%s gen=%d exported once" reason gen) 1 n)
+    exported;
+  (* No stale-entry leak: the FIFO is empty or all-stale-compacted. *)
+  check bool_t "fifo drained" true ((Flow_table.stats t).Flow_table.fifo_depth <= 1);
+  (* And the slot still works. *)
+  ignore (Flow_table.insert t (mk_key 3) ~now:2000L);
+  check int_t "slot reusable after all three paths" 1 (Flow_table.length t)
+
 let prop_flow_table_model =
   (* Model check: a sequence of insert/remove/lookup agrees with a
      simple association-list model (unbounded table). *)
@@ -676,6 +785,67 @@ let test_aiu_rebind_flushes () =
   | Some (v, _) -> check string_t "stale fix reclassified" "v2" v
   | None -> Alcotest.fail "expected reclassification"
 
+let counter_get name = Rp_obs.Counter.get (Rp_obs.Registry.counter name)
+
+(* Selective invalidation: rebinding a filter evicts only the flows it
+   matches; unrelated flows keep their cache entries. *)
+let test_aiu_selective_invalidation () =
+  let aiu = Aiu.create ~gates:1 () in
+  let f10 = Filter.v4 ~src:(Prefix.of_string "10.0.0.0/8") () in
+  let f11 = Filter.v4 ~src:(Prefix.of_string "11.0.0.0/8") () in
+  Aiu.bind aiu ~gate:0 f10 "ten";
+  Aiu.bind aiu ~gate:0 f11 "eleven";
+  let k10 = key ~src:"10.1.2.3" () and k11 = key ~src:"11.1.2.3" () in
+  (match Aiu.classify_key aiu k10 ~gate:0 ~now:0L with
+   | Some (v, _) -> check string_t "ten" "ten" v
+   | None -> Alcotest.fail "expected ten");
+  (match Aiu.classify_key aiu k11 ~gate:0 ~now:0L with
+   | Some (v, _) -> check string_t "eleven" "eleven" v
+   | None -> Alcotest.fail "expected eleven");
+  check int_t "both flows cached" 2 (Flow_table.length (Aiu.flow_table aiu));
+  (* Rebind the 10/8 filter: only the 10.x flow may be evicted. *)
+  Aiu.bind aiu ~gate:0 f10 "ten-v2";
+  check int_t "unrelated flow kept" 1 (Flow_table.length (Aiu.flow_table aiu));
+  check bool_t "11.x record survived" true
+    (Flow_table.lookup (Aiu.flow_table aiu) k11 ~now:1L <> None);
+  check bool_t "10.x record evicted" true
+    (Flow_table.lookup (Aiu.flow_table aiu) k10 ~now:1L = None);
+  match Aiu.classify_key aiu k10 ~gate:0 ~now:2L with
+  | Some (v, _) -> check string_t "reclassified to v2" "ten-v2" v
+  | None -> Alcotest.fail "expected ten-v2"
+
+(* A filter with both addresses wildcarded takes the O(1) gate-bump
+   path: no flow is evicted, and cached bindings at that gate
+   revalidate lazily (one DAG lookup) on next use. *)
+let test_aiu_wildcard_bump_lazy_revalidation () =
+  let aiu = Aiu.create ~gates:2 () in
+  let fw = Filter.v4 ~proto:Proto.udp () in
+  Aiu.bind aiu ~gate:0 fw "v1";
+  let keys = List.init 4 (fun i -> key ~sport:(100 + i) ()) in
+  List.iter
+    (fun k ->
+      match Aiu.classify_key aiu k ~gate:0 ~now:0L with
+      | Some (v, _) -> check string_t "v1" "v1" v
+      | None -> Alcotest.fail "expected v1")
+    keys;
+  check int_t "flows cached" 4 (Flow_table.length (Aiu.flow_table aiu));
+  let reval0 = counter_get "aiu.revalidations" in
+  let bumps0 = counter_get "aiu.gate_bumps" in
+  Aiu.bind aiu ~gate:0 fw "v2";
+  check int_t "gate bumped, nothing evicted" 4
+    (Flow_table.length (Aiu.flow_table aiu));
+  check int_t "one gate bump" 1 (counter_get "aiu.gate_bumps" - bumps0);
+  (* Touch two of the four flows: exactly two lazy revalidations. *)
+  List.iteri
+    (fun i k ->
+      if i < 2 then
+        match Aiu.classify_key aiu k ~gate:0 ~now:1L with
+        | Some (v, _) -> check string_t "v2 after bump" "v2" v
+        | None -> Alcotest.fail "expected v2")
+    keys;
+  check int_t "revalidations proportional to touched flows" 2
+    (counter_get "aiu.revalidations" - reval0)
+
 let test_aiu_no_match () =
   let aiu = Aiu.create ~gates:2 () in
   Aiu.bind aiu ~gate:0 (Filter.v4 ~proto:Proto.tcp ()) "tcp-only";
@@ -736,6 +906,7 @@ let () =
           dag_matches_reference Rp_lpm.Engines.bspl;
           dag_matches_reference Rp_lpm.Engines.cpe;
           dag_matches_reference_after_removal;
+          dag_matches_reference_interleaved_churn;
           Alcotest.test_case "optimize reduces accesses" `Quick
             test_dag_optimize_reduces_accesses;
           prop_dag_optimize_preserves_semantics;
@@ -757,6 +928,10 @@ let () =
             test_flow_table_fifo_bounded;
           Alcotest.test_case "eviction callback" `Quick test_flow_table_eviction_callback;
           Alcotest.test_case "expire" `Quick test_flow_table_expire;
+          Alcotest.test_case "selective invalidate" `Quick
+            test_flow_table_invalidate;
+          Alcotest.test_case "export exactly once" `Quick
+            test_flow_table_export_exactly_once;
           prop_flow_table_model;
         ] );
       ( "aiu",
@@ -764,6 +939,10 @@ let () =
           Alcotest.test_case "classify caches" `Quick test_aiu_classify_caches;
           Alcotest.test_case "rebind flushes" `Quick test_aiu_rebind_flushes;
           Alcotest.test_case "no match" `Quick test_aiu_no_match;
+          Alcotest.test_case "selective invalidation" `Quick
+            test_aiu_selective_invalidation;
+          Alcotest.test_case "wildcard gate bump" `Quick
+            test_aiu_wildcard_bump_lazy_revalidation;
           prop_aiu_cached_equals_uncached;
         ] );
     ]

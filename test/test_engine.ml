@@ -147,10 +147,10 @@ let mk_router ?(gates = Gate.all) () =
   Router.add_route r (Prefix.of_string "192.168.0.0/16") ~iface:1 ();
   r
 
-let mk_pkt ?(sport = 1000) ?(dport = 9000) () =
+let mk_pkt ?(sport = 1000) ?(dport = 9000) ?(dst = Ipaddr.v4 192 168 1 1) () =
   let key =
-    Flow_key.make ~src:(Ipaddr.v4 10 0 0 1) ~dst:(Ipaddr.v4 192 168 1 1)
-      ~proto:Proto.udp ~sport ~dport ~iface:0
+    Flow_key.make ~src:(Ipaddr.v4 10 0 0 1) ~dst ~proto:Proto.udp ~sport
+      ~dport ~iface:0
   in
   Mbuf.synth ~key ~len:1000 ()
 
@@ -246,6 +246,10 @@ let test_unbind_stops_classification () =
     counter_get "engine.shard0.flow_flushes"
     + counter_get "engine.shard1.flow_flushes"
   in
+  let deltas0 =
+    counter_get "engine.shard0.delta_applies"
+    + counter_get "engine.shard1.delta_applies"
+  in
   let e = Engine.create (Sharded 2) r in
   let pump n =
     for f = 0 to n - 1 do
@@ -255,8 +259,8 @@ let test_unbind_stops_classification () =
   in
   check int_t "first wave drained" 40 (pump 40);
   check int_t "every packet hit the bound instance" 40 (Atomic.get hits);
-  (* Tear the binding down and publish; once every shard has compiled
-     the new generation, no packet may reach the old instance. *)
+  (* Tear the binding down and publish; once every shard has applied
+     the unbind delta, no packet may reach the old instance. *)
   ok
     (Pcu.deregister_instance r.Router.pcu ~instance:inst.Plugin.instance_id
        (Rp_classifier.Filter.v4 ~proto:Proto.udp ()));
@@ -265,12 +269,21 @@ let test_unbind_stops_classification () =
   check int_t "second wave drained" 40 (pump 40);
   check int_t "no packet classified by the torn-down binding" 40
     (Atomic.get hits);
+  (* The unbind travelled as a delta: each shard replayed it on its
+     private AIU instead of recompiling, so no shard flushed its flow
+     cache. *)
   let flushes =
     counter_get "engine.shard0.flow_flushes"
     + counter_get "engine.shard1.flow_flushes"
     - flushes0
   in
-  check bool_t "per-shard flow caches flushed on gen bump" true (flushes >= 2);
+  let deltas =
+    counter_get "engine.shard0.delta_applies"
+    + counter_get "engine.shard1.delta_applies"
+    - deltas0
+  in
+  check bool_t "each shard applied the unbind as a delta" true (deltas >= 2);
+  check int_t "no shard recompiled (flow caches kept)" 0 flushes;
   Engine.stop e
 
 let test_quarantine_while_draining () =
@@ -316,6 +329,261 @@ let test_quarantine_while_draining () =
   ignore (Engine.flush e ~f:record);
   check int_t "all packets forward once quarantined" 20
     (Option.value ~default:0 (Hashtbl.find_opt outcomes "forwarded"));
+  Engine.stop e
+
+(* --- control-plane churn ----------------------------------------------- *)
+
+(* Selective invalidation keeps the FIX fast path for unrelated flows:
+   after a filter change matching half the flows, exactly those flows
+   take one stale-FIX reclassification and the rest keep hitting. *)
+let test_selective_invalidation_keeps_fast_path () =
+  let r = mk_router () in
+  ignore (bind_counting r ~gate:Gate.Firewall ~name:"fix-fw");
+  let e = Engine.create Inline r in
+  (* Eight persistent mbufs (so the FIX survives between submissions);
+     half the flows target 192.168.1.x, half 192.168.2.x. *)
+  let mbufs =
+    Array.init 8 (fun f ->
+        let dst =
+          if f < 4 then Ipaddr.v4 192 168 1 (1 + f)
+          else Ipaddr.v4 192 168 2 (1 + f)
+        in
+        mk_pkt ~sport:(10_000 + f) ~dst ())
+  in
+  let pump () =
+    Array.iter (fun m -> assert (Engine.submit e ~now:0L m)) mbufs;
+    ignore (Engine.flush e ~f:(fun _ -> ()))
+  in
+  pump ();
+  let stale_warm = counter_get "aiu.fix_stale" in
+  pump ();
+  check int_t "warm flows never reclassify" 0
+    (counter_get "aiu.fix_stale" - stale_warm);
+  (* Bind a filter matching only the 192.168.1.x flows. *)
+  let pm, _ = counting_plugin ~gate:Gate.Firewall ~name:"fix-fw2" in
+  ok (Pcu.modload r.Router.pcu pm);
+  let inst = ok (Pcu.create_instance r.Router.pcu ~plugin:"fix-fw2" []) in
+  let inv0 = counter_get "flow_table.invalidated" in
+  ok
+    (Pcu.register_instance r.Router.pcu ~instance:inst.Plugin.instance_id
+       (Rp_classifier.Filter.v4
+          ~dst:(Prefix.of_string "192.168.1.0/24")
+          ()));
+  Engine.maybe_publish e;
+  check int_t "only the matching flows were invalidated" 4
+    (counter_get "flow_table.invalidated" - inv0);
+  let stale0 = counter_get "aiu.fix_stale" in
+  let hits0 = counter_get "aiu.fix_hits" in
+  pump ();
+  check int_t "stale FIXes = invalidated flows, nothing else" 4
+    (counter_get "aiu.fix_stale" - stale0);
+  check bool_t "unrelated flows kept their fast path" true
+    (counter_get "aiu.fix_hits" - hits0 >= 4);
+  Engine.stop e
+
+(* Random churn equivalence: the same script of
+   bind/unbind/quarantine/restore commands interleaved with traffic,
+   driven against an inline engine and a sharded delta-replaying one,
+   must deliver exactly the same packets to the same instances — and
+   the sharded side must never fall back to a recompile. *)
+let churn_equivalence =
+  qtest ~count:20 "sharded delta verdicts = inline verdicts (random churn)"
+    QCheck2.Gen.(
+      list_size (int_range 1 25) (pair (int_bound 5) (int_bound 3)))
+    (fun script ->
+      let filters =
+        [|
+          Rp_classifier.Filter.v4 ~proto:Proto.udp ();
+          Rp_classifier.Filter.v4 ~src:(Prefix.of_string "10.0.0.0/8") ();
+          Rp_classifier.Filter.v4 ~dst:(Prefix.of_string "192.168.0.0/16") ();
+          Rp_classifier.Filter.v4
+            ~src:(Prefix.of_string "10.0.0.0/8")
+            ~dst:(Prefix.of_string "192.168.1.0/24")
+            ();
+        |]
+      in
+      let mk_side mode =
+        let r = mk_router () in
+        let insts = Array.make 4 0 in
+        let hits = Array.make 4 (Atomic.make 0) in
+        Array.iteri
+          (fun i _ ->
+            let name = Printf.sprintf "churn-%d" i in
+            let pm, h = counting_plugin ~gate:Gate.Firewall ~name in
+            ok (Pcu.modload r.Router.pcu pm);
+            let inst = ok (Pcu.create_instance r.Router.pcu ~plugin:name []) in
+            insts.(i) <- inst.Plugin.instance_id;
+            hits.(i) <- h)
+          filters;
+        let e = Engine.create mode r in
+        let mbufs = Array.init 8 (fun f -> mk_pkt ~sport:(20_000 + f) ()) in
+        (r, e, insts, hits, mbufs)
+      in
+      let inline = mk_side Inline and sharded = mk_side (Sharded 2) in
+      let flushes0 =
+        counter_get "engine.shard0.flow_flushes"
+        + counter_get "engine.shard1.flow_flushes"
+      in
+      let stale0 = counter_get "aiu.fix_stale" in
+      let gone0 =
+        counter_get "flow_table.evictions"
+        + counter_get "flow_table.recycled"
+        + counter_get "flow_table.expired"
+      in
+      (* Mirror of the script-visible control state, applied
+         identically to both sides so every command is legal. *)
+      let bound = Array.make 4 false and quar = Array.make 4 false in
+      let apply (r, e, insts, _, mbufs) (cmd, slot) =
+        let pcu = r.Router.pcu in
+        let id = insts.(slot) in
+        (match cmd with
+         | 0 when (not quar.(slot)) && not bound.(slot) ->
+           ok (Pcu.register_instance pcu ~instance:id filters.(slot))
+         | 1 when (not quar.(slot)) && bound.(slot) ->
+           ok (Pcu.deregister_instance pcu ~instance:id filters.(slot))
+         | 2 when not quar.(slot) -> ok (Pcu.quarantine pcu id)
+         | 3 when quar.(slot) -> ok (Pcu.restore pcu id)
+         | 4 | 5 ->
+           for f = 0 to (2 * slot) + 1 do
+             assert (Engine.submit e ~now:0L mbufs.(f))
+           done;
+           ignore (Engine.flush e ~f:(fun _ -> ()))
+         | _ -> ());
+        Engine.maybe_publish e;
+        wait "churn sync" (fun () -> Engine.synced e)
+      in
+      List.iter
+        (fun ((cmd, slot) as c) ->
+          apply inline c;
+          apply sharded c;
+          (match cmd with
+           | 0 when (not quar.(slot)) && not bound.(slot) ->
+             bound.(slot) <- true
+           | 1 when (not quar.(slot)) && bound.(slot) -> bound.(slot) <- false
+           | 2 when not quar.(slot) -> quar.(slot) <- true
+           | 3 when quar.(slot) -> quar.(slot) <- false
+           | _ -> ()))
+        script;
+      let (_, ei, _, hi, _) = inline and (_, es, _, hs, _) = sharded in
+      let same =
+        Array.for_all2 (fun a b -> Atomic.get a = Atomic.get b) hi hs
+      in
+      let flushes =
+        counter_get "engine.shard0.flow_flushes"
+        + counter_get "engine.shard1.flow_flushes"
+        - flushes0
+      in
+      let stale = counter_get "aiu.fix_stale" - stale0 in
+      let gone =
+        counter_get "flow_table.evictions"
+        + counter_get "flow_table.recycled"
+        + counter_get "flow_table.expired"
+        - gone0
+      in
+      Engine.stop ei;
+      Engine.stop es;
+      same && flushes = 0 && stale <= gone)
+
+(* Backlog overflow and delta toggling both poison the chain: the next
+   publication recompiles every shard, and the chain heals after. *)
+let test_backlog_overflow_recompiles () =
+  let r = mk_router () in
+  let e = Engine.create (Sharded 1) r in
+  let f0 = counter_get "engine.shard0.flow_flushes" in
+  let d0 = counter_get "engine.shard0.delta_applies" in
+  Engine.set_backlog e 4;
+  Engine.set_coalesce e ~count:1_000 ();
+  let filt i =
+    Rp_classifier.Filter.v4
+      ~src:(Prefix.of_string (Printf.sprintf "10.%d.0.0/16" i))
+      ()
+  in
+  let insts =
+    Array.init 6 (fun i ->
+        let name = Printf.sprintf "bl-%d" i in
+        let pm, _ = counting_plugin ~gate:Gate.Firewall ~name in
+        ok (Pcu.modload r.Router.pcu pm);
+        (ok (Pcu.create_instance r.Router.pcu ~plugin:name []))
+          .Plugin.instance_id)
+  in
+  (* Six buffered mutations overflow the 4-entry backlog; the overflow
+     forces an immediate full-recompile publication. *)
+  Array.iteri
+    (fun i id ->
+      ok (Pcu.register_instance r.Router.pcu ~instance:id (filt i));
+      Engine.maybe_publish e)
+    insts;
+  wait "overflow publish" (fun () -> Engine.synced e);
+  check int_t "overflow forced one recompile"
+    1 (counter_get "engine.shard0.flow_flushes" - f0);
+  (* Mutations after the overflow flow as deltas again. *)
+  Engine.set_coalesce e ~count:1 ();
+  ok (Pcu.deregister_instance r.Router.pcu ~instance:insts.(0) (filt 0));
+  Engine.maybe_publish e;
+  wait "healed chain" (fun () -> Engine.synced e);
+  check bool_t "chain healed: unbind replayed as a delta" true
+    (counter_get "engine.shard0.delta_applies" - d0 >= 1);
+  check int_t "no further recompile"
+    1 (counter_get "engine.shard0.flow_flushes" - f0);
+  (* Turning delta recording off makes every publication a recompile;
+     turning it back on poisons the chain exactly once. *)
+  Engine.set_deltas e false;
+  ok (Pcu.deregister_instance r.Router.pcu ~instance:insts.(1) (filt 1));
+  Engine.publish e;
+  wait "deltas-off publish" (fun () -> Engine.synced e);
+  check int_t "deltas off: recompile"
+    2 (counter_get "engine.shard0.flow_flushes" - f0);
+  Engine.set_deltas e true;
+  ok (Pcu.deregister_instance r.Router.pcu ~instance:insts.(2) (filt 2));
+  Engine.publish e;
+  wait "poisoned publish" (fun () -> Engine.synced e);
+  check int_t "re-enable poisons the chain once"
+    3 (counter_get "engine.shard0.flow_flushes" - f0);
+  let d1 = counter_get "engine.shard0.delta_applies" in
+  ok (Pcu.deregister_instance r.Router.pcu ~instance:insts.(3) (filt 3));
+  Engine.publish e;
+  wait "delta resumed" (fun () -> Engine.synced e);
+  check int_t "then deltas resume"
+    3 (counter_get "engine.shard0.flow_flushes" - f0);
+  check bool_t "delta applied after re-enable" true
+    (counter_get "engine.shard0.delta_applies" - d1 >= 1);
+  Engine.stop e
+
+let test_coalescing () =
+  let r = mk_router () in
+  let e = Engine.create (Sharded 1) r in
+  let coalesced0 = counter_get "engine.coalesced" in
+  Engine.set_coalesce e ~count:3 ();
+  let gen0 = Engine.generation e in
+  let bind i =
+    let name = Printf.sprintf "co-%d" i in
+    let pm, _ = counting_plugin ~gate:Gate.Firewall ~name in
+    ok (Pcu.modload r.Router.pcu pm);
+    let inst = ok (Pcu.create_instance r.Router.pcu ~plugin:name []) in
+    ok
+      (Pcu.register_instance r.Router.pcu ~instance:inst.Plugin.instance_id
+         (Rp_classifier.Filter.v4
+            ~src:(Prefix.of_string (Printf.sprintf "10.%d.0.0/16" i))
+            ()));
+    Engine.maybe_publish e
+  in
+  bind 0;
+  check int_t "first mutation deferred" gen0 (Engine.generation e);
+  check int_t "one pending" 1 (Engine.pending_deltas e);
+  bind 1;
+  check int_t "second mutation deferred" gen0 (Engine.generation e);
+  check int_t "two deferrals counted" 2
+    (counter_get "engine.coalesced" - coalesced0);
+  bind 2;
+  check int_t "third mutation publishes the whole batch" (gen0 + 3)
+    (Engine.generation e);
+  check int_t "nothing pending after the batch" 0 (Engine.pending_deltas e);
+  wait "batch sync" (fun () -> Engine.synced e);
+  (* An elapsed wall-clock window publishes below the count threshold. *)
+  Engine.set_coalesce e ~count:100 ~window_s:0.0 ();
+  bind 3;
+  check int_t "window expiry published" (gen0 + 4) (Engine.generation e);
+  check int_t "coalesce config readable" 100 (fst (Engine.coalesce e));
   Engine.stop e
 
 (* --- inline mode ------------------------------------------------------ *)
@@ -444,6 +712,15 @@ let () =
             test_unbind_stops_classification;
           Alcotest.test_case "quarantine while draining" `Quick
             test_quarantine_while_draining;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "selective invalidation keeps fast path" `Quick
+            test_selective_invalidation_keeps_fast_path;
+          churn_equivalence;
+          Alcotest.test_case "backlog overflow recompiles" `Quick
+            test_backlog_overflow_recompiles;
+          Alcotest.test_case "coalescing" `Quick test_coalescing;
         ] );
       ( "inline",
         [
