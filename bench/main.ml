@@ -16,6 +16,7 @@
      fig-shard       multicore engine throughput scaling, 1..4 domains
      fig-trace       hot-path tracing overhead vs sampling period
      fig-churn       control-plane churn: delta publication vs recompile
+     fig-batch       batched zero-copy data path throughput time series
      micro           Bechamel wall-clock micro-benchmarks
 
    Run all sections: [dune exec bench/main.exe]; or name the sections
@@ -1245,6 +1246,203 @@ let fig_churn () =
     speedup
 
 (* ---------------------------------------------------------------------- *)
+(* Batched zero-copy data path: pool + links + synth generator.            *)
+(* ---------------------------------------------------------------------- *)
+
+(* [--csv-out FILE] destination for the fig-batch time series (the CI
+   artifact check_batch.sh inspects alongside the JSON metrics). *)
+let csv_out : string option ref = ref None
+
+(* The snabb-style pump: a Synth generator allocates from a packet
+   Pool onto a Link; the pump pulls fixed-size batches off the link,
+   pushes them through the engine's batched path, and recycles every
+   drained descriptor back into the pool — steady state runs entirely
+   on preallocated memory.  Throughput is the cycle model's (packets
+   over charged cycles; for sharded engines the busiest shard is the
+   makespan), reported as a CSV time series with one row per
+   [interval] packets so CI can gate the steady-state rows and spot
+   warm-up-only performance. *)
+let fig_batch () =
+  section "fig-batch: batched zero-copy data path (pool + link + synth)";
+  let total = 30_000 and interval = 3_000 and batch = 32 in
+  let flows = 64 in
+  Printf.printf
+    "Synth generator (%d flows, IMIX sizes) -> pool/link -> batched\n\
+     dispatch, %d packets per engine, one CSV row per %d packets.\n\
+     Mpps is model throughput (charged cycles at %.0f MHz); the first\n\
+     row is warm-up (cold flow cache), the rest are steady state.\n\n"
+    flows total interval Cost.cpu_mhz;
+  let csv =
+    Option.map
+      (fun path ->
+        Rp_obs.Csv_stats.to_file ~path
+          ~columns:
+            [
+              "engine"; "row"; "packets"; "cum_packets"; "model_s";
+              "model_mpps"; "wall_mpps"; "pool_free"; "link_txdrops";
+            ])
+      !csv_out
+  in
+  let run ~slug ~label ~mode =
+    let gates = [ Gate.Ip_options; Gate.Firewall; Gate.Stats ] in
+    let ifaces =
+      [ Iface.create ~id:0 (); Iface.create ~id:1 ~fifo_limit:max_int () ]
+    in
+    let r = Router.create ~mode:Router.Plugins ~gates ~ifaces () in
+    Router.add_route r (Prefix.of_string "192.168.0.0/16") ~iface:1 ();
+    List.iteri
+      (fun i gate ->
+        let name = Printf.sprintf "batch-empty-%d" i in
+        ok (Pcu.modload r.Router.pcu (Empty_plugin.make ~gate ~name));
+        let inst = ok (Pcu.create_instance r.Router.pcu ~plugin:name []) in
+        ok
+          (Pcu.register_instance r.Router.pcu ~instance:inst.Plugin.instance_id
+             (Rp_classifier.Filter.v4 ~proto:Proto.udp ()));
+        install_extra_filters r ~gate:(Gate.to_int gate) ~upto:13)
+      gates;
+    let e = Rp_engine.Engine.create mode r in
+    let pool = Pool.create ~capacity:4096 () in
+    let link = Link.create ~capacity:512 () in
+    let synth = Rp_sim.Synth.create ~flows ~pool () in
+    let scratch = Array.make batch (Mbuf.synth ~key:(Rp_sim.Traffic.flow_key ~id:0 ()) ~len:0 ()) in
+    let drained = ref 0 in
+    let recycle (res : Rp_engine.Shard.result) =
+      Pool.free pool res.Rp_engine.Shard.m;
+      incr drained
+    in
+    let domains = match mode with
+      | Rp_engine.Engine.Inline -> 1
+      | Rp_engine.Engine.Sharded n -> n
+    in
+    let model_cycles () =
+      match mode with
+      | Rp_engine.Engine.Inline -> Cost.get ()
+      | Rp_engine.Engine.Sharded _ ->
+        let mx = ref 0 in
+        for i = 0 to domains - 1 do
+          let c = Rp_engine.Engine.shard_cycles e i in
+          if c > !mx then mx := c
+        done;
+        !mx
+    in
+    let hz = Cost.cpu_mhz *. 1e6 in
+    let row_idx = ref 0 in
+    let last_cycles = ref (model_cycles ()) in
+    let cycles0 = !last_cycles in
+    let last_wall = ref (Unix.gettimeofday ()) in
+    let last_drained = ref 0 in
+    let steady_sum = ref 0.0 and steady_rows = ref 0 in
+    let report () =
+      let cycles = model_cycles () in
+      let wall = Unix.gettimeofday () in
+      let pkts = !drained - !last_drained in
+      let dcyc = cycles - !last_cycles in
+      let mpps =
+        if dcyc > 0 then float_of_int pkts /. (float_of_int dcyc /. hz) /. 1e6
+        else 0.0
+      in
+      let wall_mpps =
+        let dt = wall -. !last_wall in
+        if dt > 0.0 then float_of_int pkts /. dt /. 1e6 else 0.0
+      in
+      if !row_idx > 0 then begin
+        (* Row 0 is warm-up: cold flow caches, first-packet filter
+           walks.  Steady state is everything after it. *)
+        steady_sum := !steady_sum +. mpps;
+        incr steady_rows
+      end;
+      Printf.printf "  %-10s %4d %10d %12d %10.4f %12.4f %10.3f\n" label
+        !row_idx pkts !drained
+        (float_of_int (cycles - cycles0) /. hz)
+        mpps wall_mpps;
+      (match csv with
+       | Some c ->
+         Rp_obs.Csv_stats.row c
+           [
+             label;
+             Rp_obs.Csv_stats.i !row_idx;
+             Rp_obs.Csv_stats.i pkts;
+             Rp_obs.Csv_stats.i !drained;
+             Rp_obs.Csv_stats.f6 (float_of_int (cycles - cycles0) /. hz);
+             Rp_obs.Csv_stats.f6 mpps;
+             Rp_obs.Csv_stats.f6 wall_mpps;
+             Rp_obs.Csv_stats.i (Pool.available pool);
+             Rp_obs.Csv_stats.i (Link.txdrops link);
+           ]
+       | None -> ());
+      incr row_idx;
+      last_cycles := cycles;
+      last_wall := wall;
+      last_drained := !drained
+    in
+    Printf.printf "  %-10s %4s %10s %12s %10s %12s %10s\n" "engine" "row"
+      "packets" "cum_packets" "model_s" "model_mpps" "wall_mpps";
+    let next_report = ref interval in
+    let submitted = ref 0 in
+    while !drained < total do
+      if !submitted < total then begin
+        ignore (Rp_sim.Synth.pull synth ~now_ns:0L link ~max:(2 * batch));
+        let n = Link.receive_batch link ~max:(min batch (total - !submitted)) scratch in
+        if n > 0 then begin
+          (match mode with
+           | Rp_engine.Engine.Inline ->
+             ignore (Rp_engine.Engine.submit_batch e ~now:0L scratch ~n)
+           | Rp_engine.Engine.Sharded _ ->
+             for i = 0 to n - 1 do
+               while not (Rp_engine.Engine.submit e ~now:0L scratch.(i)) do
+                 ignore (Rp_engine.Engine.drain e ~f:recycle)
+               done
+             done);
+          submitted := !submitted + n
+        end
+      end;
+      ignore (Rp_engine.Engine.drain e ~f:recycle);
+      if !submitted >= total && !drained < total then
+        ignore (Rp_engine.Engine.flush e ~f:recycle);
+      while !drained >= !next_report do
+        report ();
+        next_report := !next_report + interval
+      done
+    done;
+    Rp_engine.Engine.stop e;
+    let steady =
+      if !steady_rows > 0 then !steady_sum /. float_of_int !steady_rows
+      else 0.0
+    in
+    let ps = Pool.stats pool in
+    Printf.printf
+      "  %-10s steady-state %.4f model mpps/domain; pool allocs=%d frees=%d \
+       exhausted=%d\n\n"
+      label steady ps.Pool.allocs ps.Pool.frees ps.Pool.exhausted;
+    Rp_obs.Registry.set
+      (Printf.sprintf "bench.fig_batch.%s.steady_mpps" slug)
+      steady;
+    Rp_obs.Registry.set
+      (Printf.sprintf "bench.fig_batch.%s.rows" slug)
+      (float_of_int !row_idx);
+    Rp_obs.Registry.set
+      (Printf.sprintf "bench.fig_batch.%s.pool_exhausted" slug)
+      (float_of_int ps.Pool.exhausted);
+    Rp_obs.Registry.set
+      (Printf.sprintf "bench.fig_batch.%s.generated" slug)
+      (float_of_int (Rp_sim.Synth.generated synth));
+    Gc.full_major ();
+    steady
+  in
+  let inline =
+    run ~slug:"inline" ~label:"inline" ~mode:Rp_engine.Engine.Inline
+  in
+  let sharded =
+    run ~slug:"sharded4" ~label:"sharded:4"
+      ~mode:(Rp_engine.Engine.Sharded 4)
+  in
+  (match csv with Some c -> Rp_obs.Csv_stats.close c | None -> ());
+  Printf.printf
+    "  steady-state model mpps/domain: inline %.4f, sharded:4 %.4f\n\
+    \  (ci/check_batch.sh gates the floor and Table-3 byte-identity)\n"
+    inline sharded
+
+(* ---------------------------------------------------------------------- *)
 
 let sections =
   [
@@ -1262,6 +1460,7 @@ let sections =
     ("fig-shard", fig_shard);
     ("fig-trace", fig_trace);
     ("fig-churn", fig_churn);
+    ("fig-batch", fig_batch);
     ("micro", micro);
   ]
 
@@ -1275,6 +1474,9 @@ let () =
   let rec split_args acc metrics trace = function
     | [] -> (List.rev acc, metrics, trace)
     | "--metrics-out" :: path :: rest -> split_args acc (Some path) trace rest
+    | "--csv-out" :: path :: rest ->
+      csv_out := Some path;
+      split_args acc metrics trace rest
     | "--trace-sample" :: n :: rest ->
       split_args acc metrics (int_of_string_opt n) rest
     | x :: rest -> split_args (x :: acc) metrics trace rest

@@ -74,19 +74,81 @@ let write_flow_log path =
    engine; throughput is reported from the cycle model (aggregate =
    packets / slowest shard's charged cycles) with wall-clock mpps as
    an informational figure (wall clock depends on host core count). *)
+let stats_columns =
+  [ "t_s"; "packets"; "cum_packets"; "model_mpps"; "wall_mpps" ]
+
 let run_sharded router n specs seconds coalesce metrics_out trace_out flow_log
-    =
+    stats_csv =
   let open Rp_engine in
   let e = Engine.create (Engine.Sharded n) router in
   (match coalesce with
    | Some (count, window_s) -> Engine.set_coalesce e ~count ?window_s ()
    | None -> ());
   let forwarded = ref 0 and dropped = ref 0 and absorbed = ref 0 in
+  let hz = Rp_core.Cost.cpu_mhz *. 1e6 in
+  let busiest_cycles () =
+    let mx = ref 0 in
+    for i = 0 to n - 1 do
+      let c = Engine.shard_cycles e i in
+      if c > !mx then mx := c
+    done;
+    !mx
+  in
+  (* Periodic reporter: one CSV row per [interval] completed packets
+     (a tenth of the offered load), same model-throughput math as the
+     final summary. *)
+  let csv =
+    Option.map (fun path -> Rp_obs.Csv_stats.to_file ~path ~columns:stats_columns)
+      stats_csv
+  in
+  let total_offered =
+    List.fold_left
+      (fun acc spec -> acc + int_of_float (spec.rate *. seconds))
+      0 specs
+  in
+  let interval = max 1 (total_offered / 10) in
+  let completed = ref 0 in
+  let last_done = ref 0 and last_cycles = ref 0 and next_report = ref interval in
+  let wall0 = Unix.gettimeofday () in
+  let last_wall = ref wall0 in
+  let report () =
+    match csv with
+    | None -> ()
+    | Some c ->
+      let cycles = busiest_cycles () in
+      let wall = Unix.gettimeofday () in
+      let pkts = !completed - !last_done in
+      let dcyc = cycles - !last_cycles in
+      let mpps =
+        if dcyc > 0 then float_of_int pkts /. (float_of_int dcyc /. hz) /. 1e6
+        else 0.0
+      in
+      let wall_mpps =
+        let dt = wall -. !last_wall in
+        if dt > 0.0 then float_of_int pkts /. dt /. 1e6 else 0.0
+      in
+      Rp_obs.Csv_stats.row c
+        [
+          Rp_obs.Csv_stats.f3 (wall -. wall0);
+          Rp_obs.Csv_stats.i pkts;
+          Rp_obs.Csv_stats.i !completed;
+          Rp_obs.Csv_stats.f6 mpps;
+          Rp_obs.Csv_stats.f6 wall_mpps;
+        ];
+      last_done := !completed;
+      last_cycles := cycles;
+      last_wall := wall
+  in
   let record (res : Shard.result) =
-    match res.Shard.outcome with
-    | Shard.Forwarded _ -> incr forwarded
-    | Shard.Dropped _ -> incr dropped
-    | Shard.Absorbed -> incr absorbed
+    (match res.Shard.outcome with
+     | Shard.Forwarded _ -> incr forwarded
+     | Shard.Dropped _ -> incr dropped
+     | Shard.Absorbed -> incr absorbed);
+    incr completed;
+    if !completed >= !next_report then begin
+      report ();
+      next_report := !next_report + interval
+    end
   in
   let submitted = ref 0 in
   let t0 = Unix.gettimeofday () in
@@ -104,16 +166,15 @@ let run_sharded router n specs seconds coalesce metrics_out trace_out flow_log
       done)
     specs;
   ignore (Engine.flush e ~f:record);
+  (match csv with
+   | Some c ->
+     if !completed > !last_done then report ();
+     Rp_obs.Csv_stats.close c;
+     Printf.printf "stats time series written (%d rows)\n"
+       (Rp_obs.Csv_stats.rows c)
+   | None -> ());
   let wall_s = Unix.gettimeofday () -. t0 in
-  let max_cycles =
-    let mx = ref 0 in
-    for i = 0 to n - 1 do
-      let c = Engine.shard_cycles e i in
-      if c > !mx then mx := c
-    done;
-    !mx
-  in
-  let hz = Rp_core.Cost.cpu_mhz *. 1e6 in
+  let max_cycles = busiest_cycles () in
   let model_s = float_of_int max_cycles /. hz in
   let total = !forwarded + !dropped + !absorbed in
   let mpps_model = if model_s > 0.0 then float_of_int total /. model_s /. 1e6 else 0.0 in
@@ -157,7 +218,7 @@ let parse_coalesce s =
   | None -> conv (int_of_string_opt s) None
 
 let main script flows seconds in_ifaces bandwidth_mbps mode_str engine_str
-    coalesce_str metrics_out trace trace_out trace_sample flow_log =
+    coalesce_str metrics_out trace trace_out trace_sample flow_log stats_csv =
   Rp_obs.Trace.enabled := trace;
   if trace_sample < 1 then begin
     Printf.eprintf "--trace-sample: expected a positive sampling period\n%!";
@@ -208,7 +269,7 @@ let main script flows seconds in_ifaces bandwidth_mbps mode_str engine_str
   (match engine_mode with
    | Rp_engine.Engine.Sharded n ->
      run_sharded router n specs seconds coalesce metrics_out trace_out
-       flow_log;
+       flow_log stats_csv;
      exit 0
    | Rp_engine.Engine.Inline ->
      (* The default: the deterministic single-domain simulator path
@@ -235,7 +296,60 @@ let main script flows seconds in_ifaces bandwidth_mbps mode_str engine_str
              seed = spec.id;
            }))
     specs;
+  (* Periodic stats reporter on the simulator clock: a row per tenth
+     of the traffic duration, throughput from the cycle model (the
+     sim's time axis), wall clock informational. *)
+  let stats =
+    Option.map
+      (fun path -> Rp_obs.Csv_stats.to_file ~path ~columns:stats_columns)
+      stats_csv
+  in
+  (match stats with
+   | Some c ->
+     let interval_ns = Rp_sim.Sim.ns_of_sec (seconds /. 10.0) in
+     let stop_ns = Rp_sim.Sim.ns_of_sec seconds in
+     let hz = Rp_core.Cost.cpu_mhz *. 1e6 in
+     let last_pkts = ref 0 in
+     let last_cycles = ref (Rp_core.Cost.get ()) in
+     let last_wall = ref (Unix.gettimeofday ()) in
+     let rec plan t =
+       Rp_sim.Sim.at s.Rp_sim.Scenario.sim t (fun () ->
+           let st = Rp_sim.Net.stats s.Rp_sim.Scenario.node in
+           let cycles = Rp_core.Cost.get () in
+           let wall = Unix.gettimeofday () in
+           let pkts = st.Rp_sim.Net.received - !last_pkts in
+           let dcyc = cycles - !last_cycles in
+           let mpps =
+             if dcyc > 0 then
+               float_of_int pkts /. (float_of_int dcyc /. hz) /. 1e6
+             else 0.0
+           in
+           let wall_mpps =
+             let dt = wall -. !last_wall in
+             if dt > 0.0 then float_of_int pkts /. dt /. 1e6 else 0.0
+           in
+           Rp_obs.Csv_stats.row c
+             [
+               Rp_obs.Csv_stats.f3 (Int64.to_float t /. 1e9);
+               Rp_obs.Csv_stats.i pkts;
+               Rp_obs.Csv_stats.i st.Rp_sim.Net.received;
+               Rp_obs.Csv_stats.f6 mpps;
+               Rp_obs.Csv_stats.f6 wall_mpps;
+             ];
+           last_pkts := st.Rp_sim.Net.received;
+           last_cycles := cycles;
+           last_wall := wall;
+           if t < stop_ns then plan (Int64.add t interval_ns))
+     in
+     plan interval_ns
+   | None -> ());
   Rp_sim.Scenario.run s ~seconds:(seconds +. 1.0);
+  (match stats with
+   | Some c ->
+     Rp_obs.Csv_stats.close c;
+     Printf.printf "stats time series written (%d rows)\n"
+       (Rp_obs.Csv_stats.rows c)
+   | None -> ());
   (* Report. *)
   Printf.printf "\n== per-flow results (%.1f s simulated) ==\n" seconds;
   Printf.printf "%-6s %12s %12s %12s %12s\n" "flow" "packets" "Mb/s" "mean ms" "max ms";
@@ -351,6 +465,15 @@ let trace_sample_arg =
            ~doc:"With $(b,--trace-out), sample one packet in $(docv) \
                  (default 1 = every packet).")
 
+let stats_csv_arg =
+  Arg.(value & opt (some string) None
+       & info [ "stats-csv" ] ~docv:"FILE"
+           ~doc:"Write a periodic throughput time series (CSV: one row \
+                 per tenth of the traffic duration — packets, model \
+                 mpps, wall mpps) to $(docv).  Works with both \
+                 $(b,--engine inline) (simulator clock) and \
+                 $(b,sharded:N) (completed-packet count).")
+
 let flow_log_arg =
   Arg.(value & opt (some string) None
        & info [ "flow-log" ] ~docv:"FILE"
@@ -363,6 +486,7 @@ let cmd =
     (Cmd.info "rp_router" ~version:"1.0" ~doc)
     Term.(const main $ script_arg $ flow_arg $ seconds_arg $ ifaces_arg
           $ bw_arg $ mode_arg $ engine_arg $ coalesce_arg $ metrics_arg
-          $ trace_arg $ trace_out_arg $ trace_sample_arg $ flow_log_arg)
+          $ trace_arg $ trace_out_arg $ trace_sample_arg $ flow_log_arg
+          $ stats_csv_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -9,58 +9,20 @@
 # The metrics file is rp-metrics/1 JSON, written one metric per line
 # precisely so this script needs no JSON parser.
 set -eu
+# shellcheck source=ci/lib.sh
+. "$(dirname "$0")/lib.sh"
 
 file="${1:-bench.json}"
-if [ ! -f "$file" ]; then
-  echo "check_bench: $file not found" >&2
-  exit 2
-fi
-
-fail=0
-
-metric() {
-  sed -n "s/^[[:space:]]*\"$1\": \([0-9][0-9.]*\),\{0,1\}[[:space:]]*$/\1/p" \
-    "$file" | head -n1
-}
-
-# check_max NAME BOUND — fail when NAME is missing or exceeds BOUND.
-check_max() {
-  v="$(metric "$1")"
-  if [ -z "$v" ]; then
-    echo "FAIL $1: missing from $file"
-    fail=1
-  elif awk "BEGIN { exit !($v <= $2) }"; then
-    echo "ok   $1 = $v (bound $2)"
-  else
-    echo "FAIL $1 = $v exceeds bound $2"
-    fail=1
-  fi
-}
-
-# check_near NAME EXPECTED TOL_PCT — fail when NAME is missing or more
-# than TOL_PCT percent away from EXPECTED.
-check_near() {
-  v="$(metric "$1")"
-  if [ -z "$v" ]; then
-    echo "FAIL $1: missing from $file"
-    fail=1
-  elif awk "BEGIN { d = ($v - $2) / $2; if (d < 0) d = -d; \
-                    exit !(d <= $3 / 100) }"; then
-    echo "ok   $1 = $v (expected $2 within $3%)"
-  else
-    echo "FAIL $1 = $v outside $2 +/- $3%"
-    fail=1
-  fi
-}
+require_files "$file"
 
 echo "== Table 2: worst-case filter-lookup memory accesses =="
-check_max bench.table2.ipv4.worst_accesses 20
-check_max bench.table2.ipv6.worst_accesses 24
+check_max "$file" bench.table2.ipv4.worst_accesses 20
+check_max "$file" bench.table2.ipv6.worst_accesses 24
 
 echo "== Table 3: per-packet cycle model =="
-check_near bench.table3.best_effort.cycles 6460 2
-check_near bench.table3.plugins_3gates.cycles 6955 2
-check_near bench.table3.monolithic_drr.cycles 8160 2
-check_near bench.table3.plugins_drr.cycles 8105 2
+check_near "$file" bench.table3.best_effort.cycles 6460 2
+check_near "$file" bench.table3.plugins_3gates.cycles 6955 2
+check_near "$file" bench.table3.monolithic_drr.cycles 8160 2
+check_near "$file" bench.table3.plugins_drr.cycles 8105 2
 
 exit $fail

@@ -19,63 +19,23 @@
 # The metrics files are rp-metrics/1 JSON, written one metric per line
 # precisely so this script needs no JSON parser.
 set -eu
+# shellcheck source=ci/lib.sh
+. "$(dirname "$0")/lib.sh"
 
 churn="${1:-churn.json}"
 base="${2:-table3-a.json}"
-for f in "$churn" "$base"; do
-  if [ ! -f "$f" ]; then
-    echo "check_churn: $f not found" >&2
-    exit 2
-  fi
-done
-
-fail=0
-
-metric() { # FILE NAME
-  sed -n "s/^[[:space:]]*\"$2\": \([0-9][0-9.]*\),\{0,1\}[[:space:]]*$/\1/p" \
-    "$1" | head -n1
-}
-
-# check_min NAME BOUND — fail when NAME is missing or below BOUND.
-check_min() {
-  v="$(metric "$churn" "$1")"
-  if [ -z "$v" ]; then
-    echo "FAIL $1: missing from $churn"
-    fail=1
-  elif awk "BEGIN { exit !($v >= $2) }"; then
-    echo "ok   $1 = $v (floor $2)"
-  else
-    echo "FAIL $1 = $v below floor $2"
-    fail=1
-  fi
-}
-
-# check_same NAME — fail unless NAME is present and byte-identical in
-# both metrics files.
-check_same() {
-  a="$(metric "$churn" "$1")"
-  b="$(metric "$base" "$1")"
-  if [ -z "$a" ] || [ -z "$b" ]; then
-    echo "FAIL $1: missing ('$a' vs '$b')"
-    fail=1
-  elif [ "$a" = "$b" ]; then
-    echo "ok   $1 = $a (identical across runs)"
-  else
-    echo "FAIL $1 differs under churn: $a vs $b"
-    fail=1
-  fi
-}
+require_files "$churn" "$base"
 
 echo "== fig-churn: delta publication vs full recompile =="
-check_min bench.churn.inline.updates_per_s 1
-check_min bench.churn.sharded4.delta.updates_per_s 1
-check_min bench.churn.sharded4.full.updates_per_s 1
-check_min bench.churn.delta_speedup_4 10
+check_min "$churn" bench.churn.inline.updates_per_s 1
+check_min "$churn" bench.churn.sharded4.delta.updates_per_s 1
+check_min "$churn" bench.churn.sharded4.full.updates_per_s 1
+check_min "$churn" bench.churn.delta_speedup_4 10
 
 echo "== Table 3 unchanged by the delta machinery =="
-check_same bench.table3.best_effort.cycles
-check_same bench.table3.plugins_3gates.cycles
-check_same bench.table3.monolithic_drr.cycles
-check_same bench.table3.plugins_drr.cycles
+check_same "$churn" "$base" bench.table3.best_effort.cycles
+check_same "$churn" "$base" bench.table3.plugins_3gates.cycles
+check_same "$churn" "$base" bench.table3.monolithic_drr.cycles
+check_same "$churn" "$base" bench.table3.plugins_drr.cycles
 
 exit $fail

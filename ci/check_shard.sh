@@ -11,37 +11,15 @@
 # The metrics file is rp-metrics/1 JSON, written one metric per line
 # precisely so this script needs no JSON parser.
 set -eu
+# shellcheck source=ci/lib.sh
+. "$(dirname "$0")/lib.sh"
 
 file="${1:-shard.json}"
-if [ ! -f "$file" ]; then
-  echo "check_shard: $file not found" >&2
-  exit 2
-fi
-
-fail=0
-
-metric() {
-  sed -n "s/^[[:space:]]*\"$1\": \([0-9][0-9.]*\),\{0,1\}[[:space:]]*$/\1/p" \
-    "$file" | head -n1
-}
-
-# check_min NAME BOUND — fail when NAME is missing or below BOUND.
-check_min() {
-  v="$(metric "$1")"
-  if [ -z "$v" ]; then
-    echo "FAIL $1: missing from $file"
-    fail=1
-  elif awk "BEGIN { exit !($v >= $2) }"; then
-    echo "ok   $1 = $v (floor $2)"
-  else
-    echo "FAIL $1 = $v below floor $2"
-    fail=1
-  fi
-}
+require_files "$file"
 
 echo "== fig-shard: engine throughput scaling =="
-check_min bench.fig_shard.domains1.mpps 0.001
-check_min bench.fig_shard.domains4.mpps 0.001
-check_min bench.fig_shard.speedup_4v1 2
+check_min "$file" bench.fig_shard.domains1.mpps 0.001
+check_min "$file" bench.fig_shard.domains4.mpps 0.001
+check_min "$file" bench.fig_shard.speedup_4v1 2
 
 exit $fail

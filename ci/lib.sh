@@ -1,0 +1,102 @@
+# Shared helpers for the ci/check_*.sh gates, sourced with
+#   . "$(dirname "$0")/lib.sh"
+#
+# The rp-metrics JSON files are written one metric per line precisely
+# so these helpers need no JSON parser — a sed scrape is enough.  Each
+# check_* prints one ok/FAIL line and sets fail=1 on failure; gate
+# scripts finish with `exit $fail`.
+
+fail=0
+
+# metric FILE NAME — print NAME's value from FILE (empty when missing).
+metric() {
+  sed -n "s/^[[:space:]]*\"$2\": \([0-9][0-9.]*\),\{0,1\}[[:space:]]*$/\1/p" \
+    "$1" | head -n1
+}
+
+# require_files FILE... — exit 2 when any input file is missing.
+require_files() {
+  for f in "$@"; do
+    if [ ! -f "$f" ]; then
+      echo "$(basename "$0"): $f not found" >&2
+      exit 2
+    fi
+  done
+}
+
+# check_min FILE NAME FLOOR — fail when NAME is missing or below FLOOR.
+check_min() {
+  v="$(metric "$1" "$2")"
+  if [ -z "$v" ]; then
+    echo "FAIL $2: missing from $1"
+    fail=1
+  elif awk "BEGIN { exit !($v >= $3) }"; then
+    echo "ok   $2 = $v (floor $3)"
+  else
+    echo "FAIL $2 = $v below floor $3"
+    fail=1
+  fi
+}
+
+# check_max FILE NAME BOUND — fail when NAME is missing or exceeds BOUND.
+check_max() {
+  v="$(metric "$1" "$2")"
+  if [ -z "$v" ]; then
+    echo "FAIL $2: missing from $1"
+    fail=1
+  elif awk "BEGIN { exit !($v <= $3) }"; then
+    echo "ok   $2 = $v (bound $3)"
+  else
+    echo "FAIL $2 = $v exceeds bound $3"
+    fail=1
+  fi
+}
+
+# check_near FILE NAME EXPECTED TOL_PCT — fail when NAME is missing or
+# more than TOL_PCT percent away from EXPECTED.
+check_near() {
+  v="$(metric "$1" "$2")"
+  if [ -z "$v" ]; then
+    echo "FAIL $2: missing from $1"
+    fail=1
+  elif awk "BEGIN { d = ($v - $3) / $3; if (d < 0) d = -d; \
+                    exit !(d <= $4 / 100) }"; then
+    echo "ok   $2 = $v (expected $3 within $4%)"
+  else
+    echo "FAIL $2 = $v outside $3 +/- $4%"
+    fail=1
+  fi
+}
+
+# check_same FILE_A FILE_B NAME — fail unless NAME is present and
+# byte-identical in both metrics files.
+check_same() {
+  a="$(metric "$1" "$3")"
+  b="$(metric "$2" "$3")"
+  if [ -z "$a" ] || [ -z "$b" ]; then
+    echo "FAIL $3: missing ('$a' vs '$b')"
+    fail=1
+  elif [ "$a" = "$b" ]; then
+    echo "ok   $3 = $a (identical across runs)"
+  else
+    echo "FAIL $3 differs: $a vs $b"
+    fail=1
+  fi
+}
+
+# check_overhead FILE_BASE FILE_OTHER NAME PCT — fail when NAME is
+# missing from either file or FILE_OTHER's value exceeds FILE_BASE's
+# by more than PCT percent.
+check_overhead() {
+  b="$(metric "$1" "$3")"
+  t="$(metric "$2" "$3")"
+  if [ -z "$b" ] || [ -z "$t" ]; then
+    echo "FAIL $3: missing (base='$b' other='$t')"
+    fail=1
+  elif awk "BEGIN { exit !($t <= $b * (1 + $4 / 100)) }"; then
+    echo "ok   $3: base $b, other $t (<= $4% overhead)"
+  else
+    echo "FAIL $3: base $b, other $t (> $4% overhead)"
+    fail=1
+  fi
+}

@@ -29,6 +29,23 @@ val pp_verdict : Format.formatter -> verdict -> unit
     the receiving interface. *)
 val process : Router.t -> now:int64 -> Mbuf.t -> verdict
 
+(** [process_batch router ~now batch ~n] runs [batch.(0 .. n-1)]
+    through the data path in one gate-major sweep: each stage (entry,
+    pre-routing gates, punt, routing, post-routing gates, enqueue)
+    walks the whole batch before the next begins, so the gate-enabled
+    checks and counter updates are amortised across the batch.
+    Per-packet verdicts, cost-model charges and metric totals are
+    identical to calling {!process} on each packet in batch order —
+    only the interleaving of gate invocations differs.  [emit] is
+    called once per packet, in input order, with the packet's verdict. *)
+val process_batch :
+  Router.t ->
+  ?emit:(Mbuf.t -> verdict -> unit) ->
+  now:int64 ->
+  Mbuf.t array ->
+  n:int ->
+  unit
+
 (** [invoke_gate router ~now ~gate m] — classification + indirect call
     for one gate, exposed for tests and micro-benchmarks.  Returns the
     handler's action ([Continue] when no instance is bound). *)

@@ -117,12 +117,9 @@ let worker_loop t i =
       Rp_obs.Histogram.observe t.batch_hist n;
       let (), cycles =
         Cost.measure (fun () ->
-            for j = 0 to n - 1 do
-              let m = scratch.(j) in
-              let result = Shard.dispatch shard ~now:m.Mbuf.birth_ns m in
-              if not (Spsc.push tx result) then
-                Rp_obs.Counter.inc tx_drops
-            done)
+            Shard.dispatch_batch shard scratch ~n ~emit:(fun result ->
+                if not (Spsc.push tx result) then
+                  Rp_obs.Counter.inc tx_drops))
       in
       Shard.add_cycles shard cycles;
       Atomic.set busy false
@@ -368,6 +365,43 @@ let submit t ~now m =
       Rp_obs.Counter.inc t.m_bp_drops;
       false
     end
+
+(* Batched submission.  Inline: one [Ip_core.process_batch] sweep over
+   the whole batch — the engine-level bookkeeping (submit counter,
+   output-queue drain, inline result queue) hangs off the batch path's
+   per-packet [emit].  Sharded: packets of one batch hash to different
+   shards, so distribution stays per-packet pushes; the batching win
+   there is on the worker side ([Shard.dispatch_batch]). *)
+let submit_batch t ~now batch ~n =
+  if n < 0 || n > Array.length batch then
+    invalid_arg "Engine.submit_batch: n out of range";
+  match t.mode with
+  | Inline ->
+    for i = 0 to n - 1 do
+      batch.(i).Mbuf.birth_ns <- now
+    done;
+    if n > 0 then Rp_obs.Counter.add t.m_submitted n;
+    Ip_core.process_batch t.router ~now batch ~n ~emit:(fun m verdict ->
+        (match verdict with
+         | Ip_core.Enqueued out ->
+           let ifc = Router.iface t.router out in
+           let rec drain_iface () =
+             match Iface.dequeue ifc ~now with
+             | Some _ -> drain_iface ()
+             | None -> ()
+           in
+           drain_iface ()
+         | _ -> ());
+        Queue.add
+          { Shard.m; outcome = verdict_to_outcome verdict; faults = [] }
+          t.inline_q);
+    n
+  | Sharded _ ->
+    let accepted = ref 0 in
+    for i = 0 to n - 1 do
+      if submit t ~now batch.(i) then incr accepted
+    done;
+    !accepted
 
 (* Apply one result's contained-fault events to the shared control
    state.  Returns true when the bindings changed (a quarantine), so

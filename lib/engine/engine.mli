@@ -66,6 +66,14 @@ val shard_flow_keys : t -> int -> Flow_key.t list
     ring was full and the packet was dropped (counted). *)
 val submit : t -> now:int64 -> Mbuf.t -> bool
 
+(** [submit_batch t ~now batch ~n] hands [batch.(0 .. n-1)] to the
+    engine at once, returning how many were accepted.  [Inline]: one
+    {!Rp_core.Ip_core.process_batch} gate-major sweep (always accepts
+    all [n]).  [Sharded]: per-packet RX-ring pushes (packets of one
+    batch hash to different shards); rejected packets are counted as
+    backpressure drops, exactly as {!submit}. *)
+val submit_batch : t -> now:int64 -> Mbuf.t array -> n:int -> int
+
 (** [drain t ~f] pulls completed results from every shard, applies
     contained-fault events to the PCU/router (auto-quarantine and the
     [Unbind] policy republish the snapshot), and calls [f] on each

@@ -297,6 +297,157 @@ let dispatch t ~now m =
        | Absorbed -> `Absorb);
   { m; outcome; faults = List.rev !faults }
 
+(* --- batched dispatch ----------------------------------------------- *)
+
+(* One gate over every still-live packet (gate-major): the per-gate
+   meter updates are accumulated locally and flushed once per batch —
+   on the worker domains those counters are atomics, so this also
+   turns per-packet atomic RMWs into one per gate per batch.  The
+   per-packet inner work is exactly [invoke_gate]'s. *)
+let run_gate_batch t ~gate batch outcomes pkt_faults n =
+  let live = ref 0 and cycles_acc = ref 0 and drops = ref 0 in
+  for i = 0 to n - 1 do
+    match outcomes.(i) with
+    | Some _ -> ()
+    | None ->
+      incr live;
+      let m = batch.(i) in
+      let now = m.Mbuf.birth_ns in
+      let tseq = m.Mbuf.tseq in
+      if tseq <> 0 then
+        Rp_obs.Telemetry.record ~ts:(Cost.get ())
+          ~kind:Rp_obs.Telemetry.Gate_enter ~gate:(Gate.to_int gate) ~pkt:tseq
+          ~arg:0;
+      let action, gate_cycles =
+        Cost.measure (fun () ->
+            match classify_at t ~now ~gate m with
+            | None -> Plugin.Continue
+            | Some (inst, record) -> (
+                let binding =
+                  Rp_classifier.Flow_table.binding record
+                    ~gate:(Gate.to_int gate)
+                in
+                let outcome, handler_cycles =
+                  Cost.measure (fun () ->
+                      try
+                        Ok
+                          (inst.Plugin.handle { Plugin.now_ns = now; binding }
+                             m)
+                      with e -> Error (Fault.Exn (Printexc.to_string e)))
+                in
+                match outcome with
+                | Error reason ->
+                  contain t ~gate ~tseq inst reason pkt_faults.(i)
+                | Ok action -> (
+                    match t.budget with
+                    | Some budget when handler_cycles > budget ->
+                      contain t ~gate ~tseq inst (Fault.Budget handler_cycles)
+                        pkt_faults.(i)
+                    | _ -> action)))
+      in
+      cycles_acc := !cycles_acc + gate_cycles;
+      if tseq <> 0 then begin
+        Rp_obs.Telemetry.record ~ts:(Cost.get ())
+          ~kind:Rp_obs.Telemetry.Gate_exit ~gate:(Gate.to_int gate) ~pkt:tseq
+          ~arg:0;
+        Rp_obs.Histogram.observe (Gate.span gate) gate_cycles
+      end;
+      (match action with
+       | Plugin.Continue -> ()
+       | Plugin.Consumed -> outcomes.(i) <- Some Absorbed
+       | Plugin.Drop why ->
+         incr drops;
+         outcomes.(i) <- Some (Dropped why))
+  done;
+  if !live > 0 then begin
+    Rp_obs.Counter.add (Gate.Meters.dispatch t.meters gate) !live;
+    Rp_obs.Counter.add (Gate.Meters.cycles t.meters gate) !cycles_acc
+  end;
+  if !drops > 0 then Rp_obs.Counter.add (Gate.Meters.drops t.meters gate) !drops
+
+let dispatch_batch t batch ~n ~emit =
+  if n < 0 || n > Array.length batch then
+    invalid_arg "Shard.dispatch_batch: n out of range";
+  if n > 0 then Rp_obs.Counter.add t.m_rx n;
+  let outcomes = Array.make (max n 1) None in
+  let outs = Array.make (max n 1) (-1) in
+  let t0s = Array.make (max n 1) 0 in
+  let pkt_faults = Array.init (max n 1) (fun _ -> ref []) in
+  (* Entry: sampling decision, base-forward charge, TTL. *)
+  for i = 0 to n - 1 do
+    let m = batch.(i) in
+    if Rp_obs.Telemetry.on () && m.Mbuf.tseq = 0 then
+      m.Mbuf.tseq <- Rp_obs.Telemetry.sample ();
+    let tseq = m.Mbuf.tseq in
+    if tseq <> 0 then begin
+      let ts = Cost.get () in
+      t0s.(i) <- ts;
+      Rp_obs.Telemetry.record ~ts ~kind:Rp_obs.Telemetry.Pkt_start ~gate:(-1)
+        ~pkt:tseq ~arg:m.Mbuf.len
+    end;
+    Cost.charge Cost.base_forward;
+    if m.Mbuf.ttl <= 1 then outcomes.(i) <- Some (Dropped "ttl expired")
+    else m.Mbuf.ttl <- m.Mbuf.ttl - 1
+  done;
+  List.iter
+    (fun gate ->
+      if gate_enabled t gate then
+        run_gate_batch t ~gate batch outcomes pkt_faults n)
+    Ip_core.inline_gates_pre;
+  (* Routing (gate, else private table) — per packet, as in the inline
+     batch path. *)
+  for i = 0 to n - 1 do
+    match outcomes.(i) with
+    | Some _ -> ()
+    | None -> (
+        let m = batch.(i) in
+        match route t ~now:m.Mbuf.birth_ns m pkt_faults.(i) with
+        | out -> outs.(i) <- out
+        | exception Drop_exn why -> outcomes.(i) <- Some (Dropped why)
+        | exception Consumed_exn -> outcomes.(i) <- Some Absorbed)
+  done;
+  List.iter
+    (fun gate ->
+      if gate_enabled t gate then
+        run_gate_batch t ~gate batch outcomes pkt_faults n)
+    Ip_core.inline_gates_post;
+  (* Outcome accounting, telemetry close, flow accounting — input
+     order, one emit per packet. *)
+  let fwd = ref 0 and abso = ref 0 and drop = ref 0 in
+  let ft = Rp_classifier.Aiu.flow_table t.aiu in
+  for i = 0 to n - 1 do
+    let m = batch.(i) in
+    let outcome =
+      match outcomes.(i) with Some o -> o | None -> Forwarded outs.(i)
+    in
+    (match outcome with
+     | Forwarded _ -> incr fwd
+     | Absorbed -> incr abso
+     | Dropped _ -> incr drop);
+    let tseq = m.Mbuf.tseq in
+    if tseq <> 0 then begin
+      let ts = Cost.get () in
+      (match outcome with
+       | Dropped _ ->
+         Rp_obs.Telemetry.record ~ts ~kind:Rp_obs.Telemetry.Drop ~gate:(-1)
+           ~pkt:tseq ~arg:0
+       | Forwarded _ | Absorbed -> ());
+      Rp_obs.Telemetry.record ~ts ~kind:Rp_obs.Telemetry.Pkt_end ~gate:(-1)
+        ~pkt:tseq ~arg:0;
+      Rp_obs.Histogram.observe Rp_obs.Telemetry.packet_hist (ts - t0s.(i))
+    end;
+    Rp_classifier.Flow_table.account ft m
+      ~verdict:
+        (match outcome with
+         | Forwarded _ -> `Fwd
+         | Dropped _ -> `Drop
+         | Absorbed -> `Absorb);
+    emit { m; outcome; faults = List.rev !(pkt_faults.(i)) }
+  done;
+  if !fwd > 0 then Rp_obs.Counter.add t.m_forwarded !fwd;
+  if !abso > 0 then Rp_obs.Counter.add t.m_absorbed !abso;
+  if !drop > 0 then Rp_obs.Counter.add t.m_dropped !drop
+
 let flush_flows t = Rp_classifier.Aiu.flush_flows t.aiu
 
 let flow_keys t =

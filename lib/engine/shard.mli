@@ -60,6 +60,17 @@ val sync : t -> Snapshot.t -> unit
     shard's own domain. *)
 val dispatch : t -> now:int64 -> Mbuf.t -> result
 
+(** [dispatch_batch t batch ~n ~emit] runs [batch.(0 .. n-1)] through
+    the shard data path in one gate-major sweep, calling [emit] once
+    per packet in input order with its {!result}.  Per-packet outcomes
+    and cost-model charges are identical to [n] {!dispatch} calls
+    (each packet's [birth_ns] is its [now]); the per-gate meter
+    updates — atomic counters on worker domains — are batched to one
+    add per gate per batch.  Must only be called from the shard's own
+    domain. *)
+val dispatch_batch :
+  t -> Mbuf.t array -> n:int -> emit:(result -> unit) -> unit
+
 (** Model cycles charged by this shard's dispatches so far (readable
     from any domain). *)
 val cycles : t -> int

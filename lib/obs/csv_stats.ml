@@ -1,0 +1,66 @@
+(* Periodic CSV reporter, after snabb's csv_stats program: a fixed
+   column set declared up front, one row per reporting interval,
+   flushed eagerly so a partial run still leaves a usable series. *)
+
+type t = {
+  out : out_channel;
+  owned : bool;  (* close the channel on [close] *)
+  ncols : int;
+  mutable rows : int;
+  mutable closed : bool;
+}
+
+let quote field =
+  if
+    String.exists
+      (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r')
+      field
+  then begin
+    let b = Buffer.create (String.length field + 2) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+      field;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  end
+  else field
+
+let write_line t fields =
+  output_string t.out (String.concat "," (List.map quote fields));
+  output_char t.out '\n';
+  flush t.out
+
+let create ?(owned = false) ~out ~columns () =
+  if columns = [] then invalid_arg "Csv_stats.create: no columns";
+  let t =
+    { out; owned; ncols = List.length columns; rows = 0; closed = false }
+  in
+  write_line t columns;
+  t
+
+let to_file ~path ~columns =
+  create ~owned:true ~out:(open_out path) ~columns ()
+
+let row t fields =
+  if t.closed then invalid_arg "Csv_stats.row: reporter closed";
+  if List.length fields <> t.ncols then
+    invalid_arg
+      (Printf.sprintf "Csv_stats.row: %d fields for %d columns"
+         (List.length fields) t.ncols);
+  write_line t fields;
+  t.rows <- t.rows + 1
+
+let rows t = t.rows
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    flush t.out;
+    if t.owned then close_out t.out
+  end
+
+let f3 x = Printf.sprintf "%.3f" x
+let f6 x = Printf.sprintf "%.6f" x
+let i = string_of_int

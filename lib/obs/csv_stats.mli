@@ -1,0 +1,30 @@
+(** Periodic CSV reporter (snabb's [csv_stats] is the model): declare
+    the column set once, then emit one row per reporting interval.
+    Rows are flushed eagerly, so an interrupted run still leaves a
+    usable time series on disk. *)
+
+type t
+
+(** [create ~out ~columns ()] writes the header line immediately.
+    [owned] (default false): close [out] on {!close}. *)
+val create : ?owned:bool -> out:out_channel -> columns:string list -> unit -> t
+
+(** [to_file ~path ~columns] — create + own [path]. *)
+val to_file : path:string -> columns:string list -> t
+
+(** [row t fields] appends one row.  Fields containing commas, quotes
+    or newlines are quoted.
+    @raise Invalid_argument on arity mismatch or after {!close}. *)
+val row : t -> string list -> unit
+
+(** Rows emitted so far (header excluded). *)
+val rows : t -> int
+
+val close : t -> unit
+
+(** Formatting helpers: [f3]/[f6] print with 3/6 decimals, [i] an
+    int. *)
+
+val f3 : float -> string
+val f6 : float -> string
+val i : int -> string

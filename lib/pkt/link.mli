@@ -1,0 +1,40 @@
+(** Fixed-capacity packet link between pipeline stages, after snabb's
+    [core.link]: a bounded ring with transmit/receive counters.  A full
+    link refuses the packet ([transmit] returns [false], counted in
+    [txdrops]) — backpressure is the caller's policy, typically "stop
+    pulling from the generator".
+
+    Links are single-domain plumbing for one breathe loop; packets
+    crossing domains go through the engine's SPSC rings instead.
+    Operations are allocation-free. *)
+
+exception Empty
+
+type t
+
+(** [create ~capacity ()] — capacity is rounded up to a power of two
+    (default 256). *)
+val create : ?capacity:int -> unit -> t
+
+val capacity : t -> int
+val nreadable : t -> int
+val nwritable : t -> int
+val is_empty : t -> bool
+val is_full : t -> bool
+
+(** [transmit t m] appends [m]; [false] (and a [txdrops] bump) when
+    the link is full. *)
+val transmit : t -> Mbuf.t -> bool
+
+(** [receive t] pops the oldest packet.
+    @raise Empty when the link is empty (check {!nreadable} first on
+    the hot path). *)
+val receive : t -> Mbuf.t
+
+(** [receive_batch t ~max dst] pops up to [max] packets into
+    [dst.(0 .. n-1)], returning [n] (possibly 0). *)
+val receive_batch : t -> max:int -> Mbuf.t array -> int
+
+val txpackets : t -> int
+val txdrops : t -> int
+val rxpackets : t -> int

@@ -12,7 +12,7 @@ type frag_info = {
 
 type t = {
   mutable key : Flow_key.t;
-  version : version;
+  mutable version : version;
   mutable len : int;
   mutable ttl : int;
   mutable tos : int;
@@ -29,6 +29,8 @@ type t = {
   mutable dont_fragment : bool;
   mutable frag : frag_info option;
   mutable tseq : int;
+  mutable pool_id : int;
+  mutable pool_slot : int;
 }
 
 let synth ?(ttl = 64) ?(tos = 0) ?(flow_label = 0) ~key ~len () =
@@ -51,6 +53,8 @@ let synth ?(ttl = 64) ?(tos = 0) ?(flow_label = 0) ~key ~len () =
     dont_fragment = false;
     frag = None;
     tseq = 0;
+    pool_id = 0;
+    pool_slot = -1;
   }
 
 type error =
@@ -117,6 +121,8 @@ let of_bytes ~iface buf =
                    more = h.Ipv4_header.more_fragments;
                  });
           tseq = 0;
+          pool_id = 0;
+          pool_slot = -1;
         }
     else if version = 6 then
       let* h = Result.map_error (fun e -> V6_error e) (Ipv6_header.parse buf 0) in
@@ -168,6 +174,8 @@ let of_bytes ~iface buf =
           dont_fragment = true;  (* routers never fragment IPv6 *)
           frag = None;
           tseq = 0;
+          pool_id = 0;
+          pool_slot = -1;
         }
     else Error (V4_error (Ipv4_header.Bad_version version))
 

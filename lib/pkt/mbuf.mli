@@ -27,7 +27,10 @@ type frag_info = {
 
 type t = {
   mutable key : Flow_key.t;
-  version : version;
+  mutable version : version;
+      (** mutable so a pooled descriptor can be recycled across
+          address families (see {!Pool}); everything else treats it as
+          set-once *)
   mutable len : int;  (** total datagram length on the wire, bytes *)
   mutable ttl : int;
   mutable tos : int;  (** TOS / IPv6 traffic class *)
@@ -47,6 +50,11 @@ type t = {
   mutable tseq : int;
       (** telemetry trace id: 0 = unsampled, else the positive packet
           id stamped by the IP core when tracing samples this packet *)
+  mutable pool_id : int;
+      (** owning {!Pool} uid, 0 = not pool-managed; maintained by the
+          pool, opaque to everything else *)
+  mutable pool_slot : int;
+      (** slot in the owning pool's backing arrays, -1 = none *)
 }
 
 (** [synth ~key ~len ()] builds a descriptor without wire bytes — the

@@ -1,0 +1,104 @@
+(* Synthetic traffic source in the snabb "Synth" app mold: a
+   pull-driven generator that allocates descriptors from a packet
+   Pool and transmits them onto a Link, as fast as the downstream
+   stage drains — or up to a configured rate against the caller's
+   clock.  Deterministic for a given seed. *)
+
+open Rp_pkt
+
+let default_size_mix = [ (64, 7); (594, 4); (1500, 1) ]
+
+type t = {
+  pool : Pool.t;
+  rng : Random.State.t;
+  sizes : int array;  (* one entry per weight unit; uniform pick = mix *)
+  flows : int;
+  rate_pps : float option;
+  iface : int;
+  mutable start_ns : int64;  (* rate epoch; first pull's [now_ns] *)
+  mutable started : bool;
+  mutable generated : int;
+  mutable starved : int;
+  mutable blocked : int;
+}
+
+let create ?(seed = 42) ?(size_mix = default_size_mix) ?(flows = 64)
+    ?rate_pps ?(iface = 0) ~pool () =
+  if flows < 1 then invalid_arg "Synth.create: flows < 1";
+  (match rate_pps with
+   | Some r when r <= 0.0 -> invalid_arg "Synth.create: rate_pps <= 0"
+   | _ -> ());
+  if size_mix = [] then invalid_arg "Synth.create: empty size mix";
+  let sizes =
+    List.concat_map
+      (fun (len, weight) ->
+        if len < 1 || weight < 1 then
+          invalid_arg "Synth.create: bad size mix entry";
+        List.init weight (fun _ -> len))
+      size_mix
+    |> Array.of_list
+  in
+  {
+    pool;
+    rng = Random.State.make [| seed |];
+    sizes;
+    flows;
+    rate_pps;
+    iface;
+    start_ns = 0L;
+    started = false;
+    generated = 0;
+    starved = 0;
+    blocked = 0;
+  }
+
+let pool t = t.pool
+
+(* How many packets the rate cap allows in total by [now_ns].  The
+   deficit against [generated] is this pull's budget, so a slow
+   consumer is caught up with a burst rather than permanently losing
+   its share (token-bucket behavior with an unbounded bucket). *)
+let allowed t ~now_ns =
+  match t.rate_pps with
+  | None -> max_int
+  | Some rate ->
+    let dt_ns = Int64.to_float (Int64.sub now_ns t.start_ns) in
+    int_of_float (rate *. dt_ns /. 1e9)
+
+let pull t ~now_ns link ~max =
+  if not t.started then begin
+    t.started <- true;
+    t.start_ns <- now_ns
+  end;
+  let budget =
+    let b = allowed t ~now_ns - t.generated in
+    if b < max then b else max
+  in
+  let sent = ref 0 in
+  (try
+     while !sent < budget do
+       if Link.is_full link then begin
+         t.blocked <- t.blocked + 1;
+         raise Exit
+       end;
+       let id = Random.State.int t.rng t.flows in
+       let len = t.sizes.(Random.State.int t.rng (Array.length t.sizes)) in
+       let key = Traffic.flow_key ~iface:t.iface ~id () in
+       let m =
+         match Pool.alloc t.pool ~key ~len with
+         | m -> m
+         | exception Pool.Empty ->
+           t.starved <- t.starved + 1;
+           raise Exit
+       in
+       m.Mbuf.seq <- t.generated;
+       ignore (Link.transmit link m);
+       t.generated <- t.generated + 1;
+       incr sent
+     done
+   with Exit -> ());
+  !sent
+
+let generated t = t.generated
+let starved t = t.starved
+let blocked t = t.blocked

@@ -1,0 +1,50 @@
+(** Synthetic traffic generator (snabb's [Synth] app is the model): a
+    pull-driven source that allocates packet descriptors from a
+    {!Rp_pkt.Pool} and transmits them onto a {!Rp_pkt.Link}.
+
+    Unlike {!Traffic}, which schedules per-packet injection events on
+    the discrete-event simulator, [Synth] is driven by the pump loop:
+    each {!pull} fills the downstream link up to its budget, so the
+    generator naturally backs off when the pool runs dry (packets in
+    flight) or the link is full (downstream slower than the source).
+    Deterministic for a given [seed]. *)
+
+open Rp_pkt
+
+type t
+
+(** The default IMIX-ish size mix: 64 B × 7, 594 B × 4, 1500 B × 1. *)
+val default_size_mix : (int * int) list
+
+(** [create ~pool ()] — packets are drawn from [pool].
+    [size_mix] is a [(bytes, weight)] list (default
+    {!default_size_mix}); [flows] distinct flow keys are generated
+    round-robin by a seeded RNG (default 64, keys via
+    {!Traffic.flow_key}); [rate_pps] caps the average generation rate
+    against the [now_ns] values passed to {!pull} (default: unlimited
+    — generate as fast as the consumer drains). *)
+val create :
+  ?seed:int ->
+  ?size_mix:(int * int) list ->
+  ?flows:int ->
+  ?rate_pps:float ->
+  ?iface:int ->
+  pool:Pool.t ->
+  unit ->
+  t
+
+val pool : t -> Pool.t
+
+(** [pull t ~now_ns link ~max] generates up to [max] packets onto
+    [link], returning how many were sent.  Stops early when the link
+    fills (counted in {!blocked}), the pool is exhausted (counted in
+    {!starved}), or the rate cap for [now_ns] is reached. *)
+val pull : t -> now_ns:int64 -> Link.t -> max:int -> int
+
+val generated : t -> int
+
+(** Pulls cut short by an exhausted pool. *)
+val starved : t -> int
+
+(** Pulls cut short by a full link. *)
+val blocked : t -> int

@@ -523,6 +523,98 @@ let test_stats_history_on_evict () =
     check int_t "history recorded" 3 (List.length t.Stats_plugin.history)
   | None -> Alcotest.fail "no totals"
 
+(* --- batch path -------------------------------------------------------- *)
+
+let verdict_equal a b =
+  match (a, b) with
+  | Ip_core.Enqueued x, Ip_core.Enqueued y -> x = y
+  | Ip_core.Delivered_local, Ip_core.Delivered_local -> true
+  | Ip_core.Absorbed, Ip_core.Absorbed -> true
+  | Ip_core.Dropped x, Ip_core.Dropped y -> String.equal x y
+  | _ -> false
+
+(* A router with enough bound plugins that batching has something to
+   interleave: a TCP deny at the firewall gate, stats on everything,
+   one local address, one route, and the no-route default drop. *)
+let batch_router () =
+  let r = mk_router () in
+  Router.add_local_addr r (Ipaddr.v4 192 168 7 7);
+  ok (Pcu.modload r.Router.pcu (module Firewall_plugin));
+  let deny =
+    ok (Pcu.create_instance r.Router.pcu ~plugin:"firewall" [ ("policy", "deny") ])
+  in
+  ok
+    (Pcu.register_instance r.Router.pcu ~instance:deny.Plugin.instance_id
+       (Rp_classifier.Filter.v4 ~proto:Proto.tcp ()));
+  ok (Pcu.modload r.Router.pcu (module Stats_plugin));
+  let st = ok (Pcu.create_instance r.Router.pcu ~plugin:"stats" []) in
+  ok
+    (Pcu.register_instance r.Router.pcu ~instance:st.Plugin.instance_id
+       (Rp_classifier.Filter.v4 ()));
+  r
+
+(* Mixed stream: forwards, no-route drops, TTL expiries, firewall
+   drops, local deliveries — every verdict arm of the data path. *)
+let batch_stream ~seed ~count =
+  let rng = Random.State.make [| seed |] in
+  Array.init count (fun _ ->
+      let roll = Random.State.int rng 10 in
+      let dst =
+        if roll = 0 then "8.8.8.8"
+        else if roll = 1 then "192.168.7.7"
+        else Printf.sprintf "192.168.1.%d" (1 + Random.State.int rng 8)
+      in
+      let ttl = if roll = 2 then 1 else 64 in
+      let proto = if roll >= 8 then Proto.tcp else Proto.udp in
+      let sport = 1024 + Random.State.int rng 16 in
+      mk_pkt ~ttl ~dst ~proto ~sport ())
+
+(* Run the same stream through [process] per packet on one router and
+   through [process_batch] on an identical second router; return the
+   verdict arrays, the charged model cycles of each, and the output
+   backlogs. *)
+let batch_vs_packet ~seed ~count =
+  let a = batch_router () in
+  let b = batch_router () in
+  let pkts_a = batch_stream ~seed ~count in
+  let pkts_b = batch_stream ~seed ~count in
+  let va, cost_a =
+    Cost.measure (fun () -> Array.map (Ip_core.process a ~now:0L) pkts_a)
+  in
+  let acc = ref [] in
+  let (), cost_b =
+    Cost.measure (fun () ->
+        Ip_core.process_batch b ~now:0L pkts_b ~n:count ~emit:(fun _ v ->
+            acc := v :: !acc))
+  in
+  let vb = Array.of_list (List.rev !acc) in
+  let backlog r = Iface.backlog (Router.iface r 1) in
+  (va, vb, cost_a, cost_b, backlog a, backlog b)
+
+let test_batch_equals_packet () =
+  let va, vb, cost_a, cost_b, qa, qb = batch_vs_packet ~seed:7 ~count:64 in
+  check int_t "one verdict per packet" (Array.length va) (Array.length vb);
+  Array.iteri
+    (fun i v ->
+      if not (verdict_equal v vb.(i)) then
+        Alcotest.failf "packet %d: %a per-packet vs %a batched" i
+          Ip_core.pp_verdict v Ip_core.pp_verdict vb.(i))
+    va;
+  check int_t "identical model cycles" cost_a cost_b;
+  check int_t "identical output backlog" qa qb
+
+let prop_batch_equals_packet =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:25 ~name:"process_batch matches process"
+       (QCheck2.Gen.int_bound 100_000)
+       (fun seed ->
+         let va, vb, cost_a, cost_b, qa, qb =
+           batch_vs_packet ~seed ~count:32
+         in
+         cost_a = cost_b && qa = qb
+         && Array.length va = Array.length vb
+         && Array.for_all2 verdict_equal va vb))
+
 let () =
   Alcotest.run "rp_core"
     [
@@ -551,6 +643,11 @@ let () =
           Alcotest.test_case "ipv6 options gate" `Quick test_options_gate_v6;
           Alcotest.test_case "punt handler" `Quick test_punt_handler;
           Alcotest.test_case "local delivery" `Quick test_local_delivery;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "batch = per-packet" `Quick test_batch_equals_packet;
+          prop_batch_equals_packet;
         ] );
       ( "faults",
         [

@@ -417,6 +417,169 @@ let prop_mbuf_v4_roundtrip =
          | Ok m' -> Flow_key.equal m.Mbuf.key m'.Mbuf.key && m.Mbuf.len = m'.Mbuf.len
          | Error _ -> false))
 
+(* --- pool ----------------------------------------------------------- *)
+
+let pool_key id =
+  Flow_key.make
+    ~src:(Ipaddr.v4 10 0 0 1)
+    ~dst:(Ipaddr.v4 192 168 1 (1 + (id mod 250)))
+    ~proto:17 ~sport:(1024 + (id mod 60000)) ~dport:9000 ~iface:0
+
+let test_pool_alloc_free () =
+  let p = Pool.create ~capacity:8 () in
+  check int_t "fresh pool full" 8 (Pool.available p);
+  let m = Pool.alloc p ~key:(pool_key 0) ~len:64 in
+  check int_t "one out" 7 (Pool.available p);
+  check int_t "ttl reset" 64 m.Mbuf.ttl;
+  check bool_t "v4 from key" true (m.Mbuf.version = Mbuf.V4);
+  check int_t "len set" 64 m.Mbuf.len;
+  check bool_t "backing buffer attached" true (m.Mbuf.raw <> None);
+  Pool.free p m;
+  check int_t "back home" 8 (Pool.available p);
+  let s = Pool.stats p in
+  check int_t "allocs" 1 s.Pool.allocs;
+  check int_t "frees" 1 s.Pool.frees
+
+let test_pool_exhaustion () =
+  let p = Pool.create ~buf_size:0 ~capacity:2 () in
+  let _a = Pool.alloc p ~key:(pool_key 0) ~len:64 in
+  let _b = Pool.alloc p ~key:(pool_key 1) ~len:64 in
+  check bool_t "alloc on empty raises" true
+    (match Pool.alloc p ~key:(pool_key 2) ~len:64 with
+    | exception Pool.Empty -> true
+    | _ -> false);
+  check int_t "exhaustion counted" 1 (Pool.stats p).Pool.exhausted
+
+let test_pool_double_free () =
+  let p = Pool.create ~buf_size:0 ~capacity:4 () in
+  let m = Pool.alloc p ~key:(pool_key 0) ~len:64 in
+  Pool.free p m;
+  Pool.free p m;
+  check int_t "free list intact" 4 (Pool.available p);
+  check int_t "double free counted" 1 (Pool.stats p).Pool.double_frees
+
+let test_pool_foreign_free () =
+  let p = Pool.create ~buf_size:0 ~capacity:4 () in
+  let q = Pool.create ~buf_size:0 ~capacity:4 () in
+  let m = Pool.alloc p ~key:(pool_key 0) ~len:64 in
+  Pool.free q m;
+  check int_t "other pool unchanged" 4 (Pool.available q);
+  check int_t "foreign free counted" 1 (Pool.stats q).Pool.foreign_frees;
+  Pool.free q (Mbuf.synth ~key:(pool_key 1) ~len:64 ());
+  check int_t "unpooled mbuf counted" 2 (Pool.stats q).Pool.foreign_frees;
+  Pool.free p m;
+  check int_t "real owner accepts" 4 (Pool.available p)
+
+(* An adversarial op sequence (including over-alloc and over-free)
+   must keep [available] = capacity - live descriptors: the free list
+   is never corrupted or leaked. *)
+let prop_pool_conservation =
+  qtest ~count:200 "pool: descriptor conservation under random ops"
+    QCheck2.Gen.(list_size (int_range 0 200) (int_bound 2))
+    (fun ops ->
+      let cap = 16 in
+      let p = Pool.create ~buf_size:0 ~capacity:cap () in
+      let live = Queue.create () in
+      List.iter
+        (fun op ->
+          if op > 0 then (
+            match Pool.alloc p ~key:(pool_key op) ~len:64 with
+            | m -> Queue.push m live
+            | exception Pool.Empty -> ())
+          else
+            match Queue.pop live with
+            | m -> Pool.free p m
+            | exception Queue.Empty -> ())
+        ops;
+      Pool.available p = cap - Queue.length live)
+
+(* The whole point of the pool: the steady-state alloc/free cycle does
+   not touch the GC.  10k cycles with per-packet allocation would show
+   up as tens of thousands of minor words; allow a small constant
+   slack for the [Gc.minor_words] boxing itself. *)
+let test_pool_gc_silent () =
+  let p = Pool.create ~capacity:64 () in
+  let key = pool_key 0 in
+  let spin () =
+    for _ = 1 to 10_000 do
+      let m = Pool.alloc p ~key ~len:64 in
+      Pool.free p m
+    done
+  in
+  spin ();
+  let before = Gc.minor_words () in
+  spin ();
+  let delta = Gc.minor_words () -. before in
+  check bool_t
+    (Printf.sprintf "steady state GC-silent (%.0f minor words)" delta)
+    true
+    (delta < 100.)
+
+(* --- link ----------------------------------------------------------- *)
+
+let link_mk i =
+  let m = Mbuf.synth ~key:(pool_key i) ~len:64 () in
+  m.Mbuf.seq <- i;
+  m
+
+let test_link_fifo () =
+  let l = Link.create ~capacity:4 () in
+  check int_t "capacity" 4 (Link.capacity l);
+  check bool_t "starts empty" true (Link.is_empty l);
+  for i = 0 to 3 do
+    check bool_t "transmit accepted" true (Link.transmit l (link_mk i))
+  done;
+  check bool_t "full" true (Link.is_full l);
+  check bool_t "overflow refused" false (Link.transmit l (link_mk 99));
+  check int_t "txdrops" 1 (Link.txdrops l);
+  check int_t "first out" 0 (Link.receive l).Mbuf.seq;
+  check int_t "second out" 1 (Link.receive l).Mbuf.seq;
+  check int_t "readable" 2 (Link.nreadable l);
+  check bool_t "transmit after pop (wrap)" true (Link.transmit l (link_mk 4));
+  check int_t "third" 2 (Link.receive l).Mbuf.seq;
+  check int_t "fourth" 3 (Link.receive l).Mbuf.seq;
+  check int_t "fifth" 4 (Link.receive l).Mbuf.seq;
+  check bool_t "receive on empty raises" true
+    (match Link.receive l with
+    | exception Link.Empty -> true
+    | _ -> false);
+  check int_t "txpackets" 5 (Link.txpackets l);
+  check int_t "rxpackets" 5 (Link.rxpackets l)
+
+let test_link_receive_batch () =
+  let l = Link.create ~capacity:8 () in
+  for i = 0 to 5 do
+    ignore (Link.transmit l (link_mk i))
+  done;
+  let dst = Array.make 8 (link_mk 0) in
+  let n = Link.receive_batch l ~max:4 dst in
+  check int_t "batch of four" 4 n;
+  for i = 0 to 3 do
+    check int_t "batch order" i dst.(i).Mbuf.seq
+  done;
+  check int_t "remainder" 2 (Link.receive_batch l ~max:8 dst);
+  check int_t "tail order" 4 dst.(0).Mbuf.seq;
+  check int_t "batch on empty" 0 (Link.receive_batch l ~max:4 dst)
+
+let prop_link_fifo =
+  qtest ~count:200 "link: FIFO under random tx/rx interleaving"
+    QCheck2.Gen.(list_size (int_range 0 200) (int_bound 1))
+    (fun ops ->
+      let l = Link.create ~capacity:8 () in
+      let next = ref 0 and expect = ref 0 and ok = ref true in
+      List.iter
+        (fun op ->
+          if op = 1 then begin
+            let m = link_mk !next in
+            if Link.transmit l m then incr next
+          end
+          else if not (Link.is_empty l) then begin
+            if (Link.receive l).Mbuf.seq <> !expect then ok := false;
+            incr expect
+          end)
+        ops;
+      !ok && Link.rxpackets l = !expect)
+
 let () =
   Alcotest.run "rp_pkt"
     [
@@ -470,5 +633,22 @@ let () =
           Alcotest.test_case "udp v6 roundtrip" `Quick test_mbuf_udp_v6_roundtrip;
           Alcotest.test_case "udp checksum" `Quick test_mbuf_udp_checksum_valid;
           prop_mbuf_v4_roundtrip;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "alloc/free round trip" `Quick test_pool_alloc_free;
+          Alcotest.test_case "exhaustion" `Quick test_pool_exhaustion;
+          Alcotest.test_case "double free is a no-op" `Quick test_pool_double_free;
+          Alcotest.test_case "foreign free is a no-op" `Quick
+            test_pool_foreign_free;
+          Alcotest.test_case "steady state is GC-silent" `Quick
+            test_pool_gc_silent;
+          prop_pool_conservation;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "fifo, overflow, wrap" `Quick test_link_fifo;
+          Alcotest.test_case "receive_batch" `Quick test_link_receive_batch;
+          prop_link_fifo;
         ] );
     ]
