@@ -17,6 +17,7 @@
      fig-trace       hot-path tracing overhead vs sampling period
      fig-churn       control-plane churn: delta publication vs recompile
      fig-batch       batched zero-copy data path throughput time series
+     fig-coldstart   cold-start classification, compiled vs per-gate
      micro           Bechamel wall-clock micro-benchmarks
 
    Run all sections: [dune exec bench/main.exe]; or name the sections
@@ -1443,6 +1444,206 @@ let fig_batch () =
     inline sharded
 
 (* ---------------------------------------------------------------------- *)
+(* fig-coldstart: compiled cross-gate classification.                     *)
+(* ---------------------------------------------------------------------- *)
+
+(* Cold-start cost of the two classifier modes.  Per-gate is the
+   paper's section 3.2 behaviour — "the processing of the first packet
+   of a new flow with n gates involves n filter table lookups" — while
+   compiled resolves every gate's binding in one traversal of the
+   cross-gate structure.  Traffic carries as many flow keys as packets
+   (all-new flows), so nearly every packet is a cold start and the
+   per-miss access count dominates.  The micro part pins the headline
+   claim: with identical filter tables installed at every gate, the
+   compiled walk's access count does not change with the gate count,
+   while the per-gate walk grows linearly. *)
+let fig_coldstart () =
+  section "fig-coldstart: cold-start classification, compiled vs per-gate";
+  let total = 8_192 and batch = 32 in
+  Printf.printf
+    "Synth traffic, %d flows over %d packets (all-new flows: the flow\n\
+     cache misses on ~every first packet).  'cold acc/walk' is\n\
+     aiu.miss_accesses / aiu.full_walks — memory accesses charged to\n\
+     resolve one cold start across all gates.\n\n"
+    total total;
+  let counter name = Rp_obs.Counter.get (Rp_obs.Registry.counter name) in
+  let run ~eng_slug ~label ~mode ~classifier =
+    let gates = [ Gate.Ip_options; Gate.Firewall; Gate.Stats ] in
+    let ifaces =
+      [ Iface.create ~id:0 (); Iface.create ~id:1 ~fifo_limit:max_int () ]
+    in
+    let r = Router.create ~mode:Router.Plugins ~gates ~ifaces () in
+    Router.add_route r (Prefix.of_string "192.168.0.0/16") ~iface:1 ();
+    List.iteri
+      (fun i gate ->
+        let name = Printf.sprintf "cold-empty-%d" i in
+        ok (Pcu.modload r.Router.pcu (Empty_plugin.make ~gate ~name));
+        let inst = ok (Pcu.create_instance r.Router.pcu ~plugin:name []) in
+        ok
+          (Pcu.register_instance r.Router.pcu ~instance:inst.Plugin.instance_id
+             (Rp_classifier.Filter.v4 ~proto:Proto.udp ()));
+        install_extra_filters r ~gate:(Gate.to_int gate) ~upto:13)
+      gates;
+    (* Before the engine captures its gen-0 snapshot, so shards compile
+       with the requested mode. *)
+    Rp_classifier.Aiu.set_mode (Router.aiu r) classifier;
+    let e = Rp_engine.Engine.create mode r in
+    let pool = Pool.create ~capacity:4096 () in
+    let link = Link.create ~capacity:512 () in
+    let synth = Rp_sim.Synth.create ~flows:total ~pool () in
+    let scratch =
+      Array.make batch
+        (Mbuf.synth ~key:(Rp_sim.Traffic.flow_key ~id:0 ()) ~len:0 ())
+    in
+    let drained = ref 0 in
+    let recycle (res : Rp_engine.Shard.result) =
+      Pool.free pool res.Rp_engine.Shard.m;
+      incr drained
+    in
+    let model_cycles () =
+      match mode with
+      | Rp_engine.Engine.Inline -> Cost.get ()
+      | Rp_engine.Engine.Sharded n ->
+        let mx = ref 0 in
+        for i = 0 to n - 1 do
+          let c = Rp_engine.Engine.shard_cycles e i in
+          if c > !mx then mx := c
+        done;
+        !mx
+    in
+    let walks0 = counter "aiu.full_walks" in
+    let acc0 = counter "aiu.miss_accesses" in
+    let cycles0 = model_cycles () in
+    let submitted = ref 0 in
+    while !drained < total do
+      if !submitted < total then begin
+        ignore (Rp_sim.Synth.pull synth ~now_ns:0L link ~max:(2 * batch));
+        let n =
+          Link.receive_batch link ~max:(min batch (total - !submitted)) scratch
+        in
+        if n > 0 then begin
+          (match mode with
+           | Rp_engine.Engine.Inline ->
+             ignore (Rp_engine.Engine.submit_batch e ~now:0L scratch ~n)
+           | Rp_engine.Engine.Sharded _ ->
+             for i = 0 to n - 1 do
+               while not (Rp_engine.Engine.submit e ~now:0L scratch.(i)) do
+                 ignore (Rp_engine.Engine.drain e ~f:recycle)
+               done
+             done);
+          submitted := !submitted + n
+        end
+      end;
+      ignore (Rp_engine.Engine.drain e ~f:recycle);
+      if !submitted >= total && !drained < total then
+        ignore (Rp_engine.Engine.flush e ~f:recycle)
+    done;
+    Rp_engine.Engine.stop e;
+    let walks = counter "aiu.full_walks" - walks0 in
+    let accesses = counter "aiu.miss_accesses" - acc0 in
+    let dcyc = model_cycles () - cycles0 in
+    let hz = Cost.cpu_mhz *. 1e6 in
+    let mpps =
+      if dcyc > 0 then float_of_int total /. (float_of_int dcyc /. hz) /. 1e6
+      else 0.0
+    in
+    let per_walk =
+      if walks > 0 then float_of_int accesses /. float_of_int walks else 0.0
+    in
+    Printf.printf "  %-18s %11d %14d %14.2f %11.4f\n" label walks accesses
+      per_walk mpps;
+    let set k v =
+      Rp_obs.Registry.set
+        (Printf.sprintf "bench.fig_coldstart.%s.%s.%s" eng_slug
+           (Rp_classifier.Aiu.mode_to_string classifier) k)
+        v
+    in
+    set "full_walks" (float_of_int walks);
+    set "cold_accesses_per_walk" per_walk;
+    set "model_mpps" mpps;
+    Gc.full_major ()
+  in
+  Printf.printf "  %-18s %11s %14s %14s %11s\n" "engine/mode" "cold_walks"
+    "miss_accesses" "cold acc/walk" "model_mpps";
+  run ~eng_slug:"inline" ~label:"inline/pergate" ~mode:Rp_engine.Engine.Inline
+    ~classifier:`Per_gate;
+  run ~eng_slug:"inline" ~label:"inline/compiled"
+    ~mode:Rp_engine.Engine.Inline ~classifier:`Compiled;
+  run ~eng_slug:"sharded4" ~label:"sharded4/pergate"
+    ~mode:(Rp_engine.Engine.Sharded 4) ~classifier:`Per_gate;
+  run ~eng_slug:"sharded4" ~label:"sharded4/compiled"
+    ~mode:(Rp_engine.Engine.Sharded 4) ~classifier:`Compiled;
+  (* Gate-count independence: the same filter table at every gate, 2 vs
+     8 gates, one cold start each.  Measured through [classify_key] so
+     both modes pay their real resolution path; structures are warmed
+     first (lazy BMP builds charge on first use) and the flow cache is
+     flushed so the second classify is a guaranteed cold start. *)
+  let filters =
+    [
+      Rp_classifier.Filter.v4 ();
+      Rp_classifier.Filter.v4 ~proto:Proto.udp ();
+      Rp_classifier.Filter.v4 ~proto:Proto.tcp ();
+      Rp_classifier.Filter.v4 ~src:(Prefix.make (Ipaddr.v4 172 16 0 0) 16) ();
+      Rp_classifier.Filter.v4
+        ~src:(Prefix.make (Ipaddr.v4 172 16 1 0) 24)
+        ~proto:Proto.tcp ();
+      Rp_classifier.Filter.v4 ~dst:(Prefix.make (Ipaddr.v4 192 94 233 0) 24) ();
+      Rp_classifier.Filter.v4
+        ~dst:(Prefix.make (Ipaddr.v4 192 94 233 10) 32)
+        ~proto:Proto.tcp
+        ~dport:(Rp_classifier.Filter.Port 80) ();
+      Rp_classifier.Filter.v4
+        ~sport:(Rp_classifier.Filter.Port_range (1024, 2048)) ();
+      Rp_classifier.Filter.v4
+        ~dport:(Rp_classifier.Filter.Port_range (0, 1023)) ();
+      Rp_classifier.Filter.v4 ~iface:0 ();
+    ]
+  in
+  let probe =
+    Flow_key.make ~src:(Ipaddr.v4 172 16 1 5) ~dst:(Ipaddr.v4 192 94 233 10)
+      ~proto:Proto.tcp ~sport:1500 ~dport:80 ~iface:0
+  in
+  let cold_walk ~classifier ~gates =
+    let aiu = Rp_classifier.Aiu.create ~gates () in
+    List.iteri
+      (fun i f ->
+        for g = 0 to gates - 1 do
+          Rp_classifier.Aiu.bind aiu ~gate:g f i
+        done)
+      filters;
+    Rp_classifier.Aiu.set_mode aiu classifier;
+    ignore (Rp_classifier.Aiu.classify_key aiu probe ~gate:0 ~now:0L);
+    Rp_classifier.Aiu.flush_flows aiu;
+    let _, a =
+      Rp_lpm.Access.measure (fun () ->
+          Rp_classifier.Aiu.classify_key aiu probe ~gate:0 ~now:0L)
+    in
+    a
+  in
+  Printf.printf
+    "\n  identical %d-filter table at every gate, one cold start:\n"
+    (List.length filters);
+  Printf.printf "  %-10s %10s %10s\n" "mode" "2 gates" "8 gates";
+  let micro slug classifier =
+    let g2 = cold_walk ~classifier ~gates:2 in
+    let g8 = cold_walk ~classifier ~gates:8 in
+    Printf.printf "  %-10s %10d %10d\n"
+      (Rp_classifier.Aiu.mode_to_string classifier)
+      g2 g8;
+    Rp_obs.Registry.set
+      (Printf.sprintf "bench.fig_coldstart.micro.%s_g2" slug)
+      (float_of_int g2);
+    Rp_obs.Registry.set
+      (Printf.sprintf "bench.fig_coldstart.micro.%s_g8" slug)
+      (float_of_int g8)
+  in
+  micro "pergate" `Per_gate;
+  micro "compiled" `Compiled;
+  Printf.printf
+    "  (ci/check_coldstart.sh gates compiled < per-gate on the macro\n\
+    \   runs and compiled g2 == g8 — accesses independent of gates)\n"
+
+(* ---------------------------------------------------------------------- *)
 
 let sections =
   [
@@ -1461,6 +1662,7 @@ let sections =
     ("fig-trace", fig_trace);
     ("fig-churn", fig_churn);
     ("fig-batch", fig_batch);
+    ("fig-coldstart", fig_coldstart);
     ("micro", micro);
   ]
 

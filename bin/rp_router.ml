@@ -218,7 +218,8 @@ let parse_coalesce s =
   | None -> conv (int_of_string_opt s) None
 
 let main script flows seconds in_ifaces bandwidth_mbps mode_str engine_str
-    coalesce_str metrics_out trace trace_out trace_sample flow_log stats_csv =
+    classifier_str coalesce_str metrics_out trace trace_out trace_sample
+    flow_log stats_csv =
   Rp_obs.Trace.enabled := trace;
   if trace_sample < 1 then begin
     Printf.eprintf "--trace-sample: expected a positive sampling period\n%!";
@@ -237,6 +238,13 @@ let main script flows seconds in_ifaces bandwidth_mbps mode_str engine_str
       Printf.eprintf "--engine: %s\n%!" e;
       exit 2
   in
+  let classifier_mode =
+    match Rp_classifier.Aiu.mode_of_string classifier_str with
+    | Ok m -> m
+    | Error e ->
+      Printf.eprintf "--classifier: %s\n%!" e;
+      exit 2
+  in
   let coalesce =
     match coalesce_str with
     | None -> None
@@ -253,6 +261,10 @@ let main script flows seconds in_ifaces bandwidth_mbps mode_str engine_str
       ()
   in
   let router = s.Rp_sim.Scenario.router in
+  (* Before any engine snapshot or script runs, so shards compile with
+     the requested mode and a script's `classifier` command can still
+     override it. *)
+  Rp_classifier.Aiu.set_mode (Rp_core.Router.aiu router) classifier_mode;
   (match script with
    | Some path ->
      let ic = open_in path in
@@ -431,6 +443,14 @@ let engine_arg =
                  single-domain simulator) or $(b,sharded:N) (pump the \
                  flows through N worker domains and report throughput).")
 
+let classifier_arg =
+  Arg.(value & opt string "pergate"
+       & info [ "classifier" ] ~docv:"MODE"
+           ~doc:"Cold-start classification: $(b,pergate) (default; one \
+                 DAG walk per gate, the paper's behavior) or \
+                 $(b,compiled) (one cross-gate FDD traversal resolves \
+                 every gate).")
+
 let coalesce_arg =
   Arg.(value & opt (some string) None
        & info [ "coalesce" ] ~docv:"N[:MS]"
@@ -485,8 +505,8 @@ let cmd =
   Cmd.v
     (Cmd.info "rp_router" ~version:"1.0" ~doc)
     Term.(const main $ script_arg $ flow_arg $ seconds_arg $ ifaces_arg
-          $ bw_arg $ mode_arg $ engine_arg $ coalesce_arg $ metrics_arg
-          $ trace_arg $ trace_out_arg $ trace_sample_arg $ flow_log_arg
-          $ stats_csv_arg)
+          $ bw_arg $ mode_arg $ engine_arg $ classifier_arg $ coalesce_arg
+          $ metrics_arg $ trace_arg $ trace_out_arg $ trace_sample_arg
+          $ flow_log_arg $ stats_csv_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,58 @@
+#!/bin/sh
+# Compiled cross-gate classifier gate, run by CI after
+#   dune exec bench/main.exe -- fig-coldstart table3 --metrics-out coldstart.json
+#   dune exec bench/main.exe -- table3 --metrics-out table3-a.json
+#
+# Three checks:
+#
+#   1. Compiled cold starts must charge strictly fewer memory accesses
+#      per flow-cache miss than per-gate mode, on both the inline
+#      engine and sharded:4 — the point of compiling the union of the
+#      gates' filter tables is one traversal instead of n DAG walks.
+#      The full-walk floors make sure the bench actually exercised
+#      cold starts rather than dividing zero by zero.
+#
+#   2. Gate-count independence: with identical filter tables installed
+#      at every gate, the compiled walk's access count must be
+#      byte-identical at 2 and 8 gates (the structure's shape does not
+#      depend on how many gates share it), while per-gate's must grow.
+#
+#   3. Per-gate mode stays the default and its cost model is
+#      untouched: the Table-3 per-packet cycle figures from the
+#      fig-coldstart run must be byte-identical to a standalone
+#      Table-3 run — merely maintaining the compiled structure must
+#      not perturb the paper's numbers.
+#
+# The metrics files are rp-metrics JSON, written one metric per line
+# precisely so this script needs no JSON parser.
+set -eu
+# shellcheck source=ci/lib.sh
+. "$(dirname "$0")/lib.sh"
+
+cold="${1:-coldstart.json}"
+base="${2:-table3-a.json}"
+require_files "$cold" "$base"
+
+echo "== fig-coldstart: compiled cold starts below per-gate =="
+check_lt "$cold" bench.fig_coldstart.inline.compiled.cold_accesses_per_walk \
+  bench.fig_coldstart.inline.pergate.cold_accesses_per_walk
+check_lt "$cold" bench.fig_coldstart.sharded4.compiled.cold_accesses_per_walk \
+  bench.fig_coldstart.sharded4.pergate.cold_accesses_per_walk
+check_min "$cold" bench.fig_coldstart.inline.pergate.full_walks 4000
+check_min "$cold" bench.fig_coldstart.inline.compiled.full_walks 4000
+check_min "$cold" bench.fig_coldstart.sharded4.pergate.full_walks 4000
+check_min "$cold" bench.fig_coldstart.sharded4.compiled.full_walks 4000
+
+echo "== fig-coldstart: compiled accesses independent of gate count =="
+check_eq "$cold" bench.fig_coldstart.micro.compiled_g2 \
+  bench.fig_coldstart.micro.compiled_g8
+check_lt "$cold" bench.fig_coldstart.micro.pergate_g2 \
+  bench.fig_coldstart.micro.pergate_g8
+
+echo "== Table 3 unchanged with the compiled structure maintained =="
+check_same "$cold" "$base" bench.table3.best_effort.cycles
+check_same "$cold" "$base" bench.table3.plugins_3gates.cycles
+check_same "$cold" "$base" bench.table3.monolithic_drr.cycles
+check_same "$cold" "$base" bench.table3.plugins_drr.cycles
+
+exit $fail

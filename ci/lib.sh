@@ -84,6 +84,38 @@ check_same() {
   fi
 }
 
+# check_lt FILE NAME_A NAME_B — fail unless NAME_A is strictly below
+# NAME_B, both read from the same FILE.
+check_lt() {
+  a="$(metric "$1" "$2")"
+  b="$(metric "$1" "$3")"
+  if [ -z "$a" ] || [ -z "$b" ]; then
+    echo "FAIL $2 < $3: missing ('$a' vs '$b')"
+    fail=1
+  elif awk "BEGIN { exit !($a < $b) }"; then
+    echo "ok   $2 = $a below $3 = $b"
+  else
+    echo "FAIL $2 = $a not below $3 = $b"
+    fail=1
+  fi
+}
+
+# check_eq FILE NAME_A NAME_B — fail unless both metrics are present
+# in FILE and byte-identical.
+check_eq() {
+  a="$(metric "$1" "$2")"
+  b="$(metric "$1" "$3")"
+  if [ -z "$a" ] || [ -z "$b" ]; then
+    echo "FAIL $2 = $3: missing ('$a' vs '$b')"
+    fail=1
+  elif [ "$a" = "$b" ]; then
+    echo "ok   $2 = $3 = $a"
+  else
+    echo "FAIL $2 = $a differs from $3 = $b"
+    fail=1
+  fi
+}
+
 # check_overhead FILE_BASE FILE_OTHER NAME PCT — fail when NAME is
 # missing from either file or FILE_OTHER's value exceeds FILE_BASE's
 # by more than PCT percent.

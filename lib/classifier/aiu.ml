@@ -8,10 +8,17 @@ type 'a event =
   | Unbound of int * Filter.t
   | Flushed
 
+type mode =
+  [ `Per_gate  (** cold start walks every gate's DAG — the paper's n
+                   filter-table lookups *)
+  | `Compiled  (** cold start takes one {!Compiled} traversal *) ]
+
 type 'a t = {
   n_gates : int;
   tables : 'a Dag.t array;
+  compiled : 'a Compiled.t;
   flows : 'a Flow_table.t;
+  mutable mode : mode;
   mutable listener : ('a event -> unit) option;
 }
 
@@ -20,18 +27,41 @@ let create ?engine ?buckets ?initial_records ?max_records ?on_evict ~gates () =
   {
     n_gates = gates;
     tables = Array.init gates (fun _ -> Dag.create ?engine ());
+    compiled = Compiled.create ?engine ~gates ();
     flows =
       Flow_table.create ?buckets ?initial_records ?max_records ?on_evict
         ~gates ();
+    mode = `Per_gate;
     listener = None;
   }
 
 let gates t = t.n_gates
+let mode t = t.mode
+
+let mode_to_string = function
+  | `Per_gate -> "pergate"
+  | `Compiled -> "compiled"
+
+let mode_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "pergate" | "per-gate" | "per_gate" -> Ok `Per_gate
+  | "compiled" -> Ok `Compiled
+  | s -> Error (Printf.sprintf "unknown classifier mode %S (compiled | pergate)" s)
+
+let set_mode t m =
+  t.mode <- m;
+  (* Entering compiled mode after churn: compile now, outside any
+     measured data-path window. *)
+  if m = `Compiled then Compiled.prepare t.compiled
+
+let compiled t = t.compiled
 let set_listener t fn = t.listener <- Some fn
 let clear_listener t = t.listener <- None
 let notify t ev = match t.listener with Some fn -> fn ev | None -> ()
 
 let m_full_walks = Rp_obs.Registry.counter "aiu.full_walks"
+let m_miss_accesses = Rp_obs.Registry.counter "aiu.miss_accesses"
+let m_compiled_walks = Rp_obs.Registry.counter "aiu.compiled_walks"
 let m_fix_hits = Rp_obs.Registry.counter "aiu.fix_hits"
 let m_fix_stale = Rp_obs.Registry.counter "aiu.fix_stale"
 let m_invalidated = Rp_obs.Registry.counter "aiu.invalidated"
@@ -60,9 +90,15 @@ let invalidate_for t ~gate f =
     Rp_obs.Counter.add m_invalidated
       (Flow_table.invalidate t.flows ~matches:(fun k -> Filter.matches f k))
 
+(* Both classifier representations are maintained on every mutation:
+   the per-gate DAGs stay the source of truth (revalidation, delta
+   replay and introspection read them in either mode), while the
+   compiled union only marks itself dirty — it recompiles lazily, so a
+   burst of control-plane churn costs one compile. *)
 let bind t ~gate f v =
   check_gate t gate;
   Dag.insert t.tables.(gate) f v;
+  Compiled.bind t.compiled ~gate f v;
   (* Cached instance pointers for flows this filter matches may now be
      stale. *)
   invalidate_for t ~gate f;
@@ -71,6 +107,7 @@ let bind t ~gate f v =
 let unbind t ~gate f =
   check_gate t gate;
   Dag.remove t.tables.(gate) f;
+  Compiled.unbind t.compiled ~gate f;
   invalidate_for t ~gate f;
   notify t (Unbound (gate, f))
 
@@ -80,16 +117,39 @@ let filter_table t ~gate =
 
 let flow_table t = t.flows
 
-(* Uncached path: consult every gate's filter table once and cache the
-   results in a fresh flow record. *)
+(* Uncached path: resolve every gate's binding once and cache the
+   results in a fresh flow record.  Per-gate mode consults each gate's
+   filter table (the paper's n lookups for n gates); compiled mode
+   takes one {!Compiled} traversal whose leaf carries the full
+   instance vector.  [aiu.miss_accesses] meters exactly this
+   resolution cost, so cold-start accesses per walk are directly
+   comparable across modes. *)
 let classify_miss t key ~now =
   Rp_obs.Counter.inc m_full_walks;
   let record = Flow_table.insert t.flows key ~now in
-  for g = 0 to t.n_gates - 1 do
-    match Dag.lookup t.tables.(g) key with
-    | Some (filter, v) -> Flow_table.set_binding t.flows record ~gate:g ~filter v
-    | None -> ()
-  done;
+  let (), accesses =
+    Rp_lpm.Access.measure (fun () ->
+        match t.mode with
+        | `Compiled -> (
+          Rp_obs.Counter.inc m_compiled_walks;
+          match Compiled.lookup t.compiled key with
+          | Some winners ->
+            for g = 0 to t.n_gates - 1 do
+              match winners.(g) with
+              | Some (filter, v) ->
+                Flow_table.set_binding t.flows record ~gate:g ~filter v
+              | None -> ()
+            done
+          | None -> ())
+        | `Per_gate ->
+          for g = 0 to t.n_gates - 1 do
+            match Dag.lookup t.tables.(g) key with
+            | Some (filter, v) ->
+              Flow_table.set_binding t.flows record ~gate:g ~filter v
+            | None -> ()
+          done)
+  in
+  Rp_obs.Counter.add m_miss_accesses accesses;
   record
 
 let instance_of record ~gate =

@@ -31,6 +31,28 @@ type 'a event =
   | Unbound of int * Filter.t
   | Flushed  (** whole flow cache flushed (e.g. routing change) *)
 
+(** How a flow-cache miss resolves the per-gate instance vector.  Both
+    representations are maintained on every bind/unbind; the mode only
+    selects which one the cold-start path consults, so switching is
+    O(1) (plus one lazy compile on first compiled-mode use) and always
+    yields the same bindings (most specific filter per gate). *)
+type mode =
+  [ `Per_gate  (** one DAG walk per gate — the paper's cold start *)
+  | `Compiled  (** one {!Compiled} traversal resolves every gate *) ]
+
+val mode : 'a t -> mode
+
+(** [set_mode t m] switches the cold-start resolution strategy.
+    Cached flow records are untouched: both modes agree on bindings,
+    so no invalidation is needed. *)
+val set_mode : 'a t -> mode -> unit
+
+val mode_to_string : mode -> string
+val mode_of_string : string -> (mode, string) result
+
+(** The compiled cross-gate structure (introspection/benchmarks). *)
+val compiled : 'a t -> 'a Compiled.t
+
 (** [create ~gates ()] builds an AIU with [gates] filter tables.
     [engine] selects the BMP plugin used by the DAGs' address levels;
     flow-table sizing options are passed through to

@@ -1,0 +1,364 @@
+open Rp_pkt
+
+(* One (gate, filter, value) binding of the union.  [uid] is the
+   hash-consing identity: subtree construction is memoized on the
+   (level, residual uid set) pair, so equal residual sets — which is
+   where cross-gate sharing happens, wildcard-heavy filters surviving
+   down many paths — build one shared node. *)
+type 'a entry = {
+  uid : int;
+  gate : int;
+  filter : Filter.t;
+  inst : 'a;
+}
+
+type 'a winners = (Filter.t * 'a) option array
+
+(* Same closure trick as {!Dag.addr_matcher_of_engine}: the BMP engine
+   module's type parameter is fixed at wrapper creation, letting a
+   runtime-selected engine hold nodes of this structure.  Lookups feed
+   the same per-engine meters as the DAG's, so Table-2 style engine
+   accounting aggregates both classifiers. *)
+type 'a addr_matcher = {
+  am_insert : Prefix.t -> 'a -> unit;
+  am_lookup : Ipaddr.t -> (Prefix.t * 'a) option;
+}
+
+let addr_matcher_of_engine (module E : Rp_lpm.Lpm_intf.S) () =
+  let t = E.create () in
+  let m_lookups = Rp_obs.Registry.counter ("lpm." ^ E.name ^ ".lookups") in
+  let m_accesses = Rp_obs.Registry.counter ("lpm." ^ E.name ^ ".accesses") in
+  {
+    am_insert = (fun p v -> E.insert t p v);
+    am_lookup =
+      (fun a ->
+        Rp_obs.Counter.inc m_lookups;
+        let r, accesses = Rp_lpm.Access.measure (fun () -> E.lookup t a) in
+        Rp_obs.Counter.add m_accesses accesses;
+        r);
+  }
+
+(* Decision nodes, one constructor per DAG level kind.  Levels where
+   every residual filter is wildcarded are elided entirely (the FDD
+   analogue of the DAG's wildcard-chain collapsing), except the source
+   level: a lone v4 wildcard edge must still reject v6 keys, and the
+   address matcher is what discriminates families. *)
+type 'a node =
+  | Leaf of 'a winners
+  | Addr of { a_level : int; a_matcher : 'a node addr_matcher }
+  | Ports of {
+      p_level : int;
+      intervals : (int * int * 'a node) array;  (* disjoint, sorted *)
+      pwild : 'a node option;
+    }
+  | Exact of {
+      x_level : int;
+      table : (int, 'a node) Hashtbl.t;
+      xwild : 'a node option;
+    }
+
+type 'a t = {
+  engine : Rp_lpm.Engines.t;
+  n_gates : int;
+  mutable entries : 'a entry list;  (* newest first *)
+  mutable next_uid : int;
+  mutable root : 'a node;
+  mutable dirty : bool;
+  mutable nodes : int;  (* distinct nodes in the current build *)
+  mutable shared : int;  (* memo hits in the last build *)
+  mutable n_builds : int;
+}
+
+let n_levels = 6
+
+let m_lookups = Rp_obs.Registry.counter "compiled.lookups"
+let m_matches = Rp_obs.Registry.counter "compiled.matches"
+let m_rebuilds = Rp_obs.Registry.counter "compiled.rebuilds"
+
+let create ?(engine = Rp_lpm.Engines.patricia) ~gates () =
+  if gates <= 0 then invalid_arg "Compiled.create: gates";
+  {
+    engine;
+    n_gates = gates;
+    entries = [];
+    next_uid = 0;
+    (* Placeholder; [dirty] forces the canonical (empty) build on
+       first use, so an empty structure uniformly misses every key. *)
+    root = Leaf (Array.make gates None);
+    dirty = true;
+    nodes = 0;
+    shared = 0;
+    n_builds = 0;
+  }
+
+let gates t = t.n_gates
+
+(* --- field projections (same level order as {!Dag}) ----------------- *)
+
+let addr_label (f : Filter.t) level =
+  if level = 0 then f.Filter.src else f.Filter.dst
+
+let addr_value (k : Flow_key.t) level =
+  if level = 0 then k.Flow_key.src else k.Flow_key.dst
+
+let port_label (f : Filter.t) level =
+  if level = 3 then f.Filter.sport else f.Filter.dport
+
+let port_value (k : Flow_key.t) level =
+  if level = 3 then k.Flow_key.sport else k.Flow_key.dport
+
+let exact_label (f : Filter.t) level =
+  if level = 2 then f.Filter.proto else f.Filter.iface
+
+let exact_value (k : Flow_key.t) level =
+  if level = 2 then k.Flow_key.proto else k.Flow_key.iface
+
+let wild_at level e =
+  match level with
+  | 0 | 1 -> Prefix.is_wildcard (addr_label e.filter level)
+  | 2 | 5 -> exact_label e.filter level = Filter.Any_num
+  | 3 | 4 -> port_label e.filter level = Filter.Any_port
+  | _ -> assert false
+
+(* --- control path ---------------------------------------------------- *)
+
+let check_gate t gate =
+  if gate < 0 || gate >= t.n_gates then
+    invalid_arg "Compiled: gate out of range"
+
+let bind t ~gate f v =
+  check_gate t gate;
+  t.entries <-
+    { uid = t.next_uid; gate; filter = f; inst = v }
+    :: List.filter
+         (fun e -> not (e.gate = gate && Filter.equal e.filter f))
+         t.entries;
+  t.next_uid <- t.next_uid + 1;
+  t.dirty <- true
+
+let unbind t ~gate f =
+  check_gate t gate;
+  t.entries <-
+    List.filter
+      (fun e -> not (e.gate = gate && Filter.equal e.filter f))
+      t.entries;
+  t.dirty <- true
+
+let clear t =
+  t.entries <- [];
+  t.dirty <- true
+
+let length t = List.length t.entries
+let node_count t = t.nodes
+let shared_count t = t.shared
+let builds t = t.n_builds
+
+(* --- compilation ------------------------------------------------------ *)
+
+(* Top-down set-pruning build over the residual entry set.  Every
+   subset is taken with [List.filter] from the canonically (uid-)
+   sorted parent list, so equal subsets produce equal memo keys. *)
+let rebuild_inner t =
+  t.n_builds <- t.n_builds + 1;
+  Rp_obs.Counter.inc m_rebuilds;
+  t.nodes <- 0;
+  t.shared <- 0;
+  let memo : (string, 'a node) Hashtbl.t = Hashtbl.create 256 in
+  let all = List.sort (fun a b -> Int.compare a.uid b.uid) t.entries in
+  let key_of level es =
+    let b = Buffer.create 64 in
+    Buffer.add_string b (string_of_int level);
+    List.iter
+      (fun e ->
+        Buffer.add_char b ',';
+        Buffer.add_string b (string_of_int e.uid))
+      es;
+    Buffer.contents b
+  in
+  let rec build level es =
+    if level < n_levels && level > 0 && es <> []
+       && List.for_all (wild_at level) es
+    then build (level + 1) es  (* elide an all-wildcard level *)
+    else begin
+      let k = key_of level es in
+      match Hashtbl.find_opt memo k with
+      | Some n ->
+        t.shared <- t.shared + 1;
+        n
+      | None ->
+        let n = make level es in
+        Hashtbl.add memo k n;
+        t.nodes <- t.nodes + 1;
+        n
+    end
+  and make level es =
+    if level >= n_levels then begin
+      (* Leaf: per-gate most specific entry.  [compare_specificity]
+         is total with structural tie-break, and one gate never holds
+         two structurally equal filters, so the winner is unique —
+         independent of insertion order, matching the DAG's leaf. *)
+      let w = Array.make t.n_gates None in
+      List.iter
+        (fun e ->
+          match w.(e.gate) with
+          | Some (g, _) when Filter.compare_specificity e.filter g <= 0 -> ()
+          | Some _ | None -> w.(e.gate) <- Some (e.filter, e.inst))
+        es;
+      Leaf w
+    end
+    else
+      match level with
+      | 0 | 1 ->
+        (* Edges are the distinct labels; edge [p] carries every entry
+           whose label subsumes [p] (labels matching one address form
+           a chain, so following the longest matching edge keeps all
+           shorter matching labels reachable — set pruning). *)
+        let labels =
+          List.sort_uniq Prefix.compare
+            (List.map (fun e -> addr_label e.filter level) es)
+        in
+        let am = addr_matcher_of_engine t.engine () in
+        List.iter
+          (fun p ->
+            let subset =
+              List.filter
+                (fun e -> Prefix.subsumes (addr_label e.filter level) p)
+                es
+            in
+            am.am_insert p (build (level + 1) subset))
+          labels;
+        Addr { a_level = level; a_matcher = am }
+      | 2 | 5 ->
+        let wilds = List.filter (wild_at level) es in
+        let nums =
+          List.sort_uniq Int.compare
+            (List.filter_map
+               (fun e ->
+                 match exact_label e.filter level with
+                 | Filter.Num n -> Some n
+                 | Filter.Any_num -> None)
+               es)
+        in
+        let table = Hashtbl.create (max 8 (List.length nums)) in
+        List.iter
+          (fun n ->
+            let subset =
+              List.filter
+                (fun e ->
+                  match exact_label e.filter level with
+                  | Filter.Any_num -> true
+                  | Filter.Num m -> m = n)
+                es
+            in
+            Hashtbl.replace table n (build (level + 1) subset))
+          nums;
+        let xwild =
+          if wilds = [] then None else Some (build (level + 1) wilds)
+        in
+        Exact { x_level = level; table; xwild }
+      | 3 | 4 ->
+        (* Elementary disjoint intervals from the range endpoints; an
+           interval exists only where at least one ranged entry covers
+           it, so values in the gaps fall through to the wildcard
+           child — the same reachability as the DAG's incremental
+           splitting produces. *)
+        let wilds = List.filter (wild_at level) es in
+        let bounds_of e =
+          match port_label e.filter level with
+          | Filter.Port q -> Some (q, q)
+          | Filter.Port_range (lo, hi) -> Some (lo, hi)
+          | Filter.Any_port -> None
+        in
+        let ranged = List.filter_map bounds_of es in
+        let cuts =
+          List.sort_uniq Int.compare
+            (List.concat_map (fun (lo, hi) -> [ lo; hi + 1 ]) ranged)
+        in
+        let rec elementary = function
+          | a :: (b :: _ as rest) -> (a, b - 1) :: elementary rest
+          | [ _ ] | [] -> []
+        in
+        let covered (a, b) =
+          List.exists (fun (lo, hi) -> lo <= a && b <= hi) ranged
+        in
+        let intervals =
+          List.filter covered (elementary cuts)
+          |> List.map (fun (a, b) ->
+                 let subset =
+                   List.filter
+                     (fun e ->
+                       match bounds_of e with
+                       | None -> true  (* wildcard: reachable everywhere *)
+                       | Some (lo, hi) -> lo <= a && b <= hi)
+                     es
+                 in
+                 (a, b, build (level + 1) subset))
+          |> Array.of_list
+        in
+        let pwild =
+          if wilds = [] then None else Some (build (level + 1) wilds)
+        in
+        Ports { p_level = level; intervals; pwild }
+      | _ -> assert false
+  in
+  t.root <- build 0 all
+
+(* Compile-time accesses (engine inserts) must not leak into the data
+   path's meter — cancel whatever the build charged. *)
+let rebuild t =
+  let (), charged = Rp_lpm.Access.measure (fun () -> rebuild_inner t) in
+  if charged <> 0 then Rp_lpm.Access.charge (-charged);
+  t.dirty <- false
+
+let prepare t = if t.dirty then rebuild t
+
+(* --- lookup ----------------------------------------------------------- *)
+
+(* Charges mirror {!Dag.lookup} exactly — 2 up front for the BMP/hash
+   function pointers, the engine's own charges plus 1 edge per address
+   level, 1 probe plus 1 edge per port level, 1 edge per exact level —
+   so one compiled traversal accounts like one per-gate walk. *)
+let lookup t key =
+  if t.dirty then rebuild t;
+  Rp_obs.Counter.inc m_lookups;
+  Rp_lpm.Access.charge 2;
+  let rec walk node =
+    match node with
+    | Leaf w ->
+      Rp_obs.Counter.inc m_matches;
+      Some w
+    | Addr a -> (
+        match a.a_matcher.am_lookup (addr_value key a.a_level) with
+        | Some (_, child) ->
+          Rp_lpm.Access.charge 1;
+          walk child
+        | None -> None)
+    | Ports p -> (
+        Rp_lpm.Access.charge 1;
+        let v = port_value key p.p_level in
+        let n = Array.length p.intervals in
+        let rec find i =
+          if i >= n then p.pwild
+          else
+            let a, b, c = p.intervals.(i) in
+            if v < a then p.pwild else if v <= b then Some c else find (i + 1)
+        in
+        match find 0 with
+        | Some child ->
+          Rp_lpm.Access.charge 1;
+          walk child
+        | None -> None)
+    | Exact e -> (
+        let v = exact_value key e.x_level in
+        let child =
+          match Hashtbl.find_opt e.table v with
+          | Some _ as c -> c
+          | None -> e.xwild
+        in
+        match child with
+        | Some child ->
+          Rp_lpm.Access.charge 1;
+          walk child
+        | None -> None)
+  in
+  walk t.root

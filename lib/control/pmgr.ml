@@ -186,6 +186,7 @@ let mutates_classifier tokens =
   | "route" :: ("add" | "del") :: _ -> true
   | "plugin" :: ("quarantine" | "restore") :: _ -> true
   | "fault" :: ("policy" | "budget" | "threshold") :: _ -> true
+  | "classifier" :: "compiled" :: _ -> true
   | _ -> false
 
 let exec_tokens router tokens =
@@ -410,6 +411,19 @@ let exec_tokens router tokens =
     if n < 1 then Error "flows top: expected a positive count"
     else flows_top router n
   | "flows" :: _ -> Error "usage: flows top [N]"
+  (* Cold-start classification strategy: per-gate DAG walks (the
+     paper's n lookups, the default) or the compiled cross-gate
+     structure (one traversal for all gates).  Counted as a
+     classifier-mutating command so an attached engine republishes and
+     the shards pick the mode up from the snapshot. *)
+  | [ "classifier"; "compiled"; ("on" | "off") as v ] ->
+    let mode = if v = "on" then `Compiled else `Per_gate in
+    Aiu.set_mode (Router.aiu router) mode;
+    Ok (Printf.sprintf "classifier = %s" (Aiu.mode_to_string mode))
+  | [ "classifier"; "show" ] ->
+    Ok (Aiu.mode_to_string (Aiu.mode (Router.aiu router)))
+  | "classifier" :: _ ->
+    Error "usage: classifier compiled on|off | classifier show"
   | cmd :: _ -> Error (Printf.sprintf "unknown command %S" cmd)
 
 let exec router line =

@@ -1,0 +1,23 @@
+(** The single classification entry point shared by every engine.
+
+    Both the inline data path ({!Ip_core}) and the sharded workers
+    ([Rp_engine.Shard]) must charge a gate's classification
+    identically — the flow hash on the packet's first AIU consult, the
+    measured memory accesses of whatever lookups the AIU performed,
+    one gate-invocation overhead — or the Table-3 model figures drift
+    between engines.  Those two call sites used to be hand-kept
+    copies; this module is the one implementation they now share. *)
+
+open Rp_pkt
+
+(** [at aiu ~now ~gate m] classifies [m] at [gate] against [aiu],
+    charging the framework costs: {!Cost.flow_hash} the first time
+    this packet consults the AIU (no FIX yet), the measured memory
+    accesses of the classification, and {!Cost.gate_invoke}.  Emits a
+    [Classify] telemetry event for sampled packets. *)
+val at :
+  Plugin.t Rp_classifier.Aiu.t ->
+  now:int64 ->
+  gate:Gate.t ->
+  Mbuf.t ->
+  (Plugin.t * Plugin.t Rp_classifier.Flow_table.record) option

@@ -26,25 +26,13 @@ let m_dropped = Rp_obs.Registry.counter "ip_core.dropped"
    [Dropped], since an incomplete fragment set cannot reassemble. *)
 let m_frag_drops = Rp_obs.Registry.counter "ip_core.fragment_drops"
 
-(* Classify at [gate], charging the framework costs: the flow hash the
-   first time this packet consults the AIU, one gate's invocation
-   overhead, and the measured memory accesses of whatever lookups the
-   AIU performed (a cached flow costs ~2; the first packet of a flow
-   pays the full filter-table walks). *)
-let classify_at router ~now ~gate m =
-  let aiu = Router.aiu router in
-  let had_fix = m.Mbuf.fix <> None in
-  let result, accesses =
-    Rp_lpm.Access.measure (fun () ->
-        Rp_classifier.Aiu.classify aiu m ~gate:(Gate.to_int gate) ~now)
-  in
-  if not had_fix then Cost.charge Cost.flow_hash;
-  Cost.charge_mem accesses;
-  Cost.charge Cost.gate_invoke;
-  if m.Mbuf.tseq <> 0 then
-    Rp_obs.Telemetry.record ~ts:(Cost.get ()) ~kind:Rp_obs.Telemetry.Classify
-      ~gate:(Gate.to_int gate) ~pkt:m.Mbuf.tseq ~arg:accesses;
-  result
+(* Classify at [gate] via the engine-shared entry point ({!Classify}),
+   which charges the framework costs: the flow hash the first time
+   this packet consults the AIU, one gate's invocation overhead, and
+   the measured memory accesses of whatever lookups the AIU performed
+   (a cached flow costs ~2; the first packet of a flow pays the full
+   cold-start resolution). *)
+let classify_at router ~now ~gate m = Classify.at (Router.aiu router) ~now ~gate m
 
 let binding_of record ~gate =
   Rp_classifier.Flow_table.binding record ~gate:(Gate.to_int gate)

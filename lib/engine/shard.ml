@@ -45,6 +45,7 @@ let compile snap =
   List.iter
     (fun (gate, filter, inst) -> Rp_classifier.Aiu.bind aiu ~gate filter inst)
     snap.Snapshot.bindings;
+  Rp_classifier.Aiu.set_mode aiu snap.Snapshot.classifier;
   let routes = Route_table.create () in
   List.iter (fun r -> Route_table.add routes r) snap.Snapshot.routes;
   (aiu, routes)
@@ -89,14 +90,17 @@ let create ~index snap =
 
 (* Refresh the cheap whole-value state a snapshot always carries in
    full: routes (rebuilt — route churn is orders of magnitude rarer
-   than filter churn), the enabled-gate list, fault policy/budget. *)
+   than filter churn), the enabled-gate list, fault policy/budget, and
+   the classifier mode (so a `pmgr classifier` toggle reaches shards
+   on the delta path too, without invalidating their flow caches). *)
 let refresh_control t (snap : Snapshot.t) =
   let routes = Route_table.create () in
   List.iter (fun r -> Route_table.add routes r) snap.Snapshot.routes;
   t.routes <- routes;
   t.gates <- snap.gates;
   t.policy <- snap.policy;
-  t.budget <- snap.budget
+  t.budget <- snap.budget;
+  Rp_classifier.Aiu.set_mode t.aiu snap.Snapshot.classifier
 
 let replay_delta t = function
   | Snapshot.Bind (gate, f, inst) -> Rp_classifier.Aiu.bind t.aiu ~gate f inst
@@ -140,21 +144,10 @@ let sync t snap =
 exception Drop_exn of string
 exception Consumed_exn
 
-(* Same framework charges as [Ip_core.classify_at], against the
-   shard's private AIU. *)
-let classify_at t ~now ~gate m =
-  let had_fix = m.Mbuf.fix <> None in
-  let result, accesses =
-    Rp_lpm.Access.measure (fun () ->
-        Rp_classifier.Aiu.classify t.aiu m ~gate:(Gate.to_int gate) ~now)
-  in
-  if not had_fix then Cost.charge Cost.flow_hash;
-  Cost.charge_mem accesses;
-  Cost.charge Cost.gate_invoke;
-  if m.Mbuf.tseq <> 0 then
-    Rp_obs.Telemetry.record ~ts:(Cost.get ()) ~kind:Rp_obs.Telemetry.Classify
-      ~gate:(Gate.to_int gate) ~pkt:m.Mbuf.tseq ~arg:accesses;
-  result
+(* The exact framework charges of the inline path, by construction:
+   both engines call the shared {!Rp_core.Classify} entry point,
+   against the shard's private AIU here. *)
+let classify_at t ~now ~gate m = Classify.at t.aiu ~now ~gate m
 
 (* Worker-side fault containment: count (shard meters and the global
    per-gate meters — counters are atomic) and record the event for the

@@ -13,6 +13,7 @@ type t = {
   routes : Route_table.route list;
   policy : Fault.policy;
   budget : int option;
+  classifier : Rp_classifier.Aiu.mode;
   deltas : (int * delta) list;
 }
 
@@ -34,6 +35,7 @@ let capture ~gen ?(deltas = []) router =
     routes = !routes;
     policy = router.Router.fault_policy;
     budget = router.Router.cycle_budget;
+    classifier = Rp_classifier.Aiu.mode aiu;
     deltas;
   }
 

@@ -41,6 +41,9 @@ type t = {
   routes : Route_table.route list;
   policy : Fault.policy;
   budget : int option;
+  classifier : Rp_classifier.Aiu.mode;
+      (** cold-start resolution strategy the control AIU runs; shards
+          apply it on every sync (delta replay or recompile) *)
   deltas : (int * delta) list;
       (** (generation, mutation), oldest first; generations are
           consecutive and the last one equals [gen].  Bounded by the

@@ -16,7 +16,11 @@ type t = {
   mutable rxpackets : int;
 }
 
-let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+(* Largest power of two <= n (n >= 1).  Rounding *down* keeps the
+   ring within the caller's stated bound — a capacity is a budget, and
+   silently doubling it (the old round-up) masked backpressure bugs by
+   absorbing bursts the caller thought would drop. *)
+let rec pow2_down n k = if k * 2 > n then k else pow2_down n (k * 2)
 
 let dummy_key =
   Flow_key.make ~src:(Ipaddr.v4 0 0 0 0) ~dst:(Ipaddr.v4 0 0 0 0) ~proto:0
@@ -24,7 +28,7 @@ let dummy_key =
 
 let create ?(capacity = 256) () =
   if capacity < 1 then invalid_arg "Link.create: capacity < 1";
-  let cap = pow2 capacity 2 in
+  let cap = pow2_down capacity 1 in
   let dummy = Mbuf.synth ~key:dummy_key ~len:0 () in
   {
     buf = Array.make cap dummy;

@@ -12,8 +12,10 @@ exception Empty
 
 type t
 
-(** [create ~capacity ()] — capacity is rounded up to a power of two
-    (default 256). *)
+(** [create ~capacity ()] — the ring holds the largest power of two
+    [<= capacity] (default 256), so the link never buffers more than
+    the caller asked for.  [capacity] must be [>= 1]; a power of two
+    is used exactly. *)
 val create : ?capacity:int -> unit -> t
 
 val capacity : t -> int

@@ -20,6 +20,7 @@ type t = {
   mutable generated : int;
   mutable starved : int;
   mutable blocked : int;
+  mutable capped : int;
 }
 
 let create ?(seed = 42) ?(size_mix = default_size_mix) ?(flows = 64)
@@ -50,14 +51,17 @@ let create ?(seed = 42) ?(size_mix = default_size_mix) ?(flows = 64)
     generated = 0;
     starved = 0;
     blocked = 0;
+    capped = 0;
   }
 
 let pool t = t.pool
 
 (* How many packets the rate cap allows in total by [now_ns].  The
-   deficit against [generated] is this pull's budget, so a slow
-   consumer is caught up with a burst rather than permanently losing
-   its share (token-bucket behavior with an unbounded bucket). *)
+   deficit against [generated] is this pull's budget: token-bucket
+   behavior, with the bucket depth clamped to one max-batch in [pull]
+   — a stalled consumer resumes with at most [max] queued tokens
+   instead of an arbitrarily large catch-up burst that would overflow
+   the link and inflate txdrops. *)
 let allowed t ~now_ns =
   match t.rate_pps with
   | None -> max_int
@@ -71,8 +75,20 @@ let pull t ~now_ns link ~max =
     t.start_ns <- now_ns
   end;
   let budget =
-    let b = allowed t ~now_ns - t.generated in
-    if b < max then b else max
+    match t.rate_pps with
+    | None -> max  (* unlimited source: the batch size is the budget *)
+    | Some _ ->
+      let total = allowed t ~now_ns in
+      let b = total - t.generated in
+      if b <= max then b
+      else begin
+        (* Deficit deeper than one batch: forfeit the excess tokens
+           (count the clamp) so the next pull starts from a full —
+           not overflowing — bucket. *)
+        t.capped <- t.capped + 1;
+        t.generated <- total - max;
+        max
+      end
   in
   let sent = ref 0 in
   (try
@@ -102,3 +118,4 @@ let pull t ~now_ns link ~max =
 let generated t = t.generated
 let starved t = t.starved
 let blocked t = t.blocked
+let capped t = t.capped

@@ -38,7 +38,10 @@ val pool : t -> Pool.t
 (** [pull t ~now_ns link ~max] generates up to [max] packets onto
     [link], returning how many were sent.  Stops early when the link
     fills (counted in {!blocked}), the pool is exhausted (counted in
-    {!starved}), or the rate cap for [now_ns] is reached. *)
+    {!starved}), or the rate cap for [now_ns] is reached.  The rate
+    cap's token bucket holds at most one max-batch: a consumer that
+    stalls and resumes gets a budget of [max], not an unbounded
+    catch-up burst (forfeits counted in {!capped}). *)
 val pull : t -> now_ns:int64 -> Link.t -> max:int -> int
 
 val generated : t -> int
@@ -48,3 +51,7 @@ val starved : t -> int
 
 (** Pulls cut short by a full link. *)
 val blocked : t -> int
+
+(** Rate-capped pulls whose token deficit exceeded one max-batch and
+    was clamped (excess tokens forfeited). *)
+val capped : t -> int

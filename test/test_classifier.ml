@@ -884,6 +884,142 @@ let prop_aiu_cached_equals_uncached =
           | _, _, _ -> false)
         keys)
 
+(* --- compiled cross-gate classifier ---------------------------------- *)
+
+let test_compiled_basic () =
+  let c = Compiled.create ~gates:2 () in
+  let udp = Filter.v4 ~proto:Proto.udp () in
+  let ten = Filter.v4 ~src:(Prefix.of_string "10.0.0.0/8") () in
+  let udp_exact = Filter.v4 ~proto:Proto.udp ~dport:(Filter.Port 2000) () in
+  Compiled.bind c ~gate:0 udp "udp0";
+  Compiled.bind c ~gate:1 ten "ten1";
+  Compiled.prepare c;
+  let winner k g =
+    match Compiled.lookup c k with
+    | None -> None
+    | Some w -> Option.map snd w.(g)
+  in
+  (* One traversal resolves both gates. *)
+  check (Alcotest.option string_t) "gate 0" (Some "udp0") (winner (key ()) 0);
+  check (Alcotest.option string_t) "gate 1" (Some "ten1") (winner (key ()) 1);
+  check (Alcotest.option string_t) "gate 1 miss" None
+    (winner (key ~src:"11.0.0.1" ()) 1);
+  (* The most specific filter wins within its gate. *)
+  Compiled.bind c ~gate:0 udp_exact "udp-exact";
+  check (Alcotest.option string_t) "most specific wins" (Some "udp-exact")
+    (winner (key ()) 0);
+  Compiled.unbind c ~gate:0 udp_exact;
+  check (Alcotest.option string_t) "fallback after unbind" (Some "udp0")
+    (winner (key ()) 0);
+  (* A v6 key never reaches v4 leaves, even all-wildcard ones. *)
+  let k6 =
+    Flow_key.make ~src:(Ipaddr.of_string "2001:db8::1")
+      ~dst:(Ipaddr.of_string "2001:db8::2") ~proto:Proto.udp ~sport:1000
+      ~dport:2000 ~iface:0
+  in
+  check bool_t "v6 key misses a v4-only structure" true
+    (Compiled.lookup c k6 = None);
+  Compiled.clear c;
+  check bool_t "cleared" true (Compiled.lookup c (key ()) = None)
+
+(* The compiled union must agree gate-by-gate with the per-gate DAGs it
+   was compiled from — same winning filter, same instance — on random
+   tables including removals.  The AIU maintains both representations
+   on every bind/unbind, so comparing through it also checks that the
+   dual bookkeeping never drifts. *)
+let prop_compiled_matches_dags =
+  qtest ~count:200 "compiled = per-gate DAGs (random tables, removals)"
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 1 20) (pair (int_bound 2) gen_filter))
+        (list_size (int_range 0 8) (int_bound 19))
+        (list_size (int_range 1 12) gen_key))
+    (fun (binds, removals, keys) ->
+      let aiu = Aiu.create ~gates:3 () in
+      List.iteri (fun i (g, f) -> Aiu.bind aiu ~gate:g f i) binds;
+      let arr = Array.of_list binds in
+      List.iter
+        (fun idx ->
+          if idx < Array.length arr then begin
+            let g, f = arr.(idx) in
+            Aiu.unbind aiu ~gate:g f
+          end)
+        removals;
+      let c = Aiu.compiled aiu in
+      List.for_all
+        (fun k ->
+          let w = Compiled.lookup c k in
+          List.for_all
+            (fun g ->
+              let expect = Dag.lookup (Aiu.filter_table aiu ~gate:g) k in
+              let got =
+                match w with None -> None | Some ws -> ws.(g)
+              in
+              match expect, got with
+              | None, None -> true
+              | Some (f1, v1), Some (f2, v2) ->
+                Filter.equal f1 f2 && v1 = v2
+              | _ -> false)
+            [ 0; 1; 2 ])
+        keys)
+
+(* Mode equivalence through the full AIU data path: two AIUs with
+   identical tables, one per-gate and one compiled, must return the
+   same verdicts for every (key, gate) — before and after the same
+   bind/unbind churn (flow-cache invalidation plus lazy compiled
+   rebuilds on both sides). *)
+let prop_compiled_mode_equals_pergate =
+  qtest ~count:150 "aiu: compiled-mode verdicts = per-gate (with churn)"
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 1 15) (pair (int_bound 2) gen_filter))
+        (list_size (int_range 0 10) (pair (int_bound 2) gen_filter))
+        (list_size (int_range 1 10) gen_key))
+    (fun (binds, churn, keys) ->
+      let mk mode =
+        let aiu = Aiu.create ~gates:3 () in
+        Aiu.set_mode aiu mode;
+        List.iteri (fun i (g, f) -> Aiu.bind aiu ~gate:g f i) binds;
+        aiu
+      in
+      let a = mk `Per_gate and b = mk `Compiled in
+      let agree now =
+        List.for_all
+          (fun k ->
+            List.for_all
+              (fun g ->
+                match
+                  ( Aiu.classify_key a k ~gate:g ~now,
+                    Aiu.classify_key b k ~gate:g ~now )
+                with
+                | None, None -> true
+                | Some (x, _), Some (y, _) -> x = y
+                | _ -> false)
+              [ 0; 1; 2 ])
+          keys
+      in
+      let before = agree 0L in
+      List.iteri
+        (fun i (g, f) ->
+          if i mod 2 = 0 then begin
+            Aiu.bind a ~gate:g f (1000 + i);
+            Aiu.bind b ~gate:g f (1000 + i)
+          end
+          else begin
+            Aiu.unbind a ~gate:g f;
+            Aiu.unbind b ~gate:g f
+          end)
+        churn;
+      before && agree 1L)
+
+let test_compiled_mode_strings () =
+  check bool_t "pergate roundtrip" true
+    (Aiu.mode_of_string (Aiu.mode_to_string `Per_gate) = Ok `Per_gate);
+  check bool_t "compiled roundtrip" true
+    (Aiu.mode_of_string (Aiu.mode_to_string `Compiled) = Ok `Compiled);
+  check bool_t "unknown rejected" true
+    (Result.is_error (Aiu.mode_of_string "quantum"))
+
 let () =
   Alcotest.run "rp_classifier"
     [
@@ -944,5 +1080,12 @@ let () =
           Alcotest.test_case "wildcard gate bump" `Quick
             test_aiu_wildcard_bump_lazy_revalidation;
           prop_aiu_cached_equals_uncached;
+        ] );
+      ( "compiled",
+        [
+          Alcotest.test_case "basic winners" `Quick test_compiled_basic;
+          Alcotest.test_case "mode strings" `Quick test_compiled_mode_strings;
+          prop_compiled_matches_dags;
+          prop_compiled_mode_equals_pergate;
         ] );
     ]

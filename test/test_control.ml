@@ -382,6 +382,23 @@ let prop_pmgr_mutated_commands =
             QCheck2.Test.fail_reportf "raised %s on %S" (Printexc.to_string e) cmd)
         script)
 
+let test_pmgr_classifier_commands () =
+  let r = mk_router () in
+  check string_t "default mode" "pergate"
+    (ok (Rp_control.Pmgr.exec r "classifier show"));
+  check string_t "switch on" "classifier = compiled"
+    (ok (Rp_control.Pmgr.exec r "classifier compiled on"));
+  check string_t "mode reported" "compiled"
+    (ok (Rp_control.Pmgr.exec r "classifier show"));
+  check bool_t "aiu switched" true
+    (Rp_classifier.Aiu.mode (Router.aiu r) = `Compiled);
+  check string_t "switch off" "classifier = pergate"
+    (ok (Rp_control.Pmgr.exec r "classifier compiled off"));
+  check bool_t "back to per-gate" true
+    (Rp_classifier.Aiu.mode (Router.aiu r) = `Per_gate);
+  check bool_t "bad subcommand rejected" true
+    (Result.is_error (Rp_control.Pmgr.exec r "classifier compiled maybe"))
+
 let () =
   Alcotest.run "rp_control"
     [
@@ -394,6 +411,8 @@ let () =
           Alcotest.test_case "script error line" `Quick test_pmgr_script_error_line;
           Alcotest.test_case "show routes/flows" `Quick test_pmgr_show_routes_flows;
           Alcotest.test_case "fault commands" `Quick test_pmgr_fault_commands;
+          Alcotest.test_case "classifier commands" `Quick
+            test_pmgr_classifier_commands;
         ] );
       ( "ssp",
         [

@@ -386,8 +386,8 @@ let test_selective_invalidation_keeps_fast_path () =
    driven against an inline engine and a sharded delta-replaying one,
    must deliver exactly the same packets to the same instances — and
    the sharded side must never fall back to a recompile. *)
-let churn_equivalence =
-  qtest ~count:20 "sharded delta verdicts = inline verdicts (random churn)"
+let churn_equivalence_with ~name ~classifier =
+  qtest ~count:20 name
     QCheck2.Gen.(
       list_size (int_range 1 25) (pair (int_bound 5) (int_bound 3)))
     (fun script ->
@@ -402,8 +402,9 @@ let churn_equivalence =
             ();
         |]
       in
-      let mk_side mode =
+      let mk_side ~classifier mode =
         let r = mk_router () in
+        Rp_classifier.Aiu.set_mode (Router.aiu r) classifier;
         let insts = Array.make 4 0 in
         let hits = Array.make 4 (Atomic.make 0) in
         Array.iteri
@@ -419,7 +420,8 @@ let churn_equivalence =
         let mbufs = Array.init 8 (fun f -> mk_pkt ~sport:(20_000 + f) ()) in
         (r, e, insts, hits, mbufs)
       in
-      let inline = mk_side Inline and sharded = mk_side (Sharded 2) in
+      let inline = mk_side ~classifier:`Per_gate Inline
+      and sharded = mk_side ~classifier (Sharded 2) in
       let flushes0 =
         counter_get "engine.shard0.flow_flushes"
         + counter_get "engine.shard1.flow_flushes"
@@ -483,6 +485,91 @@ let churn_equivalence =
       Engine.stop ei;
       Engine.stop es;
       same && flushes = 0 && stale <= gone)
+
+let churn_equivalence =
+  churn_equivalence_with
+    ~name:"sharded delta verdicts = inline verdicts (random churn)"
+    ~classifier:`Per_gate
+
+(* The sharded side resolves cold starts through the compiled
+   cross-gate structure (rebuilt incrementally from the same delta
+   replays) while the inline side walks per-gate DAGs: the two modes
+   must be observationally identical through the whole engine. *)
+let churn_equivalence_compiled =
+  churn_equivalence_with
+    ~name:"sharded compiled verdicts = inline per-gate verdicts (churn)"
+    ~classifier:`Compiled
+
+(* Switching the classifier mode on a live engine travels to the
+   shards as an ordinary publication (a bare [Refresh] delta) — after
+   sync, worker-domain cold starts go through the compiled structure. *)
+let test_compiled_mode_propagates () =
+  let r = mk_router () in
+  let _inst, hits = bind_counting r ~gate:Gate.Firewall ~name:"cmp-prop" in
+  let e = Engine.create (Sharded 2) r in
+  Rp_classifier.Aiu.set_mode (Router.aiu r) `Compiled;
+  Engine.maybe_publish e;
+  wait "mode publish" (fun () -> Engine.synced e);
+  let walks0 = counter_get "aiu.compiled_walks" in
+  for f = 0 to 7 do
+    assert (Engine.submit e ~now:0L (mk_pkt ~sport:(26_000 + f) ()))
+  done;
+  ignore (Engine.flush e ~f:(fun _ -> ()));
+  check bool_t "plugin saw traffic" true (Atomic.get hits > 0);
+  check bool_t "shards resolved cold starts via the compiled structure" true
+    (counter_get "aiu.compiled_walks" - walks0 > 0);
+  (* And back: per-gate mode resumes full DAG walks. *)
+  Rp_classifier.Aiu.set_mode (Router.aiu r) `Per_gate;
+  Engine.maybe_publish e;
+  wait "mode revert" (fun () -> Engine.synced e);
+  let walks1 = counter_get "aiu.compiled_walks" in
+  for f = 0 to 7 do
+    assert (Engine.submit e ~now:0L (mk_pkt ~sport:(27_000 + f) ()))
+  done;
+  ignore (Engine.flush e ~f:(fun _ -> ()));
+  check int_t "no compiled walks in per-gate mode" 0
+    (counter_get "aiu.compiled_walks" - walks1);
+  Engine.stop e
+
+(* Charge parity through the one shared classify-and-charge entry point
+   ([Rp_core.Classify.at]): the router's control AIU and a shard-style
+   AIU rebuilt from a snapshot must charge byte-identical cycles for
+   the same traffic, cold and warm, in both classifier modes — the
+   regression this guards is the formerly duplicated logic in
+   [Ip_core.classify_at] and the shard data path drifting apart. *)
+let test_classify_charge_parity () =
+  let run classifier =
+    let r = mk_router () in
+    let _inst, _hits = bind_counting r ~gate:Gate.Firewall ~name:"chg" in
+    Rp_classifier.Aiu.set_mode (Router.aiu r) classifier;
+    (* Rebuild a private AIU from the snapshot, the way Shard.compile
+       does: same bindings, same mode. *)
+    let snap = Snapshot.capture ~gen:0 r in
+    let aiu = Rp_classifier.Aiu.create ~gates:Gate.count () in
+    List.iter
+      (fun (g, f, inst) -> Rp_classifier.Aiu.bind aiu ~gate:g f inst)
+      snap.Snapshot.bindings;
+    Rp_classifier.Aiu.set_mode aiu snap.Snapshot.classifier;
+    let charge aiu m =
+      let c0 = Cost.get () in
+      ignore (Classify.at aiu ~now:0L ~gate:Gate.Firewall m);
+      Cost.get () - c0
+    in
+    let m1 = mk_pkt ~sport:28_000 () and m2 = mk_pkt ~sport:28_000 () in
+    let cold_r = charge (Router.aiu r) m1 in
+    let cold_s = charge aiu m2 in
+    check int_t "cold-start charges identical (router vs shard AIU)"
+      cold_r cold_s;
+    let warm_r = charge (Router.aiu r) m1 in
+    let warm_s = charge aiu m2 in
+    check int_t "warm (FIX) charges identical" warm_r warm_s;
+    check bool_t "warm below cold" true (warm_r < cold_r);
+    cold_r
+  in
+  let pergate = run `Per_gate in
+  let compiled = run `Compiled in
+  check bool_t "compiled cold start charges no more than per-gate" true
+    (compiled <= pergate)
 
 (* Backlog overflow and delta toggling both poison the chain: the next
    publication recompiles every shard, and the chain heals after. *)
@@ -792,6 +879,14 @@ let () =
           Alcotest.test_case "backlog overflow recompiles" `Quick
             test_backlog_overflow_recompiles;
           Alcotest.test_case "coalescing" `Quick test_coalescing;
+        ] );
+      ( "compiled",
+        [
+          churn_equivalence_compiled;
+          Alcotest.test_case "mode propagates to shards" `Quick
+            test_compiled_mode_propagates;
+          Alcotest.test_case "classify charge parity" `Quick
+            test_classify_charge_parity;
         ] );
       ( "inline",
         [

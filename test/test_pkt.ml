@@ -561,6 +561,27 @@ let test_link_receive_batch () =
   check int_t "tail order" 4 dst.(0).Mbuf.seq;
   check int_t "batch on empty" 0 (Link.receive_batch l ~max:4 dst)
 
+(* Capacity is a budget: non-power-of-two requests round DOWN, so a
+   link never buffers more than the caller asked for (silently rounding
+   300 up to 512 would shift drop/backpressure thresholds). *)
+let test_link_capacity_rounds_down () =
+  check int_t "exact power kept" 256 (Link.capacity (Link.create ~capacity:256 ()));
+  check int_t "300 -> 256" 256 (Link.capacity (Link.create ~capacity:300 ()));
+  check int_t "511 -> 256" 256 (Link.capacity (Link.create ~capacity:511 ()));
+  check int_t "512 kept" 512 (Link.capacity (Link.create ~capacity:512 ()));
+  check int_t "5 -> 4" 4 (Link.capacity (Link.create ~capacity:5 ()));
+  check int_t "1 kept" 1 (Link.capacity (Link.create ~capacity:1 ()));
+  check bool_t "capacity < 1 rejected" true
+    (match Link.create ~capacity:0 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* The ring really is bounded by the rounded-down figure. *)
+  let l = Link.create ~capacity:300 () in
+  for i = 0 to 255 do
+    check bool_t "transmit within bound" true (Link.transmit l (link_mk i))
+  done;
+  check bool_t "256th packet refused" false (Link.transmit l (link_mk 256))
+
 let prop_link_fifo =
   qtest ~count:200 "link: FIFO under random tx/rx interleaving"
     QCheck2.Gen.(list_size (int_range 0 200) (int_bound 1))
@@ -649,6 +670,8 @@ let () =
         [
           Alcotest.test_case "fifo, overflow, wrap" `Quick test_link_fifo;
           Alcotest.test_case "receive_batch" `Quick test_link_receive_batch;
+          Alcotest.test_case "capacity rounds down" `Quick
+            test_link_capacity_rounds_down;
           prop_link_fifo;
         ] );
     ]

@@ -221,6 +221,46 @@ let test_two_router_chain () =
   | [ (_, fs) ] -> check int_t "one flow at sink" 10 fs.Rp_sim.Sink.packets
   | l -> Alcotest.failf "expected one flow, got %d" (List.length l)
 
+(* --- synth generator -------------------------------------------------- *)
+
+(* The rate cap's token bucket must hold at most one max-batch: a
+   consumer that stalls for a long time resumes with a budget of [max],
+   not an unbounded catch-up burst, and the forfeited tokens are
+   counted in [capped]. *)
+let test_synth_bucket_clamp () =
+  let pool = Pool.create ~capacity:1024 () in
+  let link = Link.create ~capacity:1024 () in
+  let synth = Rp_sim.Synth.create ~rate_pps:1_000_000.0 ~pool () in
+  (* 1 Mpps: one packet per microsecond.  First pull starts the rate
+     epoch; 16 us later the bucket holds 16 tokens. *)
+  ignore (Rp_sim.Synth.pull synth ~now_ns:0L link ~max:32);
+  check int_t "16 tokens after 16 us" 16
+    (Rp_sim.Synth.pull synth ~now_ns:16_000L link ~max:32);
+  check int_t "no clamp yet" 0 (Rp_sim.Synth.capped synth);
+  (* The consumer stalls for a millisecond: ~1000 tokens accrue, but
+     the resumed pull is clamped to one max-batch... *)
+  check int_t "stalled consumer resumes with one batch" 32
+    (Rp_sim.Synth.pull synth ~now_ns:1_016_000L link ~max:32);
+  check int_t "clamp counted" 1 (Rp_sim.Synth.capped synth);
+  (* ...and the excess tokens were forfeited, not banked: the next
+     pull a single microsecond later gets 1 token, not ~968. *)
+  check int_t "bucket was reset, not drained" 1
+    (Rp_sim.Synth.pull synth ~now_ns:1_017_000L link ~max:32);
+  check int_t "still one clamp" 1 (Rp_sim.Synth.capped synth)
+
+(* An unlimited source is budgeted by [max] alone — never counted as
+   clamped, whatever the clock does. *)
+let test_synth_unlimited_never_capped () =
+  let pool = Pool.create ~capacity:1024 () in
+  let link = Link.create ~capacity:1024 () in
+  let synth = Rp_sim.Synth.create ~pool () in
+  check int_t "full batch" 32 (Rp_sim.Synth.pull synth ~now_ns:0L link ~max:32);
+  check int_t "full batch after a huge gap" 32
+    (Rp_sim.Synth.pull synth ~now_ns:1_000_000_000L link ~max:32);
+  check int_t "never capped" 0 (Rp_sim.Synth.capped synth);
+  check int_t "generated counts sent packets" 64
+    (Rp_sim.Synth.generated synth)
+
 let () =
   Alcotest.run "rp_sim"
     [
@@ -248,5 +288,12 @@ let () =
         [
           Alcotest.test_case "node stats and drops" `Quick test_node_stats_and_drops;
           Alcotest.test_case "two-router chain" `Quick test_two_router_chain;
+        ] );
+      ( "synth",
+        [
+          Alcotest.test_case "token bucket clamped to one batch" `Quick
+            test_synth_bucket_clamp;
+          Alcotest.test_case "unlimited source never capped" `Quick
+            test_synth_unlimited_never_capped;
         ] );
     ]
