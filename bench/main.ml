@@ -18,6 +18,7 @@
      fig-churn       control-plane churn: delta publication vs recompile
      fig-batch       batched zero-copy data path throughput time series
      fig-coldstart   cold-start classification, compiled vs per-gate
+     fig-session     unified session subsystem: NAT+conntrack+QoS per-hit cost
      micro           Bechamel wall-clock micro-benchmarks
 
    Run all sections: [dune exec bench/main.exe]; or name the sections
@@ -1644,6 +1645,146 @@ let fig_coldstart () =
     \   runs and compiled g2 == g8 — accesses independent of gates)\n"
 
 (* ---------------------------------------------------------------------- *)
+(* fig-session: unified session subsystem — NAT + conntrack + QoS.        *)
+(* ---------------------------------------------------------------------- *)
+
+(* Three configurations over identical bidirectional NAT'd UDP
+   traffic on the inline engine:
+
+     fix      bare FIX fast path, the session library compiled in but
+              no session plugin bound (the Table-3 baseline shape);
+     cached   nat / conntrack / nat-out bound with the soft-slot
+              session cache on — steady state charges exactly ONE
+              session access per packet, and the cached next-hop
+              skips the LPM walk;
+     nocache  the same plugins with cache=off: every session gate
+              pays a full striped-table lookup (the naive feature
+              layering this subsystem replaces).
+
+   'accesses/pkt' is the charged memory-access meter (Rp_lpm.Access)
+   over the steady phase; cycles come from the deterministic cost
+   model, so both figures are byte-stable across runs and machines.
+   ci/check_session.sh gates cached <= fix + 1 (the one charged
+   session access), zero steady-state table lookups, and cached
+   strictly below nocache. *)
+let fig_session () =
+  section "fig-session: NAT + conntrack + QoS in one flow-table hit";
+  let flows = 8 and steady = 4_000 in
+  let nat_addr = Ipaddr.v4 198 51 100 7 in
+  let fwd_key f =
+    Flow_key.make ~src:(Ipaddr.v4 10 0 0 (1 + f)) ~dst:(Ipaddr.v4 192 168 1 9)
+      ~proto:Proto.udp ~sport:(4000 + f) ~dport:80 ~iface:0
+  in
+  (* the reply's ingress tuple: addressed to the (address-only) SNAT
+     mapping, distinguished per flow by the untouched source port *)
+  let rev_key f =
+    Flow_key.make ~src:(Ipaddr.v4 192 168 1 9) ~dst:nat_addr ~proto:Proto.udp
+      ~sport:80 ~dport:(4000 + f) ~iface:1
+  in
+  Printf.printf
+    "Bidirectional NAT'd UDP, %d flows, %d steady packets after warm-up.\n\n"
+    flows steady;
+  Printf.printf "  %-10s %14s %14s %12s %14s %14s\n" "config" "accesses/pkt"
+    "cycles/pkt" "model_mpps" "tbl lookups" "cached hits";
+  let run ~slug ~session =
+    let ifaces = [ Iface.create ~id:0 (); Iface.create ~id:1 () ] in
+    let r = Router.create ~gates:Gate.all ~ifaces () in
+    Router.add_route r (Prefix.of_string "10.0.0.0/8") ~iface:0 ();
+    Router.add_route r (Prefix.of_string "192.168.0.0/16") ~iface:1 ();
+    let table =
+      match session with
+      | None -> None
+      | Some cache ->
+        let tname = "fig-" ^ slug in
+        let t = Rp_session.Session.Table.get tname in
+        ignore (Rp_session.Session.Table.flush t);
+        Rp_session.Session.Table.add_rule t
+          {
+            Rp_session.Session.Table.kind = `Snat;
+            filter = Rp_classifier.Filter.v4 ();
+            addr = nat_addr;
+            port = None;
+            tos = Some 0x28;
+          };
+        List.iter
+          (fun plugin ->
+            let m = Option.get (Rp_control.Plugin_lib.find plugin) in
+            ok (Pcu.modload r.Router.pcu m);
+            let i =
+              ok
+                (Pcu.create_instance r.Router.pcu ~plugin
+                   [ ("table", tname); ("cache", (if cache then "on" else "off")) ])
+            in
+            ok
+              (Pcu.register_instance r.Router.pcu
+                 ~instance:i.Plugin.instance_id
+                 (Rp_classifier.Filter.v4 ())))
+          [ "nat"; "conntrack"; "nat-out" ];
+        Some t
+    in
+    let e = Rp_engine.Engine.create Rp_engine.Engine.Inline r in
+    let sink _ = () in
+    let shoot now m =
+      ignore (Rp_engine.Engine.submit e ~now m);
+      ignore (Rp_engine.Engine.flush e ~f:sink)
+    in
+    (* warm: create every session and learn both routes *)
+    for f = 0 to flows - 1 do
+      shoot (Int64.of_int (f * 10)) (Mbuf.synth ~key:(fwd_key f) ~len:512 ());
+      shoot (Int64.of_int ((f * 10) + 5)) (Mbuf.synth ~key:(rev_key f) ~len:512 ())
+    done;
+    let stats0 = Option.map Rp_session.Session.Table.stats table in
+    let cycles0 = Cost.get () in
+    Rp_lpm.Access.set_enabled true;
+    let (), accesses =
+      Rp_lpm.Access.measure (fun () ->
+          for i = 0 to steady - 1 do
+            let f = i mod flows in
+            let key = if i land 1 = 0 then fwd_key f else rev_key f in
+            shoot (Int64.of_int (1000 + i)) (Mbuf.synth ~key ~len:512 ())
+          done)
+    in
+    let dcyc = Cost.get () - cycles0 in
+    Rp_engine.Engine.stop e;
+    let per_pkt = float_of_int accesses /. float_of_int steady in
+    let cyc_pkt = float_of_int dcyc /. float_of_int steady in
+    let hz = Cost.cpu_mhz *. 1e6 in
+    let mpps = if dcyc > 0 then hz /. cyc_pkt /. 1e6 else 0.0 in
+    let lookups, cached_hits =
+      match (stats0, Option.map Rp_session.Session.Table.stats table) with
+      | Some s0, Some s1 ->
+        ( s1.Rp_session.Session.Table.lookups - s0.Rp_session.Session.Table.lookups,
+          s1.Rp_session.Session.Table.cached_hits
+          - s0.Rp_session.Session.Table.cached_hits )
+      | _ -> (0, 0)
+    in
+    Printf.printf "  %-10s %14.3f %14.1f %12.4f %14d %14d\n" slug per_pkt
+      cyc_pkt mpps lookups cached_hits;
+    let set k v =
+      Rp_obs.Registry.set (Printf.sprintf "bench.fig_session.%s.%s" slug k) v
+    in
+    set "steady_accesses_per_pkt" per_pkt;
+    set "cycles_per_pkt" cyc_pkt;
+    set "model_mpps" mpps;
+    (match session with
+     | Some _ ->
+       set "steady_table_lookups" (float_of_int lookups);
+       set "cached_hits_per_pkt" (float_of_int cached_hits /. float_of_int steady)
+     | None -> ());
+    (match table with
+     | Some t -> ignore (Rp_session.Session.Table.flush t)
+     | None -> ());
+    Gc.full_major ()
+  in
+  run ~slug:"fix" ~session:None;
+  run ~slug:"cached" ~session:(Some true);
+  run ~slug:"nocache" ~session:(Some false);
+  Printf.printf
+    "\n  (ci/check_session.sh gates cached <= fix + 1 access/pkt, zero\n\
+    \   steady-state table lookups, and Table-3 byte-identity with the\n\
+    \   session subsystem compiled in but unbound)\n"
+
+(* ---------------------------------------------------------------------- *)
 
 let sections =
   [
@@ -1663,6 +1804,7 @@ let sections =
     ("fig-churn", fig_churn);
     ("fig-batch", fig_batch);
     ("fig-coldstart", fig_coldstart);
+    ("fig-session", fig_session);
     ("micro", micro);
   ]
 

@@ -1,0 +1,61 @@
+#!/bin/sh
+# Session-subsystem gate, run by CI after
+#   dune exec bench/main.exe -- fig-session table3 --metrics-out session.json
+#   dune exec bench/main.exe -- table3 --metrics-out table3-a.json
+#   dune exec bin/session_soak.exe        (writes session-soak.json)
+#
+# Three checks:
+#
+#   1. One-hit steady state: with the session cache on, NAT rewrite +
+#      conntrack verdict + QoS class + cached next-hop together ride
+#      on at most ONE charged memory access per packet over the bare
+#      FIX fast path (in practice the total is lower — the cached
+#      next-hop saves the LPM walk), with ZERO steady-state
+#      session-table lookups (the soft pointer serves every packet),
+#      and strictly cheaper than the naive cache=off layering where
+#      every session gate pays a full table lookup.
+#
+#   2. The soak's invariants: exact packet AND byte reconciliation in
+#      both directions under conntrack bind churn and NAT quarantine
+#      flaps, on the inline engine and on sharded:4, every offered
+#      packet forwarded, and the two modes' per-packet outcome
+#      sequences byte-identical.
+#
+#   3. Table-3 byte-identity: the per-packet cycle figures must be
+#      unchanged with the session subsystem compiled in but unbound —
+#      sessions cost nothing until a session plugin is instantiated.
+#
+# The metrics files are rp-metrics JSON, written one metric per line
+# precisely so this script needs no JSON parser.
+set -eu
+# shellcheck source=ci/lib.sh
+. "$(dirname "$0")/lib.sh"
+
+session="${1:-session.json}"
+base="${2:-table3-a.json}"
+soak="${3:-session-soak.json}"
+require_files "$session" "$base" "$soak"
+
+echo "== fig-session: one charged session access per steady packet =="
+check_le_plus "$session" bench.fig_session.cached.steady_accesses_per_pkt \
+  bench.fig_session.fix.steady_accesses_per_pkt 1
+check_max "$session" bench.fig_session.cached.steady_table_lookups 0
+check_lt "$session" bench.fig_session.cached.steady_accesses_per_pkt \
+  bench.fig_session.nocache.steady_accesses_per_pkt
+check_near "$session" bench.fig_session.cached.cached_hits_per_pkt 3 1
+
+echo "== session soak: exact reconciliation, inline = sharded:4 =="
+check_max "$soak" soak.session.inline.recon_error 0
+check_max "$soak" soak.session.sharded4.recon_error 0
+check_max "$soak" soak.session.mode_mismatch 0
+check_min "$soak" soak.session.inline.offered 2000
+check_eq "$soak" soak.session.inline.forwarded soak.session.inline.offered
+check_eq "$soak" soak.session.sharded4.forwarded soak.session.sharded4.offered
+
+echo "== Table 3 unchanged with sessions compiled in but unbound =="
+check_same "$session" "$base" bench.table3.best_effort.cycles
+check_same "$session" "$base" bench.table3.plugins_3gates.cycles
+check_same "$session" "$base" bench.table3.monolithic_drr.cycles
+check_same "$session" "$base" bench.table3.plugins_drr.cycles
+
+exit $fail

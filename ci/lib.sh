@@ -100,6 +100,22 @@ check_lt() {
   fi
 }
 
+# check_le_plus FILE NAME_A NAME_B CONST — fail unless NAME_A is at
+# most NAME_B + CONST, both metrics read from the same FILE.
+check_le_plus() {
+  a="$(metric "$1" "$2")"
+  b="$(metric "$1" "$3")"
+  if [ -z "$a" ] || [ -z "$b" ]; then
+    echo "FAIL $2 <= $3 + $4: missing ('$a' vs '$b')"
+    fail=1
+  elif awk "BEGIN { exit !($a <= $b + $4) }"; then
+    echo "ok   $2 = $a within $3 = $b plus $4"
+  else
+    echo "FAIL $2 = $a exceeds $3 = $b plus $4"
+    fail=1
+  fi
+}
+
 # check_eq FILE NAME_A NAME_B — fail unless both metrics are present
 # in FILE and byte-identical.
 check_eq() {

@@ -17,6 +17,12 @@ let available : (string * (module Plugin.PLUGIN)) list =
     ("token-bucket", (module Rp_sched.Tb_plugin));
     ("ipsec-in", (module Rp_crypto.Ipsec_plugin.In));
     ("ipsec-out", (module Rp_crypto.Ipsec_plugin.Out));
+    (* Unified session subsystem: NAT rewrite (+ QoS class + cached
+       next-hop) before routing, conntrack verdict at the firewall
+       gate, route learning after routing. *)
+    ("nat", (module Rp_session.Nat_plugin.In));
+    ("nat-out", (module Rp_session.Nat_plugin.Out));
+    ("conntrack", (module Rp_session.Conntrack_plugin));
     (* No-op plugins for framework-overhead experiments (Table 3). *)
     ("empty-options", Empty_plugin.make ~gate:Gate.Ip_options ~name:"empty-options");
     ("empty-security", Empty_plugin.make ~gate:Gate.Security_in ~name:"empty-security");

@@ -174,6 +174,31 @@ let flows_top router n =
   in
   Ok (String.concat "\n" (header :: List.map row top))
 
+let session_table_arg rest =
+  match rest with
+  | [] -> Ok (Rp_session.Session.Table.get "default")
+  | [ name ] -> Ok (Rp_session.Session.Table.get name)
+  | _ -> Error "expected at most one table name"
+
+let session_line (s : Rp_session.Session.t) =
+  let open Rp_session.Session in
+  let xlat =
+    if s.nat then
+      Printf.sprintf " => %s:%d -> %s:%d"
+        (Ipaddr.to_string s.xlat_src) s.xlat_sport
+        (Ipaddr.to_string s.xlat_dst) s.xlat_dport
+    else ""
+  in
+  Printf.sprintf "%d: %s %s:%d -> %s:%d if%d%s state=%s fwd=%d/%dB rev=%d/%dB drops=%d%s"
+    s.id (Proto.name s.proto)
+    (Ipaddr.to_string s.orig_src) s.orig_sport
+    (Ipaddr.to_string s.orig_dst) s.orig_dport
+    s.iface xlat (state_name s)
+    (Atomic.get s.fwd_pkts) (Atomic.get s.fwd_bytes)
+    (Atomic.get s.rev_pkts) (Atomic.get s.rev_bytes)
+    (Atomic.get s.drops)
+    (match s.qos with Some q -> Printf.sprintf " tos=%d" q | None -> "")
+
 (* Commands that change what the sharded engine's workers classify or
    route against: after one succeeds, an attached engine must
    republish its snapshot so the shards replay the deltas (or
@@ -411,6 +436,141 @@ let exec_tokens router tokens =
     if n < 1 then Error "flows top: expected a positive count"
     else flows_top router n
   | "flows" :: _ -> Error "usage: flows top [N]"
+  (* The session subsystem (NAT + conntrack + QoS).  Tables are named,
+     created on first use; plugin instances select theirs with
+     [table=NAME] (default "default"). *)
+  | "sessions" :: "show" :: rest ->
+    let* t = session_table_arg rest in
+    let st = Rp_session.Session.Table.stats t in
+    let lines = ref [] in
+    Rp_session.Session.Table.iter
+      (fun s -> lines := session_line s :: !lines)
+      t;
+    Ok
+      (String.concat "\n"
+         (Printf.sprintf
+            "table=%s live=%d created=%d expired=%d lookups=%d hits=%d \
+             misses=%d cached=%d rewrites=%d ct-drops=%d conflicts=%d"
+            (Rp_session.Session.Table.name t)
+            st.Rp_session.Session.Table.live st.created st.expired st.lookups
+            st.hits st.misses st.cached_hits st.rewrites st.ct_drops
+            st.key_conflicts
+         :: List.sort String.compare !lines))
+  | "sessions" :: "top" :: rest ->
+    let* n, rest =
+      match rest with
+      | n :: rest when int_of_string_opt n <> None ->
+        let* n = int_arg "count" n in
+        Ok (n, rest)
+      | rest -> Ok (10, rest)
+    in
+    if n < 1 then Error "sessions top: expected a positive count"
+    else
+      let* t = session_table_arg rest in
+      let all = ref [] in
+      Rp_session.Session.Table.iter (fun s -> all := s :: !all) t;
+      let bytes (s : Rp_session.Session.t) =
+        Atomic.get s.Rp_session.Session.fwd_bytes
+        + Atomic.get s.Rp_session.Session.rev_bytes
+      in
+      let sorted =
+        List.sort (fun a b -> compare (bytes b, b.Rp_session.Session.id)
+                     (bytes a, a.Rp_session.Session.id)) !all
+      in
+      Ok
+        (String.concat "\n"
+           (List.map session_line (List.filteri (fun i _ -> i < n) sorted)))
+  | "sessions" :: "timeout" :: cls :: secs :: rest ->
+    let* cls =
+      match cls with
+      | "tcp-syn" -> Ok `Tcp_syn
+      | "tcp-est" -> Ok `Tcp_est
+      | "tcp-fin" -> Ok `Tcp_fin
+      | "udp" -> Ok `Udp
+      | "other" -> Ok `Other
+      | _ -> Error "sessions timeout: class is tcp-syn|tcp-est|tcp-fin|udp|other"
+    in
+    let* secs = int_arg "seconds" secs in
+    if secs < 1 then Error "sessions timeout: expected a positive duration"
+    else
+      let* t = session_table_arg rest in
+      Rp_session.Session.Table.set_timeout t cls
+        (Int64.mul (Int64.of_int secs) 1_000_000_000L);
+      Ok (Printf.sprintf "timeout = %d s" secs)
+  | "sessions" :: "expire" :: now_s :: rest ->
+    let* now_s = int_arg "now (seconds)" now_s in
+    let* t = session_table_arg rest in
+    let n =
+      Rp_session.Session.Table.expire t
+        ~now:(Int64.mul (Int64.of_int now_s) 1_000_000_000L)
+    in
+    Ok (Printf.sprintf "expired %d session(s)" n)
+  | "sessions" :: "flush" :: rest ->
+    let* t = session_table_arg rest in
+    Ok (Printf.sprintf "flushed %d session(s)" (Rp_session.Session.Table.flush t))
+  | "sessions" :: _ ->
+    Error
+      "usage: sessions show [TABLE] | sessions top [N] [TABLE] | sessions \
+       timeout CLASS SECS [TABLE] | sessions expire NOW_S [TABLE] | sessions \
+       flush [TABLE]"
+  | "nat" :: "add" :: kind :: filter :: addr :: config ->
+    let* kind =
+      match kind with
+      | "snat" -> Ok `Snat
+      | "dnat" -> Ok `Dnat
+      | _ -> Error "nat add: kind is snat|dnat"
+    in
+    let* f = parse_filter filter in
+    (match Ipaddr.of_string_opt addr with
+     | None -> Error (Printf.sprintf "nat add: bad address %S" addr)
+     | Some a when Filter.is_v4 f <> Ipaddr.is_v4 a ->
+       Error "nat add: address family does not match the filter"
+     | Some addr ->
+       let config = parse_config config in
+       let opt_int key =
+         match List.assoc_opt key config with
+         | None -> Ok None
+         | Some v ->
+           let* v = int_arg key v in
+           Ok (Some v)
+       in
+       let* port = opt_int "port" in
+       let* tos = opt_int "tos" in
+       let t =
+         Rp_session.Session.Table.get
+           (Option.value (List.assoc_opt "table" config) ~default:"default")
+       in
+       Rp_session.Session.Table.add_rule t
+         { Rp_session.Session.Table.kind; filter = f; addr; port; tos };
+       Ok
+         (Printf.sprintf "nat rule %d"
+            (List.length (Rp_session.Session.Table.rules t) - 1)))
+  | "nat" :: "del" :: i :: rest ->
+    let* i = int_arg "rule" i in
+    let* t = session_table_arg rest in
+    let* () = Rp_session.Session.Table.del_rule t i in
+    Ok (Printf.sprintf "deleted nat rule %d" i)
+  | "nat" :: "show" :: rest ->
+    let* t = session_table_arg rest in
+    Ok
+      (String.concat "\n"
+         (List.mapi
+            (fun i (r : Rp_session.Session.Table.nat_rule) ->
+              Printf.sprintf "%d: %s %s -> %s%s%s" i
+                (match r.kind with `Snat -> "snat" | `Dnat -> "dnat")
+                (Filter.to_string r.filter)
+                (Ipaddr.to_string r.addr)
+                (match r.port with
+                 | Some p -> Printf.sprintf ":%d" p
+                 | None -> "")
+                (match r.tos with
+                 | Some q -> Printf.sprintf " tos=%d" q
+                 | None -> ""))
+            (Rp_session.Session.Table.rules t)))
+  | "nat" :: _ ->
+    Error
+      "usage: nat add snat|dnat <FILTER> ADDR [port=N] [tos=N] [table=NAME] \
+       | nat del N [TABLE] | nat show [TABLE]"
   (* Cold-start classification strategy: per-gate DAG walks (the
      paper's n lookups, the default) or the compiled cross-gate
      structure (one traversal for all gates).  Counted as a

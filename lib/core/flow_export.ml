@@ -12,6 +12,18 @@
 
 open Rp_pkt
 
+(* The session layer (lib/session) knows whether a flow record's soft
+   state points at a NAT'd session; this module cannot depend on it,
+   so the translated-tuple extraction is a registered hook.  Absent
+   (the default), every record exports with [translated = None] — the
+   pre-session schema. *)
+let translated_of :
+    (Plugin.t Rp_classifier.Flow_table.record -> Rp_obs.Flowlog.xlate option)
+    ref =
+  ref (fun _ -> None)
+
+let set_translated_of f = translated_of := f
+
 let record_of ~reason (r : Plugin.t Rp_classifier.Flow_table.record) =
   let key = r.Rp_classifier.Flow_table.key in
   let bindings =
@@ -49,6 +61,7 @@ let record_of ~reason (r : Plugin.t Rp_classifier.Flow_table.record) =
     last_ns = r.Rp_classifier.Flow_table.last_use_ns;
     bindings;
     reason;
+    translated = !translated_of r;
   }
 
 let install (aiu : Plugin.t Rp_classifier.Aiu.t) =

@@ -17,3 +17,11 @@ val record_of :
   reason:string ->
   Plugin.t Rp_classifier.Flow_table.record ->
   Rp_obs.Flowlog.record
+
+(** Register the translated-tuple extractor: called once per exported
+    record; [Some] marks the flow as NAT'd and adds the post-rewrite
+    tuple to its export record.  Installed by the session layer
+    (which owns the NAT state); defaults to [fun _ -> None]. *)
+val set_translated_of :
+  (Plugin.t Rp_classifier.Flow_table.record -> Rp_obs.Flowlog.xlate option) ->
+  unit

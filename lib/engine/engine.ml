@@ -53,6 +53,10 @@ type t = {
   m_publishes : Rp_obs.Counter.t;
   m_delta_publishes : Rp_obs.Counter.t;
   m_coalesced : Rp_obs.Counter.t;
+  mutable rss : Flow_key.t -> int;
+      (* shard-selection hash; default [Flow_key.hash].  The session
+         layer swaps in the canonical-key hash so both directions of a
+         conversation land on one shard. *)
 }
 
 let mode t = t.mode
@@ -65,7 +69,13 @@ let shards t = match t.mode with Inline -> 1 | Sharded n -> n
 let shard_of_key t key =
   match t.mode with
   | Inline -> 0
-  | Sharded n -> Flow_key.hash key land max_int mod n
+  | Sharded n -> t.rss key land max_int mod n
+
+(* Only safe while no traffic is in flight: packets of one flow hashed
+   by two different functions could land on two shards, splitting the
+   flow's cached state. *)
+let set_rss t f = t.rss <- f
+let rss t key = t.rss key
 
 (* --- engine registry ------------------------------------------------ *)
 
@@ -175,6 +185,7 @@ let create ?(rx_capacity = 1024) ?(tx_capacity = 2048) mode router =
       m_publishes = Rp_obs.Registry.counter "engine.publishes";
       m_delta_publishes = Rp_obs.Registry.counter "engine.delta_publishes";
       m_coalesced = Rp_obs.Registry.counter "engine.coalesced";
+      rss = Flow_key.hash;
     }
   in
   (* Observe every control-path AIU mutation so publications can carry
@@ -356,7 +367,7 @@ let submit t ~now m =
       t.inline_q;
     true
   | Sharded n ->
-    let s = Flow_key.hash m.Mbuf.key land max_int mod n in
+    let s = t.rss m.Mbuf.key land max_int mod n in
     if Spsc.push t.rx.(s) m then begin
       Rp_obs.Counter.inc t.m_submitted;
       true

@@ -57,6 +57,17 @@ val shards : t -> int
 (** The shard [key] hashes to. *)
 val shard_of_key : t -> Flow_key.t -> int
 
+(** [set_rss t f] replaces the shard-selection hash (default
+    {!Rp_pkt.Flow_key.hash}).  The session layer installs
+    {!Rp_pkt.Flow_key.canonical_hash} so both directions of a
+    conversation RSS to the same shard.  Only call while no traffic is
+    in flight: one flow hashed by two functions would split its cached
+    state across shards. *)
+val set_rss : t -> (Flow_key.t -> int) -> unit
+
+(** The current shard-selection hash applied to [key]. *)
+val rss : t -> Flow_key.t -> int
+
 (** Flow keys cached by shard [i] (test introspection). *)
 val shard_flow_keys : t -> int -> Flow_key.t list
 

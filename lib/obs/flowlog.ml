@@ -11,6 +11,16 @@
    Addresses are pre-rendered strings: obs cannot depend on lib/pkt,
    and records are export-bound anyway. *)
 
+(* Post-rewrite tuple of a NAT'd session; absent for flows the session
+   layer never translated, so the export schema is unchanged for
+   them. *)
+type xlate = {
+  xsrc : string;
+  xdst : string;
+  xsport : int;
+  xdport : int;
+}
+
 type record = {
   src : string;
   dst : string;
@@ -27,6 +37,7 @@ type record = {
   last_ns : int64;
   bindings : (string * int) list;
   reason : string;
+  translated : xlate option;
 }
 
 let lock = Mutex.create ()
@@ -107,13 +118,22 @@ let to_json_line r =
              (json_escape gate) inst)
          r.bindings)
   in
+  let translated =
+    match r.translated with
+    | None -> ""
+    | Some x ->
+      Printf.sprintf
+        ",\"translated\":{\"src\":\"%s\",\"dst\":\"%s\",\"sport\":%d,\
+         \"dport\":%d}"
+        (json_escape x.xsrc) (json_escape x.xdst) x.xsport x.xdport
+  in
   Printf.sprintf
     "{\"src\":\"%s\",\"dst\":\"%s\",\"proto\":%d,\"sport\":%d,\"dport\":%d,\
      \"iface\":%d,\"packets\":%d,\"bytes\":%d,\"forwarded\":%d,\"dropped\":%d,\
-     \"absorbed\":%d,\"duration_ns\":%Ld,\"bindings\":[%s],\"reason\":\"%s\"}"
+     \"absorbed\":%d,\"duration_ns\":%Ld,\"bindings\":[%s],\"reason\":\"%s\"%s}"
     (json_escape r.src) (json_escape r.dst) r.proto r.sport r.dport r.iface
     r.packets r.bytes r.forwarded r.dropped r.absorbed (duration_ns r)
-    bindings (json_escape r.reason)
+    bindings (json_escape r.reason) translated
 
 let key_string r =
   Printf.sprintf "%s:%d -> %s:%d proto=%d if=%d" r.src r.sport r.dst r.dport

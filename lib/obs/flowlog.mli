@@ -8,6 +8,17 @@
     Addresses arrive pre-rendered as strings so obs stays free of
     lib/pkt dependencies. *)
 
+(** Post-rewrite (NAT'd) tuple of a translated session.  [None] —
+    the default for every existing emitter — leaves the export schema
+    exactly as before; [Some] adds one ["translated"] object to the
+    JSON line. *)
+type xlate = {
+  xsrc : string;
+  xdst : string;
+  xsport : int;
+  xdport : int;
+}
+
 type record = {
   src : string;
   dst : string;
@@ -24,6 +35,7 @@ type record = {
   last_ns : int64;
   bindings : (string * int) list;  (** (gate name, plugin instance id) *)
   reason : string;  (** why the entry left the table *)
+  translated : xlate option;  (** post-NAT tuple, when one exists *)
 }
 
 (** Append a record, overwriting the oldest when full (counted in

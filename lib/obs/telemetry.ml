@@ -28,6 +28,7 @@ type kind =
   | Gate_exit
   | Drop
   | Fault
+  | Rewrite
 
 let kind_to_int = function
   | Pkt_start -> 0
@@ -37,6 +38,7 @@ let kind_to_int = function
   | Gate_exit -> 4
   | Drop -> 5
   | Fault -> 6
+  | Rewrite -> 7
 
 let kind_of_int = function
   | 0 -> Pkt_start
@@ -45,6 +47,7 @@ let kind_of_int = function
   | 3 -> Gate_enter
   | 4 -> Gate_exit
   | 5 -> Drop
+  | 7 -> Rewrite
   | _ -> Fault
 
 let kind_name = function
@@ -55,6 +58,7 @@ let kind_name = function
   | Gate_exit -> "gate_exit"
   | Drop -> "drop"
   | Fault -> "fault"
+  | Rewrite -> "rewrite"
 
 let stride = 5
 
@@ -261,7 +265,10 @@ let to_chrome_json ?(gate_name = string_of_int) ?(mhz = 233.0) () =
           instant
             ~name:("fault." ^ gate_name e.gate)
             ~cat:"fault" ~tid:idx ~ts:e.ts
-            ~args:(Printf.sprintf "\"pkt\":%d,\"instance\":%d" e.pkt e.arg))
+            ~args:(Printf.sprintf "\"pkt\":%d,\"instance\":%d" e.pkt e.arg)
+        | Rewrite ->
+          instant ~name:"rewrite" ~cat:"session" ~tid:idx ~ts:e.ts
+            ~args:(Printf.sprintf "\"pkt\":%d,\"session\":%d" e.pkt e.arg))
       (ring_events idx)
   done;
   Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";

@@ -25,6 +25,7 @@ type kind =
   | Gate_exit  (** gate dispatch ended; arg = memory accesses *)
   | Drop  (** packet dropped *)
   | Fault  (** plugin fault contained; arg = instance id *)
+  | Rewrite  (** session NAT header rewrite applied; arg = session id *)
 
 val kind_name : kind -> string
 

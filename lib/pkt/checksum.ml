@@ -18,6 +18,15 @@ let finish s =
   done;
   lnot !s land 0xFFFF
 
+(* RFC 1624: HC' = ~(~HC + ~m + m').  Replacing one 16-bit word of a
+   checksummed region updates the stored checksum without re-reading
+   the region; multi-word substitutions (addresses) chain calls. *)
+let adjust csum ~old_word ~new_word =
+  finish
+    ((lnot csum land 0xFFFF)
+     + (lnot old_word land 0xFFFF)
+     + (new_word land 0xFFFF))
+
 let compute buf off len = finish (sum buf off len)
 
 let valid buf off len = compute buf off len = 0

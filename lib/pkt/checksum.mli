@@ -13,6 +13,15 @@ val add : int -> int -> int
     checksum field value. *)
 val finish : int -> int
 
+(** [adjust csum ~old_word ~new_word] incrementally updates a stored
+    checksum field for the substitution of one 16-bit word
+    ([HC' = ~(~HC + ~m + m')], RFC 1624) — what a NAT rewrite uses
+    instead of a full-header recompute.  Chain calls for multi-word
+    substitutions (addresses).  Result agrees with a full recompute up
+    to the one's-complement representation of zero ([0x0000] vs
+    [0xFFFF]), which only diverges for all-zero regions. *)
+val adjust : int -> old_word:int -> new_word:int -> int
+
 (** [compute buf off len] is [finish (sum buf off len)]. *)
 val compute : Bytes.t -> int -> int -> int
 

@@ -46,6 +46,31 @@ let hash k =
   in
   h land max_int
 
+type direction = Fwd | Rev
+
+let flip = function Fwd -> Rev | Rev -> Fwd
+let direction_name = function Fwd -> "fwd" | Rev -> "rev"
+
+let reverse ?iface k =
+  let iface = match iface with Some i -> i | None -> k.iface in
+  { src = k.dst; dst = k.src; proto = k.proto; sport = k.dport;
+    dport = k.sport; iface }
+
+(* Direction normalization: order the two endpoints (address first,
+   port as tie-break) and zero the interface — the two directions of
+   one conversation arrive on different interfaces, so a
+   direction-independent key cannot keep it.  Both directions of a
+   flow therefore canonicalize to the same key, with the direction bit
+   recording which side this particular tuple was. *)
+let canonical k =
+  let swapped =
+    let c = Ipaddr.compare k.src k.dst in
+    if c < 0 then false else if c > 0 then true else k.sport > k.dport
+  in
+  if swapped then (reverse ~iface:0 k, Rev) else ({ k with iface = 0 }, Fwd)
+
+let canonical_hash k = hash (fst (canonical k))
+
 let to_string k =
   Printf.sprintf "<%s, %s, %s, %d, %d, if%d>"
     (Ipaddr.to_string k.src) (Ipaddr.to_string k.dst) (Proto.name k.proto)

@@ -27,5 +27,30 @@ val compare : t -> t -> int
     into the same bucket. *)
 val hash : t -> int
 
+(** Which side of a bidirectional conversation a tuple is, relative to
+    its canonical form (see {!canonical}). *)
+type direction = Fwd | Rev
+
+val flip : direction -> direction
+val direction_name : direction -> string
+
+(** [reverse k] swaps source and destination (addresses and ports).
+    The interface is kept unless [iface] overrides it — a reply
+    arrives on a different interface than the request left from, and
+    callers that know which one say so. *)
+val reverse : ?iface:int -> t -> t
+
+(** [canonical k] is the direction-normalized form of [k] plus the
+    direction bit: endpoints are ordered (address, then port as the
+    tie-break) and the interface zeroed, so [k] and [reverse k]
+    canonicalize to the same key with opposite direction bits.  The
+    session table keys on this, and canonical-hash RSS pins both
+    directions of a conversation to the same shard. *)
+val canonical : t -> t * direction
+
+(** [hash (fst (canonical k))] — the RSS rehash used for session
+    affinity. *)
+val canonical_hash : t -> int
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

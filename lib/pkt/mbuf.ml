@@ -31,9 +31,11 @@ type t = {
   mutable tseq : int;
   mutable pool_id : int;
   mutable pool_slot : int;
+  mutable tcp_flags : int;
 }
 
-let synth ?(ttl = 64) ?(tos = 0) ?(flow_label = 0) ~key ~len () =
+let synth ?(ttl = 64) ?(tos = 0) ?(flow_label = 0) ?(tcp_flags = 0) ~key ~len
+    () =
   {
     key;
     version = (if Ipaddr.is_v4 key.Flow_key.src then V4 else V6);
@@ -55,6 +57,7 @@ let synth ?(ttl = 64) ?(tos = 0) ?(flow_label = 0) ~key ~len () =
     tseq = 0;
     pool_id = 0;
     pool_slot = -1;
+    tcp_flags;
   }
 
 type error =
@@ -76,11 +79,14 @@ let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
 let ports_of ~proto buf off =
   if proto = Proto.udp then
     let* u = Result.map_error (fun e -> Udp_error e) (Udp_header.parse buf off) in
-    Ok (u.Udp_header.sport, u.Udp_header.dport)
+    Ok (u.Udp_header.sport, u.Udp_header.dport, 0)
   else if proto = Proto.tcp then
     let* t = Result.map_error (fun e -> Tcp_error e) (Tcp_header.parse buf off) in
-    Ok (t.Tcp_header.sport, t.Tcp_header.dport)
-  else Ok (0, 0)
+    Ok
+      ( t.Tcp_header.sport,
+        t.Tcp_header.dport,
+        Tcp_header.byte_of_flags t.Tcp_header.flags )
+  else Ok (0, 0, 0)
 
 let of_bytes ~iface buf =
   if Bytes.length buf = 0 then Error Empty
@@ -88,7 +94,9 @@ let of_bytes ~iface buf =
     let version = Char.code (Bytes.get buf 0) lsr 4 in
     if version = 4 then
       let* h = Result.map_error (fun e -> V4_error e) (Ipv4_header.parse buf 0) in
-      let* sport, dport = ports_of ~proto:h.Ipv4_header.proto buf Ipv4_header.size in
+      let* sport, dport, tcp_flags =
+        ports_of ~proto:h.Ipv4_header.proto buf Ipv4_header.size
+      in
       let key =
         Flow_key.make ~src:h.Ipv4_header.src ~dst:h.Ipv4_header.dst
           ~proto:h.Ipv4_header.proto ~sport ~dport ~iface
@@ -123,6 +131,7 @@ let of_bytes ~iface buf =
           tseq = 0;
           pool_id = 0;
           pool_slot = -1;
+          tcp_flags;
         }
     else if version = 6 then
       let* h = Result.map_error (fun e -> V6_error e) (Ipv6_header.parse buf 0) in
@@ -149,7 +158,7 @@ let of_bytes ~iface buf =
               Ipv6_header.size + hbh_len )
         else Ok ([], h.Ipv6_header.next_header, Ipv6_header.size)
       in
-      let* sport, dport = ports_of ~proto:upper_proto buf upper_off in
+      let* sport, dport, tcp_flags = ports_of ~proto:upper_proto buf upper_off in
       let key =
         Flow_key.make ~src:h.Ipv6_header.src ~dst:h.Ipv6_header.dst
           ~proto:upper_proto ~sport ~dport ~iface
@@ -176,6 +185,7 @@ let of_bytes ~iface buf =
           tseq = 0;
           pool_id = 0;
           pool_slot = -1;
+          tcp_flags;
         }
     else Error (V4_error (Ipv4_header.Bad_version version))
 

@@ -55,13 +55,18 @@ type t = {
           pool, opaque to everything else *)
   mutable pool_slot : int;
       (** slot in the owning pool's backing arrays, -1 = none *)
+  mutable tcp_flags : int;
+      (** TCP flag byte ({!Tcp_header.byte_of_flags}); 0 for non-TCP
+          packets.  Parsed from the wire by {!of_bytes}, settable on
+          synthetic packets so connection tracking sees SYN/FIN/RST on
+          generator traffic too. *)
 }
 
 (** [synth ~key ~len ()] builds a descriptor without wire bytes — the
     fast path used by workload generators; [version] follows the
     address family of [key.src]. *)
-val synth : ?ttl:int -> ?tos:int -> ?flow_label:int -> key:Flow_key.t ->
-  len:int -> unit -> t
+val synth : ?ttl:int -> ?tos:int -> ?flow_label:int -> ?tcp_flags:int ->
+  key:Flow_key.t -> len:int -> unit -> t
 
 type error =
   | V4_error of Ipv4_header.error

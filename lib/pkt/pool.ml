@@ -105,6 +105,7 @@ let alloc t ~key ~len =
   m.Mbuf.dont_fragment <- false;
   m.Mbuf.frag <- None;
   m.Mbuf.tseq <- 0;
+  m.Mbuf.tcp_flags <- 0;
   m
 
 let free t m =

@@ -11,6 +11,12 @@ type flags = {
 
 val no_flags : flags
 
+(** Wire encoding of the flag byte (FIN=0x01 .. URG=0x20), shared with
+    {!Mbuf.t.tcp_flags} and the conntrack state machine. *)
+val byte_of_flags : flags -> int
+
+val flags_of_byte : int -> flags
+
 type t = {
   sport : int;
   dport : int;

@@ -1,0 +1,49 @@
+(* Stateful connection tracking at the Firewall gate.
+
+   Runs after the NAT rewrite (Security_in precedes Firewall), which
+   is fine: the translated tuple canonicalizes to the session's other
+   index key with the direction bit flipped, so resolution recovers
+   the same session and true direction — and steady state never even
+   reaches the table, it dereferences the session pointer cached in
+   this gate's own binding slot (uncharged: the record is cache-hot
+   from the NAT plugin's hit on the same packet).
+
+   Per packet: account packets/bytes on the packet's direction,
+   refresh the idle clock, and advance the TCP state machine
+   (SYN/EST/FIN/RST); data on a closed session is dropped.  UDP and
+   other protocols always pass and age out by idle timeout. *)
+
+open Rp_pkt
+open Rp_core
+
+let name = "conntrack"
+let gate = Gate.Firewall
+let description = "stateful connection tracking on the session table"
+
+let create_instance ~instance_id ~code ~config =
+  let table = Nat_plugin.table_of config in
+  let cache = Nat_plugin.cache_of config in
+  Ok
+    (Plugin.simple ~instance_id ~code ~plugin_name:name ~gate ~config
+       ~describe:(fun () ->
+         let st = Session.Table.stats table in
+         Printf.sprintf "conntrack table=%s live=%d drops=%d"
+           (Session.Table.name table) st.Session.Table.live
+           st.Session.Table.ct_drops)
+       (fun ctx m ->
+         match Session.cached_resolve table ~cache ~charge:false ctx m with
+         | None -> Plugin.Continue
+         | Some (s, dir) ->
+           Session.touch s ~now:ctx.Plugin.now_ns ~dir ~len:m.Mbuf.len;
+           (match
+              Session.conntrack_step s ~dir ~tcp_flags:m.Mbuf.tcp_flags
+            with
+           | `Pass -> Plugin.Continue
+           | `Drop why ->
+             Session.Table.note_ct_drop table;
+             Plugin.Drop why)))
+
+let message key _ =
+  match key with
+  | "plugin-info" -> Ok description
+  | _ -> Error (Printf.sprintf "conntrack: unknown message %s" key)

@@ -1,0 +1,101 @@
+(* The NAT plugin pair.
+
+   [In] sits at Security_in — before routing, like a NetBSD pfil hook
+   on the inbound path — and does the session subsystem's single
+   steady-state table hit: resolve (or create) the session, apply the
+   SNAT/DNAT rewrite in place (parsed key + wire bytes with RFC 1624
+   checksum fixup), stamp the session's QoS class into the TOS byte,
+   and install the cached next-hop so the Routing gate skips the LPM
+   lookup.  Flow bindings resolve at ingress against the pre-rewrite
+   tuple (the AIU classifies all gates at miss time), so rewriting the
+   key here does not disturb the packet's FIX record.
+
+   [Out] sits at Security_out — after routing — and only learns: the
+   first routed packet of each direction writes its routing decision
+   (out_iface, next_hop) into the session, set-once, so every later
+   packet of that direction gets it for free at [In]. *)
+
+open Rp_pkt
+open Rp_core
+
+let table_of config =
+  Session.Table.get
+    (Option.value (List.assoc_opt "table" config) ~default:"default")
+
+let cache_of config = List.assoc_opt "cache" config <> Some "off"
+
+module In = struct
+  let name = "nat"
+  let gate = Gate.Security_in
+
+  let description =
+    "session NAT: rewrite + QoS class + cached next-hop, one session hit"
+
+  let create_instance ~instance_id ~code ~config =
+    let table = table_of config in
+    let cache = cache_of config in
+    Ok
+      (Plugin.simple ~instance_id ~code ~plugin_name:name ~gate ~config
+         ~describe:(fun () ->
+           Printf.sprintf "nat table=%s cache=%s rules=%d"
+             (Session.Table.name table)
+             (if cache then "on" else "off")
+             (List.length (Session.Table.rules table)))
+         (fun ctx m ->
+           match Session.cached_resolve table ~cache ~charge:true ctx m with
+           | None -> Plugin.Continue
+           | Some (s, dir) ->
+             if Session.apply_rewrite s dir m then begin
+               Session.Table.note_rewrite table;
+               if Rp_obs.Telemetry.on () && m.Mbuf.tseq <> 0 then
+                 Rp_obs.Telemetry.record ~ts:(Cost.get ())
+                   ~kind:Rp_obs.Telemetry.Rewrite ~gate:(Gate.to_int gate)
+                   ~pkt:m.Mbuf.tseq ~arg:s.Session.id
+             end;
+             (match s.Session.qos with
+             | Some tos -> m.Mbuf.tos <- tos
+             | None -> ());
+             (match Session.route s dir with
+             | Some (ifc, nh) when m.Mbuf.out_iface = None ->
+               m.Mbuf.out_iface <- Some ifc;
+               m.Mbuf.next_hop <- nh
+             | _ -> ());
+             Plugin.Continue))
+
+  let message key _ =
+    match key with
+    | "plugin-info" -> Ok description
+    | _ -> Error (Printf.sprintf "nat: unknown message %s" key)
+end
+
+module Out = struct
+  let name = "nat-out"
+  let gate = Gate.Security_out
+  let description = "session route learning: cache the routing decision"
+
+  let create_instance ~instance_id ~code ~config =
+    let table = table_of config in
+    let cache = cache_of config in
+    Ok
+      (Plugin.simple ~instance_id ~code ~plugin_name:name ~gate ~config
+         ~describe:(fun () ->
+           Printf.sprintf "nat-out table=%s" (Session.Table.name table))
+         (fun ctx m ->
+           (if cache then
+              match
+                Session.cached_resolve table ~create:false ~cache
+                  ~charge:false ctx m
+              with
+              | Some (s, dir) when Option.is_none (Session.route s dir) -> (
+                match m.Mbuf.out_iface with
+                | Some ifc when Session.route_learnable s dir m.Mbuf.key ->
+                  Session.learn_route s dir (ifc, m.Mbuf.next_hop)
+                | Some _ | None -> ())
+              | _ -> ());
+           Plugin.Continue))
+
+  let message key _ =
+    match key with
+    | "plugin-info" -> Ok description
+    | _ -> Error (Printf.sprintf "nat-out: unknown message %s" key)
+end

@@ -411,6 +411,7 @@ let mk_flow_rec ?(packets = 5) ?(bytes = 500) i =
     last_ns = 1_000_000L;
     bindings = [ ("firewall", 1) ];
     reason = "expired";
+    translated = None;
   }
 
 let test_flowlog_ring () =

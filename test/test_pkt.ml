@@ -203,6 +203,38 @@ let prop_checksum_detects_flip =
       Bytes.set buf pos (Char.chr flipped);
       not (Checksum.valid buf 0 len))
 
+(* RFC 1624 incremental update: adjusting the embedded checksum for a
+   16-bit word change must agree with recomputing over the whole
+   buffer.  One's-complement checksums have two representations of
+   zero (0x0000 / 0xFFFF), so equality is modulo that class. *)
+let prop_checksum_adjust =
+  qtest "checksum: RFC 1624 adjust = full recompute"
+    QCheck2.Gen.(
+      triple (bytes_size (int_range 20 64)) (int_bound 1000) (int_bound 0xFFFF))
+    (fun (raw, pos, new_word) ->
+      let buf = Bytes.copy raw in
+      let len = Bytes.length buf land lnot 1 in
+      Bytes.set_uint16_be buf 0 0;
+      let c = Checksum.compute buf 0 len in
+      Bytes.set_uint16_be buf 0 c;
+      (* pick an even offset past the checksum field *)
+      let off = 2 + (2 * (pos mod ((len - 2) / 2))) in
+      let old_word = Bytes.get_uint16_be buf off in
+      let adjusted = Checksum.adjust c ~old_word ~new_word in
+      Bytes.set_uint16_be buf off new_word;
+      Bytes.set_uint16_be buf 0 0;
+      let full = Checksum.compute buf 0 len in
+      let norm x = x mod 0xFFFF in
+      (* the adjusted checksum also still verifies in place *)
+      Bytes.set_uint16_be buf 0 adjusted;
+      norm adjusted = norm full && Checksum.valid buf 0 len)
+
+let test_checksum_adjust_identity () =
+  (* replacing a word with itself must not change the checksum (mod
+     the zero class) *)
+  check int_t "identity" (0x1234 mod 0xFFFF)
+    (Checksum.adjust 0x1234 ~old_word:0xBEEF ~new_word:0xBEEF mod 0xFFFF)
+
 (* --- IPv4 header ---------------------------------------------------- *)
 
 let test_ipv4_roundtrip () =
@@ -353,6 +385,78 @@ let test_flow_key_iface_hashes_apart () =
         true
         (Flow_key.hash (k 0) mod 32768 <> Flow_key.hash (k other) mod 32768))
     [ 1; 2; 3; 7; 15 ]
+
+let test_flow_key_reverse () =
+  let k =
+    Flow_key.make ~src:(Ipaddr.v4 10 0 0 1) ~dst:(Ipaddr.v4 192 168 1 9)
+      ~proto:Proto.tcp ~sport:4000 ~dport:80 ~iface:3
+  in
+  let r = Flow_key.reverse k in
+  check bool_t "src/dst swapped" true
+    (Ipaddr.equal r.Flow_key.src k.Flow_key.dst
+    && Ipaddr.equal r.Flow_key.dst k.Flow_key.src);
+  check int_t "sport" 80 r.Flow_key.sport;
+  check int_t "dport" 4000 r.Flow_key.dport;
+  check int_t "iface kept by default" 3 r.Flow_key.iface;
+  check int_t "iface override" 7 (Flow_key.reverse ~iface:7 k).Flow_key.iface;
+  check bool_t "involution" true
+    (Flow_key.equal (Flow_key.reverse (Flow_key.reverse k)) k)
+
+let test_flow_key_canonical () =
+  let k =
+    Flow_key.make ~src:(Ipaddr.v4 10 0 0 1) ~dst:(Ipaddr.v4 192 168 1 9)
+      ~proto:Proto.tcp ~sport:4000 ~dport:80 ~iface:3
+  in
+  let ck, d = Flow_key.canonical k in
+  let cr, dr = Flow_key.canonical (Flow_key.reverse ~iface:5 k) in
+  check bool_t "both directions canonicalize to one key" true
+    (Flow_key.equal ck cr);
+  check bool_t "direction bits differ" true (d <> dr);
+  check int_t "canonical zeroes the iface" 0 ck.Flow_key.iface;
+  check int_t "canonical_hash is direction-blind" (Flow_key.canonical_hash k)
+    (Flow_key.canonical_hash (Flow_key.reverse ~iface:5 k));
+  (* canonical is idempotent and reports Fwd on an already-canonical
+     key *)
+  let ck2, d2 = Flow_key.canonical ck in
+  check bool_t "idempotent" true (Flow_key.equal ck ck2 && d2 = Flow_key.Fwd)
+
+let gen_sym_key_v4 =
+  QCheck2.Gen.map
+    (fun ((a, b), (sp, dp), (tcp, ifc)) ->
+      Flow_key.make ~src:(Ipaddr.v4 10 0 0 a) ~dst:(Ipaddr.v4 10 0 0 b)
+        ~proto:(if tcp then Proto.tcp else Proto.udp) ~sport:sp ~dport:dp
+        ~iface:ifc)
+    (QCheck2.Gen.triple
+       (QCheck2.Gen.pair (QCheck2.Gen.int_bound 3) (QCheck2.Gen.int_bound 3))
+       (QCheck2.Gen.pair (QCheck2.Gen.int_bound 0xFFFF) (QCheck2.Gen.int_bound 3))
+       (QCheck2.Gen.pair QCheck2.Gen.bool (QCheck2.Gen.int_bound 7)))
+
+let gen_sym_key_v6 =
+  QCheck2.Gen.map
+    (fun ((src, dst), (sp, dp), ifc) ->
+      Flow_key.make ~src ~dst ~proto:Proto.tcp ~sport:sp ~dport:dp ~iface:ifc)
+    (QCheck2.Gen.triple (QCheck2.Gen.pair gen_v6 gen_v6)
+       (QCheck2.Gen.pair (QCheck2.Gen.int_bound 0xFFFF) (QCheck2.Gen.int_bound 0xFFFF))
+       (QCheck2.Gen.int_bound 7))
+
+let gen_sym_key = QCheck2.Gen.oneof [ gen_sym_key_v4; gen_sym_key_v6 ]
+
+let prop_canonical_collapses_direction =
+  qtest "flow_key: canonical collapses direction" gen_sym_key (fun k ->
+      let r = Flow_key.reverse ~iface:(7 - k.Flow_key.iface) k in
+      let ck, d = Flow_key.canonical k in
+      let cr, dr = Flow_key.canonical r in
+      Flow_key.equal ck cr
+      && Flow_key.canonical_hash k = Flow_key.canonical_hash r
+      (* the direction bits are opposite unless the tuple is perfectly
+         symmetric (src = dst and sport = dport) *)
+      && (d <> dr
+         || (Ipaddr.equal k.Flow_key.src k.Flow_key.dst
+            && k.Flow_key.sport = k.Flow_key.dport)))
+
+let prop_reverse_involution =
+  qtest "flow_key: reverse (reverse k) = k" gen_sym_key (fun k ->
+      Flow_key.equal (Flow_key.reverse (Flow_key.reverse k)) k)
 
 (* --- Mbuf ----------------------------------------------------------- *)
 
@@ -630,7 +734,9 @@ let () =
         [
           Alcotest.test_case "rfc1071 example" `Quick test_checksum_rfc1071;
           Alcotest.test_case "embed and verify" `Quick test_checksum_verifies;
+          Alcotest.test_case "adjust identity" `Quick test_checksum_adjust_identity;
           prop_checksum_detects_flip;
+          prop_checksum_adjust;
         ] );
       ( "headers",
         [
@@ -647,6 +753,10 @@ let () =
           Alcotest.test_case "equal/hash" `Quick test_flow_key_equal_hash;
           Alcotest.test_case "iface hashes apart" `Quick
             test_flow_key_iface_hashes_apart;
+          Alcotest.test_case "reverse" `Quick test_flow_key_reverse;
+          Alcotest.test_case "canonical" `Quick test_flow_key_canonical;
+          prop_canonical_collapses_direction;
+          prop_reverse_involution;
         ] );
       ( "mbuf",
         [
