@@ -19,6 +19,7 @@
      fig-batch       batched zero-copy data path throughput time series
      fig-coldstart   cold-start classification, compiled vs per-gate
      fig-session     unified session subsystem: NAT+conntrack+QoS per-hit cost
+     fig-latency     end-to-end latency SLOs: quantiles, exemplars, T3 identity
      micro           Bechamel wall-clock micro-benchmarks
 
    Run all sections: [dune exec bench/main.exe]; or name the sections
@@ -1785,6 +1786,175 @@ let fig_session () =
     \   session subsystem compiled in but unbound)\n"
 
 (* ---------------------------------------------------------------------- *)
+(* fig-latency: end-to-end latency SLOs on the model clock.               *)
+(* ---------------------------------------------------------------------- *)
+
+(* Ingress→verdict latency from the SLO layer: the inline engine's
+   cached 3-gate path (per-packet spans), the sharded engine at 4
+   domains with paced submission (one packet in flight, so worker
+   batches stay at 1 and spans remain per-packet), exemplar capture
+   under an armed threshold, and the Table-3 identity check — the same
+   fixed workload charged with stamping on vs off must agree to the
+   cycle (the SLO layer only reads the clock).  All latency figures
+   are model cycles: byte-stable across runs and machines.
+   ci/check_latency.sh gates the p99s, the identity, and at least one
+   resolvable exemplar. *)
+let fig_latency () =
+  section "fig-latency: end-to-end latency SLOs (model cycles)";
+  let agg () =
+    Rp_obs.Registry.histogram ~bounds:Rp_obs.Slo.latency_bounds
+      "slo.latency.cycles"
+  in
+  (* Earlier sections already pushed packets through the data path;
+     start each phase from empty distributions. *)
+  let reset_slo () =
+    Rp_obs.Histogram.reset (agg ());
+    List.iter
+      (fun (_, _, h) -> Rp_obs.Histogram.reset h)
+      (Rp_obs.Slo.shard_table ());
+    Rp_obs.Slo.clear_exemplars ()
+  in
+  let mk_router () =
+    let gates = [ Gate.Ip_options; Gate.Security_in; Gate.Stats ] in
+    let ifaces =
+      [ Iface.create ~id:0 (); Iface.create ~id:1 ~fifo_limit:max_int () ]
+    in
+    let r = Router.create ~mode:Router.Plugins ~gates ~ifaces () in
+    Router.add_route r (Prefix.of_string "192.168.0.0/16") ~iface:1 ();
+    List.iter
+      (fun (g, n) ->
+        ok (Pcu.modload r.Router.pcu (Empty_plugin.make ~gate:g ~name:n));
+        let i = ok (Pcu.create_instance r.Router.pcu ~plugin:n []) in
+        ok
+          (Pcu.register_instance r.Router.pcu ~instance:i.Plugin.instance_id
+             (Rp_classifier.Filter.v4 ())))
+      [ (Gate.Ip_options, "lat0"); (Gate.Security_in, "lat1");
+        (Gate.Stats, "lat2") ];
+    r
+  in
+  let flow_key f =
+    Flow_key.make
+      ~src:(Ipaddr.v4 10 0 (f lsr 8 land 0xFF) (f land 0xFF))
+      ~dst:(Ipaddr.v4 192 168 1 1) ~proto:Proto.udp ~sport:(1000 + f)
+      ~dport:9000 ~iface:0
+  in
+  let process r key =
+    let m = Mbuf.synth ~key ~len:1000 () in
+    match Ip_core.process r ~now:0L m with
+    | Ip_core.Enqueued out -> ignore (Iface.dequeue (Router.iface r out) ~now:0L)
+    | Ip_core.Delivered_local | Ip_core.Absorbed | Ip_core.Dropped _ -> ()
+  in
+  let quantiles h =
+    ( Rp_obs.Histogram.quantile h 0.5,
+      Rp_obs.Histogram.quantile h 0.99,
+      Rp_obs.Histogram.quantile h 0.999 )
+  in
+  Rp_obs.Slo.set_stamping true;
+  Rp_obs.Slo.set_threshold 0;
+
+  (* Inline: per-packet ingress→verdict spans on the cached path. *)
+  reset_slo ();
+  let r = mk_router () in
+  process r (flow_key 0);
+  for _ = 1 to 2000 do
+    process r (flow_key 0)
+  done;
+  let p50, p99, p999 = quantiles (agg ()) in
+  Printf.printf "  %-12s %9s %9s %9s %9s\n" "engine" "packets" "p50" "p99"
+    "p999";
+  Printf.printf "  %-12s %9d %9.0f %9.0f %9.0f\n" "inline"
+    (Rp_obs.Histogram.total (agg ()))
+    p50 p99 p999;
+  Rp_obs.Registry.set "bench.latency.inline.p50" p50;
+  Rp_obs.Registry.set "bench.latency.inline.p99" p99;
+  Rp_obs.Registry.set "bench.latency.inline.p999" p999;
+
+  (* Exemplars: arm a 1-cycle threshold so every packet breaches, then
+     check each retained exemplar resolves to a flow key and a
+     per-gate cycle breakdown. *)
+  Rp_obs.Slo.set_threshold 1;
+  for _ = 1 to 32 do
+    process r (flow_key 0)
+  done;
+  Rp_obs.Slo.set_threshold 0;
+  let exemplars = Rp_obs.Slo.exemplars () in
+  let resolvable =
+    List.filter
+      (fun (e : Rp_obs.Slo.exemplar) -> e.key <> "" && e.gates <> [])
+      exemplars
+  in
+  Printf.printf "\n  exemplars captured: %d retained, %d resolvable\n"
+    (List.length exemplars) (List.length resolvable);
+  (match resolvable with
+   | e :: _ -> Printf.printf "    %s\n" (Rp_obs.Slo.exemplar_to_string e)
+   | [] -> ());
+  Rp_obs.Registry.set "bench.latency.exemplars"
+    (float_of_int (List.length resolvable));
+
+  (* Sharded:4 — paced submission (wait for each result) keeps worker
+     batches at one packet, so the spans are comparable to inline. *)
+  reset_slo ();
+  let r = mk_router () in
+  let e = Rp_engine.Engine.create (Rp_engine.Engine.Sharded 4) r in
+  let flows = 64 and per_flow = 40 in
+  for f = 0 to flows - 1 do
+    let key = flow_key (256 + f) in
+    for _ = 1 to per_flow do
+      let m = Mbuf.synth ~key ~len:1000 () in
+      while not (Rp_engine.Engine.submit e ~now:0L m) do
+        ignore (Rp_engine.Engine.drain e ~f:(fun _ -> ()))
+      done;
+      let got = ref 0 in
+      while !got = 0 do
+        got := Rp_engine.Engine.drain e ~f:(fun _ -> ())
+      done
+    done
+  done;
+  ignore (Rp_engine.Engine.flush e ~f:(fun _ -> ()));
+  Rp_engine.Engine.stop e;
+  let shard_rows =
+    List.filter
+      (fun (_, cls, h) ->
+        cls = Rp_obs.Slo.Fwd && Rp_obs.Histogram.total h > 0)
+      (Rp_obs.Slo.shard_table ())
+  in
+  let max_p99 =
+    List.fold_left
+      (fun acc (shard, _, h) ->
+        let p50, p99, p999 = quantiles h in
+        Printf.printf "  %-12s %9d %9.0f %9.0f %9.0f\n"
+          (Printf.sprintf "shard%d" shard)
+          (Rp_obs.Histogram.total h) p50 p99 p999;
+        max acc p99)
+      0.0 shard_rows
+  in
+  Rp_obs.Registry.set "bench.latency.sharded4.max_p99" max_p99;
+  Rp_obs.Registry.set "bench.latency.sharded4.shards"
+    (float_of_int (List.length shard_rows));
+
+  (* Table-3 identity: the same fixed workload, stamping on vs off,
+     must charge exactly the same cycles — the SLO layer never touches
+     the model. *)
+  let t3 stamping =
+    Rp_obs.Slo.set_stamping stamping;
+    let r = mk_router () in
+    let c0 = Cost.get () in
+    for _ = 1 to 500 do
+      process r (flow_key 7)
+    done;
+    Cost.get () - c0
+  in
+  let t3_on = t3 true in
+  let t3_off = t3 false in
+  Rp_obs.Slo.set_stamping true;
+  Printf.printf
+    "\n  Table-3 identity: %d cycles stamped, %d unstamped (%s)\n" t3_on
+    t3_off
+    (if t3_on = t3_off then "identical" else "MISMATCH");
+  Rp_obs.Registry.set "bench.latency.t3_on_cycles" (float_of_int t3_on);
+  Rp_obs.Registry.set "bench.latency.t3_off_cycles" (float_of_int t3_off)
+
+(* ---------------------------------------------------------------------- *)
 
 let sections =
   [
@@ -1805,6 +1975,7 @@ let sections =
     ("fig-batch", fig_batch);
     ("fig-coldstart", fig_coldstart);
     ("fig-session", fig_session);
+    ("fig-latency", fig_latency);
     ("micro", micro);
   ]
 

@@ -35,6 +35,39 @@ let check label ok =
     incr failures
   end
 
+(* Drop conservation under the unified taxonomy: every Dropped verdict
+   lands under exactly one drops.by_reason.* counter, so the verdict
+   reasons must sum to the engines' dropped counters ([shards] = 0 for
+   the inline phases), the family total must equal the sum over all
+   reasons, and engine backpressure must be attributed to its reason.
+   (Registry.reset at phase start zeroes every counter, so these are
+   absolute comparisons within the phase.) *)
+let check_drop_conservation ~label ~shards () =
+  let counter name = Rp_obs.Counter.get (Rp_obs.Registry.counter name) in
+  let sum reasons =
+    List.fold_left (fun acc r -> acc + Rp_obs.Drop_reason.get r) 0 reasons
+  in
+  let verdict_drops = sum Rp_obs.Drop_reason.verdict_reasons in
+  let engine_drops =
+    let n = ref (counter "ip_core.dropped") in
+    for i = 0 to shards - 1 do
+      n := !n + counter (Printf.sprintf "engine.shard%d.dropped" i)
+    done;
+    !n
+  in
+  check
+    (Printf.sprintf
+       "%s: verdict drop reasons (%d) reconcile with engine drops (%d)" label
+       verdict_drops engine_drops)
+    (verdict_drops = engine_drops);
+  check
+    (Printf.sprintf "%s: drops.total (%d) = sum over reasons" label
+       (Rp_obs.Drop_reason.total ()))
+    (Rp_obs.Drop_reason.total () = sum Rp_obs.Drop_reason.all);
+  check (label ^ ": backpressure drops attributed to their reason")
+    (Rp_obs.Drop_reason.get Rp_obs.Drop_reason.Backpressure
+     = counter "engine.backpressure_drops")
+
 let run_phase ~label ~fault_config ?cycle_budget () =
   Printf.printf "== %s ==\n" label;
   Rp_obs.Registry.reset ();
@@ -79,6 +112,7 @@ let run_phase ~label ~fault_config ?cycle_budget () =
     (Printf.sprintf "%s: traffic degraded to the default path (%d delivered)"
        label delivered)
     (delivered > 0);
+  check_drop_conservation ~label ~shards:0 ();
   (* The quarantine is visible and reversible from the control plane. *)
   (match Rp_control.Pmgr.exec router "faults show" with
    | Ok out ->
@@ -193,6 +227,7 @@ let run_sharded_phase ~label ~shards ~fault_config ?cycle_budget () =
     (Printf.sprintf "%s: submitted counter agrees (%d)" label
        (counter "engine.submitted"))
     (counter "engine.submitted" = !accepted);
+  check_drop_conservation ~label ~shards ();
   (* No cross-shard flow-state access: every cached flow key hashes to
      the shard caching it. *)
   let misplaced = ref 0 in

@@ -77,7 +77,9 @@ let cmd =
       `P "stats show|json [PATTERN]; stats reset;";
       `P "faults show; plugin quarantine N; plugin restore N;";
       `P "fault policy drop|continue|unbind; fault budget N|off;";
-      `P "fault threshold N";
+      `P "fault threshold N;";
+      `P "slo show|set N|clear|on|off; slo exemplars [N]; slo reset;";
+      `P "drops show; health show|sample|reset-hwm; top";
     ]
   in
   Cmd.v

@@ -1,0 +1,23 @@
+(* prom_lint — validate a Prometheus text exposition file.
+
+   Checks what a scraper would choke on: name/value syntax, samples
+   appearing under a declared # TYPE, cumulative bucket monotonicity,
+   +Inf presence, _count agreement.  Exit 0 with a sample count on
+   success; exit 1 naming the offending line otherwise.  CI runs this
+   over rp_router --prom-out output. *)
+
+let () =
+  match Sys.argv with
+  | [| _; path |] ->
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    (match Rp_obs.Prom.lint text with
+     | Ok n -> Printf.printf "%s: ok (%d samples)\n" path n
+     | Error e ->
+       Printf.eprintf "%s: %s\n" path e;
+       exit 1)
+  | _ ->
+    prerr_endline "usage: prom_lint FILE";
+    exit 2

@@ -69,16 +69,50 @@ let write_flow_log path =
   Printf.printf "flow log written to %s (%d records)\n" path
     (List.length records)
 
+(* A unix-socket exposition endpoint: each connection gets one
+   rendered Prometheus text page and is closed.  The accept loop runs
+   on its own domain and dies with the process. *)
+let start_prom_sock path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 8;
+  ignore
+    (Domain.spawn (fun () ->
+         while true do
+           let c, _ = Unix.accept sock in
+           (try
+              let text = Rp_obs.Prom.text () in
+              let n = String.length text in
+              let off = ref 0 in
+              while !off < n do
+                off := !off + Unix.write_substring c text !off (n - !off)
+              done
+            with _ -> ());
+           try Unix.close c with _ -> ()
+         done));
+  Printf.printf "prometheus exposition on %s\n%!" path
+
 (* Sharded-engine run: instead of the event-driven simulator, the
    flows' packets are pregenerated and pumped through the multicore
    engine; throughput is reported from the cycle model (aggregate =
    packets / slowest shard's charged cycles) with wall-clock mpps as
    an informational figure (wall clock depends on host core count). *)
 let stats_columns =
-  [ "t_s"; "packets"; "cum_packets"; "model_mpps"; "wall_mpps" ]
+  [
+    "t_s"; "packets"; "cum_packets"; "model_mpps"; "wall_mpps";
+    "p50_cycles"; "p99_cycles";
+  ]
+
+(* The aggregate end-to-end latency histogram the data path feeds
+   (Registry get-or-create is idempotent, so this is the same
+   histogram Slo.observe writes). *)
+let slo_hist () =
+  Rp_obs.Registry.histogram ~bounds:Rp_obs.Slo.latency_bounds
+    "slo.latency.cycles"
 
 let run_sharded router n specs seconds coalesce metrics_out trace_out flow_log
-    stats_csv =
+    stats_csv prom_out =
   let open Rp_engine in
   let e = Engine.create (Engine.Sharded n) router in
   (match coalesce with
@@ -112,6 +146,8 @@ let run_sharded router n specs seconds coalesce metrics_out trace_out flow_log
   let wall0 = Unix.gettimeofday () in
   let last_wall = ref wall0 in
   let report () =
+    Rp_obs.Health.sample ();
+    Option.iter (fun p -> Rp_obs.Prom.write p) prom_out;
     match csv with
     | None -> ()
     | Some c ->
@@ -127,6 +163,7 @@ let run_sharded router n specs seconds coalesce metrics_out trace_out flow_log
         let dt = wall -. !last_wall in
         if dt > 0.0 then float_of_int pkts /. dt /. 1e6 else 0.0
       in
+      let h = slo_hist () in
       Rp_obs.Csv_stats.row c
         [
           Rp_obs.Csv_stats.f3 (wall -. wall0);
@@ -134,6 +171,8 @@ let run_sharded router n specs seconds coalesce metrics_out trace_out flow_log
           Rp_obs.Csv_stats.i !completed;
           Rp_obs.Csv_stats.f6 mpps;
           Rp_obs.Csv_stats.f6 wall_mpps;
+          Rp_obs.Csv_stats.f3 (Rp_obs.Histogram.quantile h 0.5);
+          Rp_obs.Csv_stats.f3 (Rp_obs.Histogram.quantile h 0.99);
         ];
       last_done := !completed;
       last_cycles := cycles;
@@ -166,9 +205,13 @@ let run_sharded router n specs seconds coalesce metrics_out trace_out flow_log
       done)
     specs;
   ignore (Engine.flush e ~f:record);
+  if !completed > !last_done then report ()
+  else begin
+    Rp_obs.Health.sample ();
+    Option.iter (fun p -> Rp_obs.Prom.write p) prom_out
+  end;
   (match csv with
    | Some c ->
-     if !completed > !last_done then report ();
      Rp_obs.Csv_stats.close c;
      Printf.printf "stats time series written (%d rows)\n"
        (Rp_obs.Csv_stats.rows c)
@@ -195,6 +238,11 @@ let run_sharded router n specs seconds coalesce metrics_out trace_out flow_log
   if flow_log <> None then Engine.flush_flows e;
   Option.iter write_trace_out trace_out;
   Option.iter write_flow_log flow_log;
+  Option.iter
+    (fun p ->
+      Rp_obs.Prom.write p;
+      Printf.printf "prometheus exposition written to %s\n" p)
+    prom_out;
   match metrics_out with
   | Some path ->
     Rp_obs.Registry.write_json path;
@@ -219,8 +267,18 @@ let parse_coalesce s =
 
 let main script flows seconds in_ifaces bandwidth_mbps mode_str engine_str
     classifier_str coalesce_str metrics_out trace trace_out trace_sample
-    flow_log stats_csv =
+    flow_log stats_csv slo_str prom_out prom_sock =
   Rp_obs.Trace.enabled := trace;
+  (match slo_str with
+   | None -> ()
+   | Some "off" -> Rp_obs.Slo.set_stamping false
+   | Some s ->
+     (match int_of_string_opt s with
+      | Some n when n > 0 -> Rp_obs.Slo.set_threshold n
+      | Some _ | None ->
+        Printf.eprintf "--slo: expected off or a positive cycle count\n%!";
+        exit 2));
+  Option.iter start_prom_sock prom_sock;
   if trace_sample < 1 then begin
     Printf.eprintf "--trace-sample: expected a positive sampling period\n%!";
     exit 2
@@ -281,7 +339,7 @@ let main script flows seconds in_ifaces bandwidth_mbps mode_str engine_str
   (match engine_mode with
    | Rp_engine.Engine.Sharded n ->
      run_sharded router n specs seconds coalesce metrics_out trace_out
-       flow_log stats_csv;
+       flow_log stats_csv prom_out;
      exit 0
    | Rp_engine.Engine.Inline ->
      (* The default: the deterministic single-domain simulator path
@@ -316,45 +374,52 @@ let main script flows seconds in_ifaces bandwidth_mbps mode_str engine_str
       (fun path -> Rp_obs.Csv_stats.to_file ~path ~columns:stats_columns)
       stats_csv
   in
-  (match stats with
-   | Some c ->
-     let interval_ns = Rp_sim.Sim.ns_of_sec (seconds /. 10.0) in
-     let stop_ns = Rp_sim.Sim.ns_of_sec seconds in
-     let hz = Rp_core.Cost.cpu_mhz *. 1e6 in
-     let last_pkts = ref 0 in
-     let last_cycles = ref (Rp_core.Cost.get ()) in
-     let last_wall = ref (Unix.gettimeofday ()) in
-     let rec plan t =
-       Rp_sim.Sim.at s.Rp_sim.Scenario.sim t (fun () ->
-           let st = Rp_sim.Net.stats s.Rp_sim.Scenario.node in
-           let cycles = Rp_core.Cost.get () in
-           let wall = Unix.gettimeofday () in
-           let pkts = st.Rp_sim.Net.received - !last_pkts in
-           let dcyc = cycles - !last_cycles in
-           let mpps =
-             if dcyc > 0 then
-               float_of_int pkts /. (float_of_int dcyc /. hz) /. 1e6
-             else 0.0
-           in
-           let wall_mpps =
-             let dt = wall -. !last_wall in
-             if dt > 0.0 then float_of_int pkts /. dt /. 1e6 else 0.0
-           in
-           Rp_obs.Csv_stats.row c
-             [
-               Rp_obs.Csv_stats.f3 (Int64.to_float t /. 1e9);
-               Rp_obs.Csv_stats.i pkts;
-               Rp_obs.Csv_stats.i st.Rp_sim.Net.received;
-               Rp_obs.Csv_stats.f6 mpps;
-               Rp_obs.Csv_stats.f6 wall_mpps;
-             ];
-           last_pkts := st.Rp_sim.Net.received;
-           last_cycles := cycles;
-           last_wall := wall;
-           if t < stop_ns then plan (Int64.add t interval_ns))
-     in
-     plan interval_ns
-   | None -> ());
+  if Option.is_some stats || Option.is_some prom_out then begin
+    let interval_ns = Rp_sim.Sim.ns_of_sec (seconds /. 10.0) in
+    let stop_ns = Rp_sim.Sim.ns_of_sec seconds in
+    let hz = Rp_core.Cost.cpu_mhz *. 1e6 in
+    let last_pkts = ref 0 in
+    let last_cycles = ref (Rp_core.Cost.get ()) in
+    let last_wall = ref (Unix.gettimeofday ()) in
+    let rec plan t =
+      Rp_sim.Sim.at s.Rp_sim.Scenario.sim t (fun () ->
+          Rp_obs.Health.sample ();
+          Option.iter (fun p -> Rp_obs.Prom.write p) prom_out;
+          (match stats with
+           | None -> ()
+           | Some c ->
+             let st = Rp_sim.Net.stats s.Rp_sim.Scenario.node in
+             let cycles = Rp_core.Cost.get () in
+             let wall = Unix.gettimeofday () in
+             let pkts = st.Rp_sim.Net.received - !last_pkts in
+             let dcyc = cycles - !last_cycles in
+             let mpps =
+               if dcyc > 0 then
+                 float_of_int pkts /. (float_of_int dcyc /. hz) /. 1e6
+               else 0.0
+             in
+             let wall_mpps =
+               let dt = wall -. !last_wall in
+               if dt > 0.0 then float_of_int pkts /. dt /. 1e6 else 0.0
+             in
+             let h = slo_hist () in
+             Rp_obs.Csv_stats.row c
+               [
+                 Rp_obs.Csv_stats.f3 (Int64.to_float t /. 1e9);
+                 Rp_obs.Csv_stats.i pkts;
+                 Rp_obs.Csv_stats.i st.Rp_sim.Net.received;
+                 Rp_obs.Csv_stats.f6 mpps;
+                 Rp_obs.Csv_stats.f6 wall_mpps;
+                 Rp_obs.Csv_stats.f3 (Rp_obs.Histogram.quantile h 0.5);
+                 Rp_obs.Csv_stats.f3 (Rp_obs.Histogram.quantile h 0.99);
+               ];
+             last_pkts := st.Rp_sim.Net.received;
+             last_cycles := cycles;
+             last_wall := wall);
+          if t < stop_ns then plan (Int64.add t interval_ns))
+    in
+    plan interval_ns
+  end;
   Rp_sim.Scenario.run s ~seconds:(seconds +. 1.0);
   (match stats with
    | Some c ->
@@ -406,6 +471,12 @@ let main script flows seconds in_ifaces bandwidth_mbps mode_str engine_str
     Rp_classifier.Aiu.flush_flows (Rp_core.Router.aiu router);
   Option.iter write_trace_out trace_out;
   Option.iter write_flow_log flow_log;
+  Rp_obs.Health.sample ();
+  Option.iter
+    (fun p ->
+      Rp_obs.Prom.write p;
+      Printf.printf "prometheus exposition written to %s\n" p)
+    prom_out;
   match metrics_out with
   | Some path ->
     Rp_obs.Registry.write_json path;
@@ -463,7 +534,7 @@ let coalesce_arg =
 let metrics_arg =
   Arg.(value & opt (some string) None
        & info [ "metrics-out" ] ~docv:"FILE"
-           ~doc:"Write the metric registry as JSON (schema rp-metrics/2) \
+           ~doc:"Write the metric registry as JSON (schema rp-metrics/3) \
                  to $(docv) on exit.")
 
 let trace_arg =
@@ -500,6 +571,28 @@ let flow_log_arg =
            ~doc:"Write NetFlow-style flow records (JSON lines, one \
                  object per evicted/flushed flow) to $(docv) on exit.")
 
+let slo_arg =
+  Arg.(value & opt (some string) None
+       & info [ "slo" ] ~docv:"CYCLES|off"
+           ~doc:"Latency SLO on the model clock: a positive cycle count \
+                 sets the breach threshold and arms exemplar capture \
+                 ($(b,pmgr slo exemplars)); $(b,off) disables ingress \
+                 stamping entirely.  Default: stamping on, no threshold.")
+
+let prom_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "prom-out" ] ~docv:"FILE"
+           ~doc:"Rewrite $(docv) with the Prometheus text exposition of \
+                 the metric registry every reporting interval (atomic \
+                 write-then-rename) and on exit.")
+
+let prom_sock_arg =
+  Arg.(value & opt (some string) None
+       & info [ "prom-sock" ] ~docv:"PATH"
+           ~doc:"Serve the Prometheus text exposition on a unix stream \
+                 socket at $(docv): each connection receives one page \
+                 and is closed.")
+
 let cmd =
   let doc = "simulate a router plugins EISR under synthetic traffic" in
   Cmd.v
@@ -507,6 +600,7 @@ let cmd =
     Term.(const main $ script_arg $ flow_arg $ seconds_arg $ ifaces_arg
           $ bw_arg $ mode_arg $ engine_arg $ classifier_arg $ coalesce_arg
           $ metrics_arg $ trace_arg $ trace_out_arg $ trace_sample_arg
-          $ flow_log_arg $ stats_csv_arg)
+          $ flow_log_arg $ stats_csv_arg $ slo_arg $ prom_out_arg
+          $ prom_sock_arg)
 
 let () = exit (Cmd.eval cmd)

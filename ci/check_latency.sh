@@ -1,0 +1,58 @@
+#!/bin/sh
+# Latency-SLO gate, run by CI after
+#   dune exec bench/main.exe -- fig-latency --metrics-out latency.json
+#   dune exec bin/rp_router.exe -- --seconds 0.5 --slo 8000 --prom-out prom.txt
+#
+# Four checks:
+#
+#   1. p99 model-cycle latency bounds on the cached 3-gate workload,
+#      inline and sharded:4 (the bench paces sharded submission so
+#      worker batches stay at one packet and the spans are
+#      comparable).  Latency is model cycles — byte-stable across
+#      machines — so the bound catches real data-path regressions,
+#      not host noise.
+#
+#   2. Breach exemplars resolve: with a threshold armed, every
+#      retained exemplar carries a flow key and a per-gate cycle
+#      breakdown (bench.latency.exemplars counts only resolvable
+#      ones).
+#
+#   3. Table-3 byte-identity: the same fixed workload charges exactly
+#      the same cycles with SLO stamping on and off — the SLO layer
+#      only reads the cost-model clock, never charges it.
+#
+#   4. The Prometheus text exposition rp_router wrote lints clean
+#      (prom_lint checks name/value syntax, TYPE coverage, cumulative
+#      bucket monotonicity, +Inf presence, _count agreement).
+#
+# The metrics files are rp-metrics JSON, written one metric per line
+# precisely so this script needs no JSON parser.
+set -eu
+# shellcheck source=ci/lib.sh
+. "$(dirname "$0")/lib.sh"
+
+latency="${1:-latency.json}"
+prom="${2:-prom.txt}"
+require_files "$latency" "$prom"
+
+echo "== fig-latency: p99 model-cycle latency bounds =="
+check_min "$latency" bench.latency.inline.p50 1
+check_max "$latency" bench.latency.inline.p99 12000
+check_max "$latency" bench.latency.sharded4.max_p99 12000
+check_min "$latency" bench.latency.sharded4.shards 2
+
+echo "== breach exemplars resolve to flow key + gate breakdown =="
+check_min "$latency" bench.latency.exemplars 1
+
+echo "== Table-3 byte-identity with SLO stamping on vs off =="
+check_eq "$latency" bench.latency.t3_on_cycles bench.latency.t3_off_cycles
+
+echo "== Prometheus exposition lints clean =="
+if dune exec bin/prom_lint.exe -- "$prom"; then
+  echo "ok   $prom passes prom_lint"
+else
+  echo "FAIL $prom fails prom_lint"
+  fail=1
+fi
+
+exit $fail

@@ -199,6 +199,42 @@ let session_line (s : Rp_session.Session.t) =
     (Atomic.get s.drops)
     (match s.qos with Some q -> Printf.sprintf " tos=%d" q | None -> "")
 
+(* One screen of router health: packet totals, per-shard latency
+   quantiles (model cycles), nonzero drop reasons, and the health
+   probes with their watermarks.  Everything here is a read — safe to
+   poll from a watch loop. *)
+let top router =
+  let c name = Rp_obs.Counter.get (Rp_obs.Registry.counter name) in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "packets=%d forwarded=%d local=%d absorbed=%d dropped=%d\n"
+       (c "ip_core.packets") (c "ip_core.forwarded")
+       (c "ip_core.delivered_local") (c "ip_core.absorbed")
+       (c "ip_core.dropped"));
+  (match Rp_engine.Engine.find router with
+   | Some e -> Buffer.add_string b (Rp_engine.Engine.stats_string e ^ "\n")
+   | None -> Buffer.add_string b "engine: none attached (inline data path)\n");
+  Buffer.add_string b (Rp_obs.Slo.status () ^ "\n");
+  (match Rp_obs.Slo.shard_table () with
+   | [] -> ()
+   | rows ->
+     Buffer.add_string b
+       (Printf.sprintf "%-6s %-7s %9s %9s %9s %9s\n" "shard" "class" "count"
+          "p50" "p99" "p999");
+     List.iter
+       (fun (shard, cls, h) ->
+         Buffer.add_string b
+           (Printf.sprintf "%-6d %-7s %9d %9.0f %9.0f %9.0f\n" shard
+              (Rp_obs.Slo.cls_name cls)
+              (Rp_obs.Histogram.total h)
+              (Rp_obs.Histogram.quantile h 0.5)
+              (Rp_obs.Histogram.quantile h 0.99)
+              (Rp_obs.Histogram.quantile h 0.999)))
+       rows);
+  Buffer.add_string b (Rp_obs.Drop_reason.to_string () ^ "\n");
+  Buffer.add_string b (Rp_obs.Health.to_string ());
+  Ok (Buffer.contents b)
+
 (* Commands that change what the sharded engine's workers classify or
    route against: after one succeeds, an attached engine must
    republish its snapshot so the shards replay the deltas (or
@@ -584,6 +620,67 @@ let exec_tokens router tokens =
     Ok (Aiu.mode_to_string (Aiu.mode (Router.aiu router)))
   | "classifier" :: _ ->
     Error "usage: classifier compiled on|off | classifier show"
+  (* Latency SLOs on the deterministic model clock.  [set N] arms
+     exemplar capture; [off] stops stamping entirely (for A/B runs —
+     Table-3 cycles are identical either way). *)
+  | [ "slo"; "show" ] -> Ok (Rp_obs.Slo.status ())
+  | [ "slo"; "set"; n ] ->
+    let* n = int_arg "threshold (cycles)" n in
+    if n < 1 then Error "slo set: expected a positive cycle count"
+    else begin
+      Rp_obs.Slo.set_threshold n;
+      Ok (Printf.sprintf "slo = %d model cycles (exemplar capture armed)" n)
+    end
+  | [ "slo"; "clear" ] ->
+    Rp_obs.Slo.set_threshold 0;
+    Ok "slo threshold cleared (exemplar capture disarmed)"
+  | [ "slo"; ("on" | "off") as v ] ->
+    Rp_obs.Slo.set_stamping (v = "on");
+    Ok (Printf.sprintf "slo stamping %s" v)
+  | "slo" :: "exemplars" :: rest ->
+    let* limit =
+      match rest with
+      | [] -> Ok 10
+      | [ n ] -> int_arg "count" n
+      | _ -> Error "usage: slo exemplars [N]"
+    in
+    if limit < 1 then Error "slo exemplars: expected a positive count"
+    else
+      (match Rp_obs.Slo.exemplars ~limit () with
+       | [] -> Ok "no exemplars captured"
+       | es ->
+         Ok (String.concat "\n" (List.map Rp_obs.Slo.exemplar_to_string es)))
+  | [ "slo"; "reset" ] ->
+    Rp_obs.Slo.clear_exemplars ();
+    Ok "exemplars cleared"
+  | "slo" :: _ ->
+    Error
+      "usage: slo show | slo set N | slo clear | slo on|off | slo exemplars \
+       [N] | slo reset"
+  (* The unified drop-reason taxonomy (Σ per-reason == drops.total). *)
+  | [ "drops"; "show" ] ->
+    let rows =
+      List.map
+        (fun (r, n) ->
+          Printf.sprintf "%-16s %d" (Rp_obs.Drop_reason.name r) n)
+        (Rp_obs.Drop_reason.table ())
+    in
+    Ok
+      (String.concat "\n"
+         (rows
+          @ [ Printf.sprintf "%-16s %d" "total" (Rp_obs.Drop_reason.total ()) ]))
+  | "drops" :: _ -> Error "usage: drops show"
+  (* The health probe sampler (last value + high-water mark). *)
+  | [ "health"; "show" ] -> Ok (Rp_obs.Health.to_string ())
+  | [ "health"; "sample" ] ->
+    Rp_obs.Health.sample ();
+    Ok (Rp_obs.Health.to_string ())
+  | [ "health"; "reset-hwm" ] ->
+    Rp_obs.Health.reset_hwm ();
+    Ok "watermarks reset"
+  | "health" :: _ -> Error "usage: health show | health sample | health reset-hwm"
+  | [ "top" ] -> top router
+  | "top" :: _ -> Error "usage: top"
   | cmd :: _ -> Error (Printf.sprintf "unknown command %S" cmd)
 
 let exec router line =

@@ -26,6 +26,63 @@ let m_dropped = Rp_obs.Registry.counter "ip_core.dropped"
    [Dropped], since an incomplete fragment set cannot reassemble. *)
 let m_frag_drops = Rp_obs.Registry.counter "ip_core.fragment_drops"
 
+(* --- latency SLOs ---------------------------------------------------- *)
+
+(* The SLO layer only *reads* the cost-model clock — [Cost.get] is
+   free — so Table-3 cycles are byte-identical with stamping on or
+   off.  [slo_open]/[slo_close] bracket one packet's traversal;
+   [slo_attrib] accumulates per-gate cycles into the mbuf when
+   exemplar capture is armed.  Shared with the sharded engine's worker
+   dispatch (hence exported), which passes its own shard index. *)
+
+let slo_class = function
+  | Enqueued _ -> Rp_obs.Slo.Fwd
+  | Delivered_local | Absorbed -> Rp_obs.Slo.Absorb
+  | Dropped _ -> Rp_obs.Slo.Drop
+
+let slo_open m =
+  if Rp_obs.Slo.on () then begin
+    m.Mbuf.ingress_cycles <- Cost.get ();
+    if Rp_obs.Slo.armed () then begin
+      (* The attribution array is cached on the descriptor (pooled
+         descriptors allocate it once), so the armed steady state stays
+         GC-silent. *)
+      if Array.length m.Mbuf.gate_cycles = 0 then
+        m.Mbuf.gate_cycles <- Array.make Gate.count 0
+      else Array.fill m.Mbuf.gate_cycles 0 Gate.count 0
+    end
+  end
+
+let slo_attrib m ~gate cycles =
+  let a = m.Mbuf.gate_cycles in
+  if Array.length a > 0 then begin
+    let g = Gate.to_int gate in
+    a.(g) <- a.(g) + cycles
+  end
+
+let slo_close ~shard m verdict =
+  if Rp_obs.Slo.on () then begin
+    let cls = slo_class verdict in
+    let cycles = Cost.get () - m.Mbuf.ingress_cycles in
+    Rp_obs.Slo.observe ~shard cls cycles;
+    if Rp_obs.Slo.armed () && Rp_obs.Slo.is_breach cycles then begin
+      let gates = ref [] in
+      let a = m.Mbuf.gate_cycles in
+      for g = Gate.count - 1 downto 0 do
+        if Array.length a > 0 && a.(g) > 0 then
+          let name =
+            match Gate.of_int g with
+            | Some gate -> Gate.name gate
+            | None -> string_of_int g
+          in
+          gates := (name, a.(g)) :: !gates
+      done;
+      Rp_obs.Slo.capture ~shard ~cls ~cycles
+        ~key:(Flow_key.to_string m.Mbuf.key)
+        ~gates:!gates ~trace_pkt:m.Mbuf.tseq
+    end
+  end
+
 (* Classify at [gate] via the engine-shared entry point ({!Classify}),
    which charges the framework costs: the flow hash the first time
    this packet consults the AIU, one gate's invocation overhead, and
@@ -94,7 +151,8 @@ let run_handler router ~now ~gate inst binding m =
    site meters identically.  The meters only observe the existing
    [Cost] / [Access] counters — nothing here charges the cost model,
    so Table-3 figures are untouched. *)
-let instrumented ~gate ~tseq f =
+let instrumented ~gate m f =
+  let tseq = m.Mbuf.tseq in
   Rp_obs.Counter.inc (Gate.dispatch gate);
   if tseq <> 0 then
     Rp_obs.Telemetry.record ~ts:(Cost.get ())
@@ -104,6 +162,7 @@ let instrumented ~gate ~tseq f =
     Rp_lpm.Access.measure (fun () -> Cost.measure f)
   in
   Rp_obs.Counter.add (Gate.cycles gate) cycles;
+  slo_attrib m ~gate cycles;
   if tseq <> 0 then begin
     Rp_obs.Telemetry.record ~ts:(Cost.get ())
       ~kind:Rp_obs.Telemetry.Gate_exit ~gate:(Gate.to_int gate) ~pkt:tseq
@@ -116,7 +175,7 @@ let instrumented ~gate ~tseq f =
 
 let invoke_gate router ~now ~gate m =
   let verdict =
-    instrumented ~gate ~tseq:m.Mbuf.tseq (fun () ->
+    instrumented ~gate m (fun () ->
         match classify_at router ~now ~gate m with
         | None -> Plugin.Continue
         | Some (inst, record) ->
@@ -211,7 +270,7 @@ let rec enqueue router ~now m out =
   let ifc = Router.iface router out in
   let binding =
     if Router.gate_enabled router Gate.Scheduling then
-      instrumented ~gate:Gate.Scheduling ~tseq:m.Mbuf.tseq (fun () ->
+      instrumented ~gate:Gate.Scheduling m (fun () ->
           match classify_at router ~now ~gate:Gate.Scheduling m with
           | Some (_inst, record) -> binding_of record ~gate:Gate.Scheduling
           | None -> None)
@@ -257,12 +316,15 @@ and process router ~now m =
   if tseq <> 0 then
     Rp_obs.Telemetry.record ~ts:t0 ~kind:Rp_obs.Telemetry.Pkt_start ~gate:(-1)
       ~pkt:tseq ~arg:m.Mbuf.len;
+  slo_open m;
   let verdict = process_inner router ~now m in
   (match verdict with
    | Enqueued _ -> Rp_obs.Counter.inc m_forwarded
    | Delivered_local -> Rp_obs.Counter.inc m_delivered
    | Absorbed -> Rp_obs.Counter.inc m_absorbed
-   | Dropped _ -> Rp_obs.Counter.inc m_dropped);
+   | Dropped why ->
+     Rp_obs.Counter.inc m_dropped;
+     Rp_obs.Drop_reason.count_why why);
   if tseq <> 0 then begin
     let ts = Cost.get () in
     (match verdict with
@@ -274,6 +336,7 @@ and process router ~now m =
       ~pkt:tseq ~arg:0;
     Rp_obs.Histogram.observe Rp_obs.Telemetry.packet_hist (ts - t0)
   end;
+  slo_close ~shard:0 m verdict;
   (* Always-on NetFlow accounting: attribute the packet to its flow
      record (if classification gave it a flow index) at verdict time. *)
   Rp_classifier.Flow_table.account
@@ -414,6 +477,7 @@ let run_gate_batch router ~now ~gate batch verdicts n =
                   run_handler router ~now ~gate inst binding m))
       in
       cycles_acc := !cycles_acc + cycles;
+      slo_attrib m ~gate cycles;
       if tseq <> 0 then begin
         Rp_obs.Telemetry.record ~ts:(Cost.get ())
           ~kind:Rp_obs.Telemetry.Gate_exit ~gate:(Gate.to_int gate) ~pkt:tseq
@@ -465,6 +529,7 @@ let process_batch router ?emit ~now batch ~n =
       Rp_obs.Telemetry.record ~ts ~kind:Rp_obs.Telemetry.Pkt_start ~gate:(-1)
         ~pkt:tseq ~arg:m.Mbuf.len
     end;
+    slo_open m;
     Cost.charge Cost.base_forward;
     Iface.count_rx (Router.iface router m.Mbuf.key.Flow_key.iface) m;
     if m.Mbuf.ttl <= 1 then begin
@@ -546,7 +611,9 @@ let process_batch router ?emit ~now batch ~n =
      | Enqueued _ -> incr fwd
      | Delivered_local -> incr del
      | Absorbed -> incr abso
-     | Dropped _ -> incr drop);
+     | Dropped why ->
+       incr drop;
+       Rp_obs.Drop_reason.count_why why);
     let tseq = m.Mbuf.tseq in
     if tseq <> 0 then begin
       let ts = Cost.get () in
@@ -559,6 +626,7 @@ let process_batch router ?emit ~now batch ~n =
         ~pkt:tseq ~arg:0;
       Rp_obs.Histogram.observe Rp_obs.Telemetry.packet_hist (ts - t0s.(i))
     end;
+    slo_close ~shard:0 m verdict;
     Rp_classifier.Flow_table.account ft m
       ~verdict:
         (match verdict with

@@ -36,8 +36,11 @@ val process : Router.t -> now:int64 -> Mbuf.t -> verdict
     checks and counter updates are amortised across the batch.
     Per-packet verdicts, cost-model charges and metric totals are
     identical to calling {!process} on each packet in batch order —
-    only the interleaving of gate invocations differs.  [emit] is
-    called once per packet, in input order, with the packet's verdict. *)
+    only the interleaving of gate invocations differs.  (SLO latency
+    {e distributions} are the one observable consequence: a batched
+    packet's ingress→verdict span genuinely includes its batchmates'
+    gate-major processing.)  [emit] is called once per packet, in
+    input order, with the packet's verdict. *)
 val process_batch :
   Router.t ->
   ?emit:(Mbuf.t -> verdict -> unit) ->
@@ -58,3 +61,24 @@ val invoke_gate : Router.t -> now:int64 -> gate:Gate.t -> Mbuf.t -> Plugin.actio
 
 val inline_gates_pre : Gate.t list
 val inline_gates_post : Gate.t list
+
+(** {2 Latency SLO hooks}
+
+    Shared with the sharded engine's worker dispatch so both engines
+    stamp and close identically.  All three only {e read} the {!Cost}
+    clock, so Table-3 cycles are byte-identical with stamping on or
+    off. *)
+
+(** Stamp [m] with the calling domain's cycle clock (when
+    {!Rp_obs.Slo.on}); when exemplar capture is armed, ensure and zero
+    the mbuf's per-gate attribution array. *)
+val slo_open : Mbuf.t -> unit
+
+(** Accumulate [cycles] against [gate] in [m]'s attribution array
+    (no-op until {!slo_open} armed the packet). *)
+val slo_attrib : Mbuf.t -> gate:Gate.t -> int -> unit
+
+(** Observe the ingress→verdict latency into the [shard]'s histograms
+    (split by verdict class) and capture a breach exemplar when the
+    configured SLO (or the top latency bucket) is exceeded. *)
+val slo_close : shard:int -> Mbuf.t -> verdict -> unit

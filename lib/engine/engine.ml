@@ -226,6 +226,34 @@ let create ?(rx_capacity = 1024) ?(tx_capacity = 2048) mode router =
         (Printf.sprintf "engine.shard%d.tx_depth" i)
         (fun () -> float_of_int (Spsc.length tx)))
     t.tx;
+  (* Health probes: sampled by the binaries' report loops, they keep a
+     high-water mark, so a ring that spiked between two metric dumps
+     is still visible.  Registration replaces by name — a re-created
+     engine takes the probes over. *)
+  let occupancy ring () =
+    100. *. float_of_int (Spsc.length ring)
+    /. float_of_int (Spsc.capacity ring)
+  in
+  Array.iteri
+    (fun i rx ->
+      Rp_obs.Health.register
+        (Printf.sprintf "engine.shard%d.rx_pct" i)
+        (occupancy rx))
+    t.rx;
+  Array.iteri
+    (fun i tx ->
+      Rp_obs.Health.register
+        (Printf.sprintf "engine.shard%d.tx_pct" i)
+        (occupancy tx))
+    t.tx;
+  Rp_obs.Health.register "engine.delta_backlog" (fun () ->
+      float_of_int (List.length t.pending));
+  Rp_obs.Health.register "engine.quarantined" (fun () ->
+      float_of_int
+        (List.length
+           (List.filter
+              (fun f -> f.Pcu.quarantined)
+              (Pcu.fault_report router.Router.pcu))));
   t.domains <-
     Array.init n (fun i -> Domain.spawn (fun () -> worker_loop t i));
   register t;
@@ -374,6 +402,7 @@ let submit t ~now m =
     end
     else begin
       Rp_obs.Counter.inc t.m_bp_drops;
+      Rp_obs.Drop_reason.count Rp_obs.Drop_reason.Backpressure;
       false
     end
 

@@ -195,6 +195,7 @@ let invoke_gate t ~now ~gate m faults =
                 | _ -> action)))
   in
   Rp_obs.Counter.add (Gate.Meters.cycles t.meters gate) gate_cycles;
+  Ip_core.slo_attrib m ~gate gate_cycles;
   if tseq <> 0 then begin
     Rp_obs.Telemetry.record ~ts:(Cost.get ())
       ~kind:Rp_obs.Telemetry.Gate_exit ~gate:(Gate.to_int gate) ~pkt:tseq
@@ -249,6 +250,7 @@ let dispatch t ~now m =
   if tseq <> 0 then
     Rp_obs.Telemetry.record ~ts:t0 ~kind:Rp_obs.Telemetry.Pkt_start ~gate:(-1)
       ~pkt:tseq ~arg:m.Mbuf.len;
+  Ip_core.slo_open m;
   Cost.charge Cost.base_forward;
   let faults = ref [] in
   let outcome =
@@ -268,7 +270,9 @@ let dispatch t ~now m =
   (match outcome with
    | Forwarded _ -> Rp_obs.Counter.inc t.m_forwarded
    | Absorbed -> Rp_obs.Counter.inc t.m_absorbed
-   | Dropped _ -> Rp_obs.Counter.inc t.m_dropped);
+   | Dropped why ->
+     Rp_obs.Counter.inc t.m_dropped;
+     Rp_obs.Drop_reason.count_why why);
   if tseq <> 0 then begin
     let ts = Cost.get () in
     (match outcome with
@@ -280,6 +284,11 @@ let dispatch t ~now m =
       ~pkt:tseq ~arg:0;
     Rp_obs.Histogram.observe Rp_obs.Telemetry.packet_hist (ts - t0)
   end;
+  Ip_core.slo_close ~shard:t.index m
+    (match outcome with
+     | Forwarded i -> Ip_core.Enqueued i
+     | Absorbed -> Ip_core.Absorbed
+     | Dropped why -> Ip_core.Dropped why);
   Rp_classifier.Flow_table.account
     (Rp_classifier.Aiu.flow_table t.aiu)
     m
@@ -339,6 +348,7 @@ let run_gate_batch t ~gate batch outcomes pkt_faults n =
                     | _ -> action)))
       in
       cycles_acc := !cycles_acc + gate_cycles;
+      Ip_core.slo_attrib m ~gate gate_cycles;
       if tseq <> 0 then begin
         Rp_obs.Telemetry.record ~ts:(Cost.get ())
           ~kind:Rp_obs.Telemetry.Gate_exit ~gate:(Gate.to_int gate) ~pkt:tseq
@@ -378,6 +388,7 @@ let dispatch_batch t batch ~n ~emit =
       Rp_obs.Telemetry.record ~ts ~kind:Rp_obs.Telemetry.Pkt_start ~gate:(-1)
         ~pkt:tseq ~arg:m.Mbuf.len
     end;
+    Ip_core.slo_open m;
     Cost.charge Cost.base_forward;
     if m.Mbuf.ttl <= 1 then outcomes.(i) <- Some (Dropped "ttl expired")
     else m.Mbuf.ttl <- m.Mbuf.ttl - 1
@@ -416,7 +427,9 @@ let dispatch_batch t batch ~n ~emit =
     (match outcome with
      | Forwarded _ -> incr fwd
      | Absorbed -> incr abso
-     | Dropped _ -> incr drop);
+     | Dropped why ->
+       incr drop;
+       Rp_obs.Drop_reason.count_why why);
     let tseq = m.Mbuf.tseq in
     if tseq <> 0 then begin
       let ts = Cost.get () in
@@ -429,6 +442,11 @@ let dispatch_batch t batch ~n ~emit =
         ~pkt:tseq ~arg:0;
       Rp_obs.Histogram.observe Rp_obs.Telemetry.packet_hist (ts - t0s.(i))
     end;
+    Ip_core.slo_close ~shard:t.index m
+      (match outcome with
+       | Forwarded i -> Ip_core.Enqueued i
+       | Absorbed -> Ip_core.Absorbed
+       | Dropped why -> Ip_core.Dropped why);
     Rp_classifier.Flow_table.account ft m
       ~verdict:
         (match outcome with

@@ -1,0 +1,76 @@
+(* The periodic health sampler.
+
+   Subsystems register named probes (ring occupancy, pool free %,
+   quarantine count, delta backlog); [sample] reads them all and
+   stores last value + high-water mark, exposed as [health.<name>] /
+   [health.<name>.hwm] gauges so health rides along in every metrics
+   dump and the Prometheus exposition.  Gauges alone would lose the
+   watermark: a ring that spiked to 97% between two scrapes still
+   shows it in the hwm.
+
+   Probes are control-path state under a mutex; registration replaces
+   by name (re-created engines re-register their shard probes, as
+   scheduler depth gauges already do). *)
+
+type probe = {
+  read : unit -> float;
+  mutable last : float;
+  mutable hwm : float;
+}
+
+let probes : (string, probe) Hashtbl.t = Hashtbl.create 32
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let m_samples = Registry.counter "health.samples"
+
+let register name read =
+  locked (fun () ->
+      let p = { read; last = 0.; hwm = 0. } in
+      Hashtbl.replace probes name p;
+      Registry.gauge ("health." ^ name) (fun () -> p.last);
+      Registry.gauge ("health." ^ name ^ ".hwm") (fun () -> p.hwm))
+
+let unregister name =
+  locked (fun () ->
+      Hashtbl.remove probes name;
+      Registry.remove ("health." ^ name);
+      Registry.remove ("health." ^ name ^ ".hwm"))
+
+(* A probe that raises reads as 0 rather than killing the sampler: a
+   health surface that dies on the first broken subsystem is useless
+   exactly when it is needed. *)
+let sample () =
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ p ->
+          let v = try p.read () with _ -> 0. in
+          p.last <- v;
+          if v > p.hwm then p.hwm <- v)
+        probes;
+      Counter.inc m_samples)
+
+let reset_hwm () =
+  locked (fun () -> Hashtbl.iter (fun _ p -> p.hwm <- p.last) probes)
+
+let snapshot () =
+  locked (fun () ->
+      Hashtbl.fold (fun n p acc -> (n, p.last, p.hwm) :: acc) probes []
+      |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b))
+
+let samples () = Counter.get m_samples
+
+let to_string () =
+  let rows = snapshot () in
+  if rows = [] then "health: no probes registered"
+  else
+    String.concat "\n"
+      (Printf.sprintf "health: %d probe(s), %d sample(s)" (List.length rows)
+         (samples ())
+      :: List.map
+           (fun (n, last, hwm) ->
+             Printf.sprintf "  %-28s %10.2f  hwm %10.2f" n last hwm)
+           rows)

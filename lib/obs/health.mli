@@ -1,0 +1,28 @@
+(** The periodic per-shard health sampler.
+
+    Subsystems register named probes (SPSC ring occupancy, pool
+    free %, quarantine count, delta backlog); [sample] — called from
+    the binaries' periodic report loops — reads every probe and keeps
+    last value + high-water mark, exposed as [health.<name>] and
+    [health.<name>.hwm] registry gauges.  The watermark is the point:
+    a ring that spiked between two scrapes still shows it.
+
+    Registration replaces by name, so re-created engines re-register
+    their shard probes cleanly.  A probe that raises samples as 0. *)
+
+val register : string -> (unit -> float) -> unit
+val unregister : string -> unit
+
+(** Read every probe once; update last values and watermarks. *)
+val sample : unit -> unit
+
+(** Reset every watermark to the last sampled value. *)
+val reset_hwm : unit -> unit
+
+(** [(name, last, hwm)] rows sorted by name. *)
+val snapshot : unit -> (string * float * float) list
+
+(** Total [sample] calls (the [health.samples] counter). *)
+val samples : unit -> int
+
+val to_string : unit -> string

@@ -138,8 +138,11 @@ let json_escape s =
 
 (* Integer version for downstream consumers to switch on; the
    human-readable "schema" string stays in step.  v2 added
-   [schema_version] itself and histogram p50/p90/p99 quantiles. *)
-let schema_version = 2
+   [schema_version] itself and histogram p50/p90/p99 quantiles; v3
+   adds the p999 tail quantile to every histogram entry (for the
+   latency SLO families) alongside the drops.* and health.* metric
+   families. *)
+let schema_version = 3
 
 (* One metric per line, keys sorted: dumps diff cleanly and simple
    line-oriented tools (the CI bench gate) can extract values without
@@ -169,11 +172,12 @@ let dump_json ?pattern () =
              Buffer.add_string b
                (Printf.sprintf
                   "{\"count\": %d, \"sum\": %d, \"p50\": %s, \"p90\": %s, \
-                   \"p99\": %s, \"buckets\": {"
+                   \"p99\": %s, \"p999\": %s, \"buckets\": {"
                   (Histogram.total h) (Histogram.sum h)
                   (float_str (Histogram.quantile h 0.50))
                   (float_str (Histogram.quantile h 0.90))
-                  (float_str (Histogram.quantile h 0.99)));
+                  (float_str (Histogram.quantile h 0.99))
+                  (float_str (Histogram.quantile h 0.999)));
              let bounds = Histogram.bounds h and counts = Histogram.counts h in
              Array.iteri
                (fun j c ->

@@ -54,10 +54,10 @@ val schema_version : int
     gauge callbacks must not call back into the registry. *)
 val dump : ?pattern:string -> unit -> string
 
-(** JSON snapshot, schema [rp-metrics/2]: a ["schema_version"] field,
+(** JSON snapshot, schema [rp-metrics/3]: a ["schema_version"] field,
     then sorted keys one metric per line (greppable by the CI bench
-    gate without a JSON parser); histograms include p50/p90/p99 from
-    {!Histogram.quantile}.  Rendered under the registry lock. *)
+    gate without a JSON parser); histograms include p50/p90/p99/p999
+    from {!Histogram.quantile}.  Rendered under the registry lock. *)
 val dump_json : ?pattern:string -> unit -> string
 
 (** [write_json path] writes {!dump_json} to [path]. *)

@@ -50,6 +50,7 @@ let is_full t = nwritable t = 0
 let transmit t m =
   if is_full t then begin
     t.txdrops <- t.txdrops + 1;
+    Rp_obs.Drop_reason.count Rp_obs.Drop_reason.Link_overflow;
     false
   end
   else begin

@@ -32,6 +32,8 @@ type t = {
   mutable pool_id : int;
   mutable pool_slot : int;
   mutable tcp_flags : int;
+  mutable ingress_cycles : int;
+  mutable gate_cycles : int array;
 }
 
 let synth ?(ttl = 64) ?(tos = 0) ?(flow_label = 0) ?(tcp_flags = 0) ~key ~len
@@ -58,6 +60,8 @@ let synth ?(ttl = 64) ?(tos = 0) ?(flow_label = 0) ?(tcp_flags = 0) ~key ~len
     pool_id = 0;
     pool_slot = -1;
     tcp_flags;
+    ingress_cycles = 0;
+    gate_cycles = [||];
   }
 
 type error =
@@ -132,6 +136,8 @@ let of_bytes ~iface buf =
           pool_id = 0;
           pool_slot = -1;
           tcp_flags;
+          ingress_cycles = 0;
+          gate_cycles = [||];
         }
     else if version = 6 then
       let* h = Result.map_error (fun e -> V6_error e) (Ipv6_header.parse buf 0) in
@@ -186,6 +192,8 @@ let of_bytes ~iface buf =
           pool_id = 0;
           pool_slot = -1;
           tcp_flags;
+          ingress_cycles = 0;
+          gate_cycles = [||];
         }
     else Error (V4_error (Ipv4_header.Bad_version version))
 

@@ -60,6 +60,16 @@ type t = {
           packets.  Parsed from the wire by {!of_bytes}, settable on
           synthetic packets so connection tracking sees SYN/FIN/RST on
           generator traffic too. *)
+  mutable ingress_cycles : int;
+      (** SLO stamp: the processing domain's {!Cost} clock at ingress.
+          Read-only for the latency histograms — never charged — so
+          Table-3 cycles are identical with stamping on or off. *)
+  mutable gate_cycles : int array;
+      (** per-gate cycle attribution for SLO exemplars, indexed by
+          gate id; [[||]] until exemplar capture is armed, after which
+          the array is lazily sized once per descriptor and zeroed at
+          ingress (pooled descriptors keep it, so the steady state
+          stays allocation-free) *)
 }
 
 (** [synth ~key ~len ()] builds a descriptor without wire bytes — the

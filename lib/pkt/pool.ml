@@ -80,6 +80,7 @@ let buf_size t = t.buf_size
 let alloc t ~key ~len =
   if t.top = 0 then begin
     t.exhausted <- t.exhausted + 1;
+    Rp_obs.Drop_reason.count Rp_obs.Drop_reason.Pool_exhausted;
     raise Empty
   end;
   t.top <- t.top - 1;
@@ -106,6 +107,10 @@ let alloc t ~key ~len =
   m.Mbuf.frag <- None;
   m.Mbuf.tseq <- 0;
   m.Mbuf.tcp_flags <- 0;
+  (* [gate_cycles] is deliberately untouched: the attribution array is
+     cached per descriptor and re-zeroed at ingress when exemplar
+     capture is armed, keeping alloc allocation-free. *)
+  m.Mbuf.ingress_cycles <- 0;
   m
 
 let free t m =
@@ -138,6 +143,13 @@ let stats t =
     double_frees = t.double_frees;
     foreign_frees = t.foreign_frees;
   }
+
+(* Register a free-descriptor-percentage health probe for this pool;
+   replacement by name means a re-created pool just takes over. *)
+let watch t name =
+  Rp_obs.Health.register
+    (name ^ ".free_pct")
+    (fun () -> 100. *. float_of_int t.top /. float_of_int (capacity t))
 
 let pp_stats ppf s =
   Format.fprintf ppf

@@ -49,3 +49,8 @@ val free : t -> Mbuf.t -> unit
 
 val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit
+
+(** [watch t name] registers a [<name>.free_pct] health probe (free
+    descriptors as a percentage of capacity) with
+    {!Rp_obs.Health}. *)
+val watch : t -> string -> unit

@@ -381,6 +381,7 @@ module Table = struct
   let secs n = Int64.mul (Int64.of_int n) 1_000_000_000L
 
   let create ?(stripes = 16) tname =
+    let t =
     {
       tname;
       str =
@@ -403,6 +404,15 @@ module Table = struct
       ct_drops_c = Atomic.make 0;
       conflicts_c = Atomic.make 0;
     }
+    in
+    (* Live-session health probe: an unlocked sum over the stripes is a
+       momentary snapshot, which is all a sampler needs. *)
+    Rp_obs.Health.register
+      ("session." ^ tname ^ ".live")
+      (fun () ->
+        float_of_int
+          (Array.fold_left (fun acc s -> acc + Hashtbl.length s.tbl) 0 t.str));
+    t
 
   let name t = t.tname
 

@@ -146,6 +146,40 @@ let test_histogram_quantile_edges () =
   (* p95: target 95, 5 of the 10 in (20,40] -> 20 + 20 * 5/10. *)
   check float_t "p95 in the tail bucket" 30.0 (Histogram.quantile s 0.95)
 
+let test_histogram_quantile_degenerate () =
+  (* A single observation: every quantile lands in its bucket, and the
+     rank interpolates across that bucket's full value range. *)
+  let h = Histogram.make "t.q.one" ~bounds:[| 25; 50; 75 |] in
+  Histogram.observe h 40;
+  check float_t "q0 of one obs is the bucket's lower edge" 25.0
+    (Histogram.quantile h 0.0);
+  check float_t "q0.5 of one obs is the bucket midpoint" 37.5
+    (Histogram.quantile h 0.5);
+  check float_t "q1 of one obs is the bucket's upper bound" 50.0
+    (Histogram.quantile h 1.0);
+  (* First bucket empty: q=0 reports the first non-empty bucket's
+     lower edge, not 0. *)
+  let g = Histogram.make "t.q.gap" ~bounds:[| 25; 50; 75 |] in
+  for _ = 1 to 5 do
+    Histogram.observe g 60
+  done;
+  check float_t "q0 skips empty leading buckets" 50.0
+    (Histogram.quantile g 0.0);
+  check float_t "q1 is the last non-empty finite bound" 75.0
+    (Histogram.quantile g 1.0);
+  (* All mass in overflow: every quantile (even 0) pins to the last
+     finite bound — a conservative lower bound on the true value. *)
+  let o = Histogram.make "t.q.allover" ~bounds:[| 10; 20 |] in
+  for _ = 1 to 3 do
+    Histogram.observe o 99
+  done;
+  check float_t "q0 with overflow-only mass" 20.0 (Histogram.quantile o 0.0);
+  check float_t "q1 with overflow-only mass" 20.0 (Histogram.quantile o 1.0);
+  (* Empty histogram: every quantile is 0 regardless of q. *)
+  let e = Histogram.make "t.q.empty2" ~bounds:[| 10 |] in
+  check float_t "empty at q0" 0.0 (Histogram.quantile e 0.0);
+  check float_t "empty at q1" 0.0 (Histogram.quantile e 1.0)
+
 let test_histogram_bad_bounds () =
   let raises bounds =
     match Histogram.make "t.bad" ~bounds with
@@ -440,16 +474,17 @@ let test_flowlog_json () =
 (* --- Registry schema -------------------------------------------------- *)
 
 let test_schema_version () =
-  check int_t "schema_version is 2" 2 Registry.schema_version;
+  check int_t "schema_version is 3" 3 Registry.schema_version;
   let j = Registry.dump_json () in
   check bool_t "schema string in step" true
-    (contains ~needle:"\"schema\": \"rp-metrics/2\"" j);
+    (contains ~needle:"\"schema\": \"rp-metrics/3\"" j);
   check bool_t "schema_version field present" true
-    (contains ~needle:"\"schema_version\": 2" j);
-  (* v2 also added quantiles to histogram objects (the telemetry
-     packet-latency histogram is always registered). *)
+    (contains ~needle:"\"schema_version\": 3" j);
+  (* v2 added quantiles to histogram objects; v3 adds the p999 tail
+     (the telemetry packet-latency histogram is always registered). *)
   check bool_t "histograms carry p50/p90/p99" true
-    (contains ~needle:"\"p99\":" j)
+    (contains ~needle:"\"p99\":" j);
+  check bool_t "histograms carry p999" true (contains ~needle:"\"p999\":" j)
 
 (* --- Integration: flow records reconcile with gate counters ----------- *)
 
@@ -574,6 +609,8 @@ let () =
             test_histogram_quantile_uniform;
           Alcotest.test_case "quantile: edge cases" `Quick
             test_histogram_quantile_edges;
+          Alcotest.test_case "quantile: degenerate shapes" `Quick
+            test_histogram_quantile_degenerate;
           Alcotest.test_case "bad bounds" `Quick test_histogram_bad_bounds;
         ] );
       ( "registry",
