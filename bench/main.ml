@@ -20,6 +20,7 @@
      fig-coldstart   cold-start classification, compiled vs per-gate
      fig-session     unified session subsystem: NAT+conntrack+QoS per-hit cost
      fig-latency     end-to-end latency SLOs: quantiles, exemplars, T3 identity
+     fig-zipf        million-flow Zipf long-haul soak (arrival/expiry churn)
      micro           Bechamel wall-clock micro-benchmarks
 
    Run all sections: [dune exec bench/main.exe]; or name the sections
@@ -1955,6 +1956,271 @@ let fig_latency () =
   Rp_obs.Registry.set "bench.latency.t3_off_cycles" (float_of_int t3_off)
 
 (* ---------------------------------------------------------------------- *)
+(* fig-zipf: million-flow Zipf long-haul soak.                            *)
+(* ---------------------------------------------------------------------- *)
+
+(* The "millions of users" scale test (ROADMAP item 4): 10^6 concurrent
+   flows across 4 shards, Zipf(0.99) packet popularity over the flow
+   ranks, Pareto heavy-tailed per-flow packet budgets so flows retire
+   and fresh ones arrive continuously, and periodic idle-window expiry
+   passes — recycling, expiry and the probe index all run hot for
+   minutes of simulated time.  ci/check_zipf.sh gates the metrics. *)
+let fig_zipf () =
+  section "fig-zipf: million-flow Zipf long-haul soak (sharded:4)";
+  let flows = 1_000_000 in
+  let batch = 64 in
+  let steady_total = 3_000_000 in
+  (* 8 ms of simulated time per batch: the steady phase spans ~375 s
+     of router time while staying a few million packets of real work. *)
+  let dt_batch = 8_000_000L in
+  let idle_sim_ns = 300_000_000_000L in
+  (* Keepalive every 2nd packet bounds any live flow's idle gap at
+     2 * flows packets = ~250 s sim < idle_sim_ns, so expiry culls
+     only retired flows, never the cold-but-live Zipf tail. *)
+  let keepalive_every = 2 in
+  let pause_every = 4096 (* batches between idle expiry pauses *) in
+  Printf.printf
+    "Zipf(0.99) popularity over %d flow ranks, Pareto(1.2, 4) per-flow\n\
+     packet budgets (flows retire, fresh ones take over the rank),\n\
+     one-packet-per-rank seed sweep, then %d steady packets with an\n\
+     expiry pass every %d batches (idle threshold %.0f s sim).\n\n"
+    flows steady_total pause_every
+    (Int64.to_float idle_sim_ns /. 1e9);
+  let counter_get name = Rp_obs.Counter.get (Rp_obs.Registry.counter name) in
+  let acc_p0 = counter_get "flow_table.accounted_packets" in
+  let acc_b0 = counter_get "flow_table.accounted_bytes" in
+  let exp_p0 = counter_get "flow_export.packets" in
+  let exp_b0 = counter_get "flow_export.bytes" in
+  let gates = [ Gate.Ip_options; Gate.Firewall; Gate.Stats ] in
+  let ifaces =
+    [ Iface.create ~id:0 (); Iface.create ~id:1 ~fifo_limit:max_int () ]
+  in
+  let r = Router.create ~mode:Router.Plugins ~gates ~ifaces () in
+  Router.add_route r (Prefix.of_string "192.168.0.0/16") ~iface:1 ();
+  List.iteri
+    (fun i gate ->
+      let name = Printf.sprintf "zipf-empty-%d" i in
+      ok (Pcu.modload r.Router.pcu (Empty_plugin.make ~gate ~name));
+      let inst = ok (Pcu.create_instance r.Router.pcu ~plugin:name []) in
+      ok
+        (Pcu.register_instance r.Router.pcu ~instance:inst.Plugin.instance_id
+           (Rp_classifier.Filter.v4 ~proto:Proto.udp ())))
+    gates;
+  let e = Rp_engine.Engine.create (Rp_engine.Engine.Sharded 4) r in
+  let pool = Pool.create ~capacity:8192 () in
+  let link = Link.create ~capacity:1024 () in
+  let synth =
+    Rp_sim.Synth.create ~flows ~pool ~popularity:(Rp_sim.Synth.Zipf 0.99)
+      ~flow_packets:(Rp_sim.Synth.Pareto (1.2, 4.0))
+      ~sweep:true ~keepalive_every ()
+  in
+  let scratch =
+    Array.make batch
+      (Mbuf.synth ~key:(Rp_sim.Traffic.flow_key ~id:0 ()) ~len:0 ())
+  in
+  let drained = ref 0 in
+  let recycle (res : Rp_engine.Shard.result) =
+    Pool.free pool res.Rp_engine.Shard.m;
+    incr drained
+  in
+  let now = ref 0L in
+  let pump ~upto =
+    (* One pump iteration: refill the link, push one batch into the
+       engine (retrying ring-full shards against a drain), collect
+       results.  Returns packets submitted. *)
+    ignore (Rp_sim.Synth.pull synth ~now_ns:!now link ~max:(2 * batch));
+    let n = Link.receive_batch link ~max:(min batch upto) scratch in
+    for i = 0 to n - 1 do
+      while not (Rp_engine.Engine.submit e ~now:!now scratch.(i)) do
+        ignore (Rp_engine.Engine.drain e ~f:recycle)
+      done
+    done;
+    ignore (Rp_engine.Engine.drain e ~f:recycle);
+    n
+  in
+  let flow_total () =
+    let s = ref 0 in
+    for i = 0 to 3 do
+      s := !s + Rp_engine.Engine.shard_flow_count e i
+    done;
+    !s
+  in
+  (* Phase 1 — seed sweep: one packet per rank, flow-setup latency
+     stamped into the PR 9 SLO histograms (every packet is a miss). *)
+  Rp_obs.Histogram.reset
+    (Rp_obs.Registry.histogram ~bounds:Rp_obs.Slo.latency_bounds
+       "slo.latency.cycles");
+  List.iter
+    (fun (_, _, h) -> Rp_obs.Histogram.reset h)
+    (Rp_obs.Slo.shard_table ());
+  Rp_obs.Slo.clear_exemplars ();
+  Rp_obs.Slo.set_stamping true;
+  Rp_obs.Slo.set_threshold 0;
+  let t_sweep0 = Unix.gettimeofday () in
+  let submitted = ref 0 in
+  while !submitted < flows do
+    submitted := !submitted + pump ~upto:(flows - !submitted)
+  done;
+  ignore (Rp_engine.Engine.flush e ~f:recycle);
+  Rp_obs.Slo.set_stamping false;
+  let p99_setup =
+    List.fold_left
+      (fun acc (_, cls, h) ->
+        if cls = Rp_obs.Slo.Fwd && Rp_obs.Histogram.total h > 0 then
+          max acc (Rp_obs.Histogram.quantile h 0.99)
+        else acc)
+      0.0
+      (Rp_obs.Slo.shard_table ())
+  in
+  let high_water = flow_total () in
+  Printf.printf
+    "  sweep: %d flows seeded in %.1f s wall, %d concurrent, p99 \
+     flow-setup %.0f cycles\n"
+    flows
+    (Unix.gettimeofday () -. t_sweep0)
+    high_water p99_setup;
+  (* Phase 2 — steady churn: Zipf + keepalive traffic with the sim
+     clock advancing, pausing every [pause_every] batches to sample
+     concurrency and run an idle-window expiry pass. *)
+  let cycles0 =
+    let mx = ref 0 in
+    for i = 0 to 3 do
+      mx := max !mx (Rp_engine.Engine.shard_cycles e i)
+    done;
+    !mx
+  in
+  let t_steady0 = Unix.gettimeofday () in
+  let steady_sent = ref 0 in
+  let batches = ref 0 in
+  let min_sustained = ref high_water in
+  let expired = ref 0 in
+  while !steady_sent < steady_total do
+    now := Int64.add !now dt_batch;
+    steady_sent := !steady_sent + pump ~upto:(steady_total - !steady_sent);
+    incr batches;
+    if !batches mod pause_every = 0 then begin
+      ignore (Rp_engine.Engine.flush e ~f:recycle);
+      let live = flow_total () in
+      if live < !min_sustained then min_sustained := live;
+      expired := !expired + Rp_engine.Engine.expire_flows e ~now:!now
+                              ~idle_ns:idle_sim_ns
+    end
+  done;
+  ignore (Rp_engine.Engine.flush e ~f:recycle);
+  let live_end = flow_total () in
+  if live_end < !min_sustained then min_sustained := live_end;
+  expired := !expired + Rp_engine.Engine.expire_flows e ~now:!now
+                          ~idle_ns:idle_sim_ns;
+  let cycles1 =
+    let mx = ref 0 in
+    for i = 0 to 3 do
+      mx := max !mx (Rp_engine.Engine.shard_cycles e i)
+    done;
+    !mx
+  in
+  let chain_max =
+    let mx = ref 0 in
+    for i = 0 to 3 do
+      mx := max !mx (Rp_engine.Engine.shard_flow_stats e i).Rp_classifier
+              .Flow_table.chain_max
+    done;
+    !mx
+  in
+  let hz = Cost.cpu_mhz *. 1e6 in
+  let steady_mpps =
+    let dcyc = cycles1 - cycles0 in
+    if dcyc > 0 then
+      float_of_int !steady_sent /. (float_of_int dcyc /. hz) /. 1e6
+    else 0.0
+  in
+  let sim_seconds = Int64.to_float !now /. 1e9 in
+  Printf.printf
+    "  steady: %d packets over %.0f s sim (%.1f s wall), %.4f model \
+     mpps/domain\n\
+    \  arrivals=%d expired=%d min_sustained=%d probe chain_max=%d\n"
+    !steady_sent sim_seconds
+    (Unix.gettimeofday () -. t_steady0)
+    steady_mpps
+    (Rp_sim.Synth.arrivals synth)
+    !expired !min_sustained chain_max;
+  (* Wind down: the pump pulls up to [2 * batch] packets per iteration
+     but submits at most [batch], so a link's worth of generated
+     packets can still be queued when the steady loop exits — feed
+     them through before reconciling, else they read as lost. *)
+  let rec drain_link () =
+    let n = Link.receive_batch link ~max:batch scratch in
+    if n > 0 then begin
+      for i = 0 to n - 1 do
+        while not (Rp_engine.Engine.submit e ~now:!now scratch.(i)) do
+          ignore (Rp_engine.Engine.drain e ~f:recycle)
+        done
+      done;
+      ignore (Rp_engine.Engine.drain e ~f:recycle);
+      drain_link ()
+    end
+  in
+  drain_link ();
+  ignore (Rp_engine.Engine.flush e ~f:recycle);
+  (* Export every remaining record, then reconcile the export-side
+     packet/byte counters against the accounting-side ones — exact
+     equality means every accounted packet left the table in exactly
+     one flow record. *)
+  Rp_engine.Engine.stop e;
+  Rp_engine.Engine.flush_flows e;
+  let recon_packets =
+    counter_get "flow_table.accounted_packets" - acc_p0
+    - (counter_get "flow_export.packets" - exp_p0)
+  in
+  let recon_bytes =
+    counter_get "flow_table.accounted_bytes" - acc_b0
+    - (counter_get "flow_export.bytes" - exp_b0)
+  in
+  let lost = Rp_sim.Synth.generated synth - !drained in
+  Printf.printf
+    "  reconcile: accounted-vs-exported packets %+d bytes %+d, \
+     generated-vs-drained %+d\n"
+    recon_packets recon_bytes lost;
+  (* Phase 3 — insert storm against a bounded table: a max_records
+     table under key pressure must degrade by recycling its oldest
+     records, never by failing or growing past the bound. *)
+  let storm_cap = 65_536 in
+  let aiu =
+    Rp_classifier.Aiu.create ~initial_records:1024 ~max_records:storm_cap
+      ~gates:1 ()
+  in
+  Rp_classifier.Aiu.bind aiu ~gate:0 (Rp_classifier.Filter.v4 ()) ();
+  for id = 0 to (2 * storm_cap) - 1 do
+    ignore
+      (Rp_classifier.Aiu.classify_key aiu
+         (Rp_sim.Traffic.flow_key ~id ())
+         ~gate:0 ~now:0L)
+  done;
+  let ft = Rp_classifier.Aiu.flow_table aiu in
+  let storm_stats = Rp_classifier.Flow_table.stats ft in
+  Printf.printf
+    "  storm: %d inserts into a %d-record table -> capacity %d, \
+     recycled %d\n"
+    (2 * storm_cap) storm_cap
+    (Rp_classifier.Flow_table.capacity ft)
+    storm_stats.Rp_classifier.Flow_table.recycled;
+  let m k v = Rp_obs.Registry.set (Printf.sprintf "bench.fig_zipf.%s" k) v in
+  m "flows" (float_of_int flows);
+  m "high_water_flows" (float_of_int high_water);
+  m "min_sustained_flows" (float_of_int !min_sustained);
+  m "sim_seconds" sim_seconds;
+  m "arrivals" (float_of_int (Rp_sim.Synth.arrivals synth));
+  m "expired" (float_of_int !expired);
+  m "steady_mpps" steady_mpps;
+  m "chain_max" (float_of_int chain_max);
+  m "p99_setup_cycles" p99_setup;
+  m "recon_packets" (float_of_int recon_packets);
+  m "recon_bytes" (float_of_int recon_bytes);
+  m "lost_packets" (float_of_int lost);
+  m "storm.capacity" (float_of_int (Rp_classifier.Flow_table.capacity ft));
+  m "storm.recycled"
+    (float_of_int storm_stats.Rp_classifier.Flow_table.recycled)
+
+(* ---------------------------------------------------------------------- *)
 
 let sections =
   [
@@ -1976,6 +2242,7 @@ let sections =
     ("fig-coldstart", fig_coldstart);
     ("fig-session", fig_session);
     ("fig-latency", fig_latency);
+    ("fig-zipf", fig_zipf);
     ("micro", micro);
   ]
 

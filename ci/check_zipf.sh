@@ -1,0 +1,72 @@
+#!/bin/sh
+# Million-flow Zipf long-haul gate, run by CI after
+#   dune exec bench/main.exe -- fig-zipf table3 --metrics-out zipf.json
+#   dune exec bench/main.exe -- table3 --metrics-out table3-a.json
+#
+# Four checks:
+#
+#   1. Scale: the soak must reach one million concurrent flows across
+#      the four shards during the seed sweep AND sustain that full
+#      population through minutes of simulated steady time with
+#      continuous arrivals and expiry passes running — min_sustained
+#      is sampled at every expiry pause, so a single dip fails the
+#      gate.  Steady throughput (deterministic model Mpps per busiest
+#      domain) has a pinned floor, flow-setup p99 a sanity band, and
+#      the open-addressing probe length must stay far below anything
+#      resembling a degenerate chain even at million-record load.
+#
+#   2. Churn really happened: Pareto-budgeted flows must retire (and
+#      fresh ones arrive) in volume, and the 300 s-sim idle expiry
+#      passes must actually cull retired flows — a soak where nothing
+#      arrives or expires is not a long-haul test.
+#
+#   3. Exact accounting: export-side packet/byte totals reconcile
+#      against the accounting-side counters to the packet (0 delta),
+#      and every generated packet came back out of the engine.
+#      The bounded-table insert storm must degrade by recycling at its
+#      configured capacity, never by growing past it or failing.
+#
+#   4. The Table-3 per-packet cycle figures from the fig-zipf process
+#      must be byte-identical to the standalone Table-3 run: the flat
+#      table is a storage change, not a cost-model change.
+set -eu
+# shellcheck source=ci/lib.sh
+. "$(dirname "$0")/lib.sh"
+
+zipf="${1:-zipf.json}"
+base="${2:-table3-a.json}"
+require_files "$zipf" "$base"
+
+echo "== fig-zipf: million-flow scale =="
+check_min "$zipf" bench.fig_zipf.high_water_flows 1000000
+check_min "$zipf" bench.fig_zipf.min_sustained_flows 1000000
+check_min "$zipf" bench.fig_zipf.sim_seconds 120
+check_min "$zipf" bench.fig_zipf.steady_mpps 0.05
+check_min "$zipf" bench.fig_zipf.p99_setup_cycles 1000
+check_max "$zipf" bench.fig_zipf.p99_setup_cycles 500000
+check_max "$zipf" bench.fig_zipf.chain_max 128
+
+echo "== fig-zipf: continuous arrival and expiry =="
+check_min "$zipf" bench.fig_zipf.arrivals 1000
+check_min "$zipf" bench.fig_zipf.expired 1000
+
+echo "== fig-zipf: exact flow-record reconciliation =="
+check_max "$zipf" bench.fig_zipf.recon_packets 0
+check_min "$zipf" bench.fig_zipf.recon_packets 0
+check_max "$zipf" bench.fig_zipf.recon_bytes 0
+check_min "$zipf" bench.fig_zipf.recon_bytes 0
+check_max "$zipf" bench.fig_zipf.lost_packets 0
+check_min "$zipf" bench.fig_zipf.lost_packets 0
+
+echo "== fig-zipf: bounded table degrades by recycling =="
+check_min "$zipf" bench.fig_zipf.storm.capacity 65536
+check_max "$zipf" bench.fig_zipf.storm.capacity 65536
+check_min "$zipf" bench.fig_zipf.storm.recycled 1
+
+echo "== Table 3 unchanged by the flat flow table =="
+check_same "$zipf" "$base" bench.table3.best_effort.cycles
+check_same "$zipf" "$base" bench.table3.plugins_3gates.cycles
+check_same "$zipf" "$base" bench.table3.monolithic_drr.cycles
+check_same "$zipf" "$base" bench.table3.plugins_drr.cycles
+
+exit $fail

@@ -164,7 +164,7 @@ let instance_of record ~gate =
 let revalidate t record ~gate =
   if Flow_table.gate_stale t.flows record ~gate then begin
     Flow_table.clear_binding t.flows record ~gate;
-    (match Dag.lookup t.tables.(gate) record.Flow_table.key with
+    (match Dag.lookup t.tables.(gate) (Flow_table.key record) with
      | Some (filter, v) -> Flow_table.set_binding t.flows record ~gate ~filter v
      | None -> ());
     Flow_table.revalidated t.flows record ~gate;

@@ -8,28 +8,88 @@ type 'a binding = {
   mutable soft : soft option;
 }
 
-type 'a record = {
-  mutable key : Flow_key.t;
-  mutable gen : int;
-  slot : int;
-  bindings : 'a binding option array;
-  (* Per-gate generation stamp, copied from the table at insert time
-     and re-stamped when a gate's binding is revalidated; a gate whose
-     table-wide generation has moved past the record's stamp holds a
-     possibly-stale binding (see {!bump_gate}). *)
+(* Flat storage: every fixed-size per-record field lives in one native
+   int Bigarray, [hot], at [slot * stride + field].  The first eight
+   fields of a slot share one 64-byte cache line, ordered so a probe
+   touches only the front of the line (hash, packed tuple, generation,
+   liveness) and leaves accounting in the back half.  Nothing in [hot]
+   is an OCaml block, so steady-state lookup/insert/evict/account
+   traffic allocates no heap words and gives the GC nothing to scan. *)
+
+let stride = 16
+
+(* hot line (offsets 0-7) *)
+let f_hash = 0 (* Flow_key.hash, cached for probes and index removal *)
+let f_meta = 1 (* packed proto/sport/dport/iface, a one-word prefilter *)
+let f_gen = 2 (* per-slot generation; FIX validity *)
+let f_in_use = 3
+let f_last = 4 (* last_use_ns as a native int *)
+let f_created = 5
+let f_live_pos = 6 (* position in the dense live-slot array *)
+
+(* accounting (offsets 8-12) *)
+let f_packets = 8
+let f_bytes = 9
+let f_fwd = 10
+let f_dropped = 11
+let f_absorbed = 12
+
+type flat = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type 'a t = {
+  gates : int;
+  (* Table-wide per-gate generation, bumped when a wildcard-ish filter
+     change at that gate makes every cached binding there suspect. *)
   gate_gens : int array;
-  mutable in_use : bool;
-  mutable last_use_ns : int64;
-  mutable created_ns : int64;
-  mutable next : 'a record option;
-  (* NetFlow-style per-flow accounting, reset when the slot is
-     (re-)inserted and exported when the record leaves the table. *)
-  mutable packets : int;
-  mutable bytes : int;
-  mutable fwd : int;
-  mutable dropped : int;
-  mutable absorbed : int;
+  mutable hot : flat;  (** [stride] ints per slot; see the f_* offsets *)
+  mutable slot_gate_gens : flat;  (** per-slot per-gate stamps, [slot*gates+g] *)
+  mutable bindings : 'a binding option array;  (** [slot*gates+g] *)
+  mutable keys : Flow_key.t array;  (** boxed key per slot (dummy when free) *)
+  mutable handles : 'a record array;  (** one preallocated handle per slot *)
+  mutable some_handles : 'a record option array;
+      (** [Some handles.(i)], preallocated so lookups return without
+          allocating *)
+  mutable allocated : int;
+  max_records : int;
+  (* Open-addressing index: power-of-two array of [slot + 1] entries
+     (0 = empty), linear probing, kept at least twice the record
+     capacity so the load factor never exceeds 1/2.  Deletion is
+     backward-shift (no tombstones), using the home hash cached in
+     [hot]. *)
+  mutable index : flat;
+  mutable mask : int;
+  (* Free slots: a preallocated int-array stack (no cons cells). *)
+  mutable free : int array;
+  mutable free_top : int;
+  (* Dense array of the live slots, for O(live) maintenance sweeps;
+     each slot's position is mirrored in [f_live_pos]. *)
+  mutable live_slots : int array;
+  mutable live : int;
+  (* Recycling FIFO: an int ring of (slot, gen) in insertion order;
+     gen detects entries whose record was evicted out of band.  The
+     scratch arrays make compaction in-place and allocation-free. *)
+  mutable ring_slot : int array;
+  mutable ring_gen : int array;
+  mutable ring_scratch_slot : int array;
+  mutable ring_scratch_gen : int array;
+  mutable ring_head : int;
+  mutable ring_len : int;
+  mutable fifo_stale : int;
+  on_evict : gate:int -> 'a binding -> unit;
+  mutable exporter : (reason:string -> 'a record -> unit) option;
+  mutable s_lookups : int;
+  mutable s_hits : int;
+  mutable s_misses : int;
+  mutable s_evictions : int;
+  mutable s_recycled : int;
+  mutable s_chain_max : int;
+  mutable s_maint_visited : int;
 }
+
+(* A record is a stable handle onto a slot: one is preallocated per
+   slot and reused for every flow that ever occupies it, so the data
+   path never constructs one. *)
+and 'a record = { r_tab : 'a t; r_slot : int }
 
 type stats = {
   lookups : int;
@@ -39,32 +99,7 @@ type stats = {
   recycled : int;
   chain_max : int;
   fifo_depth : int;
-}
-
-type 'a t = {
-  gates : int;
-  (* Table-wide per-gate generation, bumped when a wildcard-ish filter
-     change at that gate makes every cached binding there suspect. *)
-  gate_gens : int array;
-  buckets : 'a record option array;
-  mutable records : 'a record array;  (** all allocated records, by slot *)
-  mutable allocated : int;  (** prefix of [records] actually initialized *)
-  mutable free : int list;  (** free slots *)
-  max_records : int;
-  mutable fifo : (int * int) Queue.t;
-      (** (slot, gen) in insertion order, for recycling; gen detects stale entries *)
-  mutable fifo_stale : int;
-      (** entries in [fifo] whose record has since been evicted; kept
-          so the queue can be compacted before stale entries dominate *)
-  on_evict : gate:int -> 'a binding -> unit;
-  mutable exporter : (reason:string -> 'a record -> unit) option;
-  mutable live : int;
-  mutable s_lookups : int;
-  mutable s_hits : int;
-  mutable s_misses : int;
-  mutable s_evictions : int;
-  mutable s_recycled : int;
-  mutable s_chain_max : int;
+  maint_visited : int;
 }
 
 let dummy_key =
@@ -84,270 +119,488 @@ let m_expired = Rp_obs.Registry.counter "flow_table.expired"
 let default_buckets = 32768
 let default_initial = 1024
 
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let[@inline] get t slot field =
+  Bigarray.Array1.unsafe_get t.hot ((slot * stride) + field)
+
+let[@inline] set t slot field v =
+  Bigarray.Array1.unsafe_set t.hot ((slot * stride) + field) v
+
+let flat_make n =
+  let a = Bigarray.Array1.create Bigarray.Int Bigarray.C_layout n in
+  Bigarray.Array1.fill a 0;
+  a
+
+(* Pack the non-address tuple fields into one word: equal metas plus
+   equal cached hashes make a full (boxed) key comparison almost
+   certainly a match, so probes stay in flat memory until then. *)
+let[@inline] meta_of (k : Flow_key.t) =
+  k.Flow_key.proto land 0xFF
+  lor ((k.Flow_key.sport land 0xFFFF) lsl 8)
+  lor ((k.Flow_key.dport land 0xFFFF) lsl 24)
+  lor (k.Flow_key.iface lsl 40)
+
 let create ?(buckets = default_buckets) ?(initial_records = default_initial)
     ?(max_records = max_int) ?(on_evict = fun ~gate:_ _ -> ()) ~gates () =
   if buckets <= 0 then invalid_arg "Flow_table.create: buckets";
-  let mk_record slot =
+  let n = min initial_records max_records in
+  let n = max n 0 in
+  let index_size = next_pow2 (max buckets (2 * max n 1)) in
+  let t =
     {
-      key = dummy_key;
-      gen = 0;
-      slot;
-      bindings = Array.make gates None;
+      gates;
       gate_gens = Array.make gates 0;
-      in_use = false;
-      last_use_ns = 0L;
-      created_ns = 0L;
-      next = None;
-      packets = 0;
-      bytes = 0;
-      fwd = 0;
-      dropped = 0;
-      absorbed = 0;
+      hot = flat_make (n * stride);
+      slot_gate_gens = flat_make (n * gates);
+      bindings = Array.make (n * gates) None;
+      keys = Array.make n dummy_key;
+      handles = [||];
+      some_handles = [||];
+      allocated = n;
+      max_records;
+      index = flat_make index_size;
+      mask = index_size - 1;
+      free = Array.make (max n 1) 0;
+      free_top = n;
+      live_slots = Array.make (max n 1) 0;
+      live = 0;
+      ring_slot = Array.make (next_pow2 (max n 1)) 0;
+      ring_gen = Array.make (next_pow2 (max n 1)) 0;
+      ring_scratch_slot = Array.make (next_pow2 (max n 1)) 0;
+      ring_scratch_gen = Array.make (next_pow2 (max n 1)) 0;
+      ring_head = 0;
+      ring_len = 0;
+      fifo_stale = 0;
+      on_evict;
+      exporter = None;
+      s_lookups = 0;
+      s_hits = 0;
+      s_misses = 0;
+      s_evictions = 0;
+      s_recycled = 0;
+      s_chain_max = 0;
+      s_maint_visited = 0;
     }
   in
-  let n = min initial_records max_records in
-  {
-    gates;
-    gate_gens = Array.make gates 0;
-    buckets = Array.make buckets None;
-    records = Array.init n mk_record;
-    allocated = n;
-    free = List.init n (fun i -> i);
-    max_records;
-    fifo = Queue.create ();
-    fifo_stale = 0;
-    on_evict;
-    exporter = None;
-    live = 0;
-    s_lookups = 0;
-    s_hits = 0;
-    s_misses = 0;
-    s_evictions = 0;
-    s_recycled = 0;
-    s_chain_max = 0;
-  }
+  t.handles <- Array.init n (fun i -> { r_tab = t; r_slot = i });
+  t.some_handles <- Array.init n (fun i -> Some t.handles.(i));
+  (* Free stack popping 0, 1, 2, ... first, like the seed free list. *)
+  for i = 0 to n - 1 do
+    t.free.(i) <- n - 1 - i
+  done;
+  t
 
-let bucket_of t key = Flow_key.hash key mod Array.length t.buckets
+(* --- record accessors ------------------------------------------------ *)
+
+let slot (r : 'a record) = r.r_slot
+let gen (r : 'a record) = get r.r_tab r.r_slot f_gen
+let key (r : 'a record) = r.r_tab.keys.(r.r_slot)
+let packets (r : 'a record) = get r.r_tab r.r_slot f_packets
+let bytes (r : 'a record) = get r.r_tab r.r_slot f_bytes
+let fwd (r : 'a record) = get r.r_tab r.r_slot f_fwd
+let dropped (r : 'a record) = get r.r_tab r.r_slot f_dropped
+let absorbed (r : 'a record) = get r.r_tab r.r_slot f_absorbed
+let created_ns (r : 'a record) = Int64.of_int (get r.r_tab r.r_slot f_created)
+let last_use_ns (r : 'a record) = Int64.of_int (get r.r_tab r.r_slot f_last)
+
+let binding (r : 'a record) ~gate =
+  r.r_tab.bindings.((r.r_slot * r.r_tab.gates) + gate)
+
+let iter_bindings (r : 'a record) f =
+  let base = r.r_slot * r.r_tab.gates in
+  for g = 0 to r.r_tab.gates - 1 do
+    match r.r_tab.bindings.(base + g) with
+    | Some b -> f ~gate:g b
+    | None -> ()
+  done
+
+(* --- the open-addressing index ---------------------------------------
+
+   Every loop below is a top-level recursive function taking its whole
+   state as arguments: a nested [let rec] with free variables is a
+   heap-allocated closure per call in OCaml's non-flambda compiler
+   (and so is a [ref] loop counter), which would put minor-heap words
+   on every packet — the one thing this table exists to avoid. *)
+
+let rec idx_ins_loop t slot i =
+  if Bigarray.Array1.unsafe_get t.index i = 0 then
+    Bigarray.Array1.unsafe_set t.index i (slot + 1)
+  else idx_ins_loop t slot ((i + 1) land t.mask)
+
+let index_insert t slot = idx_ins_loop t slot (get t slot f_hash land t.mask)
+
+let rec idx_find t slot i =
+  if Bigarray.Array1.unsafe_get t.index i = slot + 1 then i
+  else idx_find t slot ((i + 1) land t.mask)
+
+(* Backward-shift deletion: refill the hole at [i] from the rest of
+   its probe run so no tombstones accumulate.  An entry at [j] whose
+   home bucket is [home] may move into the hole at [i] exactly when
+   [i] lies on the cyclic path from [home] to [j]. *)
+let rec idx_shift t i j =
+  let j = (j + 1) land t.mask in
+  let e = Bigarray.Array1.unsafe_get t.index j in
+  if e = 0 then Bigarray.Array1.unsafe_set t.index i 0
+  else begin
+    let home = get t (e - 1) f_hash land t.mask in
+    if (j - home) land t.mask >= (j - i) land t.mask then begin
+      Bigarray.Array1.unsafe_set t.index i e;
+      idx_shift t j j
+    end
+    else idx_shift t i j
+  end
+
+let index_remove t slot =
+  let i = idx_find t slot (get t slot f_hash land t.mask) in
+  idx_shift t i i
+
+(* --- lookup ---------------------------------------------------------- *)
+
+(* Charge model (mirrors the chained table so the Table-3 cost figures
+   are unchanged): one access for the home-bucket read, plus one per
+   occupied slot inspected along the probe run — a collision-free hit
+   costs 2, a miss on an empty home bucket costs 1.  The probe run
+   plays the role of the old bucket chain; empty index entries beyond
+   the first read are not charged. *)
+let rec lookup_probe t key h meta now i inspected =
+  let e = Bigarray.Array1.unsafe_get t.index i in
+  if e = 0 then begin
+    t.s_misses <- t.s_misses + 1;
+    Rp_obs.Counter.inc m_misses;
+    if inspected > t.s_chain_max then t.s_chain_max <- inspected;
+    None
+  end
+  else begin
+    let slot = e - 1 in
+    Rp_lpm.Access.charge 1;
+    let inspected = inspected + 1 in
+    if
+      get t slot f_hash = h
+      && get t slot f_meta = meta
+      && Flow_key.equal (Array.unsafe_get t.keys slot) key
+    then begin
+      t.s_hits <- t.s_hits + 1;
+      Rp_obs.Counter.inc m_hits;
+      if inspected > t.s_chain_max then t.s_chain_max <- inspected;
+      set t slot f_last (Int64.to_int now);
+      Array.unsafe_get t.some_handles slot
+    end
+    else lookup_probe t key h meta now ((i + 1) land t.mask) inspected
+  end
 
 let lookup t key ~now =
   t.s_lookups <- t.s_lookups + 1;
   Rp_obs.Counter.inc m_lookups;
   Rp_lpm.Access.charge 1;
-  let rec walk depth = function
-    | None ->
-      t.s_misses <- t.s_misses + 1;
-      Rp_obs.Counter.inc m_misses;
-      t.s_chain_max <- max t.s_chain_max depth;
-      None
-    | Some r ->
-      Rp_lpm.Access.charge 1;
-      if r.in_use && Flow_key.equal r.key key then begin
-        t.s_hits <- t.s_hits + 1;
-        Rp_obs.Counter.inc m_hits;
-        t.s_chain_max <- max t.s_chain_max (depth + 1);
-        r.last_use_ns <- now;
-        Some r
-      end
-      else walk (depth + 1) r.next
-  in
-  walk 0 t.buckets.(bucket_of t key)
+  let h = Flow_key.hash key in
+  lookup_probe t key h (meta_of key) now (h land t.mask) 0
+
+(* Uninstrumented probe for internal use (insert's duplicate scan):
+   no stats, no access charges; returns the slot or -1. *)
+let rec pfind_loop t key h meta i =
+  let e = Bigarray.Array1.unsafe_get t.index i in
+  if e = 0 then -1
+  else
+    let slot = e - 1 in
+    if
+      get t slot f_hash = h
+      && get t slot f_meta = meta
+      && Flow_key.equal t.keys.(slot) key
+    then slot
+    else pfind_loop t key h meta ((i + 1) land t.mask)
+
+let probe_find t key ~hash:h = pfind_loop t key h (meta_of key) (h land t.mask)
 
 let find_fix t (fix : Mbuf.fix) =
   if fix.Mbuf.slot < 0 || fix.Mbuf.slot >= t.allocated then None
-  else
-    let r = t.records.(fix.Mbuf.slot) in
-    if r.in_use && r.gen = fix.Mbuf.gen then Some r else None
+  else if
+    get t fix.Mbuf.slot f_in_use = 1 && get t fix.Mbuf.slot f_gen = fix.Mbuf.gen
+  then Array.unsafe_get t.some_handles fix.Mbuf.slot
+  else None
 
-let fix_of_record r = { Mbuf.slot = r.slot; gen = r.gen }
+let fix_of_record (r : 'a record) = { Mbuf.slot = r.r_slot; gen = gen r }
 
-(* Unlink [r] from its hash chain. *)
-let unlink t r =
-  let b = bucket_of t r.key in
-  let rec remove = function
-    | None -> None
-    | Some x when x == r -> x.next
-    | Some x ->
-      x.next <- remove x.next;
-      Some x
-  in
-  t.buckets.(b) <- remove t.buckets.(b)
+(* --- recycling FIFO -------------------------------------------------- *)
 
 (* Every in-use record has exactly one live [(slot, gen)] entry in the
-   recycling FIFO (pushed by [insert]).  Evicting outside the recycle
-   path strands that entry; [mark_stale] accounts for it and compacts
-   the queue once stale entries outnumber live ones, so the FIFO stays
+   ring (pushed by [insert]).  Evicting outside the recycle path
+   strands that entry; [mark_stale] accounts for it and compacts the
+   ring once stale entries outnumber live ones, so the FIFO stays
    O(live records) under insert/remove churn even with the default
-   unbounded [max_records]. *)
+   unbounded [max_records].  Compaction copies the live entries into
+   the preallocated scratch arrays and swaps, so it allocates
+   nothing. *)
+let rec compact_copy t cap k w =
+  if k >= t.ring_len then w
+  else begin
+    let idx = (t.ring_head + k) land (cap - 1) in
+    let s = t.ring_slot.(idx) and g = t.ring_gen.(idx) in
+    if get t s f_in_use = 1 && get t s f_gen = g then begin
+      t.ring_scratch_slot.(w) <- s;
+      t.ring_scratch_gen.(w) <- g;
+      compact_copy t cap (k + 1) (w + 1)
+    end
+    else compact_copy t cap (k + 1) w
+  end
+
 let compact t =
-  let fresh = Queue.create () in
-  Queue.iter
-    (fun ((slot, gen) as e) ->
-      let r = t.records.(slot) in
-      if r.in_use && r.gen = gen then Queue.push e fresh)
-    t.fifo;
-  t.fifo <- fresh;
+  let w = compact_copy t (Array.length t.ring_slot) 0 0 in
+  let ts = t.ring_slot and tg = t.ring_gen in
+  t.ring_slot <- t.ring_scratch_slot;
+  t.ring_gen <- t.ring_scratch_gen;
+  t.ring_scratch_slot <- ts;
+  t.ring_scratch_gen <- tg;
+  t.ring_head <- 0;
+  t.ring_len <- w;
   t.fifo_stale <- 0
 
 let mark_stale t =
   t.fifo_stale <- t.fifo_stale + 1;
-  if 2 * t.fifo_stale > Queue.length t.fifo then compact t
+  if 2 * t.fifo_stale > t.ring_len then compact t
 
-let evict ?(reason = "evicted") t r =
-  if r.in_use then begin
+let ring_push t slot g =
+  let cap = Array.length t.ring_slot in
+  if t.ring_len = cap then begin
+    (* Double, unwrapping to head = 0.  Growth only (never steady
+       state): the ring is bounded by the record capacity plus stale
+       entries, which compaction keeps at O(live). *)
+    let ncap = cap * 2 in
+    let ns = Array.make ncap 0 and ng = Array.make ncap 0 in
+    for k = 0 to t.ring_len - 1 do
+      let idx = (t.ring_head + k) land (cap - 1) in
+      ns.(k) <- t.ring_slot.(idx);
+      ng.(k) <- t.ring_gen.(idx)
+    done;
+    t.ring_slot <- ns;
+    t.ring_gen <- ng;
+    t.ring_scratch_slot <- Array.make ncap 0;
+    t.ring_scratch_gen <- Array.make ncap 0;
+    t.ring_head <- 0
+  end;
+  let cap = Array.length t.ring_slot in
+  let tail = (t.ring_head + t.ring_len) land (cap - 1) in
+  t.ring_slot.(tail) <- slot;
+  t.ring_gen.(tail) <- g;
+  t.ring_len <- t.ring_len + 1
+
+(* --- eviction -------------------------------------------------------- *)
+
+let free_push t slot =
+  t.free.(t.free_top) <- slot;
+  t.free_top <- t.free_top + 1
+
+let evict ?(reason = "evicted") t slot =
+  if get t slot f_in_use = 1 then begin
     (* Export the flow record first, while key/accounting/bindings are
        still intact — this is the NetFlow emission point. *)
-    (match t.exporter with Some f -> f ~reason r | None -> ());
-    Array.iteri
-      (fun gate binding ->
-        match binding with
-        | Some b -> t.on_evict ~gate b
-        | None -> ())
-      r.bindings;
-    Array.fill r.bindings 0 (Array.length r.bindings) None;
-    unlink t r;
-    r.in_use <- false;
-    r.next <- None;
-    t.live <- t.live - 1;
+    (match t.exporter with
+     | Some f -> f ~reason t.handles.(slot)
+     | None -> ());
+    let base = slot * t.gates in
+    for g = 0 to t.gates - 1 do
+      match t.bindings.(base + g) with
+      | Some b -> t.on_evict ~gate:g b
+      | None -> ()
+    done;
+    Array.fill t.bindings base t.gates None;
+    index_remove t slot;
+    set t slot f_in_use 0;
+    t.keys.(slot) <- dummy_key;
+    (* Swap-remove from the dense live set. *)
+    let p = get t slot f_live_pos in
+    let last = t.live - 1 in
+    let moved = t.live_slots.(last) in
+    t.live_slots.(p) <- moved;
+    set t moved f_live_pos p;
+    t.live <- last;
     t.s_evictions <- t.s_evictions + 1;
     Rp_obs.Counter.inc m_evictions
   end
 
 (* Grow the record pool exponentially (1024, 2048, 4096, ...), as the
-   paper's implementation does, bounded by [max_records]. *)
+   paper's implementation does, bounded by [max_records].  Existing
+   handles are kept (callers hold them), flat storage is blitted, and
+   the index is rebuilt at the next power of two whenever doubling the
+   records would push its load factor past 1/2. *)
 let grow t =
   let current = t.allocated in
   let target = min t.max_records (max 1 (current * 2)) in
   if target > current then begin
-    let mk_record slot =
-      {
-        key = dummy_key;
-        gen = 0;
-        slot;
-        bindings = Array.make t.gates None;
-        gate_gens = Array.make t.gates 0;
-        in_use = false;
-        last_use_ns = 0L;
-        created_ns = 0L;
-        next = None;
-        packets = 0;
-        bytes = 0;
-        fwd = 0;
-        dropped = 0;
-        absorbed = 0;
-      }
+    let nhot = flat_make (target * stride) in
+    if current > 0 then
+      Bigarray.Array1.blit t.hot
+        (Bigarray.Array1.sub nhot 0 (current * stride));
+    t.hot <- nhot;
+    let ngg = flat_make (target * t.gates) in
+    if current * t.gates > 0 then
+      Bigarray.Array1.blit t.slot_gate_gens
+        (Bigarray.Array1.sub ngg 0 (current * t.gates));
+    t.slot_gate_gens <- ngg;
+    let nb = Array.make (target * t.gates) None in
+    Array.blit t.bindings 0 nb 0 (current * t.gates);
+    t.bindings <- nb;
+    let nk = Array.make target dummy_key in
+    Array.blit t.keys 0 nk 0 current;
+    t.keys <- nk;
+    let nh =
+      Array.init target (fun i ->
+          if i < current then t.handles.(i) else { r_tab = t; r_slot = i })
     in
-    let bigger =
-      Array.init target (fun i -> if i < current then t.records.(i) else mk_record i)
+    let nsh =
+      Array.init target (fun i ->
+          if i < current then t.some_handles.(i) else Some nh.(i))
     in
-    t.records <- bigger;
+    t.handles <- nh;
+    t.some_handles <- nsh;
+    let nf = Array.make target 0 in
+    Array.blit t.free 0 nf 0 t.free_top;
+    t.free <- nf;
+    (* New slots pop lowest-first: current, current+1, ... *)
+    for s = target - 1 downto current do
+      free_push t s
+    done;
+    let nl = Array.make target 0 in
+    Array.blit t.live_slots 0 nl 0 t.live;
+    t.live_slots <- nl;
     t.allocated <- target;
-    t.free <- List.init (target - current) (fun i -> current + i)
+    if 2 * target > Bigarray.Array1.dim t.index then begin
+      let size = next_pow2 (2 * target) in
+      t.index <- flat_make size;
+      t.mask <- size - 1;
+      for li = 0 to t.live - 1 do
+        index_insert t t.live_slots.(li)
+      done
+    end
+  end
+
+(* Pop the oldest still-live (slot, gen) from the recycling ring,
+   skipping entries whose record was already evicted out of band. *)
+let rec ring_pop t =
+  if t.ring_len = 0 then invalid_arg "Flow_table: no record to recycle"
+  else begin
+    let cap = Array.length t.ring_slot in
+    let s = t.ring_slot.(t.ring_head) and g = t.ring_gen.(t.ring_head) in
+    t.ring_head <- (t.ring_head + 1) land (cap - 1);
+    t.ring_len <- t.ring_len - 1;
+    if get t s f_in_use = 1 && get t s f_gen = g then s
+    else begin
+      t.fifo_stale <- t.fifo_stale - 1;
+      ring_pop t
+    end
   end
 
 let rec allocate t =
-  match t.free with
-  | slot :: rest ->
-    t.free <- rest;
-    t.records.(slot)
-  | [] ->
-    if t.allocated < t.max_records then begin
-      grow t;
-      allocate t
-    end
-    else begin
-      (* Recycle the oldest record (paper: "the oldest flow records
-         are recycled"). *)
-      let rec pop () =
-        if Queue.is_empty t.fifo then
-          invalid_arg "Flow_table: no record to recycle"
-        else
-          let slot, gen = Queue.pop t.fifo in
-          let r = t.records.(slot) in
-          if r.in_use && r.gen = gen then r
-          else begin
-            t.fifo_stale <- t.fifo_stale - 1;
-            pop ()
-          end
-      in
-      let r = pop () in
-      evict ~reason:"recycled" t r;
-      t.s_recycled <- t.s_recycled + 1;
-      t.s_evictions <- t.s_evictions - 1;
-      Rp_obs.Counter.inc m_recycled;
-      Rp_obs.Counter.add m_evictions (-1);
-      r
-    end
+  if t.free_top > 0 then begin
+    t.free_top <- t.free_top - 1;
+    t.free.(t.free_top)
+  end
+  else if t.allocated < t.max_records then begin
+    grow t;
+    allocate t
+  end
+  else begin
+    (* Recycle the oldest record (paper: "the oldest flow records
+       are recycled"). *)
+    let s = ring_pop t in
+    evict ~reason:"recycled" t s;
+    t.s_recycled <- t.s_recycled + 1;
+    t.s_evictions <- t.s_evictions - 1;
+    Rp_obs.Counter.inc m_recycled;
+    Rp_obs.Counter.add m_evictions (-1);
+    s
+  end
 
 let insert t key ~now =
+  let h = Flow_key.hash key in
   (* Silent duplicate scan: no stats or access charges, the caller has
      already paid for its miss. *)
-  let rec find = function
-    | None -> None
-    | Some r when r.in_use && Flow_key.equal r.key key -> Some r
-    | Some r -> find r.next
-  in
-  (match find t.buckets.(bucket_of t key) with
-   | Some old ->
+  (match probe_find t key ~hash:h with
+   | old when old >= 0 ->
      evict ~reason:"replaced" t old;
-     t.free <- old.slot :: t.free;
+     free_push t old;
      mark_stale t
-   | None -> ());
-  let r = allocate t in
-  r.key <- key;
-  r.gen <- r.gen + 1;
-  Array.blit t.gate_gens 0 r.gate_gens 0 t.gates;
-  r.in_use <- true;
-  r.last_use_ns <- now;
-  r.created_ns <- now;
-  r.packets <- 0;
-  r.bytes <- 0;
-  r.fwd <- 0;
-  r.dropped <- 0;
-  r.absorbed <- 0;
-  let b = bucket_of t key in
-  r.next <- t.buckets.(b);
-  t.buckets.(b) <- Some r;
+   | _ -> ());
+  let slot = allocate t in
+  t.keys.(slot) <- key;
+  set t slot f_hash h;
+  set t slot f_meta (meta_of key);
+  set t slot f_gen (get t slot f_gen + 1);
+  for g = 0 to t.gates - 1 do
+    Bigarray.Array1.unsafe_set t.slot_gate_gens ((slot * t.gates) + g)
+      t.gate_gens.(g)
+  done;
+  set t slot f_in_use 1;
+  set t slot f_last (Int64.to_int now);
+  set t slot f_created (Int64.to_int now);
+  set t slot f_packets 0;
+  set t slot f_bytes 0;
+  set t slot f_fwd 0;
+  set t slot f_dropped 0;
+  set t slot f_absorbed 0;
+  index_insert t slot;
+  set t slot f_live_pos t.live;
+  t.live_slots.(t.live) <- slot;
   t.live <- t.live + 1;
   Rp_obs.Counter.inc m_inserts;
-  Queue.push (r.slot, r.gen) t.fifo;
-  r
+  ring_push t slot (get t slot f_gen);
+  t.handles.(slot)
 
-let remove t r =
-  if r.in_use then begin
-    evict ~reason:"removed" t r;
-    t.free <- r.slot :: t.free;
+let remove t (r : 'a record) =
+  if get t r.r_slot f_in_use = 1 then begin
+    evict ~reason:"removed" t r.r_slot;
+    free_push t r.r_slot;
     mark_stale t
   end
 
+(* Maintenance sweeps walk the dense live set downward: evicting the
+   current slot swap-removes it by pulling in an already-visited slot
+   from the tail, so the walk neither skips nor revisits anyone.  Cost
+   is O(live), never O(allocated) — a table grown to millions of slots
+   with a handful of live flows pays for the handful. *)
+
+let rec expire_loop t now_i idle_i i count =
+  if i < 0 then count
+  else begin
+    let slot = t.live_slots.(i) in
+    t.s_maint_visited <- t.s_maint_visited + 1;
+    let count =
+      if now_i - get t slot f_last > idle_i then begin
+        evict ~reason:"expired" t slot;
+        free_push t slot;
+        mark_stale t;
+        Rp_obs.Counter.inc m_expired;
+        count + 1
+      end
+      else count
+    in
+    expire_loop t now_i idle_i (i - 1) count
+  end
+
 let expire t ~now ~idle_ns =
-  let count = ref 0 in
-  for slot = 0 to t.allocated - 1 do
-    let r = t.records.(slot) in
-    if r.in_use && Int64.sub now r.last_use_ns > idle_ns then begin
-      evict ~reason:"expired" t r;
-      t.free <- r.slot :: t.free;
-      mark_stale t;
-      Rp_obs.Counter.inc m_expired;
-      incr count
-    end
-  done;
-  !count
+  expire_loop t (Int64.to_int now) (Int64.to_int idle_ns) (t.live - 1) 0
+
+let rec flush_loop t i =
+  if i >= 0 then begin
+    let slot = t.live_slots.(i) in
+    t.s_maint_visited <- t.s_maint_visited + 1;
+    evict ~reason:"flushed" t slot;
+    free_push t slot;
+    flush_loop t (i - 1)
+  end
 
 let flush t =
-  for slot = 0 to t.allocated - 1 do
-    let r = t.records.(slot) in
-    if r.in_use then begin
-      evict ~reason:"flushed" t r;
-      t.free <- r.slot :: t.free
-    end
-  done;
-  Queue.clear t.fifo;
+  flush_loop t (t.live - 1);
+  t.ring_head <- 0;
+  t.ring_len <- 0;
   t.fifo_stale <- 0
 
 let set_exporter t f = t.exporter <- Some f
 
 (* Per-packet flow accounting, keyed off the packet's flow index so it
-   costs one generation-checked array read on top of the field bumps.
+   costs one generation-checked flat read on top of the field bumps.
    Done once per packet at verdict time; a packet whose record was
    recycled mid-flight (only possible with a bounded table under
    pressure) is simply not attributed. *)
@@ -357,24 +610,27 @@ let m_acc_bytes = Rp_obs.Registry.counter "flow_table.accounted_bytes"
 let account t (m : Mbuf.t) ~verdict =
   match m.Mbuf.fix with
   | None -> ()
-  | Some fix -> (
-      match find_fix t fix with
-      | None -> ()
-      | Some r ->
-        r.packets <- r.packets + 1;
-        r.bytes <- r.bytes + m.Mbuf.len;
-        (match verdict with
-         | `Fwd -> r.fwd <- r.fwd + 1
-         | `Drop -> r.dropped <- r.dropped + 1
-         | `Absorb -> r.absorbed <- r.absorbed + 1);
-        Rp_obs.Counter.inc m_acc_packets;
-        Rp_obs.Counter.add m_acc_bytes m.Mbuf.len)
+  | Some fix ->
+    if
+      fix.Mbuf.slot >= 0
+      && fix.Mbuf.slot < t.allocated
+      && get t fix.Mbuf.slot f_in_use = 1
+      && get t fix.Mbuf.slot f_gen = fix.Mbuf.gen
+    then begin
+      let slot = fix.Mbuf.slot in
+      set t slot f_packets (get t slot f_packets + 1);
+      set t slot f_bytes (get t slot f_bytes + m.Mbuf.len);
+      (match verdict with
+       | `Fwd -> set t slot f_fwd (get t slot f_fwd + 1)
+       | `Drop -> set t slot f_dropped (get t slot f_dropped + 1)
+       | `Absorb -> set t slot f_absorbed (get t slot f_absorbed + 1));
+      Rp_obs.Counter.inc m_acc_packets;
+      Rp_obs.Counter.add m_acc_bytes m.Mbuf.len
+    end
 
-let set_binding t r ~gate ?filter instance =
+let set_binding t (r : 'a record) ~gate ?filter instance =
   if gate < 0 || gate >= t.gates then invalid_arg "Flow_table.set_binding: gate";
-  r.bindings.(gate) <- Some { instance; filter; soft = None }
-
-let binding r ~gate = r.bindings.(gate)
+  t.bindings.((r.r_slot * t.gates) + gate) <- Some { instance; filter; soft = None }
 
 (* --- selective invalidation ----------------------------------------- *)
 
@@ -384,34 +640,45 @@ let bump_gate t ~gate =
   if gate < 0 || gate >= t.gates then invalid_arg "Flow_table.bump_gate: gate";
   t.gate_gens.(gate) <- t.gate_gens.(gate) + 1
 
-let gate_stale t (r : 'a record) ~gate = r.gate_gens.(gate) <> t.gate_gens.(gate)
-let revalidated t (r : 'a record) ~gate = r.gate_gens.(gate) <- t.gate_gens.(gate)
+let gate_stale t (r : 'a record) ~gate =
+  Bigarray.Array1.unsafe_get t.slot_gate_gens ((r.r_slot * t.gates) + gate)
+  <> t.gate_gens.(gate)
 
-let clear_binding t r ~gate =
-  match r.bindings.(gate) with
+let revalidated t (r : 'a record) ~gate =
+  Bigarray.Array1.unsafe_set t.slot_gate_gens ((r.r_slot * t.gates) + gate)
+    t.gate_gens.(gate)
+
+let clear_binding t (r : 'a record) ~gate =
+  match t.bindings.((r.r_slot * t.gates) + gate) with
   | Some b ->
     t.on_evict ~gate b;
-    r.bindings.(gate) <- None
+    t.bindings.((r.r_slot * t.gates) + gate) <- None
   | None -> ()
 
 (* Evict only the records whose key [matches] (a changed filter); each
    goes through the common [evict] path, so it is exported exactly once
-   (the [in_use] guard) even if its (slot, gen) entry is still queued
+   (the in-use guard) even if its (slot, gen) entry is still queued
    in the recycling FIFO — the stranded entry is accounted stale via
    [mark_stale], exactly as on the remove/expire paths. *)
-let invalidate t ~matches =
-  let count = ref 0 in
-  for slot = 0 to t.allocated - 1 do
-    let r = t.records.(slot) in
-    if r.in_use && matches r.key then begin
-      evict ~reason:"invalidated" t r;
-      t.free <- r.slot :: t.free;
-      mark_stale t;
-      Rp_obs.Counter.inc m_invalidated;
-      incr count
-    end
-  done;
-  !count
+let rec invalidate_loop t matches i count =
+  if i < 0 then count
+  else begin
+    let slot = t.live_slots.(i) in
+    t.s_maint_visited <- t.s_maint_visited + 1;
+    let count =
+      if matches t.keys.(slot) then begin
+        evict ~reason:"invalidated" t slot;
+        free_push t slot;
+        mark_stale t;
+        Rp_obs.Counter.inc m_invalidated;
+        count + 1
+      end
+      else count
+    in
+    invalidate_loop t matches (i - 1) count
+  end
+
+let invalidate t ~matches = invalidate_loop t matches (t.live - 1) 0
 
 let length t = t.live
 let capacity t = t.allocated
@@ -424,11 +691,15 @@ let stats t =
     evictions = t.s_evictions;
     recycled = t.s_recycled;
     chain_max = t.s_chain_max;
-    fifo_depth = Queue.length t.fifo;
+    fifo_depth = t.ring_len;
+    maint_visited = t.s_maint_visited;
   }
 
-let iter f t =
-  for slot = 0 to t.allocated - 1 do
-    let r = t.records.(slot) in
-    if r.in_use then f r
-  done
+let rec iter_loop f t i =
+  if i >= 0 then begin
+    let slot = t.live_slots.(i) in
+    if get t slot f_in_use = 1 then f t.handles.(slot);
+    iter_loop f t (i - 1)
+  end
+
+let iter f t = iter_loop f t (t.live - 1)

@@ -4,14 +4,27 @@
     Each entry corresponds to one fully specified flow and stores, for
     every gate, the bound plugin instance plus a slot of per-flow
     plugin-private "soft" state (e.g. the DRR plugin keeps its per-flow
-    packet queue there).  Lookups hash the five-tuple; collisions chain
-    in the bucket.  Records come from a free list that grows
-    exponentially (1024, 2048, 4096, …) up to a configurable maximum,
-    after which the oldest records are recycled.
+    packet queue there).
 
-    Records are addressed by a {e flow index} (slot + generation); the
-    generation guards against a recycled slot being mistaken for the
-    original flow. *)
+    Storage is flat: every fixed-size per-record field (cached key
+    hash, packed tuple, generation, gate-generation stamps, timestamps,
+    packet/byte/verdict accounting) lives in native-int Bigarrays
+    indexed by slot, with the hot fields of a slot sharing one cache
+    line; only the per-gate [binding] payloads and the boxed keys
+    remain on the OCaml heap, in parallel plain arrays.  The key index
+    is open-addressing with linear probing over a power-of-two array
+    kept at no more than half load (it is resized with the record
+    pool), so probe runs stay short at any scale; deletion is
+    backward-shift, leaving no tombstones.  Free slots live in a
+    preallocated int-array stack and the recycling FIFO is an int
+    ring, so steady-state operation — lookup, insert, evict, recycle,
+    account, expire — allocates nothing on the OCaml heap.
+
+    Records come from a pool that grows exponentially (1024, 2048,
+    4096, …) up to a configurable maximum, after which the oldest
+    records are recycled.  Records are addressed by a {e flow index}
+    (slot + generation); the generation guards against a recycled slot
+    being mistaken for the original flow. *)
 
 open Rp_pkt
 
@@ -26,23 +39,14 @@ type 'a binding = {
   mutable soft : soft option;
 }
 
-type 'a record = {
-  mutable key : Flow_key.t;
-  mutable gen : int;
-  slot : int;
-  bindings : 'a binding option array;  (** indexed by gate *)
-  gate_gens : int array;
-      (** per-gate generation stamps (see {!bump_gate}/{!gate_stale}) *)
-  mutable in_use : bool;
-  mutable last_use_ns : int64;
-  mutable created_ns : int64;
-  mutable next : 'a record option;  (** hash-chain link *)
-  mutable packets : int;  (** packets attributed via {!account} *)
-  mutable bytes : int;
-  mutable fwd : int;  (** per-verdict counts: forwarded, *)
-  mutable dropped : int;  (** dropped, *)
-  mutable absorbed : int;  (** absorbed / delivered locally *)
-}
+(** A handle onto one table slot.  Handles are preallocated (one per
+    slot) and reused across the flows that occupy the slot, so holding
+    one across an eviction is only meaningful together with its
+    generation (see {!fix_of_record} / {!find_fix}).  Field access
+    goes through the accessors below; none of them allocate except
+    {!key} (returns the boxed key), {!created_ns} and {!last_use_ns}
+    (box an int64). *)
+type 'a record
 
 type 'a t
 
@@ -52,15 +56,29 @@ type stats = {
   misses : int;
   evictions : int;
   recycled : int;
-  chain_max : int;  (** longest bucket chain encountered *)
+  chain_max : int;
+      (** most slots inspected by any single lookup — the open-addressing
+          analogue of the longest bucket chain.  Counted uniformly on
+          both paths as {e occupied slots inspected}: a hit at probe
+          depth d (d slots skipped) records d+1 (the match is
+          inspected too); a miss that skipped d occupied slots before
+          hitting an empty one records d.  This matches the number of
+          per-slot memory accesses charged (see {!lookup}). *)
   fifo_depth : int;
       (** current recycling-FIFO length; stays O(live records) because
           stale entries are compacted away when they outnumber live
           ones *)
+  maint_visited : int;
+      (** cumulative slots visited by the maintenance sweeps
+          ({!expire}, {!flush}, {!invalidate}, {!iter}) — these walk
+          the dense live set, so the figure grows with live records
+          per sweep, never with grown capacity *)
 }
 
 (** [create ~gates ()] — [gates] is the number of gates whose bindings
-    each record holds.  Defaults follow the paper: [buckets = 32768],
+    each record holds.  Defaults follow the paper: [buckets = 32768]
+    (now the initial size hint for the probe index, which additionally
+    never holds more than half its capacity in records),
     [initial_records = 1024], unbounded unless [max_records] given.
     [on_evict] is called for each populated gate binding whenever a
     record is evicted, recycled, or flushed, so plugins can release
@@ -70,12 +88,17 @@ val create :
   ?on_evict:(gate:int -> 'a binding -> unit) -> gates:int -> unit -> 'a t
 
 (** [lookup t key ~now] finds the record for [key], refreshing its
-    last-use time.  Charges one memory access for the bucket probe plus
-    one per chained record traversed. *)
+    last-use time.  Charges one memory access for the home-bucket read
+    plus one per occupied slot inspected along the probe run (the
+    probe run plays the role of the old bucket chain; the empty slot
+    that terminates a miss is covered by the upfront charge).  A
+    collision-free hit therefore costs 2 accesses and a miss on an
+    empty home bucket costs 1 — identical to the chained table. *)
 val lookup : 'a t -> Flow_key.t -> now:int64 -> 'a record option
 
 (** [find_fix t fix] dereferences a flow index, validating the
-    generation; [None] if the slot was recycled since. *)
+    generation; [None] if the slot was recycled since.  Does not
+    allocate. *)
 val find_fix : 'a t -> Mbuf.fix -> 'a record option
 
 val fix_of_record : 'a record -> Mbuf.fix
@@ -86,12 +109,13 @@ val insert : 'a t -> Flow_key.t -> now:int64 -> 'a record
 
 val remove : 'a t -> 'a record -> unit
 
-(** [expire t ~now ~idle_ns] evicts every record idle longer than
-    [idle_ns].  O(capacity); meant for periodic housekeeping. *)
+(** [expire t ~now ~idle_ns] evicts every record idle strictly longer
+    than [idle_ns].  O(live records) — dead grown capacity costs
+    nothing; meant for periodic housekeeping. *)
 val expire : 'a t -> now:int64 -> idle_ns:int64 -> int
 
 (** [flush t] evicts everything (used when filter tables change, so no
-    stale binding survives). *)
+    stale binding survives).  O(live records). *)
 val flush : 'a t -> unit
 
 (** [set_exporter t f] registers the NetFlow-style emission hook:
@@ -113,12 +137,16 @@ val account :
 val set_binding : 'a t -> 'a record -> gate:int -> ?filter:Filter.t -> 'a -> unit
 val binding : 'a record -> gate:int -> 'a binding option
 
+(** [iter_bindings r f] calls [f ~gate b] for each populated gate
+    binding of [r], in gate order. *)
+val iter_bindings : 'a record -> (gate:int -> 'a binding -> unit) -> unit
+
 (** Selective invalidation (control-plane churn support).
 
     [invalidate t ~matches] evicts every in-use record whose key
     satisfies [matches] (reason ["invalidated"]), returning the count.
     Each record is exported exactly once even if a stale entry for it
-    remains in the recycling FIFO.
+    remains in the recycling FIFO.  O(live records).
 
     [bump_gate t ~gate] advances the table-wide generation for [gate]
     — used when a wildcard filter change makes every cached binding at
@@ -134,6 +162,19 @@ val bump_gate : 'a t -> gate:int -> unit
 val gate_stale : 'a t -> 'a record -> gate:int -> bool
 val revalidated : 'a t -> 'a record -> gate:int -> unit
 val clear_binding : 'a t -> 'a record -> gate:int -> unit
+
+(** Record field accessors. *)
+
+val key : 'a record -> Flow_key.t
+val slot : 'a record -> int
+val gen : 'a record -> int
+val packets : 'a record -> int
+val bytes : 'a record -> int
+val fwd : 'a record -> int
+val dropped : 'a record -> int
+val absorbed : 'a record -> int
+val created_ns : 'a record -> int64
+val last_use_ns : 'a record -> int64
 
 val length : 'a t -> int
 val capacity : 'a t -> int

@@ -152,7 +152,7 @@ let flows_top router n =
   let live = ref [] in
   Flow_table.iter
     (fun r ->
-      if r.Flow_table.packets > 0 then
+      if Flow_table.packets r > 0 then
         live := Flow_export.record_of ~reason:"live" r :: !live)
     (Aiu.flow_table (Router.aiu router));
   let all = List.rev_append !live (Rp_obs.Flowlog.peek ()) in

@@ -11,39 +11,37 @@
    classifications) are skipped. *)
 
 open Rp_pkt
+module Ft = Rp_classifier.Flow_table
 
 (* The session layer (lib/session) knows whether a flow record's soft
    state points at a NAT'd session; this module cannot depend on it,
    so the translated-tuple extraction is a registered hook.  Absent
    (the default), every record exports with [translated = None] — the
    pre-session schema. *)
-let translated_of :
-    (Plugin.t Rp_classifier.Flow_table.record -> Rp_obs.Flowlog.xlate option)
-    ref =
+let translated_of : (Plugin.t Ft.record -> Rp_obs.Flowlog.xlate option) ref =
   ref (fun _ -> None)
 
 let set_translated_of f = translated_of := f
 
-let record_of ~reason (r : Plugin.t Rp_classifier.Flow_table.record) =
-  let key = r.Rp_classifier.Flow_table.key in
+(* Export-side reconciliation counters: every packet/byte attributed
+   to a flow record eventually leaves the table inside exactly one
+   export record, so after a flush these match the
+   [flow_table.accounted_*] counters exactly. *)
+let m_packets = Rp_obs.Registry.counter "flow_export.packets"
+let m_bytes = Rp_obs.Registry.counter "flow_export.bytes"
+
+let record_of ~reason (r : Plugin.t Ft.record) =
+  let key = Ft.key r in
   let bindings =
-    List.rev
-      (snd
-         (Array.fold_left
-            (fun (gate, acc) b ->
-              match b with
-              | None -> (gate + 1, acc)
-              | Some (b : Plugin.t Rp_classifier.Flow_table.binding) ->
-                let name =
-                  match Gate.of_int gate with
-                  | Some g -> Gate.name g
-                  | None -> string_of_int gate
-                in
-                ( gate + 1,
-                  (name,
-                   b.Rp_classifier.Flow_table.instance.Plugin.instance_id)
-                  :: acc ))
-            (0, []) r.Rp_classifier.Flow_table.bindings))
+    let acc = ref [] in
+    Ft.iter_bindings r (fun ~gate (b : Plugin.t Ft.binding) ->
+        let name =
+          match Gate.of_int gate with
+          | Some g -> Gate.name g
+          | None -> string_of_int gate
+        in
+        acc := (name, b.Ft.instance.Plugin.instance_id) :: !acc);
+    List.rev !acc
   in
   {
     Rp_obs.Flowlog.src = Ipaddr.to_string key.Flow_key.src;
@@ -52,21 +50,22 @@ let record_of ~reason (r : Plugin.t Rp_classifier.Flow_table.record) =
     sport = key.Flow_key.sport;
     dport = key.Flow_key.dport;
     iface = key.Flow_key.iface;
-    packets = r.Rp_classifier.Flow_table.packets;
-    bytes = r.Rp_classifier.Flow_table.bytes;
-    forwarded = r.Rp_classifier.Flow_table.fwd;
-    dropped = r.Rp_classifier.Flow_table.dropped;
-    absorbed = r.Rp_classifier.Flow_table.absorbed;
-    created_ns = r.Rp_classifier.Flow_table.created_ns;
-    last_ns = r.Rp_classifier.Flow_table.last_use_ns;
+    packets = Ft.packets r;
+    bytes = Ft.bytes r;
+    forwarded = Ft.fwd r;
+    dropped = Ft.dropped r;
+    absorbed = Ft.absorbed r;
+    created_ns = Ft.created_ns r;
+    last_ns = Ft.last_use_ns r;
     bindings;
     reason;
     translated = !translated_of r;
   }
 
 let install (aiu : Plugin.t Rp_classifier.Aiu.t) =
-  Rp_classifier.Flow_table.set_exporter
-    (Rp_classifier.Aiu.flow_table aiu)
-    (fun ~reason r ->
-      if r.Rp_classifier.Flow_table.packets > 0 then
-        Rp_obs.Flowlog.emit (record_of ~reason r))
+  Ft.set_exporter (Rp_classifier.Aiu.flow_table aiu) (fun ~reason r ->
+      if Ft.packets r > 0 then begin
+        Rp_obs.Counter.add m_packets (Ft.packets r);
+        Rp_obs.Counter.add m_bytes (Ft.bytes r);
+        Rp_obs.Flowlog.emit (record_of ~reason r)
+      end)

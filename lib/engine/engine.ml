@@ -361,7 +361,7 @@ let shard_flow_keys t i =
   | Inline ->
     let keys = ref [] in
     Rp_classifier.Flow_table.iter
-      (fun r -> keys := r.Rp_classifier.Flow_table.key :: !keys)
+      (fun r -> keys := Rp_classifier.Flow_table.key r :: !keys)
       (Rp_classifier.Aiu.flow_table (Router.aiu t.router));
     !keys
   | Sharded _ -> Shard.flow_keys t.shard_tbl.(i)
@@ -556,6 +556,29 @@ let stats_string t =
 let flush_flows t =
   Rp_classifier.Aiu.flush_flows (Router.aiu t.router);
   Array.iter Shard.flush_flows t.shard_tbl
+
+(* Same ownership contract as [flush_flows]: shard flow tables are
+   domain-private, so expiry may only run while the workers are
+   drained.  The fig-zipf soak calls this during its idle pauses to
+   keep arrival/expiry churning at million-flow scale. *)
+let expire_flows t ~now ~idle_ns =
+  let n = ref (Rp_classifier.Aiu.expire_flows (Router.aiu t.router) ~now ~idle_ns) in
+  Array.iter (fun s -> n := !n + Shard.expire_flows s ~now ~idle_ns) t.shard_tbl;
+  !n
+
+let shard_flow_count t i =
+  match t.mode with
+  | Inline ->
+    Rp_classifier.Flow_table.length
+      (Rp_classifier.Aiu.flow_table (Router.aiu t.router))
+  | Sharded _ -> Shard.flow_count t.shard_tbl.(i)
+
+let shard_flow_stats t i =
+  match t.mode with
+  | Inline ->
+    Rp_classifier.Flow_table.stats
+      (Rp_classifier.Aiu.flow_table (Router.aiu t.router))
+  | Sharded _ -> Shard.flow_stats t.shard_tbl.(i)
 
 let stop t =
   if not t.stopped then begin

@@ -165,6 +165,22 @@ val stats_string : t -> string
     no backlog) or after {!stop}. *)
 val flush_flows : t -> unit
 
+(** Expire idle records from every flow cache the engine owns (router
+    table plus each shard's), exporting them with reason ["expired"];
+    returns the total evicted.  Same idle-only contract as
+    {!flush_flows} — the long-haul soaks call this during drained
+    pauses to keep continuous arrival/expiry churn going. *)
+val expire_flows : t -> now:int64 -> idle_ns:int64 -> int
+
+(** Live flow records cached by shard [i] (inline: the router table).
+    Idle-only, like {!flush_flows}. *)
+val shard_flow_count : t -> int -> int
+
+(** Flow-table stats of shard [i] (inline: the router table) — the
+    soak reads [chain_max] from here to bound probe lengths.
+    Idle-only, like {!flush_flows}. *)
+val shard_flow_stats : t -> int -> Rp_classifier.Flow_table.stats
+
 (** Stop the workers (joining their domains) and deregister the
     engine.  Idempotent.  Packets still in RX rings are dispatched
     before workers exit; call {!drain} afterwards to collect them. *)

@@ -461,9 +461,18 @@ let dispatch_batch t batch ~n ~emit =
 
 let flush_flows t = Rp_classifier.Aiu.flush_flows t.aiu
 
+let expire_flows t ~now ~idle_ns =
+  Rp_classifier.Aiu.expire_flows t.aiu ~now ~idle_ns
+
+let flow_count t =
+  Rp_classifier.Flow_table.length (Rp_classifier.Aiu.flow_table t.aiu)
+
+let flow_stats t =
+  Rp_classifier.Flow_table.stats (Rp_classifier.Aiu.flow_table t.aiu)
+
 let flow_keys t =
   let keys = ref [] in
   Rp_classifier.Flow_table.iter
-    (fun r -> keys := r.Rp_classifier.Flow_table.key :: !keys)
+    (fun r -> keys := Rp_classifier.Flow_table.key r :: !keys)
     (Rp_classifier.Aiu.flow_table t.aiu);
   !keys

@@ -86,3 +86,16 @@ val flow_keys : t -> Flow_key.t list
     the {!Rp_obs.Flowlog} ring.  Only safe while the shard's worker is
     idle or stopped (the flow table is domain-private). *)
 val flush_flows : t -> unit
+
+(** Expire idle records from the shard's private flow cache (exported
+    with reason ["expired"]), returning the count evicted.  Same
+    idle-only contract as {!flush_flows}. *)
+val expire_flows : t -> now:int64 -> idle_ns:int64 -> int
+
+(** Live records in the shard's private flow table (idle-only, like
+    {!flush_flows}). *)
+val flow_count : t -> int
+
+(** Stats snapshot of the shard's private flow table (idle-only, like
+    {!flush_flows}). *)
+val flow_stats : t -> Rp_classifier.Flow_table.stats

@@ -11,19 +11,31 @@ let compare a b =
   | V4 _, V6 _ -> -1
   | V6 _, V4 _ -> 1
 
-let equal a b = compare a b = 0
+(* Direct per-constructor equality: [compare] goes through
+   [Int32.unsigned_compare], whose bias subtraction boxes two
+   intermediate int32s per call — too hot for the flow table's probe
+   loop, which must stay allocation-free. *)
+let equal a b =
+  match a, b with
+  | V4 x, V4 y -> Int32.equal x y
+  | V6 (h1, l1), V6 (h2, l2) -> Int64.equal h1 h2 && Int64.equal l1 l2
+  | V4 _, V6 _ | V6 _, V4 _ -> false
 
 (* Fibonacci-style mixing: prefix-masked addresses have long runs of
-   zero low bits, so the raw value must not be used as a hash. *)
-let mix64 x =
-  let x = Int64.mul x 0x9E3779B97F4A7C15L in
-  let x = Int64.logxor x (Int64.shift_right_logical x 29) in
-  let x = Int64.mul x 0xBF58476D1CE4E5B9L in
-  Int64.to_int (Int64.logxor x (Int64.shift_right_logical x 32)) land max_int
+   zero low bits, so the raw value must not be used as a hash.  The
+   mix runs in the native [int] domain — int64 arithmetic would box an
+   intermediate per operation, and this sits on the flow table's
+   per-packet path which is required to allocate nothing.  Constants
+   are 62-bit odd multipliers (OCaml int literals cap at 63 bits). *)
+let mix x =
+  let x = x * 0x2545F4914F6CDD1D in
+  let x = x lxor (x lsr 29) in
+  let x = x * 0x1B873593A56F3C5 in
+  (x lxor (x lsr 32)) land max_int
 
 let hash = function
-  | V4 x -> mix64 (Int64.logand (Int64.of_int32 x) 0xFFFFFFFFL)
-  | V6 (h, l) -> mix64 (Int64.logxor h (Int64.add (Int64.mul l 3L) 0x1234567L))
+  | V4 x -> mix (Int32.to_int x land 0xFFFFFFFF)
+  | V6 (h, l) -> mix (Int64.to_int h lxor ((Int64.to_int l * 3) + 0x1234567))
 
 let width = function
   | V4 _ -> 32

@@ -289,16 +289,12 @@ let xlate_of s =
 
 let xlate_of_record (r : Rp_core.Plugin.t Rp_classifier.Flow_table.record) =
   let found = ref None in
-  Array.iter
-    (fun b ->
-      match b with
-      | Some (b : Rp_core.Plugin.t Rp_classifier.Flow_table.binding) -> (
-        match b.Rp_classifier.Flow_table.soft with
-        | Some (Cached (s, _)) when s.nat && Option.is_none !found ->
-          found := Some (xlate_of s)
-        | _ -> ())
-      | None -> ())
-    r.Rp_classifier.Flow_table.bindings;
+  Rp_classifier.Flow_table.iter_bindings r
+    (fun ~gate:_ (b : Rp_core.Plugin.t Rp_classifier.Flow_table.binding) ->
+      match b.Rp_classifier.Flow_table.soft with
+      | Some (Cached (s, _)) when s.nat && Option.is_none !found ->
+        found := Some (xlate_of s)
+      | _ -> ());
   !found
 
 let () = Rp_core.Flow_export.set_translated_of xlate_of_record

@@ -541,7 +541,7 @@ let test_flow_table_fix () =
   check bool_t "fix invalid after remove" true (Flow_table.find_fix t fix = None);
   (* Reuse the slot for another flow: the old FIX must not resolve. *)
   let r2 = Flow_table.insert t (mk_key 2) ~now:1L in
-  check bool_t "slot reused" true (r2.Flow_table.slot = r.Flow_table.slot);
+  check bool_t "slot reused" true (Flow_table.slot r2 = Flow_table.slot r);
   check bool_t "stale fix rejected" true (Flow_table.find_fix t fix = None);
   check bool_t "new fix ok" true
     (Flow_table.find_fix t (Flow_table.fix_of_record r2) <> None)
@@ -667,7 +667,7 @@ let test_flow_table_export_exactly_once () =
     Flow_table.create ~buckets:8 ~initial_records:1 ~max_records:1 ~gates:1 ()
   in
   Flow_table.set_exporter t (fun ~reason r ->
-      let k = (reason, r.Flow_table.key, r.Flow_table.gen) in
+      let k = (reason, Flow_table.key r, Flow_table.gen r) in
       Hashtbl.replace exported k (1 + Option.value ~default:0 (Hashtbl.find_opt exported k)));
   let count reason =
     Hashtbl.fold
@@ -716,7 +716,7 @@ let prop_flow_table_model =
           match op with
           | 0 ->
             let r = Flow_table.insert t k ~now:!now in
-            Hashtbl.replace model i r.Flow_table.gen;
+            Hashtbl.replace model i (Flow_table.gen r);
             true
           | 1 ->
             (match Flow_table.lookup t k ~now:!now with
@@ -730,6 +730,252 @@ let prop_flow_table_model =
              | Some _, true | None, false -> true
              | Some _, false | None, true -> false))
         ops)
+
+(* The whole point of the flat layout: once warm, the per-packet flow
+   paths — lookup hit/miss, insert over a recycled slot, an expiry
+   sweep that finds nothing — allocate no OCaml-heap words at all
+   (same contract the packet pool proved in its GC-silence test).
+   Keys are preallocated so only table work is measured; small
+   constant slack covers the [Gc.minor_words] boxing itself. *)
+let test_flow_table_gc_silent () =
+  let t =
+    Flow_table.create ~buckets:2048 ~initial_records:256 ~max_records:256
+      ~gates:2 ()
+  in
+  let keys = Array.init 512 mk_key in
+  let spin () =
+    for i = 0 to 255 do
+      ignore (Flow_table.insert t keys.(i) ~now:0L)
+    done;
+    for i = 0 to 511 do
+      ignore (Flow_table.lookup t keys.(i) ~now:1L)
+    done;
+    (* table is full: each of these recycles the oldest record *)
+    for i = 256 to 511 do
+      ignore (Flow_table.insert t keys.(i) ~now:2L)
+    done;
+    ignore (Flow_table.expire t ~now:3L ~idle_ns:1_000_000_000L)
+  in
+  spin ();
+  spin ();
+  let before = Gc.minor_words () in
+  spin ();
+  let delta = Gc.minor_words () -. before in
+  check bool_t
+    (Printf.sprintf "steady state GC-silent (%.0f minor words)" delta)
+    true (delta < 100.)
+
+(* Regression for the O(allocated) maintenance sweeps: expire and
+   invalidate walk the dense live set, so after growing to thousands
+   of slots and draining back to a handful, a sweep visits exactly
+   [live] slots — grown-but-dead capacity costs nothing. *)
+let test_flow_table_olive_maintenance () =
+  let t = Flow_table.create ~buckets:64 ~initial_records:4 ~gates:1 () in
+  for i = 0 to 4095 do
+    ignore (Flow_table.insert t (mk_key i) ~now:0L)
+  done;
+  check bool_t "grew to thousands of slots" true (Flow_table.capacity t >= 4096);
+  (* Drain to three live flows (mk_key i has sport = 1000 + i). *)
+  let n = Flow_table.invalidate t ~matches:(fun k -> k.Flow_key.sport >= 1003) in
+  check int_t "drained" 4093 n;
+  check int_t "three live" 3 (Flow_table.length t);
+  let v0 = (Flow_table.stats t).Flow_table.maint_visited in
+  check int_t "nothing idle" 0 (Flow_table.expire t ~now:1L ~idle_ns:1_000_000_000L);
+  let v1 = (Flow_table.stats t).Flow_table.maint_visited in
+  check int_t "expire visited exactly the live slots" 3 (v1 - v0);
+  ignore (Flow_table.invalidate t ~matches:(fun _ -> false));
+  let v2 = (Flow_table.stats t).Flow_table.maint_visited in
+  check int_t "invalidate visited exactly the live slots" 3 (v2 - v1)
+
+(* The probe run is charged like the old bucket chain — one access for
+   the home-bucket read plus one per occupied slot inspected — and
+   [chain_max] counts those occupied slots uniformly on hits and
+   misses.  Uses a fixed-size table so home buckets are computable. *)
+let test_flow_table_probe_charges () =
+  Rp_lpm.Access.set_enabled true;
+  let t =
+    Flow_table.create ~buckets:16 ~initial_records:4 ~max_records:4 ~gates:1 ()
+  in
+  let mask = 15 in
+  let home k = Flow_key.hash k land mask in
+  let base = mk_key 0 in
+  let h = home base in
+  let find_key p =
+    let rec go i =
+      if i > 100_000 then Alcotest.fail "no key found for probe layout"
+      else
+        let k = mk_key i in
+        if p k then k else go (i + 1)
+    in
+    go 1
+  in
+  let collider = find_key (fun k -> home k = h) in
+  let elsewhere =
+    find_key (fun k -> home k <> h && home k <> (h + 1) land mask)
+  in
+  let third = find_key (fun k -> home k = h && not (Flow_key.equal k collider)) in
+  ignore (Flow_table.insert t base ~now:0L);
+  let r, c = Rp_lpm.Access.measure (fun () -> Flow_table.lookup t base ~now:1L) in
+  check bool_t "hit" true (r <> None);
+  check int_t "collision-free hit charges 2" 2 c;
+  check int_t "hit at depth 0 records chain 1" 1
+    (Flow_table.stats t).Flow_table.chain_max;
+  let r, c =
+    Rp_lpm.Access.measure (fun () -> Flow_table.lookup t elsewhere ~now:1L)
+  in
+  check bool_t "miss" true (r = None);
+  check int_t "miss on empty home charges 1" 1 c;
+  (* Second key with the same home bucket probes to home+1. *)
+  ignore (Flow_table.insert t collider ~now:2L);
+  let r, c =
+    Rp_lpm.Access.measure (fun () -> Flow_table.lookup t collider ~now:3L)
+  in
+  check bool_t "collided hit" true (r <> None);
+  check int_t "hit at depth 1 charges 3" 3 c;
+  check int_t "hit at depth 1 records chain 2" 2
+    (Flow_table.stats t).Flow_table.chain_max;
+  (* A missing key with the same home skips both occupied slots. *)
+  let r, c = Rp_lpm.Access.measure (fun () -> Flow_table.lookup t third ~now:4L) in
+  check bool_t "miss past the run" true (r = None);
+  check int_t "miss past 2 occupied charges 3" 3 c;
+  check int_t "miss records occupied slots skipped" 2
+    (Flow_table.stats t).Flow_table.chain_max
+
+let prop_flow_table_equiv =
+  (* The flat table against a boxed reference model on a bounded
+     4-record table, so recycling pressure is constant: lookup
+     results, FIX validity, per-gate staleness, live count and the
+     export log must agree hit-for-hit under random interleavings of
+     insert / lookup / remove / expire / invalidate / gate bumps.
+     Exports with a deterministic trigger (replaced, recycled,
+     removed) are compared in order — pinning eviction order — and
+     whole-table sweeps (expired, invalidated, flushed) as multisets,
+     since the sweep walks the dense live array, not insertion
+     order. *)
+  qtest ~count:300 "flat table = boxed reference model"
+    QCheck2.Gen.(list_size (int_range 1 80) (pair (int_bound 7) (int_bound 11)))
+    (fun ops ->
+      let max_records = 4 in
+      let gates = 2 in
+      let t =
+        Flow_table.create ~buckets:8 ~initial_records:max_records ~max_records
+          ~gates ()
+      in
+      let exports = ref [] in
+      Flow_table.set_exporter t (fun ~reason r ->
+          exports := (reason, (Flow_table.key r).Flow_key.sport - 1000) :: !exports);
+      (* Reference model: live entries in insertion order (oldest
+         first), each (key index, unique insert seq, last-use, per-gate
+         bump stamps). *)
+      let m_live = ref [] in
+      let m_seq = ref 0 in
+      let m_bumps = Array.make gates 0 in
+      let m_exports = ref [] in
+      let m_export reason (idx, _, _, _) = m_exports := (reason, idx) :: !m_exports in
+      let m_find idx = List.find_opt (fun (i, _, _, _) -> i = idx) !m_live in
+      let m_remove idx = m_live := List.filter (fun (i, _, _, _) -> i <> idx) !m_live in
+      let m_insert idx now =
+        (match m_find idx with
+         | Some e ->
+           m_export "replaced" e;
+           m_remove idx
+         | None ->
+           if List.length !m_live >= max_records then begin
+             let oldest = List.hd !m_live in
+             m_export "recycled" oldest;
+             m_live := List.tl !m_live
+           end);
+        incr m_seq;
+        m_live := !m_live @ [ (idx, !m_seq, ref now, Array.copy m_bumps) ];
+        !m_seq
+      in
+      let fixes = ref [] in
+      let now = ref 0L in
+      let ok = ref true in
+      let assert_ b = if not b then ok := false in
+      List.iter
+        (fun (op, i) ->
+          now := Int64.add !now 10L;
+          let k = mk_key i in
+          (match op with
+           | 0 | 1 ->
+             let r = Flow_table.insert t k ~now:!now in
+             let seq = m_insert i (Int64.to_int !now) in
+             fixes := (Flow_table.fix_of_record r, i, seq, Flow_table.gen r) :: !fixes
+           | 2 | 3 -> (
+             match (Flow_table.lookup t k ~now:!now, m_find i) with
+             | Some r, Some (_, _, last, stamps) ->
+               last := Int64.to_int !now;
+               for g = 0 to gates - 1 do
+                 assert_
+                   (Flow_table.gate_stale t r ~gate:g = (stamps.(g) < m_bumps.(g)))
+               done
+             | None, None -> ()
+             | _ -> assert_ false)
+           | 4 -> (
+             match (Flow_table.lookup t k ~now:!now, m_find i) with
+             | Some r, Some e ->
+               Flow_table.remove t r;
+               m_export "removed" e;
+               m_remove i
+             | None, None -> ()
+             | _ -> assert_ false)
+           | 5 ->
+             let n = Flow_table.expire t ~now:!now ~idle_ns:25L in
+             let gone, kept =
+               List.partition
+                 (fun (_, _, last, _) -> Int64.to_int !now - !last > 25)
+                 !m_live
+             in
+             List.iter (m_export "expired") gone;
+             m_live := kept;
+             assert_ (n = List.length gone)
+           | 6 ->
+             let n =
+               Flow_table.invalidate t
+                 ~matches:(fun k -> k.Flow_key.sport mod 2 = 0)
+             in
+             let gone, kept =
+               List.partition (fun (idx, _, _, _) -> (1000 + idx) mod 2 = 0) !m_live
+             in
+             List.iter (m_export "invalidated") gone;
+             m_live := kept;
+             assert_ (n = List.length gone)
+           | _ ->
+             let g = i mod gates in
+             Flow_table.bump_gate t ~gate:g;
+             m_bumps.(g) <- m_bumps.(g) + 1);
+          assert_ (Flow_table.length t = List.length !m_live);
+          (* every FIX handed out so far resolves iff its exact
+             incarnation (key index + insert seq) is still live *)
+          List.iter
+            (fun (fix, idx, seq, gen) ->
+              let expect =
+                match m_find idx with Some (_, s, _, _) -> s = seq | None -> false
+              in
+              let got =
+                match Flow_table.find_fix t fix with
+                | Some r ->
+                  Flow_table.gen r = gen
+                  && (Flow_table.key r).Flow_key.sport - 1000 = idx
+                | None -> false
+              in
+              assert_ (got = expect))
+            !fixes)
+        ops;
+      Flow_table.flush t;
+      List.iter (m_export "flushed") !m_live;
+      m_live := [];
+      let det = [ "replaced"; "recycled"; "removed" ] in
+      let split l =
+        ( List.filter (fun (r, _) -> List.mem r det) l,
+          List.sort compare (List.filter (fun (r, _) -> not (List.mem r det)) l) )
+      in
+      let d_real, s_real = split !exports in
+      let d_model, s_model = split !m_exports in
+      assert_ (d_real = d_model);
+      assert_ (s_real = s_model);
+      !ok)
 
 (* --- AIU ------------------------------------------------------------- *)
 
@@ -1069,6 +1315,13 @@ let () =
           Alcotest.test_case "export exactly once" `Quick
             test_flow_table_export_exactly_once;
           prop_flow_table_model;
+          Alcotest.test_case "steady state GC-silent" `Quick
+            test_flow_table_gc_silent;
+          Alcotest.test_case "O(live) maintenance sweeps" `Quick
+            test_flow_table_olive_maintenance;
+          Alcotest.test_case "probe charges and chain_max" `Quick
+            test_flow_table_probe_charges;
+          prop_flow_table_equiv;
         ] );
       ( "aiu",
         [

@@ -500,6 +500,67 @@ let churn_equivalence_compiled =
     ~name:"sharded compiled verdicts = inline per-gate verdicts (churn)"
     ~classifier:`Compiled
 
+(* Engine-level flow maintenance (expire_flows / flush_flows) is
+   observationally identical between the inline engine and sharded:4:
+   under random interleavings of traffic bursts, expiry passes and
+   full flushes, plugin hit counts, expiry totals and the live flow
+   population all agree — the shards just partition one table. *)
+let prop_flow_maintenance_equivalence =
+  qtest ~count:25 "sharded:4 flow maintenance = inline (random interleavings)"
+    QCheck2.Gen.(list_size (int_range 1 30) (pair (int_bound 3) (int_bound 7)))
+    (fun script ->
+      let mk_side tag mode =
+        let r = mk_router () in
+        let _inst, hits =
+          bind_counting r ~gate:Gate.Firewall ~name:("maint-" ^ tag)
+        in
+        let e = Engine.create mode r in
+        let mbufs = Array.init 16 (fun f -> mk_pkt ~sport:(30_000 + f) ()) in
+        (e, hits, mbufs)
+      in
+      let ei, hi, mi = mk_side "i" Inline in
+      let es, hs, ms = mk_side "s" (Sharded 4) in
+      let flows e nshards =
+        let s = ref 0 in
+        for i = 0 to nshards - 1 do
+          s := !s + Engine.shard_flow_count e i
+        done;
+        !s
+      in
+      let now = ref 0L in
+      let good = ref true in
+      (* Returns the expiry count for expire ops, -1 otherwise; both
+         sides must return the same value for every op.  Maintenance
+         runs only on a drained engine (the idle-only contract). *)
+      let step e mbufs (cmd, arg) =
+        match cmd with
+        | 0 | 1 ->
+          for f = 2 * arg to (2 * arg) + 1 do
+            assert (Engine.submit e ~now:!now mbufs.(f))
+          done;
+          ignore (Engine.flush e ~f:(fun _ -> ()));
+          -1
+        | 2 ->
+          ignore (Engine.flush e ~f:(fun _ -> ()));
+          Engine.expire_flows e ~now:!now ~idle_ns:100L
+        | _ ->
+          ignore (Engine.flush e ~f:(fun _ -> ()));
+          Engine.flush_flows e;
+          -1
+      in
+      List.iter
+        (fun c ->
+          now := Int64.add !now 30L;
+          let a = step ei mi c in
+          let b = step es ms c in
+          if a <> b then good := false;
+          if flows ei 1 <> flows es 4 then good := false)
+        script;
+      let same_hits = Atomic.get hi = Atomic.get hs in
+      Engine.stop ei;
+      Engine.stop es;
+      !good && same_hits)
+
 (* Switching the classifier mode on a live engine travels to the
    shards as an ordinary publication (a bare [Refresh] delta) — after
    sync, worker-domain cold starts go through the compiled structure. *)
@@ -876,6 +937,7 @@ let () =
           Alcotest.test_case "selective invalidation keeps fast path" `Quick
             test_selective_invalidation_keeps_fast_path;
           churn_equivalence;
+          prop_flow_maintenance_equivalence;
           Alcotest.test_case "backlog overflow recompiles" `Quick
             test_backlog_overflow_recompiles;
           Alcotest.test_case "coalescing" `Quick test_coalescing;
